@@ -1,0 +1,54 @@
+// Ablation (Sec. 5.5): the k / m tradeoff. Sweeps the leaf count k and the
+// sampling rate alpha, reporting median error, P95, query latency and
+// synopsis footprint. The paper's rule of thumb k ~ 0.5% of m shows up as
+// the knee of this sweep.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/janus.h"
+
+namespace janus {
+namespace {
+
+void Run(size_t rows, size_t num_queries) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 2525);
+  const DefaultTemplate tmpl = DefaultTemplateFor(DatasetKind::kNycTaxi);
+  auto queries = bench::MakeWorkload(ds.rows, tmpl.predicate_column,
+                                     tmpl.aggregate_column, num_queries,
+                                     AggFunc::kSum, 71);
+  std::printf("%-8s %-8s %10s %10s %14s %14s\n", "k", "alpha", "median",
+              "P95", "latency(ms)", "samples");
+  for (double alpha : {0.005, 0.01, 0.02}) {
+    for (int k : {16, 64, 128, 256, 512}) {
+      JanusOptions opts;
+      opts.spec.agg_column = tmpl.aggregate_column;
+      opts.spec.predicate_columns = {tmpl.predicate_column};
+      opts.num_leaves = k;
+      opts.sample_rate = alpha;
+      opts.catchup_rate = 0.10;
+      opts.enable_triggers = false;
+      JanusAqp system(opts);
+      system.LoadInitial(ds.rows);
+      system.Initialize();
+      system.RunCatchupToGoal();
+      const auto stats = bench::EvaluateWorkload(system, ds.rows, queries);
+      std::printf("%-8d %-8.3f %10.4f %10.4f %14.4f %14zu\n", k, alpha,
+                  stats.median, stats.p95, stats.mean_latency_ms,
+                  system.dpt().sample_size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 80000);
+  const size_t queries =
+      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  janus::bench::PrintHeader(
+      "Ablation (Sec. 5.5): leaf count / sampling rate sweep");
+  janus::Run(rows, queries);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Ablation: the max-variance index M (Sec. 5.3.1 / Appendix D.1).
+// Google-benchmark micro-benchmarks for the core primitives the optimizer
+// and the triggers call in their inner loops: M(R) probes per aggregate,
+// index updates, and full partitioning requests.
+
+#include <benchmark/benchmark.h>
+
+#include "core/max_variance.h"
+#include "core/partitioner_1d.h"
+#include "core/partitioner_kd.h"
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+std::vector<KdPoint> RandomPoints(int dims, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KdPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    KdPoint p;
+    p.id = i;
+    for (int d = 0; d < dims; ++d) p.x[d] = rng.NextDouble();
+    p.a = rng.LogNormal(0, 1);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void BM_MaxVarProbe1d(benchmark::State& state, AggFunc focus) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  MaxVarianceIndex::Options o;
+  o.dims = 1;
+  o.focus = focus;
+  MaxVarianceIndex idx(o);
+  idx.Build(RandomPoints(1, m, 7));
+  Rng rng(13);
+  for (auto _ : state) {
+    const size_t lo = rng.NextUint64(m / 2);
+    const size_t hi = lo + m / 2;
+    benchmark::DoNotOptimize(idx.MaxVarianceRankRange(lo, hi, focus));
+  }
+}
+BENCHMARK_CAPTURE(BM_MaxVarProbe1d, SUM, AggFunc::kSum)->Range(1 << 10, 1 << 15);
+BENCHMARK_CAPTURE(BM_MaxVarProbe1d, COUNT, AggFunc::kCount)
+    ->Range(1 << 10, 1 << 15);
+BENCHMARK_CAPTURE(BM_MaxVarProbe1d, AVG, AggFunc::kAvg)->Range(1 << 10, 1 << 15);
+
+void BM_MaxVarProbeKd(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  MaxVarianceIndex::Options o;
+  o.dims = dims;
+  MaxVarianceIndex idx(o);
+  idx.Build(RandomPoints(dims, 8192, 11));
+  Rng rng(17);
+  std::vector<double> lo(static_cast<size_t>(dims)),
+      hi(static_cast<size_t>(dims));
+  for (auto _ : state) {
+    for (int d = 0; d < dims; ++d) {
+      double a = rng.NextDouble(), b = rng.NextDouble();
+      if (a > b) std::swap(a, b);
+      lo[static_cast<size_t>(d)] = a;
+      hi[static_cast<size_t>(d)] = b;
+    }
+    benchmark::DoNotOptimize(
+        idx.MaxVariance(Rectangle(lo, hi), AggFunc::kSum));
+  }
+}
+BENCHMARK(BM_MaxVarProbeKd)->DenseRange(1, 5);
+
+void BM_IndexUpdate(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  MaxVarianceIndex::Options o;
+  o.dims = dims;
+  MaxVarianceIndex idx(o);
+  idx.Build(RandomPoints(dims, 8192, 19));
+  Rng rng(23);
+  uint64_t next_id = 1 << 20;
+  for (auto _ : state) {
+    KdPoint p;
+    p.id = next_id++;
+    for (int d = 0; d < dims; ++d) p.x[d] = rng.NextDouble();
+    p.a = rng.LogNormal(0, 1);
+    idx.Insert(p);
+    benchmark::DoNotOptimize(idx.Delete(p));
+  }
+}
+BENCHMARK(BM_IndexUpdate)->DenseRange(1, 5);
+
+void BM_Partition1dBs(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  MaxVarianceIndex::Options o;
+  o.dims = 1;
+  o.focus = AggFunc::kSum;
+  MaxVarianceIndex idx(o);
+  idx.Build(RandomPoints(1, m, 29));
+  Partitioner1dOptions opts;
+  opts.num_leaves = 128;
+  opts.data_size = m * 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPartition1D(idx, opts));
+  }
+}
+BENCHMARK(BM_Partition1dBs)->Range(1 << 11, 1 << 14);
+
+void BM_PartitionKd(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  MaxVarianceIndex::Options o;
+  o.dims = dims;
+  o.focus = AggFunc::kSum;
+  MaxVarianceIndex idx(o);
+  idx.Build(RandomPoints(dims, 8192, 31));
+  PartitionerKdOptions opts;
+  opts.num_leaves = 128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPartitionKd(idx, opts));
+  }
+}
+BENCHMARK(BM_PartitionKd)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace janus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Ablation: trigger policy. Under a drifting stream (sorted-by-time NYC
+// data), compare (a) no re-partitioning (DPT baseline), (b) the beta-drift
+// trigger of Sec. 5.4, (c) periodic re-partitioning every 10% — reporting
+// P95 error and the number of re-partitions each policy paid for.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/janus.h"
+
+namespace janus {
+namespace {
+
+enum class Policy { kNone, kBetaTrigger, kPeriodic };
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kNone:
+      return "none";
+    case Policy::kBetaTrigger:
+      return "beta-trigger";
+    case Policy::kPeriodic:
+      return "periodic-10%";
+  }
+  return "?";
+}
+
+void Run(size_t rows, size_t num_queries) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 2121);
+  const DefaultTemplate tmpl = DefaultTemplateFor(DatasetKind::kNycTaxi);
+  std::printf("%-14s %12s %12s %14s %14s\n", "policy", "P95", "median",
+              "repartitions", "reopt cost(s)");
+  for (Policy policy :
+       {Policy::kNone, Policy::kBetaTrigger, Policy::kPeriodic}) {
+    JanusOptions opts;
+    opts.spec.agg_column = tmpl.aggregate_column;
+    opts.spec.predicate_columns = {tmpl.predicate_column};
+    opts.num_leaves = 128;
+    opts.sample_rate = 0.01;
+    opts.catchup_rate = 0.10;
+    opts.enable_triggers = policy == Policy::kBetaTrigger;
+    opts.beta = 8.0;
+    opts.trigger_check_interval = 128;
+    JanusAqp system(opts);
+    const size_t step = ds.rows.size() / 10;
+    std::vector<Tuple> historical(ds.rows.begin(),
+                                  ds.rows.begin() + static_cast<long>(step));
+    system.LoadInitial(historical);
+    system.Initialize();
+    system.RunCatchupToGoal();
+    double reopt_cost = 0;
+    for (int decile = 2; decile <= 9; ++decile) {
+      const size_t lo = step * static_cast<size_t>(decile - 1);
+      const size_t hi = step * static_cast<size_t>(decile);
+      for (size_t i = lo; i < hi; ++i) system.Insert(ds.rows[i]);
+      if (policy == Policy::kPeriodic) {
+        system.Reinitialize();
+        system.RunCatchupToGoal();
+        reopt_cost += system.counters().last_reopt_seconds;
+      }
+    }
+    system.RunCatchupToGoal();
+    std::vector<Tuple> live(ds.rows.begin(),
+                            ds.rows.begin() + static_cast<long>(step * 9));
+    auto queries = bench::MakeWorkload(live, tmpl.predicate_column,
+                                       tmpl.aggregate_column, num_queries,
+                                       AggFunc::kSum, 57);
+    const auto stats = bench::EvaluateWorkload(system, live, queries);
+    std::printf("%-14s %12.4f %12.4f %14lu %14.4f\n", PolicyName(policy),
+                stats.p95, stats.median,
+                static_cast<unsigned long>(system.counters().repartitions +
+                                           system.counters()
+                                               .partial_repartitions),
+                reopt_cost + system.counters().last_reopt_seconds *
+                                 (policy == Policy::kBetaTrigger ? 1 : 0));
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 60000);
+  const size_t queries =
+      janus::bench::FlagValue(argc, argv, "--queries", 200);
+  janus::bench::PrintHeader("Ablation: re-partitioning trigger policy");
+  janus::Run(rows, queries);
+  return 0;
+}

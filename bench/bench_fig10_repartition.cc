@@ -1,0 +1,142 @@
+// Figure 10: why re-partitioning matters (Sec. 6.8). Two scenarios that
+// unbalance a frozen partition tree, DPT (no re-partitioning) vs JanusAQP
+// (periodic / triggered re-partitioning):
+//   Left:  skewed insertions — the NYC Taxi stream arrives sorted by
+//          pickup time, so all new tuples hit the right-most partitions.
+//   Right: skewed deletions — half the samples of 10% of the leaves are
+//          deleted, then another 10% of data arrives.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/janus.h"
+
+namespace janus {
+namespace {
+
+constexpr int kPickup = 0;
+constexpr int kTimeOfDay = 5;
+constexpr int kDistance = 2;
+
+std::unique_ptr<JanusAqp> MakeSystem(const std::vector<Tuple>& historical,
+                                     int predicate_column, bool triggers) {
+  JanusOptions opts;
+  opts.spec.agg_column = kDistance;
+  opts.spec.predicate_columns = {predicate_column};
+  opts.num_leaves = 128;
+  opts.sample_rate = 0.01;
+  opts.catchup_rate = 0.10;
+  opts.enable_triggers = triggers;
+  opts.trigger_check_interval = 64;
+  auto system = std::make_unique<JanusAqp>(opts);
+  system->LoadInitial(historical);
+  system->Initialize();
+  system->RunCatchupToGoal();
+  return system;
+}
+
+void SkewedInsertions(size_t rows, size_t num_queries) {
+  // NYC Taxi is already sorted by pickup time: streaming it in order makes
+  // every insertion land at the right edge of the pickup-time domain.
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 1212);
+  const size_t step = ds.rows.size() / 10;
+  std::vector<Tuple> historical(ds.rows.begin(),
+                                ds.rows.begin() + static_cast<long>(step));
+  auto dpt_only = MakeSystem(historical, kPickup, /*triggers=*/false);
+  auto janus_sys = MakeSystem(historical, kPickup, /*triggers=*/false);
+
+  std::printf("%-10s %14s %14s   (skewed insertions)\n", "progress",
+              "DPT(P95)", "Janus(P95)");
+  for (int decile = 2; decile <= 9; ++decile) {
+    const size_t lo = step * static_cast<size_t>(decile - 1);
+    const size_t hi = step * static_cast<size_t>(decile);
+    for (size_t i = lo; i < hi; ++i) {
+      dpt_only->Insert(ds.rows[i]);
+      janus_sys->Insert(ds.rows[i]);
+    }
+    // JanusAQP re-partitions after every 10% insertions (periodic trigger,
+    // Sec. 5.4 "the user can choose to re-partition ... after tau updates").
+    janus_sys->Reinitialize();
+    janus_sys->RunCatchupToGoal();
+
+    std::vector<Tuple> live(ds.rows.begin(),
+                            ds.rows.begin() + static_cast<long>(hi));
+    auto queries = bench::MakeWorkload(live, kPickup, kDistance, num_queries,
+                                       AggFunc::kSum,
+                                       41 + static_cast<uint64_t>(decile));
+    const auto de = bench::EvaluateWorkload(*dpt_only, live, queries);
+    const auto je = bench::EvaluateWorkload(*janus_sys, live, queries);
+    std::printf("0.%d        %14.4f %14.4f\n", decile, de.p95, je.p95);
+  }
+}
+
+void SkewedDeletions(size_t rows, size_t num_queries) {
+  // Predicate = pickup time-of-day (uniformly shuffled across the stream).
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 1313);
+  const size_t half = ds.rows.size() / 2;
+  std::vector<Tuple> historical(ds.rows.begin(),
+                                ds.rows.begin() + static_cast<long>(half));
+  auto dpt_only = MakeSystem(historical, kTimeOfDay, /*triggers=*/false);
+  auto janus_sys = MakeSystem(historical, kTimeOfDay, /*triggers=*/true);
+
+  // Randomly pick 10% of the leaves and delete half the tuples in them.
+  const auto& leaves = janus_sys->dpt().tree().leaves;
+  Rng rng(7);
+  std::vector<int> chosen;
+  for (int leaf : leaves) {
+    if (rng.Bernoulli(0.1)) chosen.push_back(leaf);
+  }
+  std::vector<uint64_t> victims;
+  for (const Tuple& t : historical) {
+    for (int leaf : chosen) {
+      if (janus_sys->dpt().LeafRect(leaf).Contains(&t.values[kTimeOfDay])) {
+        if (rng.Bernoulli(0.5)) victims.push_back(t.id);
+        break;
+      }
+    }
+  }
+  std::vector<bool> dead(ds.rows.size(), false);
+  for (uint64_t id : victims) {
+    dpt_only->Delete(id);
+    janus_sys->Delete(id);
+    dead[id] = true;
+  }
+  // Then the next 10% of data arrives.
+  const size_t next = half + ds.rows.size() / 10;
+  for (size_t i = half; i < next; ++i) {
+    dpt_only->Insert(ds.rows[i]);
+    janus_sys->Insert(ds.rows[i]);
+  }
+  janus_sys->RunCatchupToGoal();
+
+  std::vector<Tuple> live;
+  for (size_t i = 0; i < next; ++i) {
+    if (!dead[i]) live.push_back(ds.rows[i]);
+  }
+  auto queries = bench::MakeWorkload(live, kTimeOfDay, kDistance, num_queries,
+                                     AggFunc::kSum, 43);
+  const auto de = bench::EvaluateWorkload(*dpt_only, live, queries);
+  const auto je = bench::EvaluateWorkload(*janus_sys, live, queries);
+  std::printf("\n%-24s %14s %14s   (skewed deletions)\n", " ", "DPT(P95)",
+              "Janus(P95)");
+  std::printf("after skewed deletes    %14.4f %14.4f   (Janus re-partitions:"
+              " %lu full, %lu partial)\n",
+              de.p95, je.p95,
+              static_cast<unsigned long>(janus_sys->counters().repartitions),
+              static_cast<unsigned long>(
+                  janus_sys->counters().partial_repartitions));
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 60000);
+  const size_t queries =
+      janus::bench::FlagValue(argc, argv, "--queries", 200);
+  janus::bench::PrintHeader(
+      "Figure 10: re-partitioning under skewed insertions / deletions");
+  janus::SkewedInsertions(rows, queries);
+  janus::SkewedDeletions(rows, queries);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 5 (left): insertion/deletion throughput (requests/s) with a pool of
+// 12 worker threads, as a function of the existing-data ratio 0.1 .. 0.9.
+// The paper's observation: throughput is stable regardless of how much data
+// already exists (updates cost O(log k) + per-leaf work only).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/janus.h"
+#include "util/thread_pool.h"
+
+namespace janus {
+namespace {
+
+void Run(size_t rows, size_t num_threads) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 555);
+  const DefaultTemplate tmpl = DefaultTemplateFor(DatasetKind::kNycTaxi);
+  std::printf("%-8s %18s %18s\n", "ratio", "insert(req/s)", "delete(req/s)");
+  for (int decile = 1; decile <= 9; ++decile) {
+    const size_t existing = rows * static_cast<size_t>(decile) / 10;
+    JanusOptions opts;
+    opts.spec.agg_column = tmpl.aggregate_column;
+    opts.spec.predicate_columns = {tmpl.predicate_column};
+    opts.num_leaves = 128;
+    opts.sample_rate = 0.01;
+    opts.enable_triggers = false;  // concurrent mode (Sec. 6.3)
+    JanusAqp system(opts);
+    std::vector<Tuple> historical(
+        ds.rows.begin(), ds.rows.begin() + static_cast<long>(existing));
+    system.LoadInitial(historical);
+    system.Initialize();
+    system.RunCatchupToGoal();
+
+    // Batch of inserts: fresh tuples beyond the dataset.
+    const size_t batch = 40000;
+    std::vector<Tuple> inserts;
+    inserts.reserve(batch);
+    Rng rng(static_cast<uint64_t>(decile) * 77 + 1);
+    for (size_t i = 0; i < batch; ++i) {
+      Tuple t = ds.rows[rng.NextUint64(ds.rows.size())];
+      t.id = 10000000 + static_cast<uint64_t>(decile) * batch + i;
+      inserts.push_back(t);
+    }
+
+    ThreadPool pool(num_threads);
+    Timer timer;
+    const size_t shard = batch / num_threads;
+    for (size_t w = 0; w < num_threads; ++w) {
+      pool.Submit([&system, &inserts, w, shard] {
+        const size_t lo = w * shard;
+        for (size_t i = lo; i < lo + shard; ++i) system.Insert(inserts[i]);
+      });
+    }
+    pool.WaitIdle();
+    const double insert_rate =
+        static_cast<double>(shard * num_threads) / timer.ElapsedSeconds();
+
+    // Deletions of the tuples just inserted.
+    timer.Reset();
+    for (size_t w = 0; w < num_threads; ++w) {
+      pool.Submit([&system, &inserts, w, shard] {
+        const size_t lo = w * shard;
+        for (size_t i = lo; i < lo + shard; ++i) {
+          system.Delete(inserts[i].id);
+        }
+      });
+    }
+    pool.WaitIdle();
+    const double delete_rate =
+        static_cast<double>(shard * num_threads) / timer.ElapsedSeconds();
+
+    std::printf("0.%d      %18.0f %18.0f\n", decile, insert_rate,
+                delete_rate);
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 200000);
+  const size_t threads =
+      janus::bench::FlagValue(argc, argv, "--threads", 12);
+  janus::bench::PrintHeader(
+      "Figure 5 (left): update throughput vs existing-data ratio, "
+      "multi-threaded");
+  janus::Run(rows, threads);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 6: median relative error of JanusAQP after deleting the last p% of
+// the first-50% load (p = 1..9), for the three datasets. Deletions here are
+// spread over the predicate domain, so the error stays flat — the scenario
+// where re-optimization is *not* needed (contrast with Figure 10).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/janus.h"
+
+namespace janus {
+namespace {
+
+void Run(size_t rows, size_t num_queries) {
+  std::printf("%-10s %14s %14s %14s\n", "deleted", "Intel", "ETF", "NYCTaxi");
+  for (int p = 1; p <= 9; ++p) {
+    double medians[3] = {0, 0, 0};
+    int col = 0;
+    for (auto kind :
+         {DatasetKind::kIntelWireless, DatasetKind::kNasdaqEtf,
+          DatasetKind::kNycTaxi}) {
+      auto ds = GenerateDataset(kind, rows, 777);
+      const DefaultTemplate tmpl = DefaultTemplateFor(kind);
+      const size_t half = ds.rows.size() / 2;
+
+      JanusOptions opts;
+      opts.spec.agg_column = tmpl.aggregate_column;
+      opts.spec.predicate_columns = {tmpl.predicate_column};
+      opts.num_leaves = 128;
+      opts.sample_rate = 0.01;
+      opts.catchup_rate = 0.10;
+      opts.enable_triggers = false;
+      JanusAqp system(opts);
+      std::vector<Tuple> historical(
+          ds.rows.begin(), ds.rows.begin() + static_cast<long>(half));
+      system.LoadInitial(historical);
+      system.Initialize();
+      system.RunCatchupToGoal();
+
+      // Delete the last p% of the first 50% (Sec. 6.4). The victims are the
+      // most recently loaded tuples; ground truth is over what remains.
+      const size_t keep = half - half * static_cast<size_t>(p) / 100;
+      for (size_t i = keep; i < half; ++i) system.Delete(ds.rows[i].id);
+      std::vector<Tuple> live(ds.rows.begin(),
+                              ds.rows.begin() + static_cast<long>(keep));
+
+      auto queries = bench::MakeWorkload(live, tmpl.predicate_column,
+                                         tmpl.aggregate_column, num_queries,
+                                         AggFunc::kSum,
+                                         static_cast<uint64_t>(p));
+      const auto stats = bench::EvaluateWorkload(system, live, queries);
+      medians[col++] = stats.median;
+    }
+    std::printf("%d%%        %14.4f %14.4f %14.4f\n", p, medians[0],
+                medians[1], medians[2]);
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 60000);
+  const size_t queries =
+      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  janus::bench::PrintHeader(
+      "Figure 6: median relative error vs deletion percentage (uniform "
+      "deletions)");
+  janus::Run(rows, queries);
+  return 0;
+}

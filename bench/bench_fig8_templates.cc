@@ -1,0 +1,107 @@
+// Figure 8: robustness to dynamic query templates on NYC Taxi (Sec. 6.6).
+//   Left:   predicate-attribute change — PickupOverPickup (native),
+//           DropoffOverPickup (mismatched => uniform-sample fallback),
+//           DropoffOverDropoff (after re-partitioning on the new attribute).
+//   Middle: aggregation-attribute change — Same vs Different (tracked
+//           statistics for both attributes, Sec. 5.5 method 2.i).
+//   Right:  aggregation-function change — SUM / CNT / AVG on one tree.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/janus.h"
+
+namespace janus {
+namespace {
+
+constexpr int kPickup = 0;    // pickup_time
+constexpr int kDropoff = 1;   // dropoff_time
+constexpr int kDistance = 2;  // trip_distance
+constexpr int kFare = 4;      // fare
+
+std::unique_ptr<JanusAqp> MakeSystem(const std::vector<Tuple>& live,
+                                     int predicate_column,
+                                     std::vector<int> extra_tracked) {
+  JanusOptions opts;
+  opts.spec.agg_column = kDistance;
+  opts.spec.predicate_columns = {predicate_column};
+  opts.num_leaves = 128;
+  opts.sample_rate = 0.01;
+  opts.catchup_rate = 0.10;
+  opts.enable_triggers = false;
+  opts.extra_tracked_columns = std::move(extra_tracked);
+  auto system = std::make_unique<JanusAqp>(opts);
+  system->LoadInitial(live);
+  system->Initialize();
+  system->RunCatchupToGoal();
+  return system;
+}
+
+std::vector<AggQuery> Workload(const std::vector<Tuple>& live, int pred,
+                               int agg, AggFunc f, uint64_t seed,
+                               size_t num_queries) {
+  WorkloadGenerator gen(live, {pred}, agg);
+  WorkloadOptions o;
+  o.num_queries = num_queries;
+  o.func = f;
+  o.min_count = 20;
+  o.seed = seed;
+  return gen.Generate(live, o);
+}
+
+void Run(size_t rows, size_t num_queries) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 999);
+  std::printf("%-10s %18s %20s %20s | %10s %12s | %8s %8s %8s\n", "progress",
+              "PickupOverPickup", "DropoffOverPickup", "DropoffOverDropoff",
+              "SameAgg", "DiffAgg", "SUM", "CNT", "AVG");
+  for (int decile = 1; decile <= 9; ++decile) {
+    const size_t limit = ds.rows.size() * static_cast<size_t>(decile) / 10;
+    std::vector<Tuple> live(ds.rows.begin(),
+                            ds.rows.begin() + static_cast<long>(limit));
+    // Synopsis on pickup_time (tracks fare too for the middle plot).
+    auto on_pickup = MakeSystem(live, kPickup, {kFare});
+    // Synopsis re-partitioned for dropoff_time (the "after re-partition"
+    // curve).
+    auto on_dropoff = MakeSystem(live, kDropoff, {});
+
+    const uint64_t seed = 100 + static_cast<uint64_t>(decile);
+    auto q_pickup = Workload(live, kPickup, kDistance, AggFunc::kSum, seed,
+                             num_queries);
+    auto q_dropoff = Workload(live, kDropoff, kDistance, AggFunc::kSum,
+                              seed + 1, num_queries);
+    auto q_fare =
+        Workload(live, kPickup, kFare, AggFunc::kSum, seed + 2, num_queries);
+    auto q_cnt = Workload(live, kPickup, kDistance, AggFunc::kCount, seed + 3,
+                          num_queries);
+    auto q_avg = Workload(live, kPickup, kDistance, AggFunc::kAvg, seed + 4,
+                          num_queries);
+
+    const auto pp = bench::EvaluateWorkload(*on_pickup, live, q_pickup);
+    const auto dp = bench::EvaluateWorkload(*on_pickup, live, q_dropoff);
+    const auto dd = bench::EvaluateWorkload(*on_dropoff, live, q_dropoff);
+    const auto same = bench::EvaluateWorkload(*on_pickup, live, q_pickup);
+    const auto diff = bench::EvaluateWorkload(*on_pickup, live, q_fare);
+    const auto s_sum = pp;
+    const auto s_cnt = bench::EvaluateWorkload(*on_pickup, live, q_cnt);
+    const auto s_avg = bench::EvaluateWorkload(*on_pickup, live, q_avg);
+
+    std::printf(
+        "0.%d        %18.4f %20.4f %20.4f | %10.4f %12.4f | %8.4f %8.4f "
+        "%8.4f\n",
+        decile, pp.p95, dp.p95, dd.p95, same.p95, diff.p95, s_sum.p95,
+        s_cnt.p95, s_avg.p95);
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 100000);
+  const size_t queries =
+      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  janus::bench::PrintHeader(
+      "Figure 8: dynamic query templates (P95 relative error)");
+  janus::Run(rows, queries);
+  return 0;
+}

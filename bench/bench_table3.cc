@@ -1,0 +1,88 @@
+// Table 3: the binary-search (BS) partitioner of Sec. 5.2 vs the dynamic-
+// programming (DP) partitioner of PASS [30], on the Intel dataset: partition
+// time (s) and the median relative error of the resulting static synopsis
+// for CNT / SUM / AVG workloads, sweeping the partition count 16..128.
+// The sample size scales with the partition count, as in Sec. 6.9.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/spt.h"
+
+namespace janus {
+namespace {
+
+struct Cell {
+  double seconds = 0;
+  double median_cnt = 0, median_sum = 0, median_avg = 0;
+};
+
+Cell RunOne(const GeneratedDataset& ds, const DefaultTemplate& tmpl,
+            PartitionAlgorithm algo, int k, size_t num_queries) {
+  Cell cell;
+  SptOptions o;
+  o.spec.agg_column = tmpl.aggregate_column;
+  o.spec.predicate_columns = {tmpl.predicate_column};
+  o.num_leaves = k;
+  o.focus = AggFunc::kSum;
+  o.algorithm = algo;
+  // Sample size grows with the partition count (Sec. 6.9).
+  o.sample_rate =
+      std::min(0.5, static_cast<double>(100 * k) /
+                        static_cast<double>(ds.rows.size()));
+  SptBuildResult built = BuildSpt(ds.rows, o);
+  cell.seconds = built.partition_seconds;
+  for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg}) {
+    auto queries = bench::MakeWorkload(ds.rows, tmpl.predicate_column,
+                                       tmpl.aggregate_column, num_queries, f,
+                                       17 + static_cast<uint64_t>(k));
+    const auto stats = bench::EvaluateWorkload(*built.synopsis, ds.rows,
+                                               queries);
+    if (f == AggFunc::kCount) cell.median_cnt = stats.median;
+    if (f == AggFunc::kSum) cell.median_sum = stats.median;
+    if (f == AggFunc::kAvg) cell.median_avg = stats.median;
+  }
+  return cell;
+}
+
+void Run(size_t rows, size_t num_queries) {
+  auto ds = GenerateDataset(DatasetKind::kIntelWireless, rows, 1414);
+  const DefaultTemplate tmpl = DefaultTemplateFor(DatasetKind::kIntelWireless);
+  std::printf("%-22s %12s %12s %12s %12s\n", "metric / partitions", "16",
+              "32", "64", "128");
+  Cell dp[4], bs[4];
+  const int ks[4] = {16, 32, 64, 128};
+  for (int i = 0; i < 4; ++i) {
+    dp[i] = RunOne(ds, tmpl, PartitionAlgorithm::kDynamicProgram, ks[i],
+                   num_queries);
+    bs[i] = RunOne(ds, tmpl, PartitionAlgorithm::kBinarySearch, ks[i],
+                   num_queries);
+  }
+  auto row = [&](const char* label, auto getter, const Cell* cells) {
+    std::printf("%-22s %12.4f %12.4f %12.4f %12.4f\n", label,
+                getter(cells[0]), getter(cells[1]), getter(cells[2]),
+                getter(cells[3]));
+  };
+  row("Partition Time(s) DP", [](const Cell& c) { return c.seconds; }, dp);
+  row("Partition Time(s) BS", [](const Cell& c) { return c.seconds; }, bs);
+  row("Median RE (CNT)  DP", [](const Cell& c) { return c.median_cnt; }, dp);
+  row("Median RE (CNT)  BS", [](const Cell& c) { return c.median_cnt; }, bs);
+  row("Median RE (SUM)  DP", [](const Cell& c) { return c.median_sum; }, dp);
+  row("Median RE (SUM)  BS", [](const Cell& c) { return c.median_sum; }, bs);
+  row("Median RE (AVG)  DP", [](const Cell& c) { return c.median_avg; }, dp);
+  row("Median RE (AVG)  BS", [](const Cell& c) { return c.median_avg; }, bs);
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 150000);
+  const size_t queries =
+      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  janus::bench::PrintHeader(
+      "Table 3: BS vs DP partitioning — time and accuracy vs partition "
+      "count");
+  janus::Run(rows, queries);
+  return 0;
+}

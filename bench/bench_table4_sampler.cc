@@ -1,0 +1,70 @@
+// Table 4 (Appendix A): sampling 1M tuples from a Kafka-like topic with
+// different poll sizes. pollSize = 1 is the singleton sampler (1M polls);
+// larger poll sizes are sequential samplers that transfer the whole topic
+// but amortize the per-poll overhead. The table reports total time, ms/poll
+// and the "equivalent singleton sample rate" above which the sequential
+// sampler wins.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "stream/broker.h"
+#include "stream/samplers.h"
+
+namespace janus {
+namespace {
+
+void Run(size_t topic_rows, size_t sample_target, uint64_t overhead_ns) {
+  Topic topic("archive", overhead_ns);
+  {
+    auto ds = GenerateUniform(topic_rows, 1, 42);
+    topic.AppendBatch(ds.rows);
+  }
+  std::printf("%-10s %12s %12s %12s %22s\n", "pollSize", "nPolls",
+              "total(ms)", "ms/poll", "EquivSingletonSR");
+
+  // Singleton sampler: draw `sample_target` tuples one poll each.
+  double singleton_ms_per_tuple = 0;
+  {
+    SingletonSampler sampler(&topic, 1);
+    SamplerStats stats;
+    sampler.Sample(sample_target, &stats);
+    singleton_ms_per_tuple = stats.seconds * 1e3 /
+                             static_cast<double>(sample_target);
+    std::printf("%-10d %12zu %12.0f %12.4f %22s\n", 1, stats.polls,
+                stats.seconds * 1e3,
+                stats.seconds * 1e3 / static_cast<double>(stats.polls), "-");
+  }
+
+  // Sequential samplers with growing poll sizes.
+  for (size_t poll_size : {10u, 100u, 1000u, 10000u, 100000u}) {
+    SequentialSampler sampler(&topic, poll_size, poll_size);
+    SamplerStats stats;
+    sampler.Sample(sample_target, &stats);
+    // Sample rate above which the singleton sampler takes longer than this
+    // full sequential pass.
+    const double equiv_rate =
+        (stats.seconds * 1e3) /
+        (singleton_ms_per_tuple * static_cast<double>(topic_rows));
+    std::printf("%-10zu %12zu %12.0f %12.4f %22.4f\n", poll_size, stats.polls,
+                stats.seconds * 1e3,
+                stats.seconds * 1e3 / static_cast<double>(stats.polls),
+                equiv_rate);
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const size_t rows =
+      janus::bench::FlagValue(argc, argv, "--rows", 1000000);
+  const size_t target =
+      janus::bench::FlagValue(argc, argv, "--sample", 1000000);
+  const uint64_t overhead =
+      janus::bench::FlagValue(argc, argv, "--poll-overhead-ns", 2000);
+  janus::bench::PrintHeader(
+      "Table 4 (Appendix A): broker samplers — singleton vs sequential");
+  janus::Run(rows, target, overhead);
+  return 0;
+}

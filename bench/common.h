@@ -1,0 +1,102 @@
+#ifndef JANUS_BENCH_COMMON_H_
+#define JANUS_BENCH_COMMON_H_
+
+// Shared experiment-harness helpers: dataset/workload setup, error metrics
+// and table printing. Every bench binary reproduces one table or figure of
+// the paper and prints the same rows/series the paper reports. Binaries
+// accept "--rows N" to scale the synthetic datasets (defaults keep the whole
+// suite runnable in minutes on a laptop).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dpt.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/workload.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace janus {
+namespace bench {
+
+/// Parse "--rows N" / "--queries N" style flags with defaults.
+inline size_t FlagValue(int argc, char** argv, const char* name,
+                        size_t def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return def;
+}
+
+/// Error summary of one (system, workload) evaluation.
+struct ErrorStats {
+  double median = 0;
+  double p95 = 0;
+  double mean_latency_ms = 0;
+  size_t evaluated = 0;
+};
+
+/// Evaluate a query workload on any system exposing Query(const AggQuery&).
+/// Ground truths are computed over `rows` in one batch pass; zero/undefined
+/// truths are skipped (Sec. 6.1.2 / 6.7).
+template <typename System>
+ErrorStats EvaluateWorkload(const System& system,
+                            const std::vector<Tuple>& rows,
+                            const std::vector<AggQuery>& queries) {
+  ErrorStats out;
+  const auto truths = ExactAnswers(rows, queries);
+  std::vector<double> errors;
+  Timer timer;
+  double query_seconds = 0;
+  size_t answered = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    timer.Reset();
+    const QueryResult r = system.Query(queries[i]);
+    query_seconds += timer.ElapsedSeconds();
+    ++answered;
+    const auto rel = RelativeError(truths[i], r.estimate);
+    if (rel.has_value()) errors.push_back(*rel);
+  }
+  out.evaluated = errors.size();
+  out.median = Median(errors);
+  out.p95 = Percentile(errors, 95);
+  out.mean_latency_ms =
+      answered > 0 ? query_seconds * 1e3 / static_cast<double>(answered) : 0;
+  return out;
+}
+
+/// Standard 1-D workload over a dataset's default template.
+inline std::vector<AggQuery> MakeWorkload(const std::vector<Tuple>& rows,
+                                          int predicate_column,
+                                          int aggregate_column,
+                                          size_t num_queries, AggFunc func,
+                                          uint64_t seed) {
+  WorkloadGenerator gen(rows, {predicate_column}, aggregate_column);
+  WorkloadOptions opts;
+  opts.num_queries = num_queries;
+  opts.func = func;
+  // Queries whose true population is below the sampling resolution are
+  // uninformative for every method; scale the floor with the table size
+  // (the paper's 2000-query workloads over millions of rows implicitly do
+  // the same, Sec. 6.7).
+  opts.min_count = std::max<size_t>(20, rows.size() / 500);
+  opts.seed = seed;
+  return gen.Generate(rows, opts);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace bench
+}  // namespace janus
+
+#endif  // JANUS_BENCH_COMMON_H_

@@ -1,0 +1,94 @@
+#include "baselines/rs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/variance.h"
+#include "util/stats.h"
+
+namespace janus {
+
+ReservoirBaseline::ReservoirBaseline(const RsOptions& opts)
+    : opts_(opts), table_(Schema{}), rng_(opts.seed) {}
+
+void ReservoirBaseline::LoadInitial(const std::vector<Tuple>& rows) {
+  for (const Tuple& t : rows) table_.Insert(t);
+}
+
+void ReservoirBaseline::Initialize() {
+  const size_t target = std::max<size_t>(
+      32, static_cast<size_t>(2.0 * opts_.sample_rate *
+                              static_cast<double>(table_.size())));
+  reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
+  reservoir_->Reset(table_.SampleUniform(&rng_, target));
+}
+
+void ReservoirBaseline::Insert(const Tuple& t) {
+  table_.Insert(t);
+  // The baseline keeps a fixed *rate*, not a fixed size (Table 2: RS error
+  // falls and latency grows as the table grows): when the table doubles,
+  // re-size the reservoir from the archive.
+  const size_t desired = static_cast<size_t>(
+      2.0 * opts_.sample_rate * static_cast<double>(table_.size()));
+  if (desired >= 2 * reservoir_->capacity()) {
+    Initialize();
+    return;
+  }
+  reservoir_->OnInsert(t, table_.size());
+}
+
+bool ReservoirBaseline::Delete(uint64_t id) {
+  if (!table_.Delete(id)) return false;
+  ReservoirChange ch = reservoir_->OnDelete(id);
+  if (ch.needs_resample) {
+    reservoir_->Reset(table_.SampleUniform(&rng_, reservoir_->capacity()));
+  }
+  return true;
+}
+
+QueryResult ReservoirBaseline::Query(const AggQuery& q) const {
+  QueryResult r;
+  const auto& samples = reservoir_->samples();
+  const double m = static_cast<double>(samples.size());
+  const double n = static_cast<double>(table_.size());
+  if (m == 0) return r;
+  TreeAgg match;
+  double best_min = std::numeric_limits<double>::max();
+  double best_max = std::numeric_limits<double>::lowest();
+  std::vector<double> point(q.predicate_columns.size());
+  for (const Tuple& t : samples) {
+    ProjectTuple(t, q.predicate_columns, point.data());
+    if (!q.rect.Contains(point.data())) continue;
+    const double v = t[q.agg_column];
+    match.count += 1;
+    match.sum += v;
+    match.sumsq += v * v;
+    best_min = std::min(best_min, v);
+    best_max = std::max(best_max, v);
+  }
+  switch (q.func) {
+    case AggFunc::kSum:
+      r.estimate = n / m * match.sum;
+      r.variance_sample = SumQueryVariance(n, m, match);
+      break;
+    case AggFunc::kCount:
+      r.estimate = n / m * match.count;
+      r.variance_sample = CountQueryVariance(n, m, match.count);
+      break;
+    case AggFunc::kAvg:
+      r.estimate = match.count > 0 ? match.sum / match.count : 0;
+      r.variance_sample = AvgQueryVariance(1.0, m, match);
+      break;
+    case AggFunc::kMin:
+      r.estimate = match.count > 0 ? best_min : 0;
+      break;
+    case AggFunc::kMax:
+      r.estimate = match.count > 0 ? best_max : 0;
+      break;
+  }
+  r.ci_half_width = NormalZ(opts_.confidence) * std::sqrt(r.variance_sample);
+  return r;
+}
+
+}  // namespace janus

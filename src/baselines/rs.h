@@ -1,0 +1,49 @@
+#ifndef JANUS_BASELINES_RS_H_
+#define JANUS_BASELINES_RS_H_
+
+#include <memory>
+
+#include "core/dpt.h"
+#include "data/table.h"
+#include "sampling/reservoir.h"
+
+namespace janus {
+
+/// Options for the reservoir-sampling baseline (Sec. 6.1.3).
+struct RsOptions {
+  double sample_rate = 0.01;
+  double confidence = 0.95;
+  uint64_t seed = 17;
+};
+
+/// Reservoir Sampling (RS) baseline: a uniform sample of the whole table
+/// maintained with the AQUA insert/delete variant [16]; queries scan the
+/// sample (hence the latency that grows with the sample size in Table 2).
+class ReservoirBaseline {
+ public:
+  explicit ReservoirBaseline(const RsOptions& opts);
+
+  void LoadInitial(const std::vector<Tuple>& rows);
+  /// Size the reservoir at 2 * rate * |D| and fill it from the archive.
+  void Initialize();
+
+  void Insert(const Tuple& t);
+  bool Delete(uint64_t id);
+
+  QueryResult Query(const AggQuery& q) const;
+
+  const DynamicTable& table() const { return table_; }
+  size_t sample_size() const {
+    return reservoir_ ? reservoir_->size() : 0;
+  }
+
+ private:
+  RsOptions opts_;
+  DynamicTable table_;
+  std::unique_ptr<DynamicReservoir> reservoir_;
+  Rng rng_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_BASELINES_RS_H_

@@ -1,0 +1,408 @@
+#include "baselines/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace janus {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t SplitMix(uint64_t* s) {
+  uint64_t z = (*s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct Spn::Node {
+  enum class Kind { kSum, kProduct, kLeaf };
+  Kind kind = Kind::kLeaf;
+  std::vector<std::unique_ptr<Node>> children;
+  std::vector<double> weights;  // sum nodes
+  // Leaf: equi-width histogram of one column.
+  int column = -1;
+  double lo = 0;
+  double hi = 0;
+  std::vector<double> masses;  // per bin, sums to 1
+  std::vector<double> means;   // per-bin mean of the column value
+  // Columns covered by this subtree (needed to route E[A * 1] evaluation).
+  std::vector<int> cols;
+
+  size_t CountNodes() const {
+    size_t n = 1;
+    for (const auto& c : children) n += c->CountNodes();
+    return n;
+  }
+};
+
+Spn::Spn(const SpnOptions& opts, std::vector<int> columns)
+    : opts_(opts), columns_(std::move(columns)), rng_state_(opts.seed) {}
+
+Spn::~Spn() = default;
+
+size_t Spn::num_nodes() const { return root_ ? root_->CountNodes() : 0; }
+
+std::unique_ptr<Spn::Node> Spn::Build(std::vector<uint32_t> rows,
+                                      std::vector<int> cols, int depth) {
+  const auto& data = *training_rows_;
+  auto make_leaf = [&](int col) {
+    auto leaf = std::make_unique<Node>();
+    leaf->kind = Node::Kind::kLeaf;
+    leaf->column = col;
+    leaf->cols = {col};
+    double lo = kInf, hi = -kInf;
+    for (uint32_t r : rows) {
+      lo = std::min(lo, data[r][col]);
+      hi = std::max(hi, data[r][col]);
+    }
+    if (!(lo <= hi)) {
+      lo = 0;
+      hi = 0;
+    }
+    leaf->lo = lo;
+    leaf->hi = hi;
+    const int bins = std::max(1, opts_.histogram_bins);
+    leaf->masses.assign(static_cast<size_t>(bins), 0);
+    std::vector<double> sums(static_cast<size_t>(bins), 0);
+    const double width = hi > lo ? (hi - lo) / bins : 1.0;
+    for (uint32_t r : rows) {
+      const double v = data[r][col];
+      int b = hi > lo ? static_cast<int>((v - lo) / width) : 0;
+      b = std::clamp(b, 0, bins - 1);
+      leaf->masses[static_cast<size_t>(b)] += 1;
+      sums[static_cast<size_t>(b)] += v;
+    }
+    leaf->means.resize(static_cast<size_t>(bins));
+    const double n = static_cast<double>(rows.size());
+    for (int b = 0; b < bins; ++b) {
+      const double mass = leaf->masses[static_cast<size_t>(b)];
+      leaf->means[static_cast<size_t>(b)] =
+          mass > 0 ? sums[static_cast<size_t>(b)] / mass
+                   : lo + (b + 0.5) * width;
+      leaf->masses[static_cast<size_t>(b)] = n > 0 ? mass / n : 0;
+    }
+    return leaf;
+  };
+
+  auto make_leaf_product = [&]() {
+    if (cols.size() == 1) return make_leaf(cols[0]);
+    auto prod = std::make_unique<Node>();
+    prod->kind = Node::Kind::kProduct;
+    prod->cols = cols;
+    for (int c : cols) prod->children.push_back(make_leaf(c));
+    return prod;
+  };
+
+  if (cols.size() == 1) return make_leaf(cols[0]);
+  if (rows.size() < opts_.min_instances || depth >= opts_.max_depth) {
+    return make_leaf_product();
+  }
+
+  // --- column decomposition: split independent column groups -------------
+  // Dependency is measured with the Randomized Dependence Coefficient, the
+  // test DeepDB's structure learning uses: copula (rank) transform each
+  // column, lift through random sinusoidal features, and take the largest
+  // feature-pair correlation. Far more sensitive to non-linear dependence
+  // than Pearson — and, like in DeepDB, the dominant training cost.
+  {
+    const size_t probe = std::min<size_t>(rows.size(), 4096);
+    const size_t d = cols.size();
+    constexpr int kRdcFeatures = 8;
+    // Copula transform: rank of each probed value within its column.
+    std::vector<std::vector<double>> ranks(d,
+                                           std::vector<double>(probe));
+    std::vector<uint32_t> order(probe);
+    for (size_t c = 0; c < d; ++c) {
+      for (size_t i = 0; i < probe; ++i) order[i] = static_cast<uint32_t>(i);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return data[rows[a]][cols[c]] < data[rows[b]][cols[c]];
+      });
+      for (size_t r = 0; r < probe; ++r) {
+        ranks[c][order[r]] =
+            static_cast<double>(r) / static_cast<double>(probe);
+      }
+    }
+    // Random sinusoidal features per column.
+    std::vector<std::vector<std::vector<double>>> feats(
+        d, std::vector<std::vector<double>>(
+               kRdcFeatures, std::vector<double>(probe)));
+    for (size_t c = 0; c < d; ++c) {
+      for (int f = 0; f < kRdcFeatures; ++f) {
+        const double w =
+            (static_cast<double>(SplitMix(&rng_state_) >> 11) * 0x1.0p-53 -
+             0.5) *
+            12.0;
+        const double b =
+            static_cast<double>(SplitMix(&rng_state_) >> 11) * 0x1.0p-53 *
+            6.28318530717958647692;
+        double mean = 0;
+        for (size_t i = 0; i < probe; ++i) {
+          feats[c][f][i] = std::sin(w * ranks[c][i] + b);
+          mean += feats[c][f][i];
+        }
+        mean /= static_cast<double>(probe);
+        double var = 0;
+        for (size_t i = 0; i < probe; ++i) {
+          feats[c][f][i] -= mean;
+          var += feats[c][f][i] * feats[c][f][i];
+        }
+        const double sd = std::sqrt(var);
+        if (sd > 0) {
+          for (size_t i = 0; i < probe; ++i) feats[c][f][i] /= sd;
+        }
+      }
+    }
+    auto rdc = [&](size_t a, size_t b) {
+      double best = 0;
+      for (int fa = 0; fa < kRdcFeatures; ++fa) {
+        for (int fb = 0; fb < kRdcFeatures; ++fb) {
+          double dot = 0;
+          for (size_t i = 0; i < probe; ++i) {
+            dot += feats[a][fa][i] * feats[b][fb][i];
+          }
+          best = std::max(best, std::abs(dot));
+        }
+      }
+      return best;
+    };
+    // Union-find over dependent columns.
+    std::vector<size_t> parent(d);
+    for (size_t i = 0; i < d; ++i) parent[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a + 1; b < d; ++b) {
+        if (rdc(a, b) >= opts_.corr_threshold) parent[find(a)] = find(b);
+      }
+    }
+    std::vector<std::vector<int>> groups;
+    std::vector<int> group_of(d, -1);
+    for (size_t c = 0; c < d; ++c) {
+      const size_t root = find(c);
+      if (group_of[root] < 0) {
+        group_of[root] = static_cast<int>(groups.size());
+        groups.emplace_back();
+      }
+      groups[static_cast<size_t>(group_of[root])].push_back(cols[c]);
+    }
+    if (groups.size() > 1) {
+      auto prod = std::make_unique<Node>();
+      prod->kind = Node::Kind::kProduct;
+      prod->cols = cols;
+      for (auto& g : groups) {
+        prod->children.push_back(Build(rows, std::move(g), depth + 1));
+      }
+      return prod;
+    }
+  }
+
+  // --- row clustering: 2-means over normalized columns -------------------
+  {
+    const size_t d = cols.size();
+    std::vector<double> mean(d, 0), sd(d, 0);
+    for (uint32_t r : rows) {
+      for (size_t c = 0; c < d; ++c) mean[c] += data[r][cols[c]];
+    }
+    for (auto& v : mean) v /= static_cast<double>(rows.size());
+    for (uint32_t r : rows) {
+      for (size_t c = 0; c < d; ++c) {
+        const double dv = data[r][cols[c]] - mean[c];
+        sd[c] += dv * dv;
+      }
+    }
+    for (auto& v : sd) {
+      v = std::sqrt(v / static_cast<double>(rows.size()));
+      if (v <= 0) v = 1;
+    }
+    auto norm = [&](uint32_t r, size_t c) {
+      return (data[r][cols[c]] - mean[c]) / sd[c];
+    };
+    // Initialize centroids from two random rows.
+    std::vector<double> c0(d), c1(d);
+    const uint32_t r0 = rows[SplitMix(&rng_state_) % rows.size()];
+    uint32_t r1 = rows[SplitMix(&rng_state_) % rows.size()];
+    for (size_t c = 0; c < d; ++c) c0[c] = norm(r0, c);
+    for (size_t c = 0; c < d; ++c) c1[c] = norm(r1, c);
+    std::vector<uint8_t> assign(rows.size(), 0);
+    for (int iter = 0; iter < opts_.kmeans_iters; ++iter) {
+      // Assignment.
+      for (size_t i = 0; i < rows.size(); ++i) {
+        double d0 = 0, d1 = 0;
+        for (size_t c = 0; c < d; ++c) {
+          const double v = norm(rows[i], c);
+          d0 += (v - c0[c]) * (v - c0[c]);
+          d1 += (v - c1[c]) * (v - c1[c]);
+        }
+        assign[i] = d1 < d0 ? 1 : 0;
+      }
+      // Update.
+      std::vector<double> n0v(d, 0), n1v(d, 0);
+      size_t n0 = 0, n1 = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t c = 0; c < d; ++c) {
+          (assign[i] ? n1v : n0v)[c] += norm(rows[i], c);
+        }
+        (assign[i] ? n1 : n0) += 1;
+      }
+      if (n0 == 0 || n1 == 0) break;
+      for (size_t c = 0; c < d; ++c) {
+        c0[c] = n0v[c] / static_cast<double>(n0);
+        c1[c] = n1v[c] / static_cast<double>(n1);
+      }
+    }
+    std::vector<uint32_t> left, right;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (assign[i] ? right : left).push_back(rows[i]);
+    }
+    if (left.empty() || right.empty()) return make_leaf_product();
+    auto sum = std::make_unique<Node>();
+    sum->kind = Node::Kind::kSum;
+    sum->cols = cols;
+    const double total = static_cast<double>(rows.size());
+    sum->weights = {static_cast<double>(left.size()) / total,
+                    static_cast<double>(right.size()) / total};
+    sum->children.push_back(Build(std::move(left), cols, depth + 1));
+    sum->children.push_back(Build(std::move(right), cols, depth + 1));
+    return sum;
+  }
+}
+
+void Spn::Train(const std::vector<Tuple>& rows, size_t population) {
+  Timer timer;
+  population_ = static_cast<double>(population);
+  training_rows_ = &rows;
+  for (int c : columns_) {
+    double lo = kInf, hi = -kInf;
+    for (const Tuple& t : rows) {
+      lo = std::min(lo, t[c]);
+      hi = std::max(hi, t[c]);
+    }
+    col_min_[static_cast<size_t>(c)] = lo;
+    col_max_[static_cast<size_t>(c)] = hi;
+  }
+  std::vector<uint32_t> idx(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+  root_ = rows.empty() ? nullptr : Build(std::move(idx), columns_, 0);
+  training_rows_ = nullptr;
+  train_seconds_ = timer.ElapsedSeconds();
+}
+
+Spn::EvalResult Spn::Eval(const Node& node, const AggQuery& q,
+                          int agg_column) const {
+  // Per-column predicate bounds.
+  auto bounds_for = [&](int col) -> std::pair<double, double> {
+    for (size_t i = 0; i < q.predicate_columns.size(); ++i) {
+      if (q.predicate_columns[i] == col) {
+        return {q.rect.lo(static_cast<int>(i)),
+                q.rect.hi(static_cast<int>(i))};
+      }
+    }
+    return {-kInf, kInf};
+  };
+
+  switch (node.kind) {
+    case Node::Kind::kLeaf: {
+      const auto [qlo, qhi] = bounds_for(node.column);
+      EvalResult r;
+      r.has_agg = node.column == agg_column;
+      const int bins = static_cast<int>(node.masses.size());
+      if (node.hi <= node.lo) {
+        // Degenerate histogram: a point mass at node.lo.
+        const bool in = node.lo >= qlo && node.lo <= qhi;
+        r.p = in ? 1.0 : 0.0;
+        r.ea = r.has_agg && in ? node.lo : 0.0;
+        return r;
+      }
+      const double width = (node.hi - node.lo) / bins;
+      double p = 0, ea = 0;
+      for (int b = 0; b < bins; ++b) {
+        const double blo = node.lo + b * width;
+        const double bhi = blo + width;
+        const double olo = std::max(blo, qlo);
+        const double ohi = std::min(bhi, qhi);
+        if (ohi <= olo) continue;
+        const double frac = (ohi - olo) / width;
+        const double mass = node.masses[static_cast<size_t>(b)] * frac;
+        p += mass;
+        if (r.has_agg) ea += mass * node.means[static_cast<size_t>(b)];
+      }
+      r.p = p;
+      r.ea = ea;
+      return r;
+    }
+    case Node::Kind::kProduct: {
+      EvalResult r;
+      r.p = 1;
+      r.ea = 1;
+      bool agg_seen = false;
+      double agg_ea = 0;
+      double other_p = 1;
+      for (const auto& child : node.children) {
+        const EvalResult cr = Eval(*child, q, agg_column);
+        r.p *= cr.p;
+        if (cr.has_agg) {
+          agg_seen = true;
+          agg_ea = cr.ea;
+        } else {
+          other_p *= cr.p;
+        }
+      }
+      r.has_agg = agg_seen;
+      r.ea = agg_seen ? agg_ea * other_p : 0;
+      return r;
+    }
+    case Node::Kind::kSum: {
+      EvalResult r;
+      r.p = 0;
+      r.ea = 0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        const EvalResult cr = Eval(*node.children[i], q, agg_column);
+        r.p += node.weights[i] * cr.p;
+        r.ea += node.weights[i] * cr.ea;
+        r.has_agg = r.has_agg || cr.has_agg;
+      }
+      return r;
+    }
+  }
+  return {};
+}
+
+QueryResult Spn::Query(const AggQuery& q) const {
+  QueryResult r;
+  if (!root_) return r;
+  if (q.func == AggFunc::kMin || q.func == AggFunc::kMax) {
+    // Fixed-resolution models cannot answer extrema under predicates; return
+    // the training extrema of the aggregate column.
+    r.estimate = q.func == AggFunc::kMin
+                     ? col_min_[static_cast<size_t>(q.agg_column)]
+                     : col_max_[static_cast<size_t>(q.agg_column)];
+    return r;
+  }
+  const EvalResult er = Eval(*root_, q, q.agg_column);
+  switch (q.func) {
+    case AggFunc::kCount:
+      r.estimate = population_ * er.p;
+      break;
+    case AggFunc::kSum:
+      r.estimate = population_ * er.ea;
+      break;
+    case AggFunc::kAvg:
+      r.estimate = er.p > 0 ? er.ea / er.p : 0;
+      break;
+    default:
+      break;
+  }
+  return r;
+}
+
+}  // namespace janus

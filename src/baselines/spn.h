@@ -1,0 +1,84 @@
+#ifndef JANUS_BASELINES_SPN_H_
+#define JANUS_BASELINES_SPN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dpt.h"
+#include "data/schema.h"
+#include "data/workload.h"
+
+namespace janus {
+
+/// Options for the mini Sum-Product-Network baseline — the DeepDB stand-in
+/// (Sec. 6.1.3; see DESIGN.md "Substitutions"). The structure-learning
+/// recursion mirrors DeepDB's: alternate row clustering (k-means, k = 2)
+/// and column decomposition via the Randomized Dependence Coefficient, with
+/// per-column histogram leaves.
+struct SpnOptions {
+  size_t min_instances = 128;  ///< stop splitting below this many rows
+  int max_depth = 12;
+  int kmeans_iters = 20;
+  /// RDC (randomized dependence coefficient) above which columns stay in a
+  /// joint group; DeepDB's column-decomposition test.
+  double corr_threshold = 0.3;
+  int histogram_bins = 64;
+  double confidence = 0.95;
+  uint64_t seed = 91;
+};
+
+/// A learned synopsis with fixed resolution: accuracy does not improve as
+/// the table grows (the behaviour Table 2 shows for DeepDB), and supporting
+/// new data requires full retraining (the re-optimization cost of Fig. 5/9).
+class Spn {
+ public:
+  /// `columns` are the table columns the model covers (predicate and
+  /// aggregate attributes of the query templates of interest).
+  Spn(const SpnOptions& opts, std::vector<int> columns);
+  ~Spn();
+
+  Spn(const Spn&) = delete;
+  Spn& operator=(const Spn&) = delete;
+
+  /// Train from scratch on `rows` (typically a 10% sample); `population` is
+  /// |D|, used to scale COUNT/SUM estimates.
+  void Train(const std::vector<Tuple>& rows, size_t population);
+
+  /// Update the population scale without retraining (insertions only change
+  /// N; the density model stays frozen — DeepDB's warm-start behaviour).
+  void set_population(size_t n) { population_ = static_cast<double>(n); }
+
+  /// Estimate a query. MIN/MAX fall back to the training-data extrema.
+  QueryResult Query(const AggQuery& q) const;
+
+  double train_seconds() const { return train_seconds_; }
+  size_t num_nodes() const;
+
+ private:
+  struct Node;
+  struct EvalResult {
+    double p = 1.0;    ///< P(predicate)
+    double ea = 0.0;   ///< E[A * 1(predicate)]
+    bool has_agg = false;
+  };
+
+  std::unique_ptr<Node> Build(std::vector<uint32_t> rows,
+                              std::vector<int> cols, int depth);
+  EvalResult Eval(const Node& node, const AggQuery& q, int agg_column) const;
+
+  SpnOptions opts_;
+  std::vector<int> columns_;
+  std::unique_ptr<Node> root_;
+  const std::vector<Tuple>* training_rows_ = nullptr;  // only during Build
+  double population_ = 0;
+  double train_seconds_ = 0;
+  /// Training-data extrema per column (MIN/MAX fallback answers).
+  std::array<double, kMaxColumns> col_min_{};
+  std::array<double, kMaxColumns> col_max_{};
+  uint64_t rng_state_ = 0;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_BASELINES_SPN_H_

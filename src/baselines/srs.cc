@@ -1,0 +1,191 @@
+#include "baselines/srs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/variance.h"
+#include "util/stats.h"
+
+namespace janus {
+
+StratifiedReservoirBaseline::StratifiedReservoirBaseline(
+    const SrsOptions& opts)
+    : opts_(opts), table_(Schema{}), rng_(opts.seed) {}
+
+void StratifiedReservoirBaseline::LoadInitial(const std::vector<Tuple>& rows) {
+  for (const Tuple& t : rows) table_.Insert(t);
+}
+
+int StratifiedReservoirBaseline::StratumOfKey(double key) const {
+  // First boundary strictly greater than key.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+int StratifiedReservoirBaseline::StratumOf(const Tuple& t) const {
+  return StratumOfKey(t[opts_.predicate_column]);
+}
+
+void StratifiedReservoirBaseline::Initialize() {
+  rows_at_init_ = table_.size();
+  // Equal-depth boundaries from a sort of the predicate column.
+  std::vector<double> keys;
+  keys.reserve(table_.size());
+  for (const Tuple& t : table_.live()) keys.push_back(t[opts_.predicate_column]);
+  std::sort(keys.begin(), keys.end());
+  boundaries_.clear();
+  const size_t n = keys.size();
+  const size_t k = static_cast<size_t>(std::max(1, opts_.num_strata));
+  for (size_t s = 1; s < k; ++s) {
+    const size_t r = s * n / k;
+    if (r == 0 || r >= n) continue;
+    const double key = keys[r];
+    if (boundaries_.empty() || key > boundaries_.back()) {
+      boundaries_.push_back(key);
+    }
+  }
+  const size_t strata = boundaries_.size() + 1;
+  const size_t per_stratum_target = std::max<size_t>(
+      8, static_cast<size_t>(2.0 * opts_.sample_rate *
+                             static_cast<double>(n) /
+                             static_cast<double>(strata)));
+  strata_.clear();
+  populations_.assign(strata, 0);
+  std::vector<std::vector<Tuple>> members(strata);
+  for (const Tuple& t : table_.live()) {
+    const int s = StratumOf(t);
+    populations_[static_cast<size_t>(s)] += 1;
+    members[static_cast<size_t>(s)].push_back(t);
+  }
+  for (size_t s = 0; s < strata; ++s) {
+    strata_.push_back(
+        std::make_unique<DynamicReservoir>(per_stratum_target, rng_.Next()));
+    std::vector<size_t> idx =
+        rng_.SampleIndices(members[s].size(), per_stratum_target);
+    std::vector<Tuple> sample;
+    sample.reserve(idx.size());
+    for (size_t i : idx) sample.push_back(members[s][i]);
+    strata_[s]->Reset(std::move(sample));
+  }
+}
+
+void StratifiedReservoirBaseline::Insert(const Tuple& t) {
+  table_.Insert(t);
+  // Maintain the sampling *rate* as the table grows: when the table has
+  // doubled, rebuild the (equal-depth) strata and their reservoirs from the
+  // archive — the tuning the paper applies so baselines "roughly control
+  // for query latency" (Sec. 6.1.3).
+  if (table_.size() >= 2 * rows_at_init_ && rows_at_init_ > 0) {
+    Initialize();
+    return;
+  }
+  const int s = StratumOf(t);
+  populations_[static_cast<size_t>(s)] += 1;
+  strata_[static_cast<size_t>(s)]->OnInsert(
+      t, static_cast<size_t>(populations_[static_cast<size_t>(s)]));
+}
+
+bool StratifiedReservoirBaseline::Delete(uint64_t id) {
+  const Tuple* p = table_.Find(id);
+  if (p == nullptr) return false;
+  const Tuple t = *p;
+  table_.Delete(id);
+  const int s = StratumOf(t);
+  populations_[static_cast<size_t>(s)] -= 1;
+  ReservoirChange ch = strata_[static_cast<size_t>(s)]->OnDelete(id);
+  if (ch.needs_resample) {
+    // Re-fill this stratum from the archive.
+    std::vector<Tuple> members;
+    for (const Tuple& row : table_.live()) {
+      if (StratumOf(row) == s) members.push_back(row);
+    }
+    std::vector<size_t> idx = rng_.SampleIndices(
+        members.size(), strata_[static_cast<size_t>(s)]->capacity());
+    std::vector<Tuple> sample;
+    for (size_t i : idx) sample.push_back(members[i]);
+    strata_[static_cast<size_t>(s)]->Reset(std::move(sample));
+  }
+  return true;
+}
+
+QueryResult StratifiedReservoirBaseline::Query(const AggQuery& q) const {
+  QueryResult r;
+  double nu = 0;
+  double est_sum = 0;
+  double est_count = 0;
+  double best_min = std::numeric_limits<double>::max();
+  double best_max = std::numeric_limits<double>::lowest();
+  bool any = false;
+  std::vector<double> point(q.predicate_columns.size());
+  // AVG needs matching-population weights: collect per-stratum first.
+  struct Part {
+    double ni;
+    double mi;
+    TreeAgg match;
+  };
+  std::vector<Part> parts;
+  for (size_t s = 0; s < strata_.size(); ++s) {
+    const auto& samples = strata_[s]->samples();
+    if (samples.empty()) continue;
+    TreeAgg match;
+    for (const Tuple& t : samples) {
+      ProjectTuple(t, q.predicate_columns, point.data());
+      if (!q.rect.Contains(point.data())) continue;
+      const double v = t[q.agg_column];
+      match.count += 1;
+      match.sum += v;
+      match.sumsq += v * v;
+      best_min = std::min(best_min, v);
+      best_max = std::max(best_max, v);
+      any = true;
+    }
+    if (match.count == 0) continue;
+    parts.push_back(
+        {populations_[s], static_cast<double>(samples.size()), match});
+  }
+  switch (q.func) {
+    case AggFunc::kSum: {
+      for (const Part& p : parts) {
+        est_sum += p.ni / p.mi * p.match.sum;
+        nu += SumQueryVariance(p.ni, p.mi, p.match);
+      }
+      r.estimate = est_sum;
+      break;
+    }
+    case AggFunc::kCount: {
+      for (const Part& p : parts) {
+        est_count += p.ni / p.mi * p.match.count;
+        nu += CountQueryVariance(p.ni, p.mi, p.match.count);
+      }
+      r.estimate = est_count;
+      break;
+    }
+    case AggFunc::kAvg: {
+      double nq = 0;
+      for (const Part& p : parts) nq += p.ni * p.match.count / p.mi;
+      if (nq > 0) {
+        double est = 0;
+        for (const Part& p : parts) {
+          const double wi = (p.ni * p.match.count / p.mi) / nq;
+          est += wi * (p.match.sum / p.match.count);
+          nu += AvgQueryVariance(wi, p.mi, p.match);
+        }
+        r.estimate = est;
+      }
+      break;
+    }
+    case AggFunc::kMin:
+      r.estimate = any ? best_min : 0;
+      break;
+    case AggFunc::kMax:
+      r.estimate = any ? best_max : 0;
+      break;
+  }
+  r.variance_sample = nu;
+  r.ci_half_width = NormalZ(opts_.confidence) * std::sqrt(nu);
+  return r;
+}
+
+}  // namespace janus

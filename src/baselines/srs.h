@@ -1,0 +1,61 @@
+#ifndef JANUS_BASELINES_SRS_H_
+#define JANUS_BASELINES_SRS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dpt.h"
+#include "data/table.h"
+#include "sampling/reservoir.h"
+
+namespace janus {
+
+/// Options for the stratified reservoir sampling baseline (Sec. 6.1.3:
+/// "the strata is constructed using an equal-depth partitioning algorithm").
+struct SrsOptions {
+  int num_strata = 128;
+  int predicate_column = 0;
+  double sample_rate = 0.01;
+  double confidence = 0.95;
+  uint64_t seed = 23;
+};
+
+/// Stratified Reservoir Sampling (SRS): fixed equal-depth strata over the
+/// predicate attribute, one per-stratum reservoir with proportional
+/// allocation, exact per-stratum population counters. The strata never move
+/// — unlike JanusAQP there is no re-optimization.
+class StratifiedReservoirBaseline {
+ public:
+  explicit StratifiedReservoirBaseline(const SrsOptions& opts);
+
+  void LoadInitial(const std::vector<Tuple>& rows);
+  void Initialize();
+
+  void Insert(const Tuple& t);
+  bool Delete(uint64_t id);
+
+  QueryResult Query(const AggQuery& q) const;
+
+  const DynamicTable& table() const { return table_; }
+  /// Exact population of a stratum (maintained counter).
+  double StratumPopulation(int s) const {
+    return populations_[static_cast<size_t>(s)];
+  }
+  int num_strata() const { return static_cast<int>(boundaries_.size()) + 1; }
+
+ private:
+  int StratumOf(const Tuple& t) const;
+  int StratumOfKey(double key) const;
+
+  SrsOptions opts_;
+  DynamicTable table_;
+  size_t rows_at_init_ = 0;
+  std::vector<double> boundaries_;  // ascending; stratum i: [b_{i-1}, b_i)
+  std::vector<std::unique_ptr<DynamicReservoir>> strata_;
+  std::vector<double> populations_;
+  Rng rng_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_BASELINES_SRS_H_

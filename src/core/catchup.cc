@@ -1,0 +1,33 @@
+#include "core/catchup.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace janus {
+
+CatchupEngine::CatchupEngine(Dpt* dpt, std::vector<Tuple> snapshot,
+                             size_t goal_samples, uint64_t seed)
+    : dpt_(dpt),
+      snapshot_(std::move(snapshot)),
+      goal_(snapshot_.empty() ? 0 : goal_samples),
+      rng_(seed) {}
+
+size_t CatchupEngine::Step(size_t batch) {
+  if (Done() || snapshot_.empty()) return 0;
+  const size_t todo = std::min(batch, goal_ - processed_);
+  Timer timer;
+  for (size_t i = 0; i < todo; ++i) {
+    const Tuple& t = snapshot_[rng_.NextUint64(snapshot_.size())];
+    dpt_->AddCatchupSample(t);
+  }
+  processing_seconds_ += timer.ElapsedSeconds();
+  processed_ += todo;
+  return todo;
+}
+
+void CatchupEngine::RunToGoal() {
+  while (!Done()) Step(4096);
+}
+
+}  // namespace janus

@@ -1,0 +1,53 @@
+#ifndef JANUS_CORE_CATCHUP_H_
+#define JANUS_CORE_CATCHUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dpt.h"
+#include "util/rng.h"
+
+namespace janus {
+
+/// The catch-up process of Sec. 4.3 (step 5): random samples of the archival
+/// snapshot refine the approximate node statistics in the background until a
+/// user-chosen goal (e.g. 0.1 * |D| samples) is reached.
+///
+/// The engine owns an immutable copy of the snapshot taken at
+/// (re-)initialization, so its estimates target exactly the population the
+/// deltas are measured against (tuples inserted/deleted later are covered by
+/// the per-node deltas — see Dpt). Samples are drawn with replacement, which
+/// keeps the Horvitz-Thompson scaling unbiased at any stopping point; this
+/// is why queries issued mid-catch-up are valid, just wider (Sec. 4.3).
+class CatchupEngine {
+ public:
+  /// `goal_samples` caps the catch-up (the paper runs until 0.1 * |D|).
+  CatchupEngine(Dpt* dpt, std::vector<Tuple> snapshot, size_t goal_samples,
+                uint64_t seed);
+
+  /// Process up to `batch` samples; returns how many were absorbed.
+  size_t Step(size_t batch);
+
+  /// Run to the goal.
+  void RunToGoal();
+
+  bool Done() const { return processed_ >= goal_; }
+  size_t processed() const { return processed_; }
+  size_t goal() const { return goal_; }
+
+  /// CPU time spent absorbing samples (the "processing" cost of Fig. 7; the
+  /// "loading" cost is measured by the broker samplers).
+  double processing_seconds() const { return processing_seconds_; }
+
+ private:
+  Dpt* dpt_;
+  std::vector<Tuple> snapshot_;
+  size_t goal_;
+  size_t processed_ = 0;
+  double processing_seconds_ = 0;
+  Rng rng_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_CATCHUP_H_

@@ -1,0 +1,605 @@
+#include "core/dpt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace janus {
+
+Dpt::Dpt(const DptOptions& opts, PartitionTreeSpec spec)
+    : opts_(opts),
+      spec_(std::move(spec)),
+      samples_([&] {
+        MaxVarianceIndex::Options mo;
+        mo.dims = static_cast<int>(opts.spec.predicate_columns.size());
+        mo.sampling_rate = opts.sample_rate;
+        mo.delta = opts.delta;
+        return mo;
+      }()) {
+  tracked_columns_.push_back(opts_.spec.agg_column);
+  for (int c : opts_.extra_tracked_columns) {
+    if (TrackedIndex(c) < 0) tracked_columns_.push_back(c);
+  }
+  for (int d = 0; d < kMaxColumns; ++d) {
+    domain_lo_[static_cast<size_t>(d)].store(
+        std::numeric_limits<double>::max());
+    domain_hi_[static_cast<size_t>(d)].store(
+        std::numeric_limits<double>::lowest());
+  }
+  leaf_stats_.resize(spec_.nodes.size());
+  leaf_mu_ = std::make_unique<std::mutex[]>(spec_.nodes.size());
+  for (size_t i = 0; i < spec_.nodes.size(); ++i) {
+    if (!spec_.nodes[i].IsLeaf()) continue;
+    leaf_stats_[i].columns.resize(tracked_columns_.size());
+    leaf_stats_[i].minmax = MinMaxTracker(static_cast<size_t>(opts_.minmax_k));
+  }
+  ComputeLeafRanges();
+}
+
+void Dpt::ComputeLeafRanges() {
+  const size_t n = spec_.nodes.size();
+  range_lo_.assign(n, 0);
+  range_hi_.assign(n, 0);
+  dfs_leaves_.clear();
+  dfs_leaves_.reserve(spec_.leaves.size());
+  // Iterative DFS computing, for every node, the contiguous range of its
+  // descendant leaves in dfs_leaves_.
+  struct Frame {
+    int node;
+    bool entered;
+  };
+  std::vector<Frame> stack{{0, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const PartitionNode& node = spec_.nodes[static_cast<size_t>(f.node)];
+    if (!f.entered) {
+      range_lo_[static_cast<size_t>(f.node)] =
+          static_cast<int>(dfs_leaves_.size());
+      if (node.IsLeaf()) {
+        dfs_leaves_.push_back(f.node);
+        range_hi_[static_cast<size_t>(f.node)] =
+            static_cast<int>(dfs_leaves_.size());
+        continue;
+      }
+      stack.push_back({f.node, true});
+      stack.push_back({node.right, false});
+      stack.push_back({node.left, false});
+    } else {
+      range_hi_[static_cast<size_t>(f.node)] =
+          static_cast<int>(dfs_leaves_.size());
+    }
+  }
+}
+
+int Dpt::TrackedIndex(int column) const {
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    if (tracked_columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Dpt::LeafForTuple(const Tuple& t) const {
+  double point[kMaxColumns];
+  ProjectTuple(t, opts_.spec.predicate_columns, point);
+  return spec_.LeafFor(point);
+}
+
+void Dpt::GrowDomain(const double* point) {
+  const int d = dims();
+  for (int i = 0; i < d; ++i) {
+    auto& lo = domain_lo_[static_cast<size_t>(i)];
+    double cur = lo.load(std::memory_order_relaxed);
+    while (point[i] < cur &&
+           !lo.compare_exchange_weak(cur, point[i],
+                                     std::memory_order_relaxed)) {
+    }
+    auto& hi = domain_hi_[static_cast<size_t>(i)];
+    cur = hi.load(std::memory_order_relaxed);
+    while (point[i] > cur &&
+           !hi.compare_exchange_weak(cur, point[i],
+                                     std::memory_order_relaxed)) {
+    }
+  }
+}
+
+Rectangle Dpt::ClippedRect(int node) const {
+  const Rectangle& r = spec_.nodes[static_cast<size_t>(node)].rect;
+  const int d = dims();
+  std::vector<double> lo(static_cast<size_t>(d)), hi(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    lo[static_cast<size_t>(i)] =
+        std::max(r.lo(i), domain_lo_[static_cast<size_t>(i)].load(
+                              std::memory_order_relaxed));
+    hi[static_cast<size_t>(i)] =
+        std::min(r.hi(i), domain_hi_[static_cast<size_t>(i)].load(
+                              std::memory_order_relaxed));
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+void Dpt::InitializeExact(const std::vector<Tuple>& data,
+                          const std::vector<Tuple>& reservoir) {
+  mode_ = StatMode::kExact;
+  n0_ = static_cast<double>(data.size());
+  catchup_total_.store(0);
+  for (size_t i = 0; i < leaf_stats_.size(); ++i) {
+    for (ColumnStats& c : leaf_stats_[i].columns) c = ColumnStats{};
+    leaf_stats_[i].minmax.Clear();
+  }
+  for (const Tuple& t : data) {
+    double point[kMaxColumns];
+    ProjectTuple(t, opts_.spec.predicate_columns, point);
+    GrowDomain(point);
+    const int leaf = LeafForTuple(t);
+    LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
+    for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+      ls.columns[i].exact.Add(t[tracked_columns_[i]]);
+    }
+    ls.minmax.Insert(t[opts_.spec.agg_column]);
+  }
+  ResetSamples(reservoir);
+}
+
+void Dpt::InitializeFromReservoir(const std::vector<Tuple>& reservoir,
+                                  size_t n0) {
+  mode_ = StatMode::kCatchup;
+  n0_ = static_cast<double>(n0);
+  catchup_total_.store(0);
+  for (size_t i = 0; i < leaf_stats_.size(); ++i) {
+    for (ColumnStats& c : leaf_stats_[i].columns) c = ColumnStats{};
+    leaf_stats_[i].minmax.Clear();
+  }
+  for (const Tuple& t : reservoir) AddCatchupSample(t);
+  ResetSamples(reservoir);
+}
+
+void Dpt::ApplyInsert(const Tuple& t) {
+  double point[kMaxColumns];
+  ProjectTuple(t, opts_.spec.predicate_columns, point);
+  GrowDomain(point);
+  const int leaf = spec_.LeafFor(point);
+  std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+  LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    const double v = t[tracked_columns_[i]];
+    if (mode_ == StatMode::kExact) {
+      ls.columns[i].exact.Add(v);
+    } else {
+      ls.columns[i].inserted.Add(v);
+    }
+  }
+  ls.minmax.Insert(t[opts_.spec.agg_column]);
+}
+
+void Dpt::ApplyDelete(const Tuple& t) {
+  const int leaf = LeafForTuple(t);
+  std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+  LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    const double v = t[tracked_columns_[i]];
+    if (mode_ == StatMode::kExact) {
+      ls.columns[i].exact.Remove(v);
+    } else {
+      ls.columns[i].removed.Add(v);
+    }
+  }
+  ls.minmax.Erase(t[opts_.spec.agg_column]);
+}
+
+void Dpt::SampleAdd(const Tuple& t) {
+  samples_.Insert(MakeKdPoint(t, opts_.spec.predicate_columns,
+                              opts_.spec.agg_column));
+  sample_tuples_[t.id] = t;
+}
+
+void Dpt::SampleRemove(const Tuple& t) {
+  samples_.Delete(MakeKdPoint(t, opts_.spec.predicate_columns,
+                              opts_.spec.agg_column));
+  sample_tuples_.erase(t.id);
+}
+
+void Dpt::ResetSamples(const std::vector<Tuple>& samples) {
+  std::vector<KdPoint> pts;
+  pts.reserve(samples.size());
+  sample_tuples_.clear();
+  sample_tuples_.reserve(samples.size());
+  for (const Tuple& t : samples) {
+    pts.push_back(MakeKdPoint(t, opts_.spec.predicate_columns,
+                              opts_.spec.agg_column));
+    sample_tuples_[t.id] = t;
+  }
+  samples_.Build(pts);
+}
+
+void Dpt::AddCatchupSample(const Tuple& t) {
+  double point[kMaxColumns];
+  ProjectTuple(t, opts_.spec.predicate_columns, point);
+  GrowDomain(point);
+  const int leaf = spec_.LeafFor(point);
+  {
+    std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+    LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
+    for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+      const double v = t[tracked_columns_[i]];
+      ls.columns[i].catchup.count += 1;
+      ls.columns[i].catchup.sum += v;
+      ls.columns[i].catchup.sumsq += v * v;
+    }
+    ls.minmax.Insert(t[opts_.spec.agg_column]);
+  }
+  catchup_total_.fetch_add(1.0);
+}
+
+double Dpt::LeafSampleCount(int node) const {
+  return samples_.kd()
+      .RangeAggregate(spec_.nodes[static_cast<size_t>(node)].rect)
+      .count;
+}
+
+double Dpt::LeafCountEstimate(int leaf) const {
+  const ColumnStats& c = leaf_stats_[static_cast<size_t>(leaf)].columns[0];
+  if (mode_ == StatMode::kExact) return c.exact.count;
+  const double h = catchup_total_.load();
+  const double base = h > 0 ? n0_ * c.catchup.count / h : 0;
+  // Deliberately unclamped: sampling noise can push a drained leaf slightly
+  // negative, and clamping here would bias aggregated counts upward (the
+  // negatives must cancel against other leaves' positives). Callers that
+  // need a population for scaling clamp at use.
+  return base + c.inserted.count - c.removed.count;
+}
+
+double Dpt::LeafSumEstimate(int leaf, int tracked_idx) const {
+  const ColumnStats& c =
+      leaf_stats_[static_cast<size_t>(leaf)]
+          .columns[static_cast<size_t>(tracked_idx)];
+  if (mode_ == StatMode::kExact) return c.exact.sum;
+  const double h = catchup_total_.load();
+  const double base = h > 0 ? n0_ * c.catchup.sum / h : 0;
+  return base + c.inserted.sum - c.removed.sum;
+}
+
+double Dpt::NodeCountEstimate(int node) const {
+  double total = 0;
+  for (int i = range_lo_[static_cast<size_t>(node)];
+       i < range_hi_[static_cast<size_t>(node)]; ++i) {
+    total += LeafCountEstimate(dfs_leaves_[static_cast<size_t>(i)]);
+  }
+  return total;
+}
+
+double Dpt::NodeSumEstimate(int node, int column) const {
+  const int ti = TrackedIndex(column);
+  if (ti < 0) return 0;
+  double total = 0;
+  for (int i = range_lo_[static_cast<size_t>(node)];
+       i < range_hi_[static_cast<size_t>(node)]; ++i) {
+    total += LeafSumEstimate(dfs_leaves_[static_cast<size_t>(i)], ti);
+  }
+  return total;
+}
+
+TreeAgg Dpt::MatchingSamples(int leaf, const AggQuery& q, double* stratum_size,
+                             int column) const {
+  std::vector<KdPoint> pts;
+  samples_.kd().Report(spec_.nodes[static_cast<size_t>(leaf)].rect, &pts);
+  *stratum_size = static_cast<double>(pts.size());
+  TreeAgg match;
+  const bool native_column = column == opts_.spec.agg_column;
+  for (const KdPoint& p : pts) {
+    if (!q.rect.Contains(p.x.data())) continue;
+    double v = p.a;
+    if (!native_column) {
+      auto it = sample_tuples_.find(p.id);
+      if (it == sample_tuples_.end()) continue;
+      v = it->second[column];
+    }
+    match.count += 1;
+    match.sum += v;
+    match.sumsq += v * v;
+  }
+  return match;
+}
+
+double Dpt::NodeCatchupCount(int node) const {
+  double total = 0;
+  for (int i = range_lo_[static_cast<size_t>(node)];
+       i < range_hi_[static_cast<size_t>(node)]; ++i) {
+    const int leaf = dfs_leaves_[static_cast<size_t>(i)];
+    total += leaf_stats_[static_cast<size_t>(leaf)].columns[0].catchup.count;
+  }
+  return total;
+}
+
+void Dpt::CopyLeafStats(const Dpt& src, int src_node, int dst_node) {
+  leaf_stats_[static_cast<size_t>(dst_node)] =
+      src.leaf_stats_[static_cast<size_t>(src_node)];
+}
+
+void Dpt::SeedLeafCatchupFromSamples(int leaf, const std::vector<Tuple>& ts,
+                                     double scale) {
+  LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
+  for (const Tuple& t : ts) {
+    for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+      const double v = t[tracked_columns_[i]];
+      ls.columns[i].catchup.count += scale;
+      ls.columns[i].catchup.sum += scale * v;
+      ls.columns[i].catchup.sumsq += scale * v * v;
+    }
+    ls.minmax.Insert(t[opts_.spec.agg_column]);
+  }
+}
+
+void Dpt::SetCatchupState(StatMode mode, double n0, double total) {
+  mode_ = mode;
+  n0_ = n0;
+  catchup_total_.store(total);
+}
+
+void Dpt::Frontier(const Rectangle& q, std::vector<int>* cover,
+                   std::vector<int>* partial) const {
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    const PartitionNode& n = spec_.nodes[static_cast<size_t>(i)];
+    // Classify against the node rectangle clipped to the observed data
+    // domain: boundary nodes extend to +-infinity for routing purposes, but
+    // only their data extent matters for coverage.
+    const Rectangle clipped = ClippedRect(i);
+    bool empty = false;
+    for (int d = 0; d < clipped.dims(); ++d) {
+      if (clipped.lo(d) > clipped.hi(d)) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty || !q.Intersects(clipped)) continue;
+    if (q.Covers(clipped)) {
+      cover->push_back(i);
+      continue;
+    }
+    if (n.IsLeaf()) {
+      partial->push_back(i);
+      continue;
+    }
+    stack.push_back(n.left);
+    stack.push_back(n.right);
+  }
+}
+
+QueryResult Dpt::QuerySampleOnly(const AggQuery& q) const {
+  // Uniform-sample fallback (Sec. 5.5, heuristic ii): treat the pooled
+  // reservoir as a plain uniform sample of the whole table.
+  QueryResult r;
+  const double n_total = NodeCountEstimate(0);
+  const double m = static_cast<double>(sample_tuples_.size());
+  if (m == 0) return r;
+  TreeAgg match;
+  double best_min = std::numeric_limits<double>::max();
+  double best_max = std::numeric_limits<double>::lowest();
+  std::vector<double> point(q.predicate_columns.size());
+  for (const auto& [id, t] : sample_tuples_) {
+    (void)id;
+    ProjectTuple(t, q.predicate_columns, point.data());
+    if (!q.rect.Contains(point.data())) continue;
+    const double v = t[q.agg_column];
+    match.count += 1;
+    match.sum += v;
+    match.sumsq += v * v;
+    best_min = std::min(best_min, v);
+    best_max = std::max(best_max, v);
+  }
+  switch (q.func) {
+    case AggFunc::kSum:
+      r.estimate = n_total / m * match.sum;
+      r.variance_sample = SumQueryVariance(n_total, m, match);
+      break;
+    case AggFunc::kCount:
+      r.estimate = n_total / m * match.count;
+      r.variance_sample = CountQueryVariance(n_total, m, match.count);
+      break;
+    case AggFunc::kAvg:
+      r.estimate = match.count > 0 ? match.sum / match.count : 0;
+      r.variance_sample = AvgQueryVariance(1.0, m, match);
+      break;
+    case AggFunc::kMin:
+      r.estimate = match.count > 0 ? best_min : 0;
+      break;
+    case AggFunc::kMax:
+      r.estimate = match.count > 0 ? best_max : 0;
+      break;
+  }
+  r.partial_leaves = 1;
+  r.ci_half_width = NormalZ(opts_.confidence) *
+                    std::sqrt(r.variance_catchup + r.variance_sample);
+  return r;
+}
+
+QueryResult Dpt::QueryMinMax(const AggQuery& q) const {
+  QueryResult r;
+  if (q.agg_column != opts_.spec.agg_column ||
+      q.predicate_columns != opts_.spec.predicate_columns) {
+    return QuerySampleOnly(q);
+  }
+  std::vector<int> cover, partial;
+  Frontier(q.rect, &cover, &partial);
+  const bool want_min = q.func == AggFunc::kMin;
+  double best = want_min ? std::numeric_limits<double>::max()
+                         : std::numeric_limits<double>::lowest();
+  bool any = false;
+  bool exact = mode_ == StatMode::kExact;
+  for (int node : cover) {
+    for (int li = range_lo_[static_cast<size_t>(node)];
+         li < range_hi_[static_cast<size_t>(node)]; ++li) {
+      const int leaf = dfs_leaves_[static_cast<size_t>(li)];
+      const MinMaxTracker& mm = leaf_stats_[static_cast<size_t>(leaf)].minmax;
+      const auto v = want_min ? mm.Min() : mm.Max();
+      if (v.has_value()) {
+        best = want_min ? std::min(best, *v) : std::max(best, *v);
+        any = true;
+        if (mm.degraded()) exact = false;
+      }
+    }
+  }
+  for (int i : partial) {
+    std::vector<KdPoint> pts;
+    samples_.kd().Report(spec_.nodes[static_cast<size_t>(i)].rect, &pts);
+    for (const KdPoint& p : pts) {
+      if (!q.rect.Contains(p.x.data())) continue;
+      best = want_min ? std::min(best, p.a) : std::max(best, p.a);
+      any = true;
+    }
+    exact = false;  // sampled extrema carry no guarantee
+  }
+  r.estimate = any ? best : 0;
+  r.exact = any && exact;
+  r.covered_nodes = cover.size();
+  r.partial_leaves = partial.size();
+  return r;
+}
+
+QueryResult Dpt::Query(const AggQuery& q) const {
+  if (q.predicate_columns != opts_.spec.predicate_columns) {
+    return QuerySampleOnly(q);
+  }
+  if (q.func == AggFunc::kMin || q.func == AggFunc::kMax) {
+    return QueryMinMax(q);
+  }
+  const int ti = TrackedIndex(q.agg_column);
+  if (ti < 0 && q.func != AggFunc::kCount) {
+    // Unknown aggregation attribute: estimate from the leaf samples
+    // (Sec. 5.5, method 2.ii).
+    return QuerySampleOnly(q);
+  }
+  const int column = q.agg_column;
+
+  QueryResult r;
+  std::vector<int> cover, partial;
+  Frontier(q.rect, &cover, &partial);
+  r.covered_nodes = cover.size();
+  r.partial_leaves = partial.size();
+
+  const double h = catchup_total_.load();
+  const double z = NormalZ(opts_.confidence);
+
+  auto n_hat = [&](int node) { return NodeCountEstimate(node); };
+  // Catch-up variance of a covered node, from its descendant leaves'
+  // catch-up moments (Sec. 4.4.1). SUM/COUNT use the Horvitz-Thompson form
+  // which folds in the uncertainty of N̂_i itself (see variance.h).
+  auto covered_catchup_variance = [&](int node, AggFunc f, double wi) {
+    if (mode_ != StatMode::kCatchup || h <= 0 || ti < 0) return 0.0;
+    double nu = 0;
+    for (int li = range_lo_[static_cast<size_t>(node)];
+         li < range_hi_[static_cast<size_t>(node)]; ++li) {
+      const int leaf = dfs_leaves_[static_cast<size_t>(li)];
+      const ColumnStats& c =
+          leaf_stats_[static_cast<size_t>(leaf)]
+              .columns[static_cast<size_t>(ti)];
+      if (c.catchup.count <= 0) continue;
+      switch (f) {
+        case AggFunc::kAvg:
+          nu += AvgCatchupVariance(wi, c.catchup.count, c.catchup);
+          break;
+        case AggFunc::kSum:
+          nu += HtSumCatchupVariance(n0_, h, c.catchup);
+          break;
+        case AggFunc::kCount:
+          nu += HtCountCatchupVariance(n0_, h, c.catchup.count);
+          break;
+        default:
+          break;
+      }
+    }
+    return nu;
+  };
+
+  if (q.func == AggFunc::kSum || q.func == AggFunc::kCount) {
+    double agg = 0;
+    double nu_c = 0;
+    for (int i : cover) {
+      if (q.func == AggFunc::kSum) {
+        agg += NodeSumEstimate(i, column);
+      } else {
+        agg += NodeCountEstimate(i);
+      }
+      nu_c += covered_catchup_variance(i, q.func, /*wi=*/1.0);
+    }
+    double samp = 0;
+    double nu_s = 0;
+    for (int i : partial) {
+      double mi = 0;
+      const TreeAgg match = MatchingSamples(i, q, &mi, column);
+      if (mi <= 0) continue;
+      const double ni = std::max(0.0, n_hat(i));
+      if (q.func == AggFunc::kSum) {
+        samp += ni / mi * match.sum;
+        nu_s += SumQueryVariance(ni, mi, match);
+      } else {
+        samp += ni / mi * match.count;
+        nu_s += CountQueryVariance(ni, mi, match.count);
+      }
+    }
+    r.estimate = agg + samp;
+    r.variance_catchup = nu_c;
+    r.variance_sample = nu_s;
+    r.exact = mode_ == StatMode::kExact && partial.empty();
+    r.ci_half_width = z * std::sqrt(nu_c + nu_s);
+    return r;
+  }
+
+  // AVG: weighted average over relevant partitions with w_i = N̂_i / N̂_q
+  // (Sec. 2.3.2 / Appendix C). Partial leaves are weighted by their
+  // *matching* population N̂_i * |S_i∩q| / m_i rather than the full stratum;
+  // this keeps the estimator unbiased when the predicate clips a leaf (the
+  // paper's N_q reduces to the same quantity when queries align with
+  // buckets).
+  struct PartialInfo {
+    int node;
+    double mi;
+    double eff;  // estimated matching population
+    TreeAgg match;
+  };
+  std::vector<PartialInfo> infos;
+  infos.reserve(partial.size());
+  double nq = 0;
+  for (int i : cover) nq += n_hat(i);
+  for (int i : partial) {
+    PartialInfo info;
+    info.node = i;
+    info.match = MatchingSamples(i, q, &info.mi, column);
+    info.eff = info.mi > 0
+                   ? std::max(0.0, n_hat(i)) * info.match.count / info.mi
+                   : 0;
+    nq += info.eff;
+    infos.push_back(info);
+  }
+  if (nq <= 0) return r;
+  double est = 0;
+  double nu_c = 0;
+  double nu_s = 0;
+  for (int i : cover) {
+    const double ni = n_hat(i);
+    if (ni <= 0) continue;
+    const double wi = ni / nq;
+    const double avg_i = NodeSumEstimate(i, column) / ni;
+    est += wi * avg_i;
+    nu_c += covered_catchup_variance(i, AggFunc::kAvg, wi);
+  }
+  for (const PartialInfo& info : infos) {
+    if (info.mi <= 0 || info.match.count <= 0) continue;
+    const double wi = info.eff / nq;
+    est += wi * (info.match.sum / info.match.count);
+    nu_s += AvgQueryVariance(wi, info.mi, info.match);
+  }
+  r.estimate = est;
+  r.variance_catchup = nu_c;
+  r.variance_sample = nu_s;
+  r.exact = mode_ == StatMode::kExact && partial.empty();
+  r.ci_half_width = z * std::sqrt(nu_c + nu_s);
+  return r;
+}
+
+}  // namespace janus

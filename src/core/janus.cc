@@ -1,0 +1,456 @@
+#include "core/janus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace janus {
+
+JanusAqp::JanusAqp(const JanusOptions& opts)
+    : opts_(opts), table_(Schema{}), rng_(opts.seed) {}
+
+JanusAqp::~JanusAqp() {
+  if (opt_thread_.joinable()) opt_thread_.join();
+}
+
+DptOptions JanusAqp::MakeDptOptions() const {
+  DptOptions d;
+  d.spec = opts_.spec;
+  d.sample_rate = opts_.sample_rate;
+  d.minmax_k = opts_.minmax_k;
+  d.confidence = opts_.confidence;
+  d.delta = opts_.delta;
+  d.extra_tracked_columns = opts_.extra_tracked_columns;
+  return d;
+}
+
+SptOptions JanusAqp::MakeSptOptions() const {
+  SptOptions s;
+  s.spec = opts_.spec;
+  s.num_leaves = opts_.num_leaves;
+  s.focus = opts_.focus;
+  s.sample_rate = opts_.sample_rate;
+  s.algorithm = opts_.algorithm;
+  s.rho = opts_.rho;
+  s.delta = opts_.delta;
+  s.minmax_k = opts_.minmax_k;
+  s.confidence = opts_.confidence;
+  s.seed = opts_.seed;
+  return s;
+}
+
+void JanusAqp::LoadInitial(const std::vector<Tuple>& rows) {
+  for (const Tuple& t : rows) table_.Insert(t);
+}
+
+void JanusAqp::RefreshBaselines() {
+  leaf_baseline_var_.assign(dpt_->tree().nodes.size(), 0);
+  for (int leaf : dpt_->tree().leaves) {
+    leaf_baseline_var_[static_cast<size_t>(leaf)] =
+        dpt_->sample_index().MaxVariance(dpt_->LeafRect(leaf), opts_.focus);
+  }
+}
+
+void JanusAqp::AdoptSpec(PartitionTreeSpec spec) {
+  dpt_ = std::make_unique<Dpt>(MakeDptOptions(), std::move(spec));
+  dpt_->InitializeFromReservoir(reservoir_->samples(), table_.size());
+  const size_t goal = static_cast<size_t>(
+      opts_.catchup_rate * static_cast<double>(table_.size()));
+  catchup_ =
+      std::make_unique<CatchupEngine>(dpt_.get(), table_.live(), goal,
+                                      rng_.Next());
+  RefreshBaselines();
+}
+
+void JanusAqp::Initialize() {
+  const size_t target = std::max<size_t>(
+      32, static_cast<size_t>(2.0 * opts_.sample_rate *
+                              static_cast<double>(table_.size())));
+  reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
+  reservoir_->Reset(table_.SampleUniform(&rng_, target));
+  Timer timer;
+  PartitionResult pr =
+      OptimizePartition(reservoir_->samples(), MakeSptOptions(),
+                        table_.size());
+  Timer blocking;
+  AdoptSpec(std::move(pr.spec));
+  counters_.last_blocking_seconds = blocking.ElapsedSeconds();
+  counters_.last_reopt_seconds = timer.ElapsedSeconds();
+}
+
+void JanusAqp::Insert(const Tuple& t) {
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    table_.Insert(t);
+    ++counters_.inserts;
+    ReservoirChange ch = reservoir_->OnInsert(t, table_.size());
+    if (ch.evicted.has_value()) dpt_->SampleRemove(*ch.evicted);
+    if (ch.added.has_value()) dpt_->SampleAdd(*ch.added);
+  }
+  dpt_->ApplyInsert(t);
+  if (opts_.enable_triggers) CheckTriggers(t);
+}
+
+bool JanusAqp::Delete(uint64_t id) {
+  Tuple t;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    const Tuple* p = table_.Find(id);
+    if (p == nullptr) return false;
+    t = *p;
+    table_.Delete(id);
+    ++counters_.deletes;
+    ReservoirChange ch = reservoir_->OnDelete(id);
+    if (ch.needs_resample) {
+      // Sec. 4.2: |S| hit its lower bound m; re-sample 2m from the archive.
+      std::vector<Tuple> fresh =
+          table_.SampleUniform(&rng_, reservoir_->capacity());
+      reservoir_->Reset(fresh);
+      dpt_->ResetSamples(fresh);
+      ++counters_.reservoir_resamples;
+    } else if (ch.evicted.has_value()) {
+      dpt_->SampleRemove(*ch.evicted);
+    }
+  }
+  dpt_->ApplyDelete(t);
+  if (opts_.enable_triggers) CheckTriggers(t);
+  return true;
+}
+
+QueryResult JanusAqp::Query(const AggQuery& q) const { return dpt_->Query(q); }
+
+void JanusAqp::RunCatchupToGoal() {
+  if (catchup_) catchup_->RunToGoal();
+}
+
+size_t JanusAqp::StepCatchup(size_t batch) {
+  return catchup_ ? catchup_->Step(batch) : 0;
+}
+
+double JanusAqp::CurrentTreeMaxVariance() const {
+  double worst = 0;
+  for (int leaf : dpt_->tree().leaves) {
+    worst = std::max(worst, dpt_->sample_index().MaxVariance(
+                                dpt_->LeafRect(leaf), opts_.focus));
+  }
+  return worst;
+}
+
+bool JanusAqp::FullRepartition() {
+  Timer timer;
+  PartitionResult pr =
+      OptimizePartition(reservoir_->samples(), MakeSptOptions(),
+                        table_.size());
+  if (!pr.ok) return false;
+  Timer blocking;
+  AdoptSpec(std::move(pr.spec));
+  counters_.last_blocking_seconds = blocking.ElapsedSeconds();
+  counters_.last_reopt_seconds = timer.ElapsedSeconds();
+  ++counters_.repartitions;
+  return true;
+}
+
+bool JanusAqp::PartialRepartition(int leaf) {
+  const int psi = opts_.partial_repartition_psi;
+  if (psi <= 0) return false;
+  const PartitionTreeSpec& old_spec = dpt_->tree();
+  // Climb psi levels (Appendix E).
+  int anchor = leaf;
+  for (int i = 0; i < psi; ++i) {
+    const int parent = old_spec.nodes[static_cast<size_t>(anchor)].parent;
+    if (parent < 0) break;
+    anchor = parent;
+  }
+  if (anchor == 0) return FullRepartition();
+
+  // Samples and leaf budget of the anchored subtree.
+  const Rectangle& region = old_spec.nodes[static_cast<size_t>(anchor)].rect;
+  std::vector<Tuple> region_samples;
+  std::vector<double> point(opts_.spec.predicate_columns.size());
+  for (const auto& [id, t] : dpt_->sample_tuples()) {
+    (void)id;
+    ProjectTuple(t, opts_.spec.predicate_columns, point.data());
+    if (region.Contains(point.data())) region_samples.push_back(t);
+  }
+  int subtree_leaves = 0;
+  std::vector<int> old_subtree_leaf_nodes;
+  {
+    std::vector<int> stack{anchor};
+    while (!stack.empty()) {
+      const int i = stack.back();
+      stack.pop_back();
+      const PartitionNode& n = old_spec.nodes[static_cast<size_t>(i)];
+      if (n.IsLeaf()) {
+        ++subtree_leaves;
+        old_subtree_leaf_nodes.push_back(i);
+        continue;
+      }
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  if (region_samples.size() < 4 || subtree_leaves < 2) {
+    return FullRepartition();
+  }
+
+  Timer timer;
+  SptOptions sopts = MakeSptOptions();
+  sopts.num_leaves = subtree_leaves;
+  PartitionResult sub =
+      OptimizePartition(region_samples, sopts, table_.size());
+  if (!sub.ok) return FullRepartition();
+  // Clip the sub-spec's rectangles into the anchored region.
+  for (PartitionNode& n : sub.spec.nodes) {
+    for (int d = 0; d < old_spec.dims; ++d) {
+      n.rect.set_lo(d, std::max(n.rect.lo(d), region.lo(d)));
+      n.rect.set_hi(d, std::min(n.rect.hi(d), region.hi(d)));
+    }
+  }
+
+  // Graft: copy the old tree, replacing the anchored subtree.
+  PartitionTreeSpec grafted;
+  grafted.dims = old_spec.dims;
+  std::vector<std::pair<int, int>> preserved;  // old leaf node -> new node
+  // Map old node index -> new node index (only for nodes we copy).
+  std::vector<int> remap(old_spec.nodes.size(), -1);
+  // First pass: copy every node not inside the anchored subtree. Identify
+  // subtree membership by walking parents.
+  auto in_subtree = [&](int node) {
+    for (int i = node; i >= 0;
+         i = old_spec.nodes[static_cast<size_t>(i)].parent) {
+      if (i == anchor) return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < old_spec.nodes.size(); ++i) {
+    if (static_cast<int>(i) != anchor && in_subtree(static_cast<int>(i))) {
+      continue;
+    }
+    remap[i] = static_cast<int>(grafted.nodes.size());
+    grafted.nodes.push_back(old_spec.nodes[i]);
+  }
+  // Fix copied links.
+  for (size_t i = 0; i < old_spec.nodes.size(); ++i) {
+    if (remap[i] < 0) continue;
+    PartitionNode& n = grafted.nodes[static_cast<size_t>(remap[i])];
+    const int old_parent = old_spec.nodes[i].parent;
+    n.parent = old_parent >= 0 ? remap[static_cast<size_t>(old_parent)] : -1;
+    if (static_cast<int>(i) == anchor) {
+      n.left = n.right = -1;  // re-attached below
+      continue;
+    }
+    if (!old_spec.nodes[i].IsLeaf()) {
+      n.left = remap[static_cast<size_t>(old_spec.nodes[i].left)];
+      n.right = remap[static_cast<size_t>(old_spec.nodes[i].right)];
+    }
+  }
+  // Attach the new subtree under the anchor: sub.spec node 0 becomes the
+  // anchor itself (adopt its split), the rest append with offset.
+  const int new_anchor = remap[static_cast<size_t>(anchor)];
+  const int offset = static_cast<int>(grafted.nodes.size());
+  {
+    PartitionNode& a = grafted.nodes[static_cast<size_t>(new_anchor)];
+    const PartitionNode& sroot = sub.spec.nodes[0];
+    a.split_dim = sroot.split_dim;
+    a.split_val = sroot.split_val;
+    a.left = sroot.left >= 0 ? offset + sroot.left - 1 : -1;
+    a.right = sroot.right >= 0 ? offset + sroot.right - 1 : -1;
+  }
+  for (size_t i = 1; i < sub.spec.nodes.size(); ++i) {
+    PartitionNode n = sub.spec.nodes[i];
+    n.parent = n.parent == 0 ? new_anchor
+                             : offset + n.parent - 1;
+    if (n.left >= 0) {
+      n.left = offset + n.left - 1;
+      n.right = offset + n.right - 1;
+    }
+    grafted.nodes.push_back(n);
+  }
+  // Recompute leaves in node order.
+  for (size_t i = 0; i < grafted.nodes.size(); ++i) {
+    if (grafted.nodes[i].IsLeaf()) {
+      grafted.leaves.push_back(static_cast<int>(i));
+    }
+  }
+  // Preserved leaf mapping (everything copied in pass 1 that is a leaf).
+  for (size_t i = 0; i < old_spec.nodes.size(); ++i) {
+    if (remap[i] >= 0 && static_cast<int>(i) != anchor &&
+        old_spec.nodes[i].IsLeaf()) {
+      preserved.emplace_back(static_cast<int>(i), remap[i]);
+    }
+  }
+
+  // Build the new synopsis: preserved leaves keep their statistics; new
+  // subtree leaves are seeded from the region's reservoir samples with the
+  // subtree's catch-up mass preserved (Appendix E keeps estimates of
+  // unchanged nodes and restarts catch-up for the changed region).
+  const double h_total = dpt_->catchup_count();
+  const double h_sub = dpt_->NodeCatchupCount(anchor);
+  const double n0 = static_cast<double>(table_.size());
+  auto fresh = std::make_unique<Dpt>(MakeDptOptions(), std::move(grafted));
+  for (const auto& [old_node, new_node] : preserved) {
+    fresh->CopyLeafStats(*dpt_, old_node, new_node);
+  }
+  // Seed new leaves: distribute region samples to their new leaves.
+  const double scale =
+      region_samples.empty()
+          ? 0
+          : h_sub / static_cast<double>(region_samples.size());
+  std::vector<std::vector<Tuple>> per_leaf(fresh->tree().nodes.size());
+  for (const Tuple& t : region_samples) {
+    per_leaf[static_cast<size_t>(fresh->LeafForTuple(t))].push_back(t);
+  }
+  for (size_t i = 0; i < per_leaf.size(); ++i) {
+    if (per_leaf[i].empty()) continue;
+    // Only seed the freshly created leaves (preserved ones keep stats).
+    bool is_preserved = false;
+    for (const auto& [o, nn] : preserved) {
+      (void)o;
+      if (nn == static_cast<int>(i)) {
+        is_preserved = true;
+        break;
+      }
+    }
+    if (is_preserved) continue;
+    fresh->SeedLeafCatchupFromSamples(static_cast<int>(i), per_leaf[i], scale);
+  }
+  fresh->SetCatchupState(StatMode::kCatchup, n0, h_total);
+  // Re-attach the pooled reservoir.
+  std::vector<Tuple> pool;
+  pool.reserve(dpt_->sample_tuples().size());
+  for (const auto& [id, t] : dpt_->sample_tuples()) {
+    (void)id;
+    pool.push_back(t);
+  }
+  fresh->ResetSamples(pool);
+  dpt_ = std::move(fresh);
+  const size_t goal = static_cast<size_t>(
+      opts_.catchup_rate * static_cast<double>(table_.size()));
+  catchup_ = std::make_unique<CatchupEngine>(dpt_.get(), table_.live(), goal,
+                                             rng_.Next());
+  RefreshBaselines();
+  counters_.last_reopt_seconds = timer.ElapsedSeconds();
+  ++counters_.partial_repartitions;
+  return true;
+}
+
+bool JanusAqp::CheckTriggers(const Tuple& t) {
+  if (!opts_.enable_triggers || !dpt_) return false;
+  if (updates_since_check_.fetch_add(1) + 1 <
+      opts_.trigger_check_interval) {
+    return false;
+  }
+  updates_since_check_.store(0);
+  ++counters_.trigger_checks;
+  const int leaf = dpt_->LeafForTuple(t);
+
+  // Starvation check (Sec. 5.4): too few samples for robust estimators.
+  const double si = dpt_->LeafSampleCount(leaf);
+  const double m = static_cast<double>(dpt_->sample_size());
+  const bool starved =
+      si < opts_.starvation_factor * std::log2(std::max(2.0, m));
+
+  // Variance drift check.
+  const double cur =
+      dpt_->sample_index().MaxVariance(dpt_->LeafRect(leaf), opts_.focus);
+  const double base = leaf_baseline_var_[static_cast<size_t>(leaf)];
+  const bool drift =
+      base > 0 && (cur > opts_.beta * base || cur * opts_.beta < base);
+
+  if (!starved && !drift) return false;
+  ++counters_.trigger_fires;
+
+  if (starved) {
+    if (opts_.partial_repartition_psi > 0) return PartialRepartition(leaf);
+    return FullRepartition();
+  }
+
+  // Drift: only adopt a new partitioning if it beats the current one by a
+  // factor beta (Sec. 5.4).
+  PartitionResult cand =
+      OptimizePartition(reservoir_->samples(), MakeSptOptions(),
+                        table_.size());
+  const double cand_var = cand.achieved_error * cand.achieved_error;
+  const double cur_max = CurrentTreeMaxVariance();
+  if (cand.ok && cand_var * opts_.beta < cur_max) {
+    Timer blocking;
+    AdoptSpec(std::move(cand.spec));
+    counters_.last_blocking_seconds = blocking.ElapsedSeconds();
+    ++counters_.repartitions;
+    return true;
+  }
+  // The drifted level is the new normal; avoid re-firing every check.
+  leaf_baseline_var_[static_cast<size_t>(leaf)] = cur;
+  return false;
+}
+
+void JanusAqp::Reinitialize() {
+  Timer timer;
+  PartitionResult pr =
+      OptimizePartition(reservoir_->samples(), MakeSptOptions(),
+                        table_.size());
+  Timer blocking;
+  AdoptSpec(std::move(pr.spec));
+  counters_.last_blocking_seconds = blocking.ElapsedSeconds();
+  // Step 4 (Sec. 4.3): fresh archive sample becomes the pooled reservoir,
+  // re-sized to the configured rate of the *current* table.
+  const size_t target = std::max<size_t>(
+      32, static_cast<size_t>(2.0 * opts_.sample_rate *
+                              static_cast<double>(table_.size())));
+  reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
+  std::vector<Tuple> fresh = table_.SampleUniform(&rng_, target);
+  reservoir_->Reset(fresh);
+  dpt_->ResetSamples(fresh);
+  counters_.last_reopt_seconds = timer.ElapsedSeconds();
+  ++counters_.repartitions;
+}
+
+void JanusAqp::BeginReinitialize() {
+  if (opt_running_) return;
+  opt_running_ = true;
+  opt_done_.store(false);
+  // The optimizer works on a snapshot of the pooled sample (Sec. 4.3 step 1
+  // runs in parallel with maintenance of the old synopsis).
+  std::vector<Tuple> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    snapshot = reservoir_->samples();
+  }
+  const size_t n = table_.size();
+  opt_thread_ = std::thread([this, snapshot = std::move(snapshot), n] {
+    opt_result_ = OptimizePartition(snapshot, MakeSptOptions(), n);
+    opt_done_.store(true);
+  });
+}
+
+bool JanusAqp::ReinitializeReady() const { return opt_done_.load(); }
+
+double JanusAqp::FinishReinitialize() {
+  if (!opt_running_) return 0;
+  opt_thread_.join();
+  opt_running_ = false;
+  Timer blocking;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    AdoptSpec(std::move(opt_result_.spec));
+  }
+  const double secs = blocking.ElapsedSeconds();
+  counters_.last_blocking_seconds = secs;
+  // Step 4: fresh reservoir off the critical path, re-sized to the current
+  // table.
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    const size_t target = std::max<size_t>(
+        32, static_cast<size_t>(2.0 * opts_.sample_rate *
+                                static_cast<double>(table_.size())));
+    reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
+    std::vector<Tuple> fresh = table_.SampleUniform(&rng_, target);
+    reservoir_->Reset(fresh);
+    dpt_->ResetSamples(fresh);
+  }
+  ++counters_.repartitions;
+  return secs;
+}
+
+}  // namespace janus

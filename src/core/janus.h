@@ -1,0 +1,164 @@
+#ifndef JANUS_CORE_JANUS_H_
+#define JANUS_CORE_JANUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/catchup.h"
+#include "core/dpt.h"
+#include "core/spt.h"
+#include "data/table.h"
+#include "sampling/reservoir.h"
+
+namespace janus {
+
+/// Configuration of a JanusAQP instance (Sec. 3.1 knobs plus the
+/// re-optimization parameters of Sec. 5.4).
+struct JanusOptions {
+  SynopsisSpec spec;
+  int num_leaves = 128;
+  /// Sampling rate alpha (1% in most experiments).
+  double sample_rate = 0.01;
+  /// Catch-up goal as a fraction of |D| (10% in most experiments).
+  double catchup_rate = 0.10;
+  AggFunc focus = AggFunc::kSum;
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kBinarySearch;
+  double confidence = 0.95;
+  double rho = 2.0;
+  /// Maximum allowable variance drift before a re-partition is considered
+  /// (Sec. 5.4; the paper's default).
+  double beta = 10.0;
+  double delta = 0.01;
+  int minmax_k = 32;
+  std::vector<int> extra_tracked_columns;
+  /// Automatic re-partitioning triggers (Sec. 5.4). When disabled the
+  /// instance behaves like the "DPT-only" baseline.
+  bool enable_triggers = true;
+  /// Updates between drift checks on the touched leaf (checking every single
+  /// update is supported with interval 1).
+  uint64_t trigger_check_interval = 64;
+  /// A leaf is starved when |S_i| < starvation_factor * log2(m) (Sec. 5.4).
+  double starvation_factor = 0.25;
+  /// Partial re-partitioning: rebuild only the subtree `psi` levels above a
+  /// problematic leaf (Appendix E). 0 disables (always full).
+  int partial_repartition_psi = 0;
+  uint64_t seed = 42;
+};
+
+/// Operational counters for the experiment harnesses.
+struct JanusCounters {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t reservoir_resamples = 0;
+  uint64_t trigger_checks = 0;
+  uint64_t trigger_fires = 0;
+  uint64_t repartitions = 0;
+  uint64_t partial_repartitions = 0;
+  double last_reopt_seconds = 0;   ///< last re-optimization, wall clock
+  double last_blocking_seconds = 0;  ///< blocking populate step (Sec. 4.3)
+};
+
+/// The JanusAQP system (Sec. 3): owns the evolving table (archival storage),
+/// the pooled reservoir, one DPT synopsis, the catch-up engine and the
+/// re-partitioning triggers.
+///
+/// Thread-safety: Insert()/Delete() may be called from multiple threads
+/// concurrently (per-leaf statistics locks plus a reservoir/table mutex);
+/// Query() and the re-optimization entry points must be externally quiesced,
+/// exactly as the experiment drivers do.
+class JanusAqp {
+ public:
+  explicit JanusAqp(const JanusOptions& opts);
+  ~JanusAqp();
+
+  /// Bulk-load initial (historical) data without per-update overhead.
+  void LoadInitial(const std::vector<Tuple>& rows);
+
+  /// Build the first synopsis from the current archive and start catch-up.
+  void Initialize();
+
+  /// Process one insertion (Sec. 4.1/4.2 + trigger checks).
+  void Insert(const Tuple& t);
+
+  /// Process one deletion by tuple id. Returns false if not live.
+  bool Delete(uint64_t id);
+
+  /// Answer a query from the synopsis only (never touches the archive).
+  QueryResult Query(const AggQuery& q) const;
+
+  /// Run the catch-up engine to its goal (deterministic, inline).
+  void RunCatchupToGoal();
+  /// Absorb up to `batch` catch-up samples; returns how many.
+  size_t StepCatchup(size_t batch);
+
+  /// Full re-optimization (Sec. 4.3): optimize partitioning on the pooled
+  /// reservoir, blocking-populate the new synopsis, re-sample the reservoir
+  /// from the archive and restart catch-up. Sequential variant.
+  void Reinitialize();
+
+  /// Concurrent variant: runs the optimization phase on a worker thread
+  /// while the old synopsis keeps absorbing updates; FinishReinitialize()
+  /// performs only the short blocking step (Sec. 4.3, Fig. 4).
+  void BeginReinitialize();
+  bool ReinitializeReady() const;
+  /// Blocks until the optimizer is done, then swaps synopses. Returns the
+  /// duration of the blocking step.
+  double FinishReinitialize();
+
+  /// Trigger evaluation for the leaf of `t` (Sec. 5.4); called internally by
+  /// Insert/Delete, public for tests. Returns true if a re-partition ran.
+  bool CheckTriggers(const Tuple& t);
+
+  const Dpt& dpt() const { return *dpt_; }
+  const DynamicTable& table() const { return table_; }
+  const DynamicReservoir& reservoir() const { return *reservoir_; }
+  const JanusCounters& counters() const { return counters_; }
+  const JanusOptions& options() const { return opts_; }
+  size_t catchup_processed() const {
+    return catchup_ ? catchup_->processed() : 0;
+  }
+  double catchup_processing_seconds() const {
+    return catchup_ ? catchup_->processing_seconds() : 0;
+  }
+
+ private:
+  DptOptions MakeDptOptions() const;
+  SptOptions MakeSptOptions() const;
+  /// Build a synopsis from the given spec, populate from the pooled
+  /// reservoir, restart catch-up, refresh trigger baselines.
+  void AdoptSpec(PartitionTreeSpec spec);
+  void RefreshBaselines();
+  double CurrentTreeMaxVariance() const;
+  bool FullRepartition();
+  bool PartialRepartition(int leaf);
+
+  JanusOptions opts_;
+  DynamicTable table_;
+  std::unique_ptr<DynamicReservoir> reservoir_;
+  std::unique_ptr<Dpt> dpt_;
+  std::unique_ptr<CatchupEngine> catchup_;
+  Rng rng_;
+  JanusCounters counters_;
+
+  /// M_i baselines per node index (leaves only), set at (re)build.
+  std::vector<double> leaf_baseline_var_;
+  std::atomic<uint64_t> updates_since_check_{0};
+
+  /// Serializes table + reservoir + sample-index mutation (Insert/Delete
+  /// from many threads).
+  mutable std::mutex update_mu_;
+
+  // Concurrent re-initialization state.
+  std::thread opt_thread_;
+  std::atomic<bool> opt_done_{false};
+  bool opt_running_ = false;
+  PartitionResult opt_result_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_JANUS_H_

@@ -1,0 +1,87 @@
+#ifndef JANUS_CORE_MAX_VARIANCE_H_
+#define JANUS_CORE_MAX_VARIANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/schema.h"
+#include "index/dynamic_kd_tree.h"
+#include "index/order_stat_tree.h"
+
+namespace janus {
+
+/// The dynamic index M of Sec. 5.3.1 / Appendix D.1: maintains the pooled
+/// sample S under insertions/deletions and, given a query rectangle R,
+/// returns an approximation M(R) of the variance V(R) of the maximum-
+/// variance query inside R, with M(R) >= V(R) / gamma:
+///
+///  * COUNT: the max-variance query holds |R∩S|/2 samples; M splits R at the
+///    sample median and returns that half's variance (exact up to the split).
+///  * SUM: split R into equal-count halves; return the SUM-variance of the
+///    half with the larger Σa² (1/4-approximation).
+///  * AVG: find a sub-rectangle holding ~delta·|R∩S| samples that (nearly)
+///    maximizes Σa² — 1-D: the best contiguous sample window; d>1: the best
+///    maximal canonical k-d cell — and return its AVG-variance
+///    (O(1/log^{d+1} m)-approximation, Lemma D.1).
+///
+/// All returned values are *variances*; callers compare sqrt(M(R)) against
+/// the error ladder.
+class MaxVarianceIndex {
+ public:
+  struct Options {
+    int dims = 1;
+    AggFunc focus = AggFunc::kSum;
+    /// Sampling rate alpha used to scale N_i ~ m_i/alpha in SUM/COUNT
+    /// errors; a common constant across buckets.
+    double sampling_rate = 0.01;
+    /// Fraction of the *total* sample count a valid AVG query must contain
+    /// (the 2*delta*m assumption of Appendix D.1). Buckets smaller than
+    /// delta*m admit no valid AVG query and report zero error, which keeps
+    /// the per-bucket error monotone in bucket size (Appendix D.2).
+    double delta = 0.01;
+  };
+
+  explicit MaxVarianceIndex(const Options& opts);
+
+  int dims() const { return opts_.dims; }
+  AggFunc focus() const { return opts_.focus; }
+  size_t size() const { return kd_.size(); }
+
+  /// Bulk-load the sample set.
+  void Build(const std::vector<KdPoint>& samples);
+
+  void Insert(const KdPoint& p);
+  bool Delete(const KdPoint& p);
+
+  /// M(R): approximate max variance of a `focus` query inside R.
+  double MaxVariance(const Rectangle& r) const;
+
+  /// Same for an explicit aggregate function.
+  double MaxVariance(const Rectangle& r, AggFunc f) const;
+
+  /// 1-D only: M over the rank range [lo, hi) of the sorted samples — the
+  /// primitive the binary-search partitioner iterates on.
+  double MaxVarianceRankRange(size_t lo, size_t hi) const;
+  double MaxVarianceRankRange(size_t lo, size_t hi, AggFunc f) const;
+
+  /// Underlying indexes (read-only).
+  const DynamicKdTree& kd() const { return kd_; }
+  const OrderStatTree& tree1d() const { return tree1d_; }
+
+ private:
+  double RankRangeVariance(size_t lo, size_t hi, AggFunc f) const;
+  double RectVariance(const Rectangle& r, AggFunc f) const;
+
+  Options opts_;
+  DynamicKdTree kd_;
+  OrderStatTree tree1d_;  // populated only when dims == 1
+};
+
+/// Converts a tuple to an index point under a synopsis template.
+KdPoint MakeKdPoint(const Tuple& t, const std::vector<int>& predicate_columns,
+                    int agg_column);
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_MAX_VARIANCE_H_

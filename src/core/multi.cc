@@ -1,0 +1,136 @@
+#include "core/multi.h"
+
+#include <algorithm>
+
+namespace janus {
+
+MultiTemplateJanus::MultiTemplateJanus(const JanusOptions& base)
+    : base_(base), table_(Schema{}), rng_(base.seed) {}
+
+int MultiTemplateJanus::TemplateFor(
+    const std::vector<int>& predicate_columns) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].spec.predicate_columns == predicate_columns) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int MultiTemplateJanus::AddTemplate(const SynopsisSpec& spec) {
+  const int existing = TemplateFor(spec.predicate_columns);
+  if (existing >= 0 &&
+      entries_[static_cast<size_t>(existing)].spec.agg_column ==
+          spec.agg_column) {
+    return existing;
+  }
+  Entry entry;
+  entry.spec = spec;
+  entries_.push_back(std::move(entry));
+  const int idx = static_cast<int>(entries_.size()) - 1;
+  if (initialized_) BuildEntry(&entries_[static_cast<size_t>(idx)]);
+  return idx;
+}
+
+SptOptions MultiTemplateJanus::MakeSptOptions(const SynopsisSpec& spec) const {
+  SptOptions s;
+  s.spec = spec;
+  s.num_leaves = base_.num_leaves;
+  s.focus = base_.focus;
+  s.sample_rate = base_.sample_rate;
+  s.algorithm = base_.algorithm;
+  s.rho = base_.rho;
+  s.delta = base_.delta;
+  s.minmax_k = base_.minmax_k;
+  s.confidence = base_.confidence;
+  s.seed = base_.seed;
+  return s;
+}
+
+void MultiTemplateJanus::BuildEntry(Entry* entry) {
+  PartitionResult pr = OptimizePartition(reservoir_->samples(),
+                                         MakeSptOptions(entry->spec),
+                                         table_.size());
+  DptOptions dopts;
+  dopts.spec = entry->spec;
+  dopts.sample_rate = base_.sample_rate;
+  dopts.minmax_k = base_.minmax_k;
+  dopts.confidence = base_.confidence;
+  dopts.delta = base_.delta;
+  entry->dpt = std::make_unique<Dpt>(dopts, std::move(pr.spec));
+  entry->dpt->InitializeFromReservoir(reservoir_->samples(), table_.size());
+  const size_t goal = static_cast<size_t>(
+      base_.catchup_rate * static_cast<double>(table_.size()));
+  entry->catchup = std::make_unique<CatchupEngine>(
+      entry->dpt.get(), table_.live(), goal, rng_.Next());
+}
+
+void MultiTemplateJanus::LoadInitial(const std::vector<Tuple>& rows) {
+  for (const Tuple& t : rows) table_.Insert(t);
+}
+
+void MultiTemplateJanus::Initialize() {
+  const size_t target = std::max<size_t>(
+      32, static_cast<size_t>(2.0 * base_.sample_rate *
+                              static_cast<double>(table_.size())));
+  reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
+  reservoir_->Reset(table_.SampleUniform(&rng_, target));
+  initialized_ = true;
+  for (Entry& entry : entries_) BuildEntry(&entry);
+}
+
+void MultiTemplateJanus::Insert(const Tuple& t) {
+  table_.Insert(t);
+  // One global reservoir decision shared by every tree (Sec. 5.5: the set S
+  // is stored once; each tree only indexes it).
+  ReservoirChange ch = reservoir_->OnInsert(t, table_.size());
+  for (Entry& entry : entries_) {
+    if (ch.evicted.has_value()) entry.dpt->SampleRemove(*ch.evicted);
+    if (ch.added.has_value()) entry.dpt->SampleAdd(*ch.added);
+    entry.dpt->ApplyInsert(t);
+  }
+}
+
+bool MultiTemplateJanus::Delete(uint64_t id) {
+  const Tuple* p = table_.Find(id);
+  if (p == nullptr) return false;
+  const Tuple t = *p;
+  table_.Delete(id);
+  ReservoirChange ch = reservoir_->OnDelete(id);
+  std::vector<Tuple> fresh;
+  if (ch.needs_resample) {
+    fresh = table_.SampleUniform(&rng_, reservoir_->capacity());
+    reservoir_->Reset(fresh);
+  }
+  for (Entry& entry : entries_) {
+    if (ch.needs_resample) {
+      entry.dpt->ResetSamples(fresh);
+    } else if (ch.evicted.has_value()) {
+      entry.dpt->SampleRemove(*ch.evicted);
+    }
+    entry.dpt->ApplyDelete(t);
+  }
+  return true;
+}
+
+QueryResult MultiTemplateJanus::Query(const AggQuery& q) {
+  int idx = TemplateFor(q.predicate_columns);
+  if (idx < 0) {
+    // A query from a new template: build its tree on demand from the pooled
+    // sample and start catch-up for it (Sec. 5.5). The first answer is
+    // sample-grade; subsequent ones improve as catch-up proceeds.
+    SynopsisSpec spec;
+    spec.agg_column = q.agg_column;
+    spec.predicate_columns = q.predicate_columns;
+    idx = AddTemplate(spec);
+  }
+  return entries_[static_cast<size_t>(idx)].dpt->Query(q);
+}
+
+void MultiTemplateJanus::RunCatchupToGoal() {
+  for (Entry& entry : entries_) {
+    if (entry.catchup) entry.catchup->RunToGoal();
+  }
+}
+
+}  // namespace janus

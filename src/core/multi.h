@@ -1,0 +1,83 @@
+#ifndef JANUS_CORE_MULTI_H_
+#define JANUS_CORE_MULTI_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/catchup.h"
+#include "core/dpt.h"
+#include "core/janus.h"
+#include "core/spt.h"
+#include "data/table.h"
+#include "sampling/reservoir.h"
+
+namespace janus {
+
+/// Multi-template synopsis manager — the "first method" of Sec. 5.5: one
+/// global pooled sample S (a single reservoir over the table) and one
+/// partition tree per query template, for total space O(m + L*k). Every
+/// tree answers its template with the full theoretical error guarantees.
+///
+/// Templates can be registered upfront or discovered on demand: a query
+/// whose predicate attributes match no registered template triggers the
+/// construction of a new tree from the pooled sample (in ~O(k polylog m))
+/// followed by a catch-up phase for that tree alone, exactly as Sec. 5.5
+/// describes.
+class MultiTemplateJanus {
+ public:
+  /// `base` carries the shared knobs (leaf count, rates, seeds); its `spec`
+  /// is ignored — templates are added explicitly or on demand.
+  explicit MultiTemplateJanus(const JanusOptions& base);
+
+  /// Register a template; returns its index. No-op (returning the existing
+  /// index) when an identical template is already registered.
+  int AddTemplate(const SynopsisSpec& spec);
+
+  void LoadInitial(const std::vector<Tuple>& rows);
+
+  /// Build every registered template's tree from a fresh archive sample.
+  void Initialize();
+
+  /// Maintenance: one reservoir decision, then every tree absorbs the
+  /// update (Sec. 5.5: "all update operations ... can be executed in
+  /// parallel for different trees").
+  void Insert(const Tuple& t);
+  bool Delete(uint64_t id);
+
+  /// Answer a query. Routes to the template with matching predicate
+  /// attributes; if none exists, a new template is built on demand from the
+  /// pooled sample and its catch-up starts immediately.
+  QueryResult Query(const AggQuery& q);
+
+  /// Drive every template's catch-up to its goal.
+  void RunCatchupToGoal();
+
+  size_t num_templates() const { return entries_.size(); }
+  const Dpt& dpt(int i) const { return *entries_[static_cast<size_t>(i)].dpt; }
+  const DynamicTable& table() const { return table_; }
+  const DynamicReservoir& reservoir() const { return *reservoir_; }
+  /// Index of the template matching the query's predicate columns; -1 when
+  /// absent.
+  int TemplateFor(const std::vector<int>& predicate_columns) const;
+
+ private:
+  struct Entry {
+    SynopsisSpec spec;
+    std::unique_ptr<Dpt> dpt;
+    std::unique_ptr<CatchupEngine> catchup;
+  };
+
+  SptOptions MakeSptOptions(const SynopsisSpec& spec) const;
+  void BuildEntry(Entry* entry);
+
+  JanusOptions base_;
+  DynamicTable table_;
+  std::unique_ptr<DynamicReservoir> reservoir_;
+  std::vector<Entry> entries_;
+  Rng rng_;
+  bool initialized_ = false;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_MULTI_H_

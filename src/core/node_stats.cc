@@ -1,0 +1,45 @@
+#include "core/node_stats.h"
+
+namespace janus {
+
+void MinMaxTracker::Insert(double v) {
+  bottom_.insert(v);
+  if (bottom_.size() > k_) bottom_.erase(std::prev(bottom_.end()));
+  top_.insert(v);
+  if (top_.size() > k_) top_.erase(std::prev(top_.end()));
+}
+
+void MinMaxTracker::Erase(double v) {
+  if (auto it = bottom_.find(v); it != bottom_.end()) {
+    if (bottom_.size() <= 1) {
+      degraded_ = true;  // keep the last value as an outer approximation
+    } else {
+      bottom_.erase(it);
+    }
+  }
+  if (auto it = top_.find(v); it != top_.end()) {
+    if (top_.size() <= 1) {
+      degraded_ = true;
+    } else {
+      top_.erase(it);
+    }
+  }
+}
+
+std::optional<double> MinMaxTracker::Min() const {
+  if (bottom_.empty()) return std::nullopt;
+  return *bottom_.begin();
+}
+
+std::optional<double> MinMaxTracker::Max() const {
+  if (top_.empty()) return std::nullopt;
+  return *top_.begin();
+}
+
+void MinMaxTracker::Clear() {
+  bottom_.clear();
+  top_.clear();
+  degraded_ = false;
+}
+
+}  // namespace janus

@@ -1,0 +1,72 @@
+#ifndef JANUS_CORE_NODE_STATS_H_
+#define JANUS_CORE_NODE_STATS_H_
+
+#include <optional>
+#include <set>
+
+#include "index/order_stat_tree.h"
+#include "util/stats.h"
+
+namespace janus {
+
+/// Tracks MIN and MAX of a node's aggregation values under insertions and
+/// deletions via bounded top-k / bottom-k heaps (Sec. 4.1):
+///  * insert: push into both heaps, trimming them back to k;
+///  * delete: erase the value if present; once a heap is down to one element
+///    further erases are refused and the tracker becomes an *outer
+///    approximation* (estimated MIN <= true MIN, estimated MAX >= true MAX).
+class MinMaxTracker {
+ public:
+  explicit MinMaxTracker(size_t k = 32) : k_(k) {}
+
+  void Insert(double v);
+
+  /// Remove `v` after the corresponding tuple's deletion.
+  void Erase(double v);
+
+  /// Smallest tracked value; nullopt when no value was ever inserted.
+  std::optional<double> Min() const;
+  /// Largest tracked value.
+  std::optional<double> Max() const;
+
+  /// True once deletions have exhausted a heap: Min()/Max() are outer
+  /// approximations from that point on (Sec. 4.1).
+  bool degraded() const { return degraded_; }
+
+  void Clear();
+
+ private:
+  size_t k_;
+  std::multiset<double> bottom_;                       // k smallest
+  std::multiset<double, std::greater<double>> top_;    // k largest
+  bool degraded_ = false;
+};
+
+/// Statistics attached to one DPT node (Sec. 4.1 / 4.4). The node estimate
+/// combines three parts:
+///   catch-up estimate (h moments, Horvitz-Thompson scaled)
+///   + exact delta of tuples inserted since (re-)initialization
+///   - exact delta of *new* tuples deleted again
+/// In exact mode (full-scan initialization, or an SPT) `exact` carries the
+/// full statistics and the catch-up part is unused.
+struct NodeStats {
+  // Exact running statistics (exact mode), or unused (catch-up mode).
+  MomentAccumulator exact;
+  // Post-(re)initialization deltas (catch-up mode).
+  MomentAccumulator inserted;
+  MomentAccumulator removed;
+  // Catch-up sample moments: h_i, sum t.a, sum t.a^2 (Sec. 4.4.1).
+  TreeAgg catchup;
+  // MIN/MAX heaps.
+  MinMaxTracker minmax;
+
+  void ClearDynamic() {
+    inserted.Clear();
+    removed.Clear();
+    catchup = TreeAgg{};
+  }
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_NODE_STATS_H_

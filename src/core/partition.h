@@ -1,0 +1,68 @@
+#ifndef JANUS_CORE_PARTITION_H_
+#define JANUS_CORE_PARTITION_H_
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace janus {
+
+/// One node of a hierarchical rectangular partitioning (Sec. 2.3.1).
+/// Internal nodes carry an axis-aligned split; leaves are the buckets.
+/// Invariants: every child is a subset of its parent, siblings are disjoint
+/// (up to the shared boundary hyperplane), children tile the parent.
+struct PartitionNode {
+  Rectangle rect;
+  int left = -1;
+  int right = -1;
+  int parent = -1;
+  int split_dim = -1;
+  double split_val = 0;
+
+  bool IsLeaf() const { return left < 0; }
+};
+
+/// The shape of a partition tree, produced by the optimizers and consumed by
+/// DPT/SPT (which attach statistics to the nodes).
+struct PartitionTreeSpec {
+  std::vector<PartitionNode> nodes;  ///< nodes[0] is the root
+  std::vector<int> leaves;           ///< leaf indices in left-to-right order
+  int dims = 1;
+  /// sqrt of the worst bucket max-variance at construction time.
+  double worst_error = 0;
+
+  int num_leaves() const { return static_cast<int>(leaves.size()); }
+
+  /// Index of the leaf whose bucket contains `point` (split rule:
+  /// x[split_dim] < split_val goes left). O(height).
+  int LeafFor(const double* point) const {
+    assert(!nodes.empty());
+    int i = 0;
+    while (!nodes[static_cast<size_t>(i)].IsLeaf()) {
+      const PartitionNode& n = nodes[static_cast<size_t>(i)];
+      i = (point[n.split_dim] < n.split_val) ? n.left : n.right;
+    }
+    return i;
+  }
+};
+
+/// Result of a partitioning request (any optimizer).
+struct PartitionResult {
+  PartitionTreeSpec spec;
+  /// sqrt(max bucket M) of the returned partitioning.
+  double achieved_error = 0;
+  bool ok = false;
+};
+
+/// Builds a balanced binary PartitionTreeSpec over ordered 1-D buckets
+/// delimited by `boundaries` (ascending split values; buckets =
+/// (-inf, b0), [b0, b1), ..., [b_last, +inf)). The root rectangle spans the
+/// whole real line on the single predicate dimension.
+PartitionTreeSpec BuildBalanced1dTree(const std::vector<double>& boundaries);
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_PARTITION_H_

@@ -1,0 +1,145 @@
+#include "core/partitioner_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/variance.h"
+
+namespace janus {
+
+namespace {
+
+/// Prefix-moment view over sorted samples; O(1) range aggregates.
+struct Prefixes {
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+
+  TreeAgg Range(size_t lo, size_t hi) const {
+    TreeAgg agg;
+    agg.count = static_cast<double>(hi - lo);
+    agg.sum = sum[hi] - sum[lo];
+    agg.sumsq = sumsq[hi] - sumsq[lo];
+    return agg;
+  }
+};
+
+/// Variance of the (approximate) max-variance query in rank bucket [i, j):
+/// the half-split bound of Appendix D.1 evaluated on prefix arrays.
+double BucketVariance(const Prefixes& pre, size_t i, size_t j, AggFunc focus,
+                      double sampling_rate) {
+  if (j - i < 2) return 0;
+  const double mi = static_cast<double>(j - i);
+  const size_t mid = i + (j - i) / 2;
+  switch (focus) {
+    case AggFunc::kCount:
+      return CountQueryVariance(mi / sampling_rate, mi, mi / 2.0);
+    case AggFunc::kSum: {
+      const TreeAgg l = pre.Range(i, mid);
+      const TreeAgg r = pre.Range(mid, j);
+      return SumLeafError(sampling_rate, mi, l.sumsq >= r.sumsq ? l : r);
+    }
+    case AggFunc::kAvg: {
+      const TreeAgg l = pre.Range(i, mid);
+      const TreeAgg r = pre.Range(mid, j);
+      return AvgLeafError(mi, l.sumsq >= r.sumsq ? l : r);
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+PartitionResult BuildPartitionDP(std::vector<std::pair<double, double>> samples,
+                                 const PartitionerDpOptions& opts) {
+  PartitionResult result;
+  std::sort(samples.begin(), samples.end());
+  const size_t m = samples.size();
+  const size_t k =
+      std::min<size_t>(static_cast<size_t>(std::max(1, opts.num_leaves)),
+                       std::max<size_t>(1, m));
+  if (m == 0) {
+    result.spec = BuildBalanced1dTree({});
+    result.ok = true;
+    return result;
+  }
+
+  Prefixes pre;
+  pre.sum.assign(m + 1, 0);
+  pre.sumsq.assign(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    pre.sum[i + 1] = pre.sum[i] + samples[i].second;
+    pre.sumsq[i + 1] = pre.sumsq[i] + samples[i].second * samples[i].second;
+  }
+
+  // Candidate boundary ranks: every sample when m is small, a uniform grid
+  // otherwise. Endpoints 0 and m are always candidates.
+  std::vector<size_t> pos;
+  const size_t stride =
+      std::max<size_t>(1, (m + opts.max_candidates - 1) / opts.max_candidates);
+  for (size_t r = 0; r <= m; r += stride) pos.push_back(r);
+  if (pos.back() != m) pos.push_back(m);
+  const size_t C = pos.size();
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // f[c]: min of (max bucket variance) covering samples [0, pos[c]) with the
+  // current number of buckets; choice[b][c] for backtracking.
+  std::vector<double> f(C, inf);
+  std::vector<std::vector<uint32_t>> choice(
+      k, std::vector<uint32_t>(C, 0));
+  for (size_t c = 0; c < C; ++c) {
+    f[c] = BucketVariance(pre, 0, pos[c], opts.focus, opts.sampling_rate);
+  }
+  std::vector<double> g(C, inf);
+  for (size_t b = 1; b < k; ++b) {
+    g.assign(C, inf);
+    g[0] = 0;
+    for (size_t c = 1; c < C; ++c) {
+      double best = inf;
+      uint32_t best_cut = 0;
+      for (size_t cp = 0; cp < c; ++cp) {
+        if (f[cp] >= best) continue;  // cannot improve: max(f,cost) >= f
+        const double cost = BucketVariance(pre, pos[cp], pos[c], opts.focus,
+                                           opts.sampling_rate);
+        const double v = std::max(f[cp], cost);
+        if (v < best) {
+          best = v;
+          best_cut = static_cast<uint32_t>(cp);
+        }
+      }
+      g[c] = best;
+      choice[b][c] = best_cut;
+    }
+    f.swap(g);
+  }
+
+  // Backtrack boundary ranks.
+  std::vector<size_t> cuts;
+  size_t c = C - 1;
+  for (size_t b = k; b-- > 1;) {
+    c = choice[b][c];
+    if (c == 0) break;
+    cuts.push_back(pos[c]);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<double> boundaries;
+  for (size_t r : cuts) {
+    if (r == 0 || r >= m) continue;
+    const double a = samples[r - 1].first;
+    const double bkey = samples[r].first;
+    const double key = a == bkey ? a : 0.5 * (a + bkey);
+    if (boundaries.empty() || key > boundaries.back()) {
+      boundaries.push_back(key);
+    }
+  }
+  result.spec = BuildBalanced1dTree(boundaries);
+  result.spec.worst_error = std::sqrt(f[C - 1]);
+  result.achieved_error = result.spec.worst_error;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace janus

@@ -1,0 +1,35 @@
+#ifndef JANUS_CORE_PARTITIONER_DP_H_
+#define JANUS_CORE_PARTITIONER_DP_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "data/schema.h"
+
+namespace janus {
+
+/// Options for the dynamic-programming partitioner used by PASS [30] — the
+/// baseline of Sec. 6.9 / Table 3.
+struct PartitionerDpOptions {
+  int num_leaves = 128;
+  AggFunc focus = AggFunc::kSum;
+  double sampling_rate = 0.01;
+  /// The DP runs over a grid of candidate boundaries (every sample when m is
+  /// small); PASS used the same coarsening to keep the O(k C^2) DP viable.
+  size_t max_candidates = 4096;
+};
+
+/// Minimize the maximum bucket error with exactly <= k buckets via dynamic
+/// programming over candidate boundary positions:
+///   f[b][c] = min_{c' < c} max(f[b-1][c'], cost(c', c)).
+/// Asymptotically O(k C^2) — the quadratic blow-up with the number of
+/// partitions is the cost the BS partitioner removes (Table 3).
+///
+/// `samples` are (predicate key, aggregation value) pairs, any order.
+PartitionResult BuildPartitionDP(std::vector<std::pair<double, double>> samples,
+                                 const PartitionerDpOptions& opts);
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_PARTITIONER_DP_H_

@@ -1,0 +1,146 @@
+#include "core/partitioner_kd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace janus {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct HeapEntry {
+  double variance;
+  int node;
+  int depth;
+  double count;  // samples under the node, as split-feasibility tiebreak
+
+  bool operator<(const HeapEntry& o) const {
+    if (variance != o.variance) return variance < o.variance;
+    return count < o.count;  // prefer bigger buckets on variance ties
+  }
+};
+
+/// Median coordinate of the samples inside `rect` along `dim`, found by
+/// binary search on the coordinate with range-count probes (O(log) probes).
+double MedianCoord(const DynamicKdTree& kd, const Rectangle& rect, int dim,
+                   double total) {
+  const Rectangle bbox = kd.BoundingBox();
+  double lo = std::max(rect.lo(dim), bbox.lo(dim));
+  double hi = std::min(rect.hi(dim), bbox.hi(dim));
+  const double target = total / 2;
+  for (int iter = 0;
+       iter < 60 && hi - lo > 1e-12 * (std::abs(hi) + std::abs(lo) + 1);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    Rectangle probe = rect;
+    probe.set_hi(dim, mid);
+    const double c = kd.RangeAggregate(probe).count;
+    if (c < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+PartitionResult BuildPartitionKd(const MaxVarianceIndex& index,
+                                 const PartitionerKdOptions& opts) {
+  PartitionResult result;
+  const int d = index.dims();
+  PartitionTreeSpec& spec = result.spec;
+  spec.dims = d;
+
+  PartitionNode root;
+  root.rect = Rectangle(std::vector<double>(static_cast<size_t>(d), -kInf),
+                        std::vector<double>(static_cast<size_t>(d), kInf));
+  spec.nodes.push_back(root);
+
+  std::priority_queue<HeapEntry> heap;
+  const TreeAgg all = index.kd().RangeAggregate(spec.nodes[0].rect);
+  heap.push({index.MaxVariance(spec.nodes[0].rect, opts.focus), 0, 0,
+             all.count});
+
+  int leaves = 1;
+  std::vector<HeapEntry> unsplittable;
+  while (leaves < opts.num_leaves && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    PartitionNode parent_copy = spec.nodes[static_cast<size_t>(top.node)];
+    const double count =
+        index.kd().RangeAggregate(parent_copy.rect).count;
+    if (count < 2) {
+      unsplittable.push_back(top);
+      continue;
+    }
+    // Split on the median of the round-robin dimension of this branch; if
+    // the samples are degenerate along it, try the other dimensions.
+    int dim = top.depth % d;
+    double split = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < d; ++attempt) {
+      const int try_dim = (dim + attempt) % d;
+      const double candidate =
+          MedianCoord(index.kd(), parent_copy.rect, try_dim, count);
+      Rectangle probe = parent_copy.rect;
+      probe.set_hi(try_dim, candidate);
+      const double left_count = index.kd().RangeAggregate(probe).count;
+      if (left_count > 0 && left_count < count) {
+        dim = try_dim;
+        split = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      unsplittable.push_back(top);
+      continue;
+    }
+    const int li = static_cast<int>(spec.nodes.size());
+    const int ri = li + 1;
+    PartitionNode left, right;
+    left.rect = parent_copy.rect;
+    left.rect.set_hi(dim, split);
+    left.parent = top.node;
+    right.rect = parent_copy.rect;
+    right.rect.set_lo(dim, split);
+    right.parent = top.node;
+    spec.nodes.push_back(left);
+    spec.nodes.push_back(right);
+    PartitionNode& parent = spec.nodes[static_cast<size_t>(top.node)];
+    parent.left = li;
+    parent.right = ri;
+    parent.split_dim = dim;
+    parent.split_val = split;
+    const TreeAgg lagg = index.kd().RangeAggregate(spec.nodes[li].rect);
+    const TreeAgg ragg = index.kd().RangeAggregate(spec.nodes[ri].rect);
+    heap.push({index.MaxVariance(spec.nodes[li].rect, opts.focus), li,
+               top.depth + 1, lagg.count});
+    heap.push({index.MaxVariance(spec.nodes[ri].rect, opts.focus), ri,
+               top.depth + 1, ragg.count});
+    ++leaves;
+  }
+
+  // Collect leaves in tree order and the worst-bucket error.
+  double worst = 0;
+  for (int i = 0; i < static_cast<int>(spec.nodes.size()); ++i) {
+    if (spec.nodes[static_cast<size_t>(i)].IsLeaf()) {
+      spec.leaves.push_back(i);
+      worst = std::max(
+          worst,
+          index.MaxVariance(spec.nodes[static_cast<size_t>(i)].rect,
+                            opts.focus));
+    }
+  }
+  spec.worst_error = std::sqrt(worst);
+  result.achieved_error = spec.worst_error;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace janus

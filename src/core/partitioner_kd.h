@@ -1,0 +1,29 @@
+#ifndef JANUS_CORE_PARTITIONER_KD_H_
+#define JANUS_CORE_PARTITIONER_KD_H_
+
+#include "core/max_variance.h"
+#include "core/partition.h"
+
+namespace janus {
+
+/// Options for the k-d partitioner (Sec. 5.3.2 / Appendix D.3).
+struct PartitionerKdOptions {
+  int num_leaves = 128;
+  AggFunc focus = AggFunc::kSum;
+};
+
+/// Greedy max-variance k-d construction: keep a max-heap of leaves keyed by
+/// M(leaf); repeatedly pop the worst leaf and split it at the sample median
+/// of the next dimension (round-robin per branch depth), until k leaves
+/// exist. Near-optimal w.r.t. the optimal tree under the same splitting
+/// criterion (Appendix D.3): 2*sqrt(k)-approx for SUM/COUNT,
+/// 2*log^{(d+1)/2} m for AVG.
+///
+/// Works for any d >= 1 (for d == 1 it yields a median k-d ladder; the BS
+/// partitioner is preferred there).
+PartitionResult BuildPartitionKd(const MaxVarianceIndex& index,
+                                 const PartitionerKdOptions& opts);
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_PARTITIONER_KD_H_

@@ -1,0 +1,112 @@
+#include "core/spt.h"
+
+#include <algorithm>
+
+#include "core/max_variance.h"
+#include "core/partitioner_1d.h"
+#include "core/partitioner_dp.h"
+#include "core/partitioner_kd.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace janus {
+
+PartitionResult OptimizePartition(const std::vector<Tuple>& samples,
+                                  const SptOptions& opts_in,
+                                  size_t data_size) {
+  SptOptions opts = opts_in;
+  // Sec. 5.5: the system sizes k from the sample budget (k ~ 0.5% of m in
+  // the paper's runs). Never hand out more leaves than the samples can
+  // meaningfully stratify — a leaf needs a handful of samples to carry any
+  // estimator at all.
+  opts.num_leaves = std::max(
+      1, std::min(opts.num_leaves, static_cast<int>(samples.size() / 8)));
+  const int dims = static_cast<int>(opts.spec.predicate_columns.size());
+
+  if (opts.algorithm == PartitionAlgorithm::kDynamicProgram) {
+    std::vector<std::pair<double, double>> pairs;
+    pairs.reserve(samples.size());
+    for (const Tuple& t : samples) {
+      pairs.emplace_back(t[opts.spec.predicate_columns[0]],
+                         t[opts.spec.agg_column]);
+    }
+    PartitionerDpOptions dp;
+    dp.num_leaves = opts.num_leaves;
+    dp.focus = opts.focus;
+    dp.sampling_rate = opts.sample_rate;
+    return BuildPartitionDP(std::move(pairs), dp);
+  }
+
+  MaxVarianceIndex::Options mo;
+  mo.dims = dims;
+  mo.focus = opts.focus;
+  mo.sampling_rate = opts.sample_rate;
+  mo.delta = opts.delta;
+  MaxVarianceIndex index(mo);
+  std::vector<KdPoint> pts;
+  pts.reserve(samples.size());
+  for (const Tuple& t : samples) {
+    pts.push_back(
+        MakeKdPoint(t, opts.spec.predicate_columns, opts.spec.agg_column));
+  }
+  index.Build(pts);
+
+  switch (opts.algorithm) {
+    case PartitionAlgorithm::kEqualDepth:
+      if (dims == 1) return BuildEqualDepth1D(index, opts.num_leaves);
+      [[fallthrough]];
+    case PartitionAlgorithm::kKdTree: {
+      PartitionerKdOptions ko;
+      ko.num_leaves = opts.num_leaves;
+      ko.focus = opts.focus;
+      return BuildPartitionKd(index, ko);
+    }
+    case PartitionAlgorithm::kBinarySearch:
+    default: {
+      if (dims != 1) {
+        PartitionerKdOptions ko;
+        ko.num_leaves = opts.num_leaves;
+        ko.focus = opts.focus;
+        return BuildPartitionKd(index, ko);
+      }
+      Partitioner1dOptions bo;
+      bo.num_leaves = opts.num_leaves;
+      bo.focus = opts.focus;
+      bo.rho = opts.rho;
+      bo.data_size = data_size;
+      return BuildPartition1D(index, bo);
+    }
+  }
+}
+
+SptBuildResult BuildSpt(const std::vector<Tuple>& data,
+                        const SptOptions& opts) {
+  SptBuildResult result;
+  Timer total;
+  Rng rng(opts.seed);
+  const size_t m = std::max<size_t>(
+      16, static_cast<size_t>(opts.sample_rate *
+                              static_cast<double>(data.size())));
+  std::vector<size_t> idx = rng.SampleIndices(data.size(), 2 * m);
+  std::vector<Tuple> samples;
+  samples.reserve(idx.size());
+  for (size_t i : idx) samples.push_back(data[i]);
+
+  Timer part;
+  PartitionResult pr = OptimizePartition(samples, opts, data.size());
+  result.partition_seconds = part.ElapsedSeconds();
+  result.achieved_error = pr.achieved_error;
+
+  DptOptions dopts;
+  dopts.spec = opts.spec;
+  dopts.sample_rate = opts.sample_rate;
+  dopts.minmax_k = opts.minmax_k;
+  dopts.confidence = opts.confidence;
+  dopts.delta = opts.delta;
+  result.synopsis = std::make_unique<Dpt>(dopts, std::move(pr.spec));
+  result.synopsis->InitializeExact(data, samples);
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace janus

@@ -1,0 +1,69 @@
+#include "core/variance.h"
+
+#include <algorithm>
+
+namespace janus {
+
+namespace {
+
+/// m * Σa² - (Σa)², clamped at zero against floating point cancellation.
+double ScaledSpread(double m, const TreeAgg& q) {
+  const double v = m * q.sumsq - q.sum * q.sum;
+  return v > 0 ? v : 0;
+}
+
+}  // namespace
+
+double SumQueryVariance(double Ni, double mi, const TreeAgg& q) {
+  if (mi <= 0) return 0;
+  return Ni * Ni / (mi * mi * mi) * ScaledSpread(mi, q);
+}
+
+double CountQueryVariance(double Ni, double mi, double matching) {
+  TreeAgg q;
+  q.count = matching;
+  q.sum = matching;
+  q.sumsq = matching;
+  return SumQueryVariance(Ni, mi, q);
+}
+
+double AvgQueryVariance(double wi, double mi, const TreeAgg& q) {
+  if (mi <= 0 || q.count <= 0) return 0;
+  return wi * wi / (mi * q.count * q.count) * ScaledSpread(mi, q);
+}
+
+double SumCatchupVariance(double Ni, double hi, const TreeAgg& h) {
+  // Identical algebra with the catch-up sample in place of the stratum
+  // sample: N_i^2/h_i^3 * (h_i Σa² - (Σa)²).
+  return SumQueryVariance(Ni, hi, h);
+}
+
+double AvgCatchupVariance(double wi, double hi, const TreeAgg& h) {
+  if (hi <= 0) return 0;
+  return wi * wi / (hi * hi * hi) * ScaledSpread(hi, h);
+}
+
+double HtSumCatchupVariance(double N, double h, const TreeAgg& node) {
+  if (h <= 0) return 0;
+  const double spread = node.sumsq - node.sum * node.sum / h;
+  return spread > 0 ? N * N / (h * h) * spread : 0;
+}
+
+double HtCountCatchupVariance(double N, double h, double hi) {
+  if (h <= 0) return 0;
+  const double spread = hi - hi * hi / h;
+  return spread > 0 ? N * N / (h * h) * spread : 0;
+}
+
+double SumLeafError(double sampling_rate, double mi, const TreeAgg& q) {
+  if (mi <= 0) return 0;
+  const double Ni = mi / std::max(1e-12, sampling_rate);
+  return SumQueryVariance(Ni, mi, q);
+}
+
+double AvgLeafError(double mi, const TreeAgg& q) {
+  if (mi <= 0 || q.count <= 0) return 0;
+  return ScaledSpread(mi, q) / (mi * q.count * q.count);
+}
+
+}  // namespace janus

@@ -1,0 +1,64 @@
+#ifndef JANUS_CORE_VARIANCE_H_
+#define JANUS_CORE_VARIANCE_H_
+
+#include <vector>
+
+#include "data/schema.h"
+#include "index/order_stat_tree.h"
+
+namespace janus {
+
+/// The per-query template of a synopsis (Sec. 3.1): which attribute is
+/// aggregated and which attributes carry the rectangular predicate.
+struct SynopsisSpec {
+  int agg_column = 0;
+  std::vector<int> predicate_columns;
+
+  int dims() const { return static_cast<int>(predicate_columns.size()); }
+};
+
+/// Variance formulas of Sec. 5.1 / Appendix C. `q` carries the moments
+/// (count, Σa, Σa²) of the sampled tuples matching the query inside one
+/// partition; `mi` is the stratum's sample count and `Ni` the (estimated)
+/// stratum population.
+///
+/// These return the *variance contribution* w_i^2 * var(phi_q(S_i)) / m_i of
+/// one partition; the confidence interval is z * sqrt(sum of contributions).
+
+/// SUM (and COUNT with a == 1): N_i^2/m_i^3 * (m_i * Σa² - (Σa)²).
+double SumQueryVariance(double Ni, double mi, const TreeAgg& q);
+
+/// COUNT specialization: all matching values count as 1.
+double CountQueryVariance(double Ni, double mi, double matching);
+
+/// AVG inside one partition with weight w_i = N̂_i / N̂_q:
+///   w_i^2 / (m_i * |q ∩ S_i|²) * (m_i * Σa² - (Σa)²).
+double AvgQueryVariance(double wi, double mi, const TreeAgg& q);
+
+/// Catch-up variance contribution of a fully covered node (Sec. 4.4.1):
+/// same algebra with the catch-up moments (h_i, Σa, Σa²) and, for
+/// SUM/COUNT, the scale factor N̂_i/h_i folded in (Appendix C).
+double SumCatchupVariance(double Ni, double hi, const TreeAgg& h);
+double AvgCatchupVariance(double wi, double hi, const TreeAgg& h);
+
+/// Horvitz-Thompson variance of the covered-node SUM/COUNT estimators the
+/// DPT actually uses: est_i = (N/h) * Σ_{t in H_i} t.a with N the snapshot
+/// population and h the total catch-up draws. Unlike the Appendix-C form,
+/// this includes the uncertainty in the node population N̂_i itself (the
+/// paper's formula assumes N_i is known), which is what calibrates the
+/// confidence intervals in catch-up mode:
+///   var = N²/h² * (Σ_{H_i} a² - (Σ_{H_i} a)²/h).
+double HtSumCatchupVariance(double N, double h, const TreeAgg& node);
+/// COUNT specialization (a == 1): N²/h² * (h_i - h_i²/h).
+double HtCountCatchupVariance(double N, double h, double hi);
+
+/// Max-variance "leaf error" forms used by the partitioning optimizer
+/// (Sec. 5.1). For partitioning, N_i is unknown and estimated as m_i /
+/// sampling_rate; the rate is a constant scale common to all buckets so the
+/// minimax comparisons are unaffected.
+double SumLeafError(double sampling_rate, double mi, const TreeAgg& q);
+double AvgLeafError(double mi, const TreeAgg& q);
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_VARIANCE_H_

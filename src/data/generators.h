@@ -1,0 +1,60 @@
+#ifndef JANUS_DATA_GENERATORS_H_
+#define JANUS_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace janus {
+
+/// Synthetic stand-ins for the three evaluation datasets (Sec. 6.1.1). The
+/// originals are not redistributable / not available offline, so each
+/// generator reproduces the schema and the distributional character the
+/// JanusAQP algorithms are sensitive to: attribute ordering (timestamps are
+/// monotone in arrival order), skew (log-normal magnitudes, heavy-tailed
+/// volumes), correlation between attributes, and zero-inflation. See
+/// DESIGN.md "Substitutions".
+///
+/// Column layouts:
+///   IntelWireless: time, light, temperature, humidity, voltage
+///   NycTaxi:       pickup_time, dropoff_time, trip_distance,
+///                  passenger_count, fare, pickup_time_of_day
+///   NasdaqEtf:     date, open, close, high, low, volume
+enum class DatasetKind { kIntelWireless, kNycTaxi, kNasdaqEtf };
+
+/// Dataset name as used in experiment output ("Intel", "NYC", "ETF").
+const char* DatasetName(DatasetKind kind);
+
+/// A generated dataset: schema plus rows in arrival order. Rows carry unique
+/// ids 0..n-1 so that deletion workloads can address them.
+struct GeneratedDataset {
+  DatasetKind kind;
+  Schema schema;
+  std::vector<Tuple> rows;
+};
+
+/// Generate `n` rows of the given dataset with a deterministic seed.
+GeneratedDataset GenerateDataset(DatasetKind kind, size_t n, uint64_t seed);
+
+/// Convenience: per-dataset default predicate / aggregate columns used in the
+/// paper's 1-D experiments (Sec. 6.2):
+///   Intel: predicate=time,   aggregate=light
+///   NYC:   predicate=pickup_time, aggregate=trip_distance
+///   ETF:   predicate=volume, aggregate=close
+struct DefaultTemplate {
+  int predicate_column;
+  int aggregate_column;
+};
+DefaultTemplate DefaultTemplateFor(DatasetKind kind);
+
+/// Uniform-value synthetic dataset (columns iid U[0,1], one agg column with
+/// N(10, 2) values): the simplest substrate for unit tests.
+GeneratedDataset GenerateUniform(size_t n, int num_predicate_columns,
+                                 uint64_t seed);
+
+}  // namespace janus
+
+#endif  // JANUS_DATA_GENERATORS_H_

@@ -1,0 +1,78 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace janus {
+
+namespace {
+
+struct Accum {
+  double count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::max();
+  double max = std::numeric_limits<double>::lowest();
+
+  void Add(double a) {
+    count += 1;
+    sum += a;
+    min = std::min(min, a);
+    max = std::max(max, a);
+  }
+
+  std::optional<double> Finish(AggFunc f) const {
+    if (count == 0) return std::nullopt;
+    switch (f) {
+      case AggFunc::kSum:
+        return sum;
+      case AggFunc::kCount:
+        return count;
+      case AggFunc::kAvg:
+        return sum / count;
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+std::optional<double> ExactAnswer(const std::vector<Tuple>& rows,
+                                  const AggQuery& q) {
+  Accum acc;
+  std::vector<double> point(q.predicate_columns.size());
+  for (const Tuple& t : rows) {
+    ProjectTuple(t, q.predicate_columns, point.data());
+    if (q.rect.Contains(point.data())) acc.Add(t[q.agg_column]);
+  }
+  return acc.Finish(q.func);
+}
+
+std::vector<std::optional<double>> ExactAnswers(
+    const std::vector<Tuple>& rows, const std::vector<AggQuery>& queries) {
+  std::vector<Accum> accs(queries.size());
+  std::vector<double> point(kMaxColumns);
+  for (const Tuple& t : rows) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const AggQuery& q = queries[i];
+      ProjectTuple(t, q.predicate_columns, point.data());
+      if (q.rect.Contains(point.data())) accs[i].Add(t[q.agg_column]);
+    }
+  }
+  std::vector<std::optional<double>> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = accs[i].Finish(queries[i].func);
+  }
+  return out;
+}
+
+std::optional<double> RelativeError(std::optional<double> truth, double est) {
+  if (!truth.has_value() || *truth == 0.0) return std::nullopt;
+  return std::abs(est - *truth) / std::abs(*truth);
+}
+
+}  // namespace janus

@@ -1,0 +1,30 @@
+#ifndef JANUS_DATA_GROUND_TRUTH_H_
+#define JANUS_DATA_GROUND_TRUTH_H_
+
+#include <optional>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/workload.h"
+
+namespace janus {
+
+/// Exact answer of one aggregate query over a set of live rows. Returns
+/// nullopt when the predicate selects no tuples (AVG/MIN/MAX undefined;
+/// SUM/COUNT would be 0 but relative error is then undefined too, so the
+/// experiment harness skips those queries, matching Sec. 6.7).
+std::optional<double> ExactAnswer(const std::vector<Tuple>& rows,
+                                  const AggQuery& q);
+
+/// Batch evaluation: one pass over the rows for all queries. Much faster
+/// than per-query scans when |queries| is large.
+std::vector<std::optional<double>> ExactAnswers(
+    const std::vector<Tuple>& rows, const std::vector<AggQuery>& queries);
+
+/// Relative error |est - truth| / |truth|; nullopt when the truth is zero or
+/// undefined.
+std::optional<double> RelativeError(std::optional<double> truth, double est);
+
+}  // namespace janus
+
+#endif  // JANUS_DATA_GROUND_TRUTH_H_

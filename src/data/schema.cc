@@ -1,0 +1,72 @@
+#include "data/schema.h"
+
+#include <limits>
+#include <sstream>
+
+namespace janus {
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (column_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Rectangle::Rectangle(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+Rectangle Rectangle::Infinite(int d) {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Rectangle(std::vector<double>(static_cast<size_t>(d), -inf),
+                   std::vector<double>(static_cast<size_t>(d), inf));
+}
+
+bool Rectangle::Contains(const double* point) const {
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rectangle::Covers(const Rectangle& other) const {
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rectangle::Intersects(const Rectangle& other) const {
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+std::string Rectangle::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (i) os << " x ";
+    os << "(" << lo_[i] << "," << hi_[i] << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace janus

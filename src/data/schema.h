@@ -1,0 +1,87 @@
+#ifndef JANUS_DATA_SCHEMA_H_
+#define JANUS_DATA_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+/// Maximum number of columns a tuple can carry. The paper always assumes a
+/// constant number of attributes (Sec. 5.5); eight covers every dataset and
+/// experiment in the evaluation.
+inline constexpr int kMaxColumns = 8;
+
+/// A relational tuple: a unique id (used to address deletions) plus a fixed
+/// row of numeric attribute values. Categorical attributes are dictionary
+/// encoded into doubles by the generators.
+struct Tuple {
+  uint64_t id = 0;
+  std::array<double, kMaxColumns> values{};
+
+  double operator[](int col) const { return values[static_cast<size_t>(col)]; }
+  double& operator[](int col) { return values[static_cast<size_t>(col)]; }
+};
+
+/// Column metadata for a dataset.
+struct Schema {
+  std::vector<std::string> column_names;
+
+  int num_columns() const { return static_cast<int>(column_names.size()); }
+
+  /// Index of a column by name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Supported aggregate functions (Sec. 3.1).
+enum class AggFunc { kSum, kCount, kAvg, kMin, kMax };
+
+/// Human-readable name ("SUM", "COUNT", ...).
+const char* AggFuncName(AggFunc f);
+
+/// An axis-aligned (hyper-)rectangle over a subset of columns; the predicate
+/// region of a query template (Sec. 3.1). Intervals are closed: [lo, hi].
+class Rectangle {
+ public:
+  Rectangle() = default;
+  Rectangle(std::vector<double> lo, std::vector<double> hi);
+
+  /// Unbounded rectangle over d dimensions.
+  static Rectangle Infinite(int d);
+
+  int dims() const { return static_cast<int>(lo_.size()); }
+  double lo(int d) const { return lo_[static_cast<size_t>(d)]; }
+  double hi(int d) const { return hi_[static_cast<size_t>(d)]; }
+  void set_lo(int d, double v) { lo_[static_cast<size_t>(d)] = v; }
+  void set_hi(int d, double v) { hi_[static_cast<size_t>(d)] = v; }
+
+  /// Does the rectangle contain the point (projected onto its dims)?
+  bool Contains(const double* point) const;
+
+  /// Does `this` fully contain `other`?
+  bool Covers(const Rectangle& other) const;
+
+  /// Do the two rectangles overlap (closed-interval semantics)?
+  bool Intersects(const Rectangle& other) const;
+
+  bool operator==(const Rectangle& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+/// Projection of a tuple onto a set of predicate columns.
+inline void ProjectTuple(const Tuple& t, const std::vector<int>& cols,
+                         double* out) {
+  for (size_t i = 0; i < cols.size(); ++i) out[i] = t[cols[i]];
+}
+
+}  // namespace janus
+
+#endif  // JANUS_DATA_SCHEMA_H_

@@ -1,0 +1,56 @@
+#ifndef JANUS_DATA_TABLE_H_
+#define JANUS_DATA_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace janus {
+
+/// The evolving database D(i) of Sec. 2.1: a table modified by a stream of
+/// insertions and deletions, with "cold/archival storage" access for
+/// initialization, re-optimization and catch-up (slow, offline reads are
+/// allowed; query processing must not touch it).
+///
+/// Internally keeps the live tuples contiguous (swap-remove on delete) so
+/// that archival uniform sampling and exact ground-truth scans are cheap.
+class DynamicTable {
+ public:
+  explicit DynamicTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Insert a tuple. Ids must be unique among live tuples.
+  void Insert(const Tuple& t);
+
+  /// Delete a live tuple by id. Returns false if the id is not live.
+  bool Delete(uint64_t id);
+
+  /// Fetch a live tuple by id; nullptr if absent. The pointer is invalidated
+  /// by subsequent mutations.
+  const Tuple* Find(uint64_t id) const;
+
+  size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  /// Live tuples, in arbitrary order (archival scan).
+  const std::vector<Tuple>& live() const { return live_; }
+
+  /// Uniform random sample (without replacement) of k live tuples.
+  std::vector<Tuple> SampleUniform(Rng* rng, size_t k) const;
+
+  /// One uniform random live tuple (with replacement semantics across calls).
+  const Tuple& SampleOne(Rng* rng) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> live_;
+  std::unordered_map<uint64_t, size_t> index_;  // id -> position in live_
+};
+
+}  // namespace janus
+
+#endif  // JANUS_DATA_TABLE_H_

@@ -1,0 +1,65 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace janus {
+
+WorkloadGenerator::WorkloadGenerator(const std::vector<Tuple>& rows,
+                                     std::vector<int> predicate_columns,
+                                     int agg_column)
+    : predicate_columns_(std::move(predicate_columns)),
+      agg_column_(agg_column) {
+  const size_t d = predicate_columns_.size();
+  domain_lo_.assign(d, std::numeric_limits<double>::max());
+  domain_hi_.assign(d, std::numeric_limits<double>::lowest());
+  for (const Tuple& t : rows) {
+    for (size_t i = 0; i < d; ++i) {
+      const double v = t[predicate_columns_[i]];
+      domain_lo_[i] = std::min(domain_lo_[i], v);
+      domain_hi_[i] = std::max(domain_hi_[i], v);
+    }
+  }
+}
+
+Rectangle WorkloadGenerator::RandomRect(Rng* rng) const {
+  const size_t d = predicate_columns_.size();
+  std::vector<double> lo(d), hi(d);
+  for (size_t i = 0; i < d; ++i) {
+    double a = rng->Uniform(domain_lo_[i], domain_hi_[i]);
+    double b = rng->Uniform(domain_lo_[i], domain_hi_[i]);
+    if (a > b) std::swap(a, b);
+    lo[i] = a;
+    hi[i] = b;
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+std::vector<AggQuery> WorkloadGenerator::Generate(
+    const std::vector<Tuple>& rows, const WorkloadOptions& opts) const {
+  Rng rng(opts.seed);
+  std::vector<AggQuery> out;
+  out.reserve(opts.num_queries);
+  const size_t d = predicate_columns_.size();
+  std::vector<double> point(d);
+  int attempts_left = static_cast<int>(opts.num_queries) * 50;
+  while (out.size() < opts.num_queries && attempts_left-- > 0) {
+    AggQuery q;
+    q.func = opts.func;
+    q.agg_column = agg_column_;
+    q.predicate_columns = predicate_columns_;
+    q.rect = RandomRect(&rng);
+    if (opts.min_count > 0) {
+      size_t count = 0;
+      for (const Tuple& t : rows) {
+        ProjectTuple(t, predicate_columns_, point.data());
+        if (q.rect.Contains(point.data()) && ++count >= opts.min_count) break;
+      }
+      if (count < opts.min_count) continue;
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace janus

@@ -1,0 +1,59 @@
+#ifndef JANUS_DATA_WORKLOAD_H_
+#define JANUS_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace janus {
+
+/// One aggregate query with a rectangular predicate (Sec. 3.1):
+///   SELECT func(agg_column) FROM D WHERE Rectangle(predicate_columns).
+struct AggQuery {
+  AggFunc func = AggFunc::kSum;
+  int agg_column = 0;
+  std::vector<int> predicate_columns;
+  Rectangle rect;
+};
+
+/// Options for the random workload generator (Sec. 6.1: "query workloads of
+/// 2000 queries by uniformly sampling from rectangular range queries over
+/// the predicates").
+struct WorkloadOptions {
+  size_t num_queries = 2000;
+  AggFunc func = AggFunc::kSum;
+  /// Queries whose true COUNT is below this are rejected and re-drawn
+  /// (mirrors the paper's observation that empty ground truths are
+  /// uninformative, Sec. 6.7).
+  size_t min_count = 10;
+  uint64_t seed = 7;
+};
+
+/// Generates random rectangular range queries. Each per-dimension interval is
+/// obtained by sorting two uniform draws from the observed attribute domain.
+class WorkloadGenerator {
+ public:
+  /// Domain is estimated from `rows` (min/max of each predicate column).
+  WorkloadGenerator(const std::vector<Tuple>& rows,
+                    std::vector<int> predicate_columns, int agg_column);
+
+  /// Generate a workload; rejection-samples queries below opts.min_count
+  /// over `rows`.
+  std::vector<AggQuery> Generate(const std::vector<Tuple>& rows,
+                                 const WorkloadOptions& opts) const;
+
+  /// Generate a single random rectangle (no rejection).
+  Rectangle RandomRect(Rng* rng) const;
+
+ private:
+  std::vector<int> predicate_columns_;
+  int agg_column_;
+  std::vector<double> domain_lo_;
+  std::vector<double> domain_hi_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_DATA_WORKLOAD_H_

@@ -1,0 +1,375 @@
+#include "index/dynamic_kd_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace janus {
+
+struct DynamicKdTree::Node {
+  // Internal node: children non-null, leaf_points empty.
+  // Leaf: children null, points in leaf_points.
+  int split_dim = -1;
+  double split_val = 0;
+  Node* left = nullptr;
+  Node* right = nullptr;
+  std::vector<KdPoint> leaf_points;
+
+  // Subtree statistics.
+  size_t count = 0;
+  double sum = 0;
+  double sumsq = 0;
+  // Bounding box of the subtree's points (tight at build, grows on insert).
+  std::array<double, kMaxColumns> bb_lo{};
+  std::array<double, kMaxColumns> bb_hi{};
+
+  bool IsLeaf() const { return left == nullptr; }
+
+  void InitBox(int dims) {
+    for (int d = 0; d < dims; ++d) {
+      bb_lo[d] = std::numeric_limits<double>::max();
+      bb_hi[d] = std::numeric_limits<double>::lowest();
+    }
+  }
+  void GrowBox(const KdPoint& p, int dims) {
+    for (int d = 0; d < dims; ++d) {
+      bb_lo[d] = std::min(bb_lo[d], p.x[d]);
+      bb_hi[d] = std::max(bb_hi[d], p.x[d]);
+    }
+  }
+  void AddStats(const KdPoint& p) {
+    ++count;
+    sum += p.a;
+    sumsq += p.a * p.a;
+  }
+  void RemoveStats(const KdPoint& p) {
+    --count;
+    sum -= p.a;
+    sumsq -= p.a * p.a;
+  }
+};
+
+namespace {
+
+enum class BoxRelation { kDisjoint, kInside, kPartial };
+
+BoxRelation Classify(const Rectangle& rect, const double* lo, const double* hi,
+                     int dims) {
+  bool inside = true;
+  for (int d = 0; d < dims; ++d) {
+    if (hi[d] < rect.lo(d) || lo[d] > rect.hi(d)) return BoxRelation::kDisjoint;
+    if (lo[d] < rect.lo(d) || hi[d] > rect.hi(d)) inside = false;
+  }
+  return inside ? BoxRelation::kInside : BoxRelation::kPartial;
+}
+
+bool PointInRect(const Rectangle& rect, const KdPoint& p, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    if (p.x[d] < rect.lo(d) || p.x[d] > rect.hi(d)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DynamicKdTree::DynamicKdTree(int dims) : dims_(dims) {}
+
+DynamicKdTree::~DynamicKdTree() { FreeTree(root_); }
+
+void DynamicKdTree::FreeTree(Node* n) {
+  if (!n) return;
+  FreeTree(n->left);
+  FreeTree(n->right);
+  delete n;
+}
+
+DynamicKdTree::Node* DynamicKdTree::BuildRec(std::vector<KdPoint>* pts,
+                                             size_t lo, size_t hi, int depth) {
+  Node* n = new Node;
+  n->InitBox(dims_);
+  for (size_t i = lo; i < hi; ++i) {
+    n->AddStats((*pts)[i]);
+    n->GrowBox((*pts)[i], dims_);
+  }
+  if (hi - lo <= kLeafCapacity) {
+    n->leaf_points.assign(pts->begin() + static_cast<ptrdiff_t>(lo),
+                          pts->begin() + static_cast<ptrdiff_t>(hi));
+    return n;
+  }
+  // Split on the widest dimension of the box (round-robin degenerates on
+  // strongly clustered data).
+  int dim = 0;
+  double best_extent = -1;
+  for (int d = 0; d < dims_; ++d) {
+    const double extent = n->bb_hi[d] - n->bb_lo[d];
+    if (extent > best_extent) {
+      best_extent = extent;
+      dim = d;
+    }
+  }
+  if (best_extent <= 0) dim = depth % dims_;  // all points identical in box
+  const size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(pts->begin() + static_cast<ptrdiff_t>(lo),
+                   pts->begin() + static_cast<ptrdiff_t>(mid),
+                   pts->begin() + static_cast<ptrdiff_t>(hi),
+                   [dim](const KdPoint& a, const KdPoint& b) {
+                     return a.x[dim] < b.x[dim];
+                   });
+  n->split_dim = dim;
+  n->split_val = (*pts)[mid].x[dim];
+  n->left = BuildRec(pts, lo, mid, depth + 1);
+  n->right = BuildRec(pts, mid, hi, depth + 1);
+  return n;
+}
+
+void DynamicKdTree::Build(std::vector<KdPoint> points) {
+  FreeTree(root_);
+  size_ = points.size();
+  root_ = points.empty() ? nullptr
+                         : BuildRec(&points, 0, points.size(), 0);
+}
+
+void DynamicKdTree::CollectPoints(Node* n, std::vector<KdPoint>* out) const {
+  if (!n) return;
+  if (n->IsLeaf()) {
+    out->insert(out->end(), n->leaf_points.begin(), n->leaf_points.end());
+    return;
+  }
+  CollectPoints(n->left, out);
+  CollectPoints(n->right, out);
+}
+
+void DynamicKdTree::MaybeRebuild(std::vector<Node*>* path) {
+  // Find the highest node on the insertion path that is out of balance and
+  // rebuild its whole subtree (scapegoat strategy).
+  for (size_t i = 0; i < path->size(); ++i) {
+    Node* n = (*path)[i];
+    if (n->IsLeaf()) continue;
+    const size_t lc = n->left->count;
+    const size_t rc = n->right->count;
+    const size_t total = lc + rc;
+    if (total > 2 * kLeafCapacity &&
+        (static_cast<double>(std::max(lc, rc)) >
+         kRebuildFactor * static_cast<double>(total))) {
+      std::vector<KdPoint> pts;
+      pts.reserve(n->count);
+      CollectPoints(n, &pts);
+      Node* rebuilt = BuildRec(&pts, 0, pts.size(), 0);
+      // Graft rebuilt subtree in place of n.
+      FreeTree(n->left);
+      FreeTree(n->right);
+      *n = std::move(*rebuilt);
+      rebuilt->left = rebuilt->right = nullptr;
+      rebuilt->leaf_points.clear();
+      delete rebuilt;
+      return;
+    }
+  }
+}
+
+void DynamicKdTree::Insert(const KdPoint& p) {
+  ++size_;
+  if (!root_) {
+    root_ = new Node;
+    root_->InitBox(dims_);
+    root_->AddStats(p);
+    root_->GrowBox(p, dims_);
+    root_->leaf_points.push_back(p);
+    return;
+  }
+  std::vector<Node*> path;
+  Node* n = root_;
+  while (true) {
+    path.push_back(n);
+    n->AddStats(p);
+    n->GrowBox(p, dims_);
+    if (n->IsLeaf()) break;
+    n = (p.x[n->split_dim] < n->split_val) ? n->left : n->right;
+  }
+  n->leaf_points.push_back(p);
+  if (n->leaf_points.size() > 2 * kLeafCapacity) {
+    // Split the overflowing leaf in place.
+    std::vector<KdPoint> pts = std::move(n->leaf_points);
+    Node* rebuilt = BuildRec(&pts, 0, pts.size(), 0);
+    *n = std::move(*rebuilt);
+    rebuilt->left = rebuilt->right = nullptr;
+    rebuilt->leaf_points.clear();
+    delete rebuilt;
+  }
+  MaybeRebuild(&path);
+}
+
+bool DynamicKdTree::Delete(const double* x, uint64_t id) {
+  if (!root_) return false;
+  // Descend guided by splits; equal-to-split coordinates may live on either
+  // side of older splits, so fall back to exploring both when on the
+  // boundary. In practice the fast path almost always succeeds.
+  std::vector<Node*> path;
+  Node* leaf = nullptr;
+  size_t leaf_idx = 0;
+  // First locate the leaf containing the point (bounded search with box
+  // pruning).
+  std::vector<Node*> visit{root_};
+  std::vector<std::vector<Node*>> parents{{}};
+  while (!visit.empty()) {
+    Node* n = visit.back();
+    visit.pop_back();
+    std::vector<Node*> par = parents.back();
+    parents.pop_back();
+    bool in_box = true;
+    for (int d = 0; d < dims_; ++d) {
+      if (x[d] < n->bb_lo[d] || x[d] > n->bb_hi[d]) {
+        in_box = false;
+        break;
+      }
+    }
+    if (!in_box) continue;
+    if (n->IsLeaf()) {
+      for (size_t i = 0; i < n->leaf_points.size(); ++i) {
+        if (n->leaf_points[i].id == id) {
+          leaf = n;
+          leaf_idx = i;
+          path = par;
+          path.push_back(n);
+          break;
+        }
+      }
+      if (leaf) break;
+      continue;
+    }
+    par.push_back(n);
+    visit.push_back(n->left);
+    parents.push_back(par);
+    visit.push_back(n->right);
+    parents.push_back(par);
+  }
+  if (!leaf) return false;
+  const KdPoint p = leaf->leaf_points[leaf_idx];
+  leaf->leaf_points[leaf_idx] = leaf->leaf_points.back();
+  leaf->leaf_points.pop_back();
+  for (Node* n : path) n->RemoveStats(p);
+  --size_;
+  // Emptied subtrees are left in place: query traversals skip count == 0
+  // nodes and the next scapegoat rebuild on an insertion path reclaims them.
+  return true;
+}
+
+TreeAgg DynamicKdTree::RangeAggregate(const Rectangle& rect) const {
+  TreeAgg agg;
+  if (!root_) return agg;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->count == 0) continue;
+    const BoxRelation rel =
+        Classify(rect, n->bb_lo.data(), n->bb_hi.data(), dims_);
+    if (rel == BoxRelation::kDisjoint) continue;
+    if (rel == BoxRelation::kInside) {
+      agg.count += static_cast<double>(n->count);
+      agg.sum += n->sum;
+      agg.sumsq += n->sumsq;
+      continue;
+    }
+    if (n->IsLeaf()) {
+      for (const KdPoint& p : n->leaf_points) {
+        if (PointInRect(rect, p, dims_)) {
+          agg.count += 1;
+          agg.sum += p.a;
+          agg.sumsq += p.a * p.a;
+        }
+      }
+      continue;
+    }
+    stack.push_back(n->left);
+    stack.push_back(n->right);
+  }
+  return agg;
+}
+
+void DynamicKdTree::Report(const Rectangle& rect,
+                           std::vector<KdPoint>* out) const {
+  if (!root_) return;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->count == 0) continue;
+    const BoxRelation rel =
+        Classify(rect, n->bb_lo.data(), n->bb_hi.data(), dims_);
+    if (rel == BoxRelation::kDisjoint) continue;
+    if (n->IsLeaf()) {
+      for (const KdPoint& p : n->leaf_points) {
+        if (rel == BoxRelation::kInside || PointInRect(rect, p, dims_)) {
+          out->push_back(p);
+        }
+      }
+      continue;
+    }
+    stack.push_back(n->left);
+    stack.push_back(n->right);
+  }
+}
+
+TreeAgg DynamicKdTree::MaxSumsqCell(const Rectangle& rect, size_t cap) const {
+  TreeAgg best;
+  if (!root_) return best;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->count == 0) continue;
+    const BoxRelation rel =
+        Classify(rect, n->bb_lo.data(), n->bb_hi.data(), dims_);
+    if (rel == BoxRelation::kDisjoint) continue;
+    if (rel == BoxRelation::kInside && n->count <= cap) {
+      if (n->sumsq > best.sumsq) {
+        best.count = static_cast<double>(n->count);
+        best.sum = n->sum;
+        best.sumsq = n->sumsq;
+      }
+      continue;  // maximal cell; no need to descend
+    }
+    if (n->IsLeaf()) {
+      // Partially covered leaf (or an inside leaf above cap, impossible as
+      // leaves hold <= 2*kLeafCapacity points): scan matching points as a
+      // single candidate cell if they fit under the cap.
+      TreeAgg agg;
+      for (const KdPoint& p : n->leaf_points) {
+        if (PointInRect(rect, p, dims_)) {
+          agg.count += 1;
+          agg.sum += p.a;
+          agg.sumsq += p.a * p.a;
+        }
+      }
+      if (agg.count > 0 && agg.count <= static_cast<double>(cap) &&
+          agg.sumsq > best.sumsq) {
+        best = agg;
+      }
+      continue;
+    }
+    stack.push_back(n->left);
+    stack.push_back(n->right);
+  }
+  return best;
+}
+
+Rectangle DynamicKdTree::BoundingBox() const {
+  std::vector<double> lo(static_cast<size_t>(dims_), 0.0);
+  std::vector<double> hi(static_cast<size_t>(dims_), 0.0);
+  if (root_) {
+    for (int d = 0; d < dims_; ++d) {
+      lo[static_cast<size_t>(d)] = root_->bb_lo[d];
+      hi[static_cast<size_t>(d)] = root_->bb_hi[d];
+    }
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+void DynamicKdTree::Dump(std::vector<KdPoint>* out) const {
+  out->clear();
+  out->reserve(size_);
+  CollectPoints(root_, out);
+}
+
+}  // namespace janus

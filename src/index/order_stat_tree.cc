@@ -1,0 +1,273 @@
+#include "index/order_stat_tree.h"
+
+#include <cassert>
+
+namespace janus {
+
+struct OrderStatTree::Node {
+  double key;
+  double value;
+  uint64_t priority;
+  size_t count = 1;  // subtree node count
+  double sum = 0;    // subtree sum of values
+  double sumsq = 0;  // subtree sum of squared values
+  Node* left = nullptr;
+  Node* right = nullptr;
+
+  Node(double k, double v, uint64_t pri) : key(k), value(v), priority(pri) {}
+
+  void Pull() {
+    count = 1;
+    sum = value;
+    sumsq = value * value;
+    if (left) {
+      count += left->count;
+      sum += left->sum;
+      sumsq += left->sumsq;
+    }
+    if (right) {
+      count += right->count;
+      sum += right->sum;
+      sumsq += right->sumsq;
+    }
+  }
+};
+
+OrderStatTree::OrderStatTree() : rng_(0xC0FFEE) {}
+
+OrderStatTree::~OrderStatTree() { FreeTree(root_); }
+
+void OrderStatTree::FreeTree(Node* t) {
+  if (!t) return;
+  FreeTree(t->left);
+  FreeTree(t->right);
+  delete t;
+}
+
+void OrderStatTree::Clear() {
+  FreeTree(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+OrderStatTree::Node* OrderStatTree::Merge(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->priority > b->priority) {
+    a->right = Merge(a->right, b);
+    a->Pull();
+    return a;
+  }
+  b->left = Merge(a, b->left);
+  b->Pull();
+  return b;
+}
+
+void OrderStatTree::SplitByKey(Node* t, double key, bool or_equal, Node** l,
+                               Node** r) {
+  if (!t) {
+    *l = *r = nullptr;
+    return;
+  }
+  const bool go_right = or_equal ? (t->key <= key) : (t->key < key);
+  if (go_right) {
+    SplitByKey(t->right, key, or_equal, &t->right, r);
+    *l = t;
+    t->Pull();
+  } else {
+    SplitByKey(t->left, key, or_equal, l, &t->left);
+    *r = t;
+    t->Pull();
+  }
+}
+
+void OrderStatTree::SplitByRank(Node* t, size_t r, Node** l, Node** r_out) {
+  if (!t) {
+    *l = *r_out = nullptr;
+    return;
+  }
+  const size_t left_count = t->left ? t->left->count : 0;
+  if (r <= left_count) {
+    SplitByRank(t->left, r, l, &t->left);
+    *r_out = t;
+    t->Pull();
+  } else {
+    SplitByRank(t->right, r - left_count - 1, &t->right, r_out);
+    *l = t;
+    t->Pull();
+  }
+}
+
+void OrderStatTree::Insert(double key, double a) {
+  Node* node = new Node(key, a, rng_.Next());
+  node->Pull();
+  Node *l, *r;
+  SplitByKey(root_, key, /*or_equal=*/false, &l, &r);
+  root_ = Merge(Merge(l, node), r);
+  ++size_;
+}
+
+bool OrderStatTree::Delete(double key, double a) {
+  // Split out the run of nodes with this key, remove one with value a.
+  Node *l, *mid, *r;
+  SplitByKey(root_, key, /*or_equal=*/false, &l, &mid);
+  SplitByKey(mid, key, /*or_equal=*/true, &mid, &r);
+  // mid now holds all nodes with key == key. Find one with value == a.
+  bool found = false;
+  // Rebuild mid without one matching node via an explicit walk.
+  std::vector<Node*> stack;
+  Node* target = nullptr;
+  if (mid) stack.push_back(mid);
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!found && n->value == a) {
+      target = n;
+      found = true;
+      break;
+    }
+    if (n->left) stack.push_back(n->left);
+    if (n->right) stack.push_back(n->right);
+  }
+  if (found) {
+    // Remove target by splitting mid around its rank. Simpler: collect all
+    // nodes, rebuild without target. The run of equal keys is almost always
+    // tiny, so this costs O(run length).
+    std::vector<Node*> nodes;
+    std::vector<Node*> st;
+    if (mid) st.push_back(mid);
+    while (!st.empty()) {
+      Node* n = st.back();
+      st.pop_back();
+      if (n->left) st.push_back(n->left);
+      if (n->right) st.push_back(n->right);
+      n->left = n->right = nullptr;
+      if (n != target) {
+        n->Pull();
+        nodes.push_back(n);
+      }
+    }
+    delete target;
+    mid = nullptr;
+    for (Node* n : nodes) mid = Merge(mid, n);
+    --size_;
+  }
+  root_ = Merge(Merge(l, mid), r);
+  return found;
+}
+
+size_t OrderStatTree::RankOf(double key) const {
+  size_t rank = 0;
+  const Node* t = root_;
+  while (t) {
+    if (t->key < key) {
+      rank += (t->left ? t->left->count : 0) + 1;
+      t = t->right;
+    } else {
+      t = t->left;
+    }
+  }
+  return rank;
+}
+
+double OrderStatTree::Select(size_t r) const {
+  assert(r < size_);
+  const Node* t = root_;
+  while (true) {
+    const size_t lc = t->left ? t->left->count : 0;
+    if (r < lc) {
+      t = t->left;
+    } else if (r == lc) {
+      return t->key;
+    } else {
+      r -= lc + 1;
+      t = t->right;
+    }
+  }
+}
+
+double OrderStatTree::SelectValue(size_t r) const {
+  assert(r < size_);
+  const Node* t = root_;
+  while (true) {
+    const size_t lc = t->left ? t->left->count : 0;
+    if (r < lc) {
+      t = t->left;
+    } else if (r == lc) {
+      return t->value;
+    } else {
+      r -= lc + 1;
+      t = t->right;
+    }
+  }
+}
+
+TreeAgg OrderStatTree::PrefixAggregate(size_t r) const {
+  TreeAgg agg;
+  const Node* t = root_;
+  size_t remaining = r;
+  while (t && remaining > 0) {
+    const size_t lc = t->left ? t->left->count : 0;
+    if (remaining <= lc) {
+      t = t->left;
+    } else {
+      if (t->left) {
+        agg.count += static_cast<double>(t->left->count);
+        agg.sum += t->left->sum;
+        agg.sumsq += t->left->sumsq;
+      }
+      agg.count += 1;
+      agg.sum += t->value;
+      agg.sumsq += t->value * t->value;
+      remaining -= lc + 1;
+      t = t->right;
+    }
+  }
+  return agg;
+}
+
+TreeAgg OrderStatTree::RankRangeAggregate(size_t lo, size_t hi) const {
+  if (hi <= lo) return TreeAgg{};
+  TreeAgg a = PrefixAggregate(hi);
+  TreeAgg b = PrefixAggregate(lo);
+  TreeAgg out;
+  out.count = a.count - b.count;
+  out.sum = a.sum - b.sum;
+  out.sumsq = a.sumsq - b.sumsq;
+  return out;
+}
+
+TreeAgg OrderStatTree::KeyRangeAggregate(double lo, double hi) const {
+  const size_t rlo = RankOf(lo);
+  // Rank of first key strictly greater than hi: count of keys <= hi.
+  size_t rhi = 0;
+  const Node* t = root_;
+  while (t) {
+    if (t->key <= hi) {
+      rhi += (t->left ? t->left->count : 0) + 1;
+      t = t->right;
+    } else {
+      t = t->left;
+    }
+  }
+  return RankRangeAggregate(rlo, rhi);
+}
+
+void OrderStatTree::Dump(std::vector<std::pair<double, double>>* out) const {
+  out->clear();
+  out->reserve(size_);
+  std::vector<const Node*> stack;
+  const Node* t = root_;
+  while (t || !stack.empty()) {
+    while (t) {
+      stack.push_back(t);
+      t = t->left;
+    }
+    t = stack.back();
+    stack.pop_back();
+    out->emplace_back(t->key, t->value);
+    t = t->right;
+  }
+}
+
+}  // namespace janus

@@ -1,0 +1,89 @@
+#ifndef JANUS_INDEX_ORDER_STAT_TREE_H_
+#define JANUS_INDEX_ORDER_STAT_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace janus {
+
+/// Aggregate statistics of a set of (key, value) points: the moments the
+/// variance formulas of Appendix C need.
+struct TreeAgg {
+  double count = 0;
+  double sum = 0;    ///< sum of aggregation values a
+  double sumsq = 0;  ///< sum of a^2
+
+  void Add(const TreeAgg& o) {
+    count += o.count;
+    sum += o.sum;
+    sumsq += o.sumsq;
+  }
+};
+
+/// Dynamic 1-D index over samples: a treap keyed by predicate value, with
+/// subtree (count, sum a, sum a^2) aggregates. This is the "simple dynamic
+/// search binary tree of space O(m)" of Sec. 4.2 / Sec. 5.2:
+///   * O(log m) insert / delete,
+///   * O(log m) rank / select (k-th smallest key),
+///   * O(log m) aggregates over a key range or a rank range.
+/// Duplicate keys are allowed.
+class OrderStatTree {
+ public:
+  OrderStatTree();
+  ~OrderStatTree();
+
+  OrderStatTree(const OrderStatTree&) = delete;
+  OrderStatTree& operator=(const OrderStatTree&) = delete;
+
+  /// Insert a point with key `key` and aggregation value `a`.
+  void Insert(double key, double a);
+
+  /// Delete one point equal to (key, a). Returns false if absent.
+  bool Delete(double key, double a);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear();
+
+  /// Number of points with key < `key`.
+  size_t RankOf(double key) const;
+
+  /// Key of the r-th smallest point (0-based). Requires r < size().
+  double Select(size_t r) const;
+
+  /// Aggregation value of the r-th smallest point (0-based).
+  double SelectValue(size_t r) const;
+
+  /// Aggregates over the first `r` points in key order (a "prefix").
+  TreeAgg PrefixAggregate(size_t r) const;
+
+  /// Aggregates over rank range [lo, hi) in key order.
+  TreeAgg RankRangeAggregate(size_t lo, size_t hi) const;
+
+  /// Aggregates over key range [lo, hi] (closed).
+  TreeAgg KeyRangeAggregate(double lo, double hi) const;
+
+  /// In-order dump of (key, value) pairs; O(n). For tests and rebuilds.
+  void Dump(std::vector<std::pair<double, double>>* out) const;
+
+ private:
+  struct Node;
+
+  Node* Merge(Node* a, Node* b);
+  /// Splits by key: left subtree gets keys < key (or <= key if or_equal).
+  void SplitByKey(Node* t, double key, bool or_equal, Node** l, Node** r);
+  /// Splits by rank: left subtree gets the first r nodes.
+  void SplitByRank(Node* t, size_t r, Node** l, Node** r_out);
+  void FreeTree(Node* t);
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  Rng rng_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_INDEX_ORDER_STAT_TREE_H_

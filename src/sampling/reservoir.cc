@@ -1,0 +1,61 @@
+#include "sampling/reservoir.h"
+
+namespace janus {
+
+DynamicReservoir::DynamicReservoir(size_t target_2m, uint64_t seed)
+    : target_(target_2m < 2 ? 2 : target_2m), rng_(seed) {}
+
+ReservoirChange DynamicReservoir::OnInsert(const Tuple& t, size_t db_size) {
+  ReservoirChange change;
+  if (samples_.size() < target_) {
+    index_[t.id] = samples_.size();
+    samples_.push_back(t);
+    change.added = t;
+    return change;
+  }
+  // |S| == 2m: accept with probability |S| / |D|.
+  const double p =
+      db_size == 0 ? 1.0
+                   : static_cast<double>(samples_.size()) /
+                         static_cast<double>(db_size);
+  if (rng_.Bernoulli(p)) {
+    const size_t victim = rng_.NextUint64(samples_.size());
+    change.evicted = samples_[victim];
+    index_.erase(samples_[victim].id);
+    samples_[victim] = t;
+    index_[t.id] = victim;
+    change.added = t;
+  }
+  return change;
+}
+
+ReservoirChange DynamicReservoir::OnDelete(uint64_t id) {
+  ReservoirChange change;
+  auto it = index_.find(id);
+  if (it == index_.end()) return change;
+  if (samples_.size() <= lower_bound()) {
+    // Removing would violate |S| >= m: ask for a full archive re-sample.
+    change.needs_resample = true;
+    change.evicted = samples_[it->second];
+    return change;
+  }
+  const size_t pos = it->second;
+  change.evicted = samples_[pos];
+  const size_t last = samples_.size() - 1;
+  if (pos != last) {
+    samples_[pos] = samples_[last];
+    index_[samples_[pos].id] = pos;
+  }
+  samples_.pop_back();
+  index_.erase(it);
+  return change;
+}
+
+void DynamicReservoir::Reset(std::vector<Tuple> fresh) {
+  samples_ = std::move(fresh);
+  index_.clear();
+  index_.reserve(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) index_[samples_[i].id] = i;
+}
+
+}  // namespace janus

@@ -1,0 +1,63 @@
+#ifndef JANUS_SAMPLING_RESERVOIR_H_
+#define JANUS_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace janus {
+
+/// What changed in the reservoir after an update; the DPT mirrors these
+/// changes into its sample index (Sec. 4.2).
+struct ReservoirChange {
+  std::optional<Tuple> added;    ///< sample that entered the reservoir
+  std::optional<Tuple> evicted;  ///< sample that left the reservoir
+  /// The deletion shrank the reservoir to its lower bound m; the caller must
+  /// re-sample 2m tuples from archival storage and call Reset().
+  bool needs_resample = false;
+};
+
+/// Reservoir sampling under insertions and deletions — the AQUA variant of
+/// Gibbons, Matias, Poosala used by Sec. 4.2. The pooled sample has a target
+/// size of 2m and the invariant m <= |S| <= 2m:
+///  * insert: if |S| < 2m add the tuple; otherwise with probability |S|/|D|
+///    replace a uniformly random victim;
+///  * delete: if the tuple is sampled remove it; when |S| would drop below m
+///    signal a full re-sample from the archive.
+class DynamicReservoir {
+ public:
+  /// `target_2m` is the upper size bound (2m); the lower bound is half.
+  DynamicReservoir(size_t target_2m, uint64_t seed);
+
+  size_t size() const { return samples_.size(); }
+  size_t capacity() const { return target_; }
+  size_t lower_bound() const { return target_ / 2; }
+  bool Contains(uint64_t id) const { return index_.count(id) > 0; }
+
+  const std::vector<Tuple>& samples() const { return samples_; }
+
+  /// Handle the insertion of `t` into a database that now holds `db_size`
+  /// live tuples (including t).
+  ReservoirChange OnInsert(const Tuple& t, size_t db_size);
+
+  /// Handle the deletion of the tuple with the given id.
+  ReservoirChange OnDelete(uint64_t id);
+
+  /// Replace contents with a fresh archive sample (after needs_resample, or
+  /// at (re-)initialization).
+  void Reset(std::vector<Tuple> fresh);
+
+ private:
+  size_t target_;  // 2m
+  std::vector<Tuple> samples_;
+  std::unordered_map<uint64_t, size_t> index_;
+  Rng rng_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_SAMPLING_RESERVOIR_H_

@@ -1,0 +1,81 @@
+#ifndef JANUS_STREAM_BROKER_H_
+#define JANUS_STREAM_BROKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace janus {
+
+/// A Kafka-like append-only topic of tuples: consumers address data only by
+/// offset through batched poll() calls — there is no random-access API, which
+/// is exactly the constraint the Appendix-A samplers are designed around.
+///
+/// `poll_overhead_ns` models the fixed per-poll cost of a real broker
+/// round-trip (API call, batch framing). It defaults to a small value so
+/// that the singleton-vs-sequential tradeoff of Table 4 is measurable in an
+/// in-process setting; benches may raise it.
+class Topic {
+ public:
+  explicit Topic(std::string name, uint64_t poll_overhead_ns = 2000)
+      : name_(std::move(name)), poll_overhead_ns_(poll_overhead_ns) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Append one record; returns its offset.
+  uint64_t Append(const Tuple& t);
+
+  /// Append many records.
+  void AppendBatch(const std::vector<Tuple>& ts);
+
+  /// Poll up to `max_records` starting at `offset`; appends them to `out`
+  /// and returns the number of records delivered. Simulates the per-poll
+  /// broker overhead.
+  size_t Poll(uint64_t offset, size_t max_records,
+              std::vector<Tuple>* out) const;
+
+  /// Number of records in the log (the end offset).
+  uint64_t EndOffset() const;
+
+  void set_poll_overhead_ns(uint64_t ns) { poll_overhead_ns_ = ns; }
+  uint64_t poll_overhead_ns() const { return poll_overhead_ns_; }
+
+  /// Cumulative number of Poll() calls served (for experiment accounting).
+  uint64_t poll_count() const;
+
+ private:
+  std::string name_;
+  uint64_t poll_overhead_ns_;
+  mutable std::mutex mu_;
+  std::vector<Tuple> log_;
+  mutable uint64_t poll_count_ = 0;
+};
+
+/// The three request streams of the PSoup-style data/query API (Sec. 3.2):
+/// insert(tuple), delete(tuple) and execute(query) topics, plus arbitrary
+/// named data topics for archival storage.
+class Broker {
+ public:
+  Broker();
+
+  Topic* insert_topic() { return &insert_topic_; }
+  Topic* delete_topic() { return &delete_topic_; }
+
+  /// Get or create a named data topic.
+  Topic* GetTopic(const std::string& name);
+
+ private:
+  Topic insert_topic_;
+  Topic delete_topic_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_STREAM_BROKER_H_

@@ -1,0 +1,72 @@
+#include "stream/samplers.h"
+
+#include "util/timer.h"
+
+namespace janus {
+
+std::vector<Tuple> SingletonSampler::Sample(size_t k, SamplerStats* stats) {
+  Timer timer;
+  std::vector<Tuple> out;
+  out.reserve(k);
+  const uint64_t end = topic_->EndOffset();
+  if (end == 0) return out;
+  std::vector<Tuple> batch;
+  size_t polls = 0;
+  while (out.size() < k) {
+    batch.clear();
+    const uint64_t offset = rng_.NextUint64(end);
+    topic_->Poll(offset, 1, &batch);
+    ++polls;
+    if (!batch.empty()) out.push_back(batch[0]);
+  }
+  if (stats) {
+    stats->polls += polls;
+    stats->tuples_transferred += out.size();
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+bool SingletonSampler::SampleOne(Tuple* out) {
+  const uint64_t end = topic_->EndOffset();
+  if (end == 0) return false;
+  std::vector<Tuple> batch;
+  topic_->Poll(rng_.NextUint64(end), 1, &batch);
+  if (batch.empty()) return false;
+  *out = batch[0];
+  return true;
+}
+
+std::vector<Tuple> SequentialSampler::Sample(size_t k, SamplerStats* stats) {
+  Timer timer;
+  std::vector<Tuple> out;
+  const uint64_t end = topic_->EndOffset();
+  if (end == 0) return out;
+  const double rate =
+      std::min(1.0, static_cast<double>(k) / static_cast<double>(end));
+  std::vector<Tuple> batch;
+  uint64_t offset = 0;
+  size_t polls = 0;
+  size_t transferred = 0;
+  while (offset < end) {
+    batch.clear();
+    const size_t n = topic_->Poll(offset, poll_size_, &batch);
+    if (n == 0) break;
+    ++polls;
+    transferred += n;
+    offset += n;
+    // Keep a binomial subsample of the batch: every record independently
+    // with probability `rate`, which yields a uniform sample overall.
+    for (const Tuple& t : batch) {
+      if (rng_.Bernoulli(rate)) out.push_back(t);
+    }
+  }
+  if (stats) {
+    stats->polls += polls;
+    stats->tuples_transferred += transferred;
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace janus

@@ -1,0 +1,57 @@
+#ifndef JANUS_STREAM_SAMPLERS_H_
+#define JANUS_STREAM_SAMPLERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "stream/broker.h"
+#include "util/rng.h"
+
+namespace janus {
+
+/// Result of a sampling run against a broker topic (Appendix A).
+struct SamplerStats {
+  size_t polls = 0;
+  size_t tuples_transferred = 0;  ///< total records pulled off the topic
+  double seconds = 0;             ///< wall clock spent polling
+};
+
+/// Singleton sampler: each poll requests exactly one tuple from a random
+/// offset. Minimal network traffic, maximal per-poll overhead; samples are
+/// available incrementally (Appendix A).
+class SingletonSampler {
+ public:
+  SingletonSampler(Topic* topic, uint64_t seed) : topic_(topic), rng_(seed) {}
+
+  /// Draw k uniform samples (with replacement across polls).
+  std::vector<Tuple> Sample(size_t k, SamplerStats* stats);
+
+  /// Draw a single uniform sample.
+  bool SampleOne(Tuple* out);
+
+ private:
+  Topic* topic_;
+  Rng rng_;
+};
+
+/// Sequential sampler: scans the topic with large polls of `poll_size`
+/// records and keeps a uniform subsample of each batch. Transfers the whole
+/// topic but amortizes the per-poll overhead (Appendix A).
+class SequentialSampler {
+ public:
+  SequentialSampler(Topic* topic, size_t poll_size, uint64_t seed)
+      : topic_(topic), poll_size_(poll_size), rng_(seed) {}
+
+  /// Scan the entire topic and return ~k uniform samples.
+  std::vector<Tuple> Sample(size_t k, SamplerStats* stats);
+
+ private:
+  Topic* topic_;
+  size_t poll_size_;
+  Rng rng_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_STREAM_SAMPLERS_H_

@@ -1,0 +1,79 @@
+#ifndef JANUS_UTIL_RNG_H_
+#define JANUS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace janus {
+
+/// Deterministic, seedable pseudo-random number generator used throughout the
+/// library. Wraps a xoshiro256** core so that experiments are reproducible
+/// across platforms (std::mt19937 would also work, but the distributions in
+/// libstdc++ are not guaranteed to be portable; we implement our own
+/// uniform/normal transforms on top of the raw core).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal with the given underlying normal parameters.
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda);
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (rejection sampling).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Reservoir-style choice of k distinct indices from [0, n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_UTIL_RNG_H_

@@ -1,0 +1,49 @@
+#ifndef JANUS_UTIL_THREAD_POOL_H_
+#define JANUS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace janus {
+
+/// Fixed-size worker pool used for multi-threaded update processing (Fig. 5)
+/// and for the parallel phase of DPT re-initialization (Sec. 4.3).
+///
+/// Tasks are plain std::function<void()>. WaitIdle() blocks until every
+/// submitted task has completed; it is the synchronization point between the
+/// re-initialization optimizer thread and the maintenance threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only implementation; this translation unit exists so the target has
+// at least one object file and to keep the build layout uniform.

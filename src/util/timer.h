@@ -1,0 +1,50 @@
+#ifndef JANUS_UTIL_TIMER_H_
+#define JANUS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace janus {
+
+/// Simple monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total time across repeated Start/Stop intervals.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); ++laps_; }
+  double TotalSeconds() const { return total_seconds_; }
+  double TotalMillis() const { return total_seconds_ * 1e3; }
+  uint64_t laps() const { return laps_; }
+  void Reset() { total_seconds_ = 0; laps_ = 0; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0;
+  uint64_t laps_ = 0;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_UTIL_TIMER_H_

@@ -1,0 +1,83 @@
+#include "stream/broker.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+Tuple MakeTuple(uint64_t id) {
+  Tuple t;
+  t.id = id;
+  t[0] = static_cast<double>(id);
+  return t;
+}
+
+TEST(TopicTest, AppendAndPollInOrder) {
+  Topic topic("t", /*poll_overhead_ns=*/0);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(topic.Append(MakeTuple(i)), i);
+  }
+  std::vector<Tuple> out;
+  EXPECT_EQ(topic.Poll(0, 10, &out), 10u);
+  ASSERT_EQ(out.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].id, i);
+}
+
+TEST(TopicTest, PollFromOffset) {
+  Topic topic("t", 0);
+  for (uint64_t i = 0; i < 50; ++i) topic.Append(MakeTuple(i));
+  std::vector<Tuple> out;
+  EXPECT_EQ(topic.Poll(45, 10, &out), 5u);  // truncated at end
+  EXPECT_EQ(out.front().id, 45u);
+  out.clear();
+  EXPECT_EQ(topic.Poll(50, 10, &out), 0u);  // at end offset
+  EXPECT_EQ(topic.Poll(1000, 10, &out), 0u);
+}
+
+TEST(TopicTest, EndOffsetTracksAppends) {
+  Topic topic("t", 0);
+  EXPECT_EQ(topic.EndOffset(), 0u);
+  topic.Append(MakeTuple(0));
+  EXPECT_EQ(topic.EndOffset(), 1u);
+  topic.AppendBatch({MakeTuple(1), MakeTuple(2)});
+  EXPECT_EQ(topic.EndOffset(), 3u);
+}
+
+TEST(TopicTest, PollCountAccounting) {
+  Topic topic("t", 0);
+  topic.Append(MakeTuple(0));
+  std::vector<Tuple> out;
+  topic.Poll(0, 1, &out);
+  topic.Poll(0, 1, &out);
+  EXPECT_EQ(topic.poll_count(), 2u);
+}
+
+TEST(TopicTest, ConcurrentAppendsAllLand) {
+  Topic topic("t", 0);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&topic, w] {
+      for (uint64_t i = 0; i < 1000; ++i) {
+        topic.Append(MakeTuple(static_cast<uint64_t>(w) * 1000 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(topic.EndOffset(), 4000u);
+}
+
+TEST(BrokerTest, BuiltInAndNamedTopics) {
+  Broker broker;
+  EXPECT_EQ(broker.insert_topic()->name(), "insert");
+  EXPECT_EQ(broker.delete_topic()->name(), "delete");
+  Topic* a = broker.GetTopic("archive");
+  Topic* b = broker.GetTopic("archive");
+  EXPECT_EQ(a, b);  // same instance
+  EXPECT_NE(a, broker.GetTopic("other"));
+}
+
+}  // namespace
+}  // namespace janus

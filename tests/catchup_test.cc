@@ -1,0 +1,105 @@
+#include "core/catchup.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner_1d.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+class CatchupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = GenerateUniform(20000, 1, 4);
+    SynopsisSpec spec;
+    spec.agg_column = 1;
+    spec.predicate_columns = {0};
+    DptOptions opts;
+    opts.spec = spec;
+    std::vector<double> boundaries;
+    for (int b = 1; b < 16; ++b) boundaries.push_back(b / 16.0);
+    dpt_ = std::make_unique<Dpt>(opts, BuildBalanced1dTree(boundaries));
+    Rng rng(1);
+    std::vector<size_t> idx = rng.SampleIndices(ds_.rows.size(), 400);
+    std::vector<Tuple> sample;
+    for (size_t i : idx) sample.push_back(ds_.rows[i]);
+    dpt_->InitializeFromReservoir(sample, ds_.rows.size());
+  }
+
+  GeneratedDataset ds_;
+  std::unique_ptr<Dpt> dpt_;
+};
+
+TEST_F(CatchupTest, StepsAccumulateTowardGoal) {
+  CatchupEngine engine(dpt_.get(), ds_.rows, 1000, 2);
+  EXPECT_EQ(engine.goal(), 1000u);
+  EXPECT_FALSE(engine.Done());
+  EXPECT_EQ(engine.Step(300), 300u);
+  EXPECT_EQ(engine.processed(), 300u);
+  EXPECT_EQ(engine.Step(900), 700u);  // clamped at the goal
+  EXPECT_TRUE(engine.Done());
+  EXPECT_EQ(engine.Step(100), 0u);
+}
+
+TEST_F(CatchupTest, RunToGoalFeedsDpt) {
+  const double before = dpt_->catchup_count();
+  CatchupEngine engine(dpt_.get(), ds_.rows, 2000, 3);
+  engine.RunToGoal();
+  EXPECT_DOUBLE_EQ(dpt_->catchup_count(), before + 2000);
+  EXPECT_GT(engine.processing_seconds(), 0.0);
+}
+
+TEST_F(CatchupTest, EmptySnapshotIsDone) {
+  CatchupEngine engine(dpt_.get(), {}, 1000, 4);
+  EXPECT_TRUE(engine.Done());
+  EXPECT_EQ(engine.Step(10), 0u);
+}
+
+TEST_F(CatchupTest, EstimatesConvergeWithCatchup) {
+  AggQuery q;
+  q.func = AggFunc::kSum;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({0.1}, {0.8});
+  const auto truth = ExactAnswer(ds_.rows, q);
+  ASSERT_TRUE(truth.has_value());
+
+  CatchupEngine engine(dpt_.get(), ds_.rows, 8000, 5);
+  double prev_ci = dpt_->Query(q).ci_half_width;
+  // CI must shrink monotonically (in expectation) as catch-up progresses.
+  int shrank = 0, rounds = 0;
+  while (!engine.Done()) {
+    engine.Step(2000);
+    const QueryResult r = dpt_->Query(q);
+    shrank += (r.ci_half_width <= prev_ci);
+    prev_ci = r.ci_half_width;
+    ++rounds;
+  }
+  EXPECT_GE(shrank, (rounds + 1) / 2);
+  const QueryResult final = dpt_->Query(q);
+  EXPECT_LT(std::abs(final.estimate - *truth) / *truth, 0.05);
+}
+
+TEST_F(CatchupTest, MidCatchupEstimatesAreUsable) {
+  // Queries issued mid-catch-up must still be valid (unbiased, finite CI) —
+  // Sec. 4.3's "queries close to the beginning will have a higher error".
+  AggQuery q;
+  q.func = AggFunc::kCount;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({0.0}, {0.5});
+  const auto truth = ExactAnswer(ds_.rows, q);
+  CatchupEngine engine(dpt_.get(), ds_.rows, 4000, 6);
+  engine.Step(100);  // barely started
+  const QueryResult r = dpt_->Query(q);
+  EXPECT_GT(r.estimate, 0);
+  EXPECT_LT(std::abs(r.estimate - *truth) / *truth, 0.25);
+}
+
+}  // namespace
+}  // namespace janus

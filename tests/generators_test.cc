@@ -1,0 +1,128 @@
+#include "data/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+class GeneratorsTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorsTest, ProducesRequestedRowsWithUniqueIds) {
+  auto ds = GenerateDataset(GetParam(), 5000, 1);
+  ASSERT_EQ(ds.rows.size(), 5000u);
+  for (size_t i = 0; i < ds.rows.size(); ++i) {
+    EXPECT_EQ(ds.rows[i].id, i);
+  }
+}
+
+TEST_P(GeneratorsTest, DeterministicForSeed) {
+  auto a = GenerateDataset(GetParam(), 1000, 7);
+  auto b = GenerateDataset(GetParam(), 1000, 7);
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    for (int c = 0; c < a.schema.num_columns(); ++c) {
+      ASSERT_DOUBLE_EQ(a.rows[i][c], b.rows[i][c]);
+    }
+  }
+}
+
+TEST_P(GeneratorsTest, SeedsDiffer) {
+  auto a = GenerateDataset(GetParam(), 100, 1);
+  auto b = GenerateDataset(GetParam(), 100, 2);
+  int diff = 0;
+  for (size_t i = 0; i < a.rows.size(); ++i) diff += (a.rows[i][2] != b.rows[i][2]);
+  EXPECT_GT(diff, 50);
+}
+
+TEST_P(GeneratorsTest, DefaultTemplateColumnsValid) {
+  auto ds = GenerateDataset(GetParam(), 10, 1);
+  const DefaultTemplate t = DefaultTemplateFor(GetParam());
+  EXPECT_GE(t.predicate_column, 0);
+  EXPECT_LT(t.predicate_column, ds.schema.num_columns());
+  EXPECT_GE(t.aggregate_column, 0);
+  EXPECT_LT(t.aggregate_column, ds.schema.num_columns());
+  EXPECT_NE(t.predicate_column, t.aggregate_column);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorsTest,
+                         ::testing::Values(DatasetKind::kIntelWireless,
+                                           DatasetKind::kNycTaxi,
+                                           DatasetKind::kNasdaqEtf),
+                         [](const auto& info) {
+                           return DatasetName(info.param);
+                         });
+
+TEST(GeneratorsTest, IntelTimeIsMonotone) {
+  auto ds = GenerateDataset(DatasetKind::kIntelWireless, 2000, 3);
+  for (size_t i = 1; i < ds.rows.size(); ++i) {
+    EXPECT_GE(ds.rows[i][0], ds.rows[i - 1][0]);
+  }
+}
+
+TEST(GeneratorsTest, IntelLightIsZeroInflatedNonNegative) {
+  auto ds = GenerateDataset(DatasetKind::kIntelWireless, 20000, 3);
+  int zeros = 0;
+  for (const Tuple& t : ds.rows) {
+    EXPECT_GE(t[1], 0.0);
+    zeros += (t[1] == 0.0);
+  }
+  EXPECT_GT(zeros, 1000);  // night hours
+  EXPECT_LT(zeros, 19000);
+}
+
+TEST(GeneratorsTest, TaxiPickupMonotoneAndDropoffAfterPickup) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, 5000, 3);
+  for (size_t i = 0; i < ds.rows.size(); ++i) {
+    EXPECT_GT(ds.rows[i][1], ds.rows[i][0]);  // dropoff > pickup
+    if (i > 0) {
+      EXPECT_GE(ds.rows[i][0], ds.rows[i - 1][0]);
+    }
+  }
+}
+
+TEST(GeneratorsTest, TaxiFieldsPlausible) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, 5000, 3);
+  for (const Tuple& t : ds.rows) {
+    EXPECT_GT(t[2], 0.0);                      // distance
+    EXPECT_GE(t[3], 1.0);                      // passengers
+    EXPECT_GE(t[4], 2.5);                      // fare >= flag drop
+    EXPECT_GE(t[5], 0.0);                      // time of day
+    EXPECT_LT(t[5], 86400.0);
+  }
+}
+
+TEST(GeneratorsTest, EtfPricesConsistent) {
+  auto ds = GenerateDataset(DatasetKind::kNasdaqEtf, 5000, 3);
+  for (const Tuple& t : ds.rows) {
+    const double open = t[1], close = t[2], high = t[3], low = t[4];
+    EXPECT_GE(high, std::max(open, close));
+    EXPECT_LE(low, std::min(open, close));
+    EXPECT_GT(low, 0.0);
+    EXPECT_GT(t[5], 0.0);  // volume
+  }
+}
+
+TEST(GeneratorsTest, EtfVolumeHeavyTailed) {
+  auto ds = GenerateDataset(DatasetKind::kNasdaqEtf, 50000, 3);
+  std::vector<double> vols;
+  for (const Tuple& t : ds.rows) vols.push_back(t[5]);
+  std::sort(vols.begin(), vols.end());
+  const double median = vols[vols.size() / 2];
+  const double p99 = vols[static_cast<size_t>(vols.size() * 0.99)];
+  EXPECT_GT(p99 / median, 10.0);  // heavy tail
+}
+
+TEST(GeneratorsTest, UniformDatasetShape) {
+  auto ds = GenerateUniform(1000, 3, 1);
+  ASSERT_EQ(ds.schema.num_columns(), 4);
+  for (const Tuple& t : ds.rows) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(t[c], 0.0);
+      EXPECT_LT(t[c], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace janus

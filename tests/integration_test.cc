@@ -1,0 +1,203 @@
+// End-to-end scenarios exercising the full JanusAQP pipeline against the
+// synthetic paper datasets: initialize from historical data, stream mixed
+// insertions/deletions, re-optimize, and compare against exact ground truth
+// and the RS baseline (the headline claims of Sec. 6.2 at unit-test scale).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/rs.h"
+#include "core/janus.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/workload.h"
+#include "util/stats.h"
+
+namespace janus {
+namespace {
+
+struct EvalResult {
+  double median_rel_error;
+  size_t evaluated;
+};
+
+template <typename System>
+EvalResult Evaluate(const System& system, const std::vector<Tuple>& rows,
+                    const std::vector<AggQuery>& queries) {
+  auto truths = ExactAnswers(rows, queries);
+  std::vector<double> errors;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!truths[i].has_value() || *truths[i] == 0) continue;
+    const QueryResult r = system.Query(queries[i]);
+    errors.push_back(std::abs(r.estimate - *truths[i]) /
+                     std::abs(*truths[i]));
+  }
+  return {Median(errors), errors.size()};
+}
+
+class IntegrationTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(IntegrationTest, ProgressiveIngestBeatsReservoirBaseline) {
+  const DatasetKind kind = GetParam();
+  auto ds = GenerateDataset(kind, 40000, 99);
+  const DefaultTemplate tmpl = DefaultTemplateFor(kind);
+
+  JanusOptions jopts;
+  jopts.spec.agg_column = tmpl.aggregate_column;
+  jopts.spec.predicate_columns = {tmpl.predicate_column};
+  jopts.num_leaves = 64;
+  jopts.sample_rate = 0.01;
+  jopts.catchup_rate = 0.10;
+  jopts.enable_triggers = false;
+  JanusAqp janus_sys(jopts);
+
+  RsOptions ropts;
+  ropts.sample_rate = 0.01;
+  ReservoirBaseline rs(ropts);
+
+  // 10% historical, then stream to 60%.
+  const size_t initial = ds.rows.size() / 10;
+  std::vector<Tuple> historical(ds.rows.begin(),
+                                ds.rows.begin() + static_cast<long>(initial));
+  janus_sys.LoadInitial(historical);
+  rs.LoadInitial(historical);
+  janus_sys.Initialize();
+  rs.Initialize();
+  janus_sys.RunCatchupToGoal();
+
+  const size_t limit = ds.rows.size() * 6 / 10;
+  for (size_t i = initial; i < limit; ++i) {
+    janus_sys.Insert(ds.rows[i]);
+    rs.Insert(ds.rows[i]);
+  }
+  // Periodic re-initialization, like the Table-2 protocol.
+  janus_sys.Reinitialize();
+  janus_sys.RunCatchupToGoal();
+
+  std::vector<Tuple> live(ds.rows.begin(),
+                          ds.rows.begin() + static_cast<long>(limit));
+  WorkloadGenerator gen(live, {tmpl.predicate_column}, tmpl.aggregate_column);
+  WorkloadOptions wopts;
+  wopts.num_queries = 200;
+  // Queries below the sampling resolution are uninformative for every
+  // method at unit-test scale (see Sec. 6.7 on near-empty ground truths).
+  wopts.min_count = live.size() / 500;
+  auto queries = gen.Generate(live, wopts);
+
+  const EvalResult je = Evaluate(janus_sys, live, queries);
+  const EvalResult re = Evaluate(rs, live, queries);
+  ASSERT_GT(je.evaluated, 100u);
+  // Headline claim (Sec. 6.2 / Table 2): JanusAQP beats plain reservoir
+  // sampling; we require at least parity at unit-test scale.
+  EXPECT_LT(je.median_rel_error, re.median_rel_error * 1.1 + 0.002)
+      << "Janus " << je.median_rel_error << " vs RS " << re.median_rel_error;
+  // Absolute sanity bound; the heavy-tailed ETF volume predicate is the
+  // hardest case at this (40k-row, 1%-sample) scale.
+  EXPECT_LT(je.median_rel_error, 0.3);
+}
+
+TEST_P(IntegrationTest, MixedInsertDeleteStreamStaysAccurate) {
+  const DatasetKind kind = GetParam();
+  auto ds = GenerateDataset(kind, 30000, 101);
+  const DefaultTemplate tmpl = DefaultTemplateFor(kind);
+
+  JanusOptions jopts;
+  jopts.spec.agg_column = tmpl.aggregate_column;
+  jopts.spec.predicate_columns = {tmpl.predicate_column};
+  jopts.num_leaves = 64;
+  jopts.sample_rate = 0.02;
+  jopts.enable_triggers = false;
+  JanusAqp system(jopts);
+
+  const size_t half = ds.rows.size() / 2;
+  std::vector<Tuple> historical(ds.rows.begin(),
+                                ds.rows.begin() + static_cast<long>(half));
+  system.LoadInitial(historical);
+  system.Initialize();
+  system.RunCatchupToGoal();
+
+  // Stream the rest with 10% interleaved deletions of random old tuples.
+  std::vector<Tuple> live = historical;
+  Rng rng(7);
+  for (size_t i = half; i < ds.rows.size(); ++i) {
+    system.Insert(ds.rows[i]);
+    live.push_back(ds.rows[i]);
+    if (rng.Bernoulli(0.1) && !live.empty()) {
+      const size_t victim = rng.NextUint64(live.size());
+      if (system.Delete(live[victim].id)) {
+        live[victim] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+
+  WorkloadGenerator gen(live, {tmpl.predicate_column}, tmpl.aggregate_column);
+  WorkloadOptions wopts;
+  wopts.num_queries = 150;
+  wopts.min_count = 20;
+  auto queries = gen.Generate(live, wopts);
+  const EvalResult e = Evaluate(system, live, queries);
+  ASSERT_GT(e.evaluated, 80u);
+  EXPECT_LT(e.median_rel_error, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, IntegrationTest,
+                         ::testing::Values(DatasetKind::kIntelWireless,
+                                           DatasetKind::kNycTaxi,
+                                           DatasetKind::kNasdaqEtf),
+                         [](const auto& info) {
+                           return DatasetName(info.param);
+                         });
+
+TEST(IntegrationTest, MultiDimFiveDTemplate) {
+  // The Sec. 6.7 scenario at test scale: 5 predicate attributes on ETF.
+  auto ds = GenerateDataset(DatasetKind::kNasdaqEtf, 30000, 103);
+  JanusOptions jopts;
+  jopts.spec.agg_column = 5;                       // volume
+  jopts.spec.predicate_columns = {0, 1, 2, 3, 4};  // date + 4 prices
+  jopts.num_leaves = 128;
+  jopts.sample_rate = 0.03;
+  jopts.enable_triggers = false;
+  JanusAqp system(jopts);
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  system.RunCatchupToGoal();
+
+  WorkloadGenerator gen(ds.rows, {0, 1, 2, 3, 4}, 5);
+  WorkloadOptions wopts;
+  wopts.num_queries = 100;
+  wopts.min_count = 100;
+  auto queries = gen.Generate(ds.rows, wopts);
+  ASSERT_GT(queries.size(), 50u);
+  const EvalResult e = Evaluate(system, ds.rows, queries);
+  EXPECT_LT(e.median_rel_error, 0.35);  // multi-dim queries are harder
+}
+
+TEST(IntegrationTest, CountQueriesAreRobustAcrossFunctions) {
+  auto ds = GenerateDataset(DatasetKind::kNycTaxi, 20000, 105);
+  JanusOptions jopts;
+  jopts.spec.agg_column = 2;
+  jopts.spec.predicate_columns = {0};
+  jopts.num_leaves = 64;
+  jopts.sample_rate = 0.02;
+  jopts.enable_triggers = false;
+  JanusAqp system(jopts);
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  system.RunCatchupToGoal();
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg}) {
+    WorkloadGenerator gen(ds.rows, {0}, 2);
+    WorkloadOptions wopts;
+    wopts.num_queries = 100;
+    wopts.func = f;
+    wopts.min_count = 30;
+    wopts.seed = 11 + static_cast<uint64_t>(f);
+    auto queries = gen.Generate(ds.rows, wopts);
+    const EvalResult e = Evaluate(system, ds.rows, queries);
+    EXPECT_LT(e.median_rel_error, 0.1) << AggFuncName(f);
+  }
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,122 @@
+#include "core/node_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+TEST(MinMaxTrackerTest, TracksExtremaUnderInserts) {
+  MinMaxTracker mm(4);
+  EXPECT_FALSE(mm.Min().has_value());
+  EXPECT_FALSE(mm.Max().has_value());
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) mm.Insert(v);
+  EXPECT_DOUBLE_EQ(*mm.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(*mm.Max(), 9.0);
+  EXPECT_FALSE(mm.degraded());
+}
+
+TEST(MinMaxTrackerTest, EraseUpdatesExtrema) {
+  MinMaxTracker mm(8);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) mm.Insert(v);
+  mm.Erase(1.0);
+  EXPECT_DOUBLE_EQ(*mm.Min(), 2.0);
+  mm.Erase(4.0);
+  EXPECT_DOUBLE_EQ(*mm.Max(), 3.0);
+  EXPECT_FALSE(mm.degraded());
+}
+
+TEST(MinMaxTrackerTest, HeapBoundedAtK) {
+  // With k = 2, only the 2 smallest / largest are retained: deleting the
+  // tracked minimum twice exposes the next tracked value, after which the
+  // true minimum may be unknown but the tracker still answers.
+  MinMaxTracker mm(2);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) mm.Insert(v);
+  EXPECT_DOUBLE_EQ(*mm.Min(), 1.0);
+  mm.Erase(1.0);
+  EXPECT_DOUBLE_EQ(*mm.Min(), 2.0);
+  mm.Erase(2.0);
+  // Bottom heap is now a single survivor; it refuses to empty.
+  const auto min_now = mm.Min();
+  ASSERT_TRUE(min_now.has_value());
+}
+
+TEST(MinMaxTrackerTest, RefusesToEmptyAndDegrades) {
+  MinMaxTracker mm(2);
+  mm.Insert(10.0);
+  mm.Erase(10.0);  // would empty both heaps: refused, tracker degrades
+  EXPECT_TRUE(mm.degraded());
+  ASSERT_TRUE(mm.Min().has_value());
+  ASSERT_TRUE(mm.Max().has_value());
+  // Outer approximation: the stale value remains visible.
+  EXPECT_DOUBLE_EQ(*mm.Min(), 10.0);
+}
+
+TEST(MinMaxTrackerTest, EraseUntrackedValueIsNoop) {
+  MinMaxTracker mm(4);
+  for (double v : {1.0, 2.0, 3.0}) mm.Insert(v);
+  mm.Erase(99.0);  // not tracked (and larger than tracked max)
+  EXPECT_DOUBLE_EQ(*mm.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(*mm.Max(), 3.0);
+  EXPECT_FALSE(mm.degraded());
+}
+
+TEST(MinMaxTrackerTest, DuplicatesErasedOneAtATime) {
+  MinMaxTracker mm(8);
+  mm.Insert(5.0);
+  mm.Insert(5.0);
+  mm.Insert(7.0);
+  mm.Erase(5.0);
+  EXPECT_DOUBLE_EQ(*mm.Min(), 5.0);  // one copy remains
+  mm.Erase(5.0);
+  EXPECT_DOUBLE_EQ(*mm.Min(), 7.0);
+}
+
+TEST(MinMaxTrackerTest, ClearResets) {
+  MinMaxTracker mm(4);
+  mm.Insert(1.0);
+  mm.Erase(1.0);
+  EXPECT_TRUE(mm.degraded());
+  mm.Clear();
+  EXPECT_FALSE(mm.degraded());
+  EXPECT_FALSE(mm.Min().has_value());
+}
+
+TEST(MinMaxTrackerTest, RandomizedAgainstBruteForceWhileWithinK) {
+  // As long as fewer than k deletions-from-the-extremes occur, the tracker
+  // must report the exact min/max of the live multiset.
+  Rng rng(3);
+  MinMaxTracker mm(64);
+  std::multiset<double> ref;
+  for (int step = 0; step < 500; ++step) {
+    if (ref.size() < 40 || rng.NextDouble() < 0.7) {
+      const double v = rng.Uniform(-100, 100);
+      mm.Insert(v);
+      ref.insert(v);
+    } else {
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.NextUint64(ref.size())));
+      mm.Erase(*it);
+      ref.erase(it);
+    }
+    ASSERT_DOUBLE_EQ(*mm.Min(), *ref.begin());
+    ASSERT_DOUBLE_EQ(*mm.Max(), *ref.rbegin());
+  }
+}
+
+TEST(NodeStatsTest, ClearDynamicPreservesExact) {
+  NodeStats ns;
+  ns.exact.Add(5);
+  ns.inserted.Add(3);
+  ns.removed.Add(1);
+  ns.catchup.count = 7;
+  ns.ClearDynamic();
+  EXPECT_DOUBLE_EQ(ns.exact.count, 1);
+  EXPECT_DOUBLE_EQ(ns.inserted.count, 0);
+  EXPECT_DOUBLE_EQ(ns.removed.count, 0);
+  EXPECT_DOUBLE_EQ(ns.catchup.count, 0);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,146 @@
+#include "index/order_stat_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+TEST(OrderStatTreeTest, InsertSizeAndSelectSorted) {
+  OrderStatTree tree;
+  std::vector<double> keys{5, 1, 9, 3, 7};
+  for (double k : keys) tree.Insert(k, k * 2);
+  ASSERT_EQ(tree.size(), 5u);
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree.Select(i), keys[i]);
+    EXPECT_DOUBLE_EQ(tree.SelectValue(i), keys[i] * 2);
+  }
+}
+
+TEST(OrderStatTreeTest, RankOfStrictlyLess) {
+  OrderStatTree tree;
+  for (double k : {1.0, 2.0, 2.0, 3.0}) tree.Insert(k, 0);
+  EXPECT_EQ(tree.RankOf(0.5), 0u);
+  EXPECT_EQ(tree.RankOf(2.0), 1u);   // keys < 2
+  EXPECT_EQ(tree.RankOf(2.5), 3u);
+  EXPECT_EQ(tree.RankOf(100.0), 4u);
+}
+
+TEST(OrderStatTreeTest, DeleteSpecificValueAmongDuplicates) {
+  OrderStatTree tree;
+  tree.Insert(5.0, 1.0);
+  tree.Insert(5.0, 2.0);
+  tree.Insert(5.0, 3.0);
+  EXPECT_TRUE(tree.Delete(5.0, 2.0));
+  EXPECT_EQ(tree.size(), 2u);
+  // Remaining values are 1 and 3.
+  const TreeAgg agg = tree.KeyRangeAggregate(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(agg.count, 2);
+  EXPECT_DOUBLE_EQ(agg.sum, 4.0);
+  EXPECT_FALSE(tree.Delete(5.0, 99.0));
+  EXPECT_FALSE(tree.Delete(6.0, 1.0));
+}
+
+TEST(OrderStatTreeTest, PrefixAggregate) {
+  OrderStatTree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i, i);
+  const TreeAgg p = tree.PrefixAggregate(4);  // values 0,1,2,3
+  EXPECT_DOUBLE_EQ(p.count, 4);
+  EXPECT_DOUBLE_EQ(p.sum, 6);
+  EXPECT_DOUBLE_EQ(p.sumsq, 14);
+  EXPECT_DOUBLE_EQ(tree.PrefixAggregate(0).count, 0);
+  EXPECT_DOUBLE_EQ(tree.PrefixAggregate(10).sum, 45);
+}
+
+TEST(OrderStatTreeTest, RankRangeAggregate) {
+  OrderStatTree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i, 1.0);
+  const TreeAgg agg = tree.RankRangeAggregate(3, 7);
+  EXPECT_DOUBLE_EQ(agg.count, 4);
+  EXPECT_DOUBLE_EQ(tree.RankRangeAggregate(5, 5).count, 0);
+  EXPECT_DOUBLE_EQ(tree.RankRangeAggregate(7, 3).count, 0);
+}
+
+TEST(OrderStatTreeTest, KeyRangeAggregateClosed) {
+  OrderStatTree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i, i);
+  const TreeAgg agg = tree.KeyRangeAggregate(2.0, 5.0);  // 2,3,4,5
+  EXPECT_DOUBLE_EQ(agg.count, 4);
+  EXPECT_DOUBLE_EQ(agg.sum, 14);
+}
+
+TEST(OrderStatTreeTest, RandomizedAgainstBruteForce) {
+  OrderStatTree tree;
+  std::vector<std::pair<double, double>> ref;
+  Rng rng(77);
+  for (int step = 0; step < 3000; ++step) {
+    if (ref.empty() || rng.NextDouble() < 0.6) {
+      const double key = rng.Uniform(0, 100);
+      const double val = rng.Uniform(-5, 5);
+      tree.Insert(key, val);
+      ref.emplace_back(key, val);
+    } else {
+      const size_t i = rng.NextUint64(ref.size());
+      EXPECT_TRUE(tree.Delete(ref[i].first, ref[i].second));
+      ref[i] = ref.back();
+      ref.pop_back();
+    }
+    ASSERT_EQ(tree.size(), ref.size());
+    if (step % 100 == 0 && !ref.empty()) {
+      const double lo = rng.Uniform(0, 100);
+      const double hi = rng.Uniform(lo, 100);
+      TreeAgg expect;
+      for (const auto& [k, v] : ref) {
+        if (k >= lo && k <= hi) {
+          expect.count += 1;
+          expect.sum += v;
+          expect.sumsq += v * v;
+        }
+      }
+      const TreeAgg got = tree.KeyRangeAggregate(lo, hi);
+      ASSERT_DOUBLE_EQ(got.count, expect.count);
+      ASSERT_NEAR(got.sum, expect.sum, 1e-9);
+      ASSERT_NEAR(got.sumsq, expect.sumsq, 1e-9);
+    }
+  }
+}
+
+TEST(OrderStatTreeTest, DumpInOrder) {
+  OrderStatTree tree;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) tree.Insert(rng.Uniform(0, 1), 0);
+  std::vector<std::pair<double, double>> out;
+  tree.Dump(&out);
+  ASSERT_EQ(out.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(OrderStatTreeTest, ClearResets) {
+  OrderStatTree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i, i);
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  tree.Insert(1, 1);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(OrderStatTreeTest, SelectIsMonotoneUnderHeavyInserts) {
+  OrderStatTree tree;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) tree.Insert(rng.NextDouble(), 1);
+  double prev = -1;
+  for (size_t r = 0; r < tree.size(); r += 97) {
+    const double k = tree.Select(r);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+}  // namespace
+}  // namespace janus

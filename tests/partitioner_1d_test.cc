@@ -1,0 +1,225 @@
+#include "core/partitioner_1d.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+std::unique_ptr<MaxVarianceIndex> MakeIndex(const std::vector<double>& keys,
+                                            const std::vector<double>& vals,
+                                            AggFunc focus) {
+  MaxVarianceIndex::Options o;
+  o.dims = 1;
+  o.focus = focus;
+  o.sampling_rate = 0.01;
+  auto idx = std::make_unique<MaxVarianceIndex>(o);
+  std::vector<KdPoint> pts;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    KdPoint p;
+    p.id = i;
+    p.x[0] = keys[i];
+    p.a = vals[i];
+    pts.push_back(p);
+  }
+  idx->Build(pts);
+  return idx;
+}
+
+std::unique_ptr<MaxVarianceIndex> RandomIndex(size_t n, AggFunc focus,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys, vals;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.NextDouble());
+    vals.push_back(rng.LogNormal(0, 1));
+  }
+  return MakeIndex(keys, vals, focus);
+}
+
+void CheckTreeInvariants(const PartitionTreeSpec& spec) {
+  ASSERT_FALSE(spec.nodes.empty());
+  std::set<int> leaf_set(spec.leaves.begin(), spec.leaves.end());
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    const PartitionNode& n = spec.nodes[i];
+    if (n.IsLeaf()) {
+      EXPECT_TRUE(leaf_set.count(static_cast<int>(i)))
+          << "leaf " << i << " missing from leaves list";
+      continue;
+    }
+    const PartitionNode& l = spec.nodes[static_cast<size_t>(n.left)];
+    const PartitionNode& r = spec.nodes[static_cast<size_t>(n.right)];
+    // Children tile the parent on the split dimension.
+    EXPECT_DOUBLE_EQ(l.rect.hi(n.split_dim), n.split_val);
+    EXPECT_DOUBLE_EQ(r.rect.lo(n.split_dim), n.split_val);
+    // Children are subsets of the parent.
+    EXPECT_TRUE(n.rect.Covers(l.rect));
+    EXPECT_TRUE(n.rect.Covers(r.rect));
+    EXPECT_EQ(l.parent, static_cast<int>(i));
+    EXPECT_EQ(r.parent, static_cast<int>(i));
+  }
+}
+
+TEST(BuildBalanced1dTreeTest, SingleBucketIsRootLeaf) {
+  const PartitionTreeSpec spec = BuildBalanced1dTree({});
+  ASSERT_EQ(spec.nodes.size(), 1u);
+  EXPECT_EQ(spec.num_leaves(), 1);
+  EXPECT_TRUE(spec.nodes[0].IsLeaf());
+}
+
+TEST(BuildBalanced1dTreeTest, LeavesTileTheLine) {
+  const PartitionTreeSpec spec = BuildBalanced1dTree({1.0, 2.0, 3.0});
+  EXPECT_EQ(spec.num_leaves(), 4);
+  CheckTreeInvariants(spec);
+  // Every point maps to exactly one leaf and boundaries route right.
+  for (double x : {-5.0, 0.99, 1.0, 1.5, 2.0, 2.5, 3.0, 100.0}) {
+    const int leaf = spec.LeafFor(&x);
+    EXPECT_TRUE(spec.nodes[static_cast<size_t>(leaf)].IsLeaf());
+    EXPECT_GE(x, spec.nodes[static_cast<size_t>(leaf)].rect.lo(0));
+    EXPECT_LE(x, spec.nodes[static_cast<size_t>(leaf)].rect.hi(0));
+  }
+  // Balanced: height is ceil(log2(4)) + 1 nodes on any path.
+  EXPECT_EQ(spec.nodes.size(), 7u);
+}
+
+TEST(BuildBalanced1dTreeTest, LeafOrderIsLeftToRight) {
+  const PartitionTreeSpec spec = BuildBalanced1dTree({1.0, 2.0, 3.0, 4.0});
+  double prev = -std::numeric_limits<double>::infinity();
+  for (int leaf : spec.leaves) {
+    const Rectangle& r = spec.nodes[static_cast<size_t>(leaf)].rect;
+    EXPECT_GE(r.lo(0), prev);
+    prev = r.lo(0);
+  }
+}
+
+class BsPartitionerTest : public ::testing::TestWithParam<AggFunc> {};
+
+TEST_P(BsPartitionerTest, ProducesRequestedLeavesWithValidTree) {
+  auto idx = RandomIndex(1024, GetParam(), 3);
+  Partitioner1dOptions opts;
+  opts.num_leaves = 16;
+  opts.focus = GetParam();
+  opts.data_size = 100000;
+  const PartitionResult result = BuildPartition1D(*idx, opts);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LE(result.spec.num_leaves(), 16);
+  EXPECT_GE(result.spec.num_leaves(), 2);
+  CheckTreeInvariants(result.spec);
+}
+
+TEST_P(BsPartitionerTest, AchievedErrorNearOptimal) {
+  // The BS partitioning's worst bucket error must be within the theoretical
+  // factor (2*rho*sqrt(2) for SUM) of the best equal-depth alternative —
+  // a cheap proxy lower bound for sanity.
+  auto idx = RandomIndex(512, GetParam(), 5);
+  Partitioner1dOptions opts;
+  opts.num_leaves = 8;
+  opts.focus = GetParam();
+  opts.rho = 2.0;
+  opts.data_size = 51200;
+  const PartitionResult bs = BuildPartition1D(*idx, opts);
+  const PartitionResult ed = BuildEqualDepth1D(*idx, 8);
+  ASSERT_TRUE(bs.ok);
+  ASSERT_TRUE(ed.ok);
+  if (GetParam() == AggFunc::kCount) {
+    // COUNT routes to equal depth: identical result.
+    EXPECT_NEAR(bs.achieved_error, ed.achieved_error, 1e-9);
+  } else {
+    // BS should not be drastically worse than equal depth.
+    EXPECT_LE(bs.achieved_error, ed.achieved_error * 4.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Funcs, BsPartitionerTest,
+                         ::testing::Values(AggFunc::kSum, AggFunc::kCount,
+                                           AggFunc::kAvg),
+                         [](const auto& info) {
+                           return AggFuncName(info.param);
+                         });
+
+TEST(BsPartitionerTest, MoreLeavesNeverHurts) {
+  auto idx = RandomIndex(2048, AggFunc::kSum, 7);
+  double prev = 1e300;
+  for (int k : {4, 16, 64}) {
+    Partitioner1dOptions opts;
+    opts.num_leaves = k;
+    opts.focus = AggFunc::kSum;
+    opts.data_size = 204800;
+    const PartitionResult r = BuildPartition1D(*idx, opts);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LE(r.achieved_error, prev * 1.05);
+    prev = r.achieved_error;
+  }
+}
+
+TEST(BsPartitionerTest, EmptyIndexYieldsTrivialTree) {
+  MaxVarianceIndex::Options o;
+  o.dims = 1;
+  MaxVarianceIndex idx(o);
+  Partitioner1dOptions opts;
+  opts.num_leaves = 8;
+  const PartitionResult r = BuildPartition1D(idx, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.spec.num_leaves(), 1);
+}
+
+TEST(BsPartitionerTest, AllZeroValuesHandled) {
+  auto idx = MakeIndex({0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+                       {0, 0, 0, 0, 0, 0, 0, 0}, AggFunc::kSum);
+  Partitioner1dOptions opts;
+  opts.num_leaves = 4;
+  opts.focus = AggFunc::kSum;
+  opts.data_size = 800;
+  const PartitionResult r = BuildPartition1D(*idx, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.achieved_error, 0.0, 1e-12);
+}
+
+TEST(BsPartitionerTest, DuplicateKeysDoNotBreakBoundaries) {
+  std::vector<double> keys(64, 5.0);  // all identical keys
+  std::vector<double> vals;
+  Rng rng(9);
+  for (int i = 0; i < 64; ++i) vals.push_back(rng.NextDouble());
+  auto idx = MakeIndex(keys, vals, AggFunc::kSum);
+  Partitioner1dOptions opts;
+  opts.num_leaves = 8;
+  opts.data_size = 6400;
+  const PartitionResult r = BuildPartition1D(*idx, opts);
+  ASSERT_TRUE(r.ok);
+  CheckTreeInvariants(r.spec);
+}
+
+TEST(EqualDepthTest, BucketsHoldEqualSampleCounts) {
+  auto idx = RandomIndex(1000, AggFunc::kCount, 11);
+  const PartitionResult r = BuildEqualDepth1D(*idx, 10);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.spec.num_leaves(), 10);
+  for (int leaf : r.spec.leaves) {
+    const Rectangle& rect = r.spec.nodes[static_cast<size_t>(leaf)].rect;
+    const TreeAgg agg = idx->kd().RangeAggregate(rect);
+    EXPECT_NEAR(agg.count, 100.0, 2.0);
+  }
+}
+
+TEST(EqualDepthTest, SkewedDataStillBalancedByCount) {
+  Rng rng(13);
+  std::vector<double> keys, vals;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(rng.LogNormal(0, 2));  // heavily skewed keys
+    vals.push_back(1.0);
+  }
+  auto idx = MakeIndex(keys, vals, AggFunc::kCount);
+  const PartitionResult r = BuildEqualDepth1D(*idx, 8);
+  for (int leaf : r.spec.leaves) {
+    const TreeAgg agg = idx->kd().RangeAggregate(
+        r.spec.nodes[static_cast<size_t>(leaf)].rect);
+    EXPECT_NEAR(agg.count, 125.0, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,138 @@
+#include "core/partitioner_dp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/max_variance.h"
+#include "core/partitioner_1d.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace janus {
+namespace {
+
+std::vector<std::pair<double, double>> RandomSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(rng.NextDouble(), rng.LogNormal(0, 1));
+  }
+  return out;
+}
+
+TEST(DpPartitionerTest, ProducesAtMostKBuckets) {
+  PartitionerDpOptions opts;
+  opts.num_leaves = 8;
+  const PartitionResult r = BuildPartitionDP(RandomSamples(500, 1), opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(r.spec.num_leaves(), 8);
+  EXPECT_GE(r.spec.num_leaves(), 2);
+}
+
+TEST(DpPartitionerTest, EmptyInput) {
+  PartitionerDpOptions opts;
+  const PartitionResult r = BuildPartitionDP({}, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.spec.num_leaves(), 1);
+}
+
+TEST(DpPartitionerTest, SingleSample) {
+  PartitionerDpOptions opts;
+  opts.num_leaves = 4;
+  const PartitionResult r = BuildPartitionDP({{0.5, 1.0}}, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.spec.num_leaves(), 1);
+  EXPECT_DOUBLE_EQ(r.achieved_error, 0.0);
+}
+
+TEST(DpPartitionerTest, MinimaxNoWorseThanSingleBucket) {
+  auto samples = RandomSamples(400, 3);
+  PartitionerDpOptions one;
+  one.num_leaves = 1;
+  PartitionerDpOptions many;
+  many.num_leaves = 16;
+  const double e1 = BuildPartitionDP(samples, one).achieved_error;
+  const double e16 = BuildPartitionDP(samples, many).achieved_error;
+  EXPECT_LE(e16, e1 + 1e-12);
+}
+
+class DpVsBsTest : public ::testing::TestWithParam<AggFunc> {};
+
+TEST_P(DpVsBsTest, DpAtLeastAsAccurateButSlower) {
+  const AggFunc f = GetParam();
+  Rng rng(5);
+  std::vector<KdPoint> pts;
+  std::vector<std::pair<double, double>> pairs;
+  for (size_t i = 0; i < 2000; ++i) {
+    KdPoint p;
+    p.id = i;
+    p.x[0] = rng.NextDouble();
+    p.a = rng.LogNormal(0, 1.5);
+    pts.push_back(p);
+    pairs.emplace_back(p.x[0], p.a);
+  }
+  MaxVarianceIndex::Options mo;
+  mo.dims = 1;
+  mo.focus = f;
+  MaxVarianceIndex idx(mo);
+  idx.Build(pts);
+
+  Partitioner1dOptions bs_opts;
+  bs_opts.num_leaves = 32;
+  bs_opts.focus = f;
+  bs_opts.data_size = 200000;
+  Timer bs_timer;
+  const PartitionResult bs = BuildPartition1D(idx, bs_opts);
+  const double bs_seconds = bs_timer.ElapsedSeconds();
+
+  PartitionerDpOptions dp_opts;
+  dp_opts.num_leaves = 32;
+  dp_opts.focus = f;
+  Timer dp_timer;
+  const PartitionResult dp = BuildPartitionDP(pairs, dp_opts);
+  const double dp_seconds = dp_timer.ElapsedSeconds();
+
+  ASSERT_TRUE(bs.ok);
+  ASSERT_TRUE(dp.ok);
+  // DP optimizes the same objective globally: its minimax error should not
+  // be much worse than BS's (both use the same approximate cost M).
+  EXPECT_LE(dp.achieved_error, bs.achieved_error * 2.0 + 1e-12);
+  // And the DP pass costs substantially more time (Table 3's shape).
+  EXPECT_GT(dp_seconds, bs_seconds * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Funcs, DpVsBsTest,
+                         ::testing::Values(AggFunc::kSum, AggFunc::kCount,
+                                           AggFunc::kAvg),
+                         [](const auto& info) {
+                           return AggFuncName(info.param);
+                         });
+
+TEST(DpPartitionerTest, UnsortedInputIsSorted) {
+  std::vector<std::pair<double, double>> samples{
+      {0.9, 1}, {0.1, 2}, {0.5, 3}, {0.3, 4}, {0.7, 5}};
+  PartitionerDpOptions opts;
+  opts.num_leaves = 2;
+  const PartitionResult r = BuildPartitionDP(samples, opts);
+  ASSERT_TRUE(r.ok);
+  // Boundaries must be within the key domain.
+  for (int leaf : r.spec.leaves) {
+    const Rectangle& rect = r.spec.nodes[static_cast<size_t>(leaf)].rect;
+    EXPECT_LE(rect.lo(0), rect.hi(0));
+  }
+}
+
+TEST(DpPartitionerTest, CandidateCoarseningKeepsResultReasonable) {
+  auto samples = RandomSamples(5000, 7);
+  PartitionerDpOptions fine;
+  fine.num_leaves = 8;
+  fine.max_candidates = 5000;
+  PartitionerDpOptions coarse;
+  coarse.num_leaves = 8;
+  coarse.max_candidates = 250;
+  const double ef = BuildPartitionDP(samples, fine).achieved_error;
+  const double ec = BuildPartitionDP(samples, coarse).achieved_error;
+  EXPECT_LE(ec, ef * 3.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace janus

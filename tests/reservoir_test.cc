@@ -1,0 +1,133 @@
+#include "sampling/reservoir.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+Tuple MakeTuple(uint64_t id, double v = 0) {
+  Tuple t;
+  t.id = id;
+  t[0] = v;
+  return t;
+}
+
+TEST(ReservoirTest, FillsToCapacity) {
+  DynamicReservoir res(10, 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto ch = res.OnInsert(MakeTuple(i), i + 1);
+    EXPECT_TRUE(ch.added.has_value());
+    EXPECT_FALSE(ch.evicted.has_value());
+  }
+  EXPECT_EQ(res.size(), 10u);
+}
+
+TEST(ReservoirTest, FullReservoirEvictsWhenAccepting) {
+  DynamicReservoir res(10, 2);
+  for (uint64_t i = 0; i < 10; ++i) res.OnInsert(MakeTuple(i), i + 1);
+  int accepted = 0;
+  for (uint64_t i = 10; i < 200; ++i) {
+    auto ch = res.OnInsert(MakeTuple(i), i + 1);
+    if (ch.added.has_value()) {
+      ++accepted;
+      EXPECT_TRUE(ch.evicted.has_value());
+      EXPECT_EQ(res.size(), 10u);
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 190);
+}
+
+TEST(ReservoirTest, DeleteNonSampledIsNoop) {
+  DynamicReservoir res(10, 3);
+  for (uint64_t i = 0; i < 10; ++i) res.OnInsert(MakeTuple(i), i + 1);
+  auto ch = res.OnDelete(999);
+  EXPECT_FALSE(ch.evicted.has_value());
+  EXPECT_FALSE(ch.needs_resample);
+  EXPECT_EQ(res.size(), 10u);
+}
+
+TEST(ReservoirTest, DeleteSampledShrinksUntilLowerBound) {
+  DynamicReservoir res(10, 4);
+  for (uint64_t i = 0; i < 10; ++i) res.OnInsert(MakeTuple(i), i + 1);
+  // Delete sampled tuples down to the lower bound m = 5.
+  size_t deletions = 0;
+  for (uint64_t i = 0; i < 10 && res.size() > res.lower_bound(); ++i) {
+    auto ch = res.OnDelete(i);
+    if (ch.evicted.has_value()) ++deletions;
+    EXPECT_FALSE(ch.needs_resample);
+  }
+  EXPECT_EQ(res.size(), res.lower_bound());
+  EXPECT_EQ(deletions, 5u);
+  // The next sampled deletion must request a full re-sample.
+  uint64_t sampled_id = res.samples()[0].id;
+  auto ch = res.OnDelete(sampled_id);
+  EXPECT_TRUE(ch.needs_resample);
+}
+
+TEST(ReservoirTest, ResetReplacesContents) {
+  DynamicReservoir res(10, 5);
+  for (uint64_t i = 0; i < 10; ++i) res.OnInsert(MakeTuple(i), i + 1);
+  std::vector<Tuple> fresh;
+  for (uint64_t i = 100; i < 108; ++i) fresh.push_back(MakeTuple(i));
+  res.Reset(fresh);
+  EXPECT_EQ(res.size(), 8u);
+  EXPECT_TRUE(res.Contains(103));
+  EXPECT_FALSE(res.Contains(3));
+}
+
+TEST(ReservoirTest, UniformityOverStream) {
+  // Every stream element should end up sampled with probability ~ 2m/N.
+  const size_t target = 100;
+  const size_t stream = 2000;
+  std::map<uint64_t, int> hits;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    DynamicReservoir res(target, static_cast<uint64_t>(rep) * 7919 + 1);
+    for (uint64_t i = 0; i < stream; ++i) res.OnInsert(MakeTuple(i), i + 1);
+    for (const Tuple& t : res.samples()) hits[t.id]++;
+  }
+  // Expected inclusion probability target/stream = 0.05.
+  double early = 0, late = 0;
+  for (uint64_t i = 0; i < 200; ++i) early += hits[i];
+  for (uint64_t i = stream - 200; i < stream; ++i) late += hits[i];
+  early /= 200.0 * reps;
+  late /= 200.0 * reps;
+  EXPECT_NEAR(early, 0.05, 0.015);
+  EXPECT_NEAR(late, 0.05, 0.015);
+}
+
+TEST(ReservoirTest, ContainsTracksMembership) {
+  DynamicReservoir res(4, 6);
+  for (uint64_t i = 1; i <= 4; ++i) res.OnInsert(MakeTuple(i), i);
+  EXPECT_TRUE(res.Contains(1));
+  // Above the lower bound: deletion physically removes the sample.
+  res.OnDelete(1);
+  EXPECT_FALSE(res.Contains(1));
+  EXPECT_TRUE(res.Contains(2));
+  // At the lower bound m = 2: deletion requests a re-sample instead, so the
+  // stale sample remains until Reset().
+  res.OnDelete(2);
+  auto ch = res.OnDelete(3);
+  EXPECT_TRUE(ch.needs_resample);
+  EXPECT_TRUE(res.Contains(3));
+}
+
+TEST(ReservoirTest, EvictedTupleReportedCorrectly) {
+  DynamicReservoir res(2, 7);
+  res.OnInsert(MakeTuple(1, 1.5), 1);
+  res.OnInsert(MakeTuple(2, 2.5), 2);
+  for (uint64_t i = 3; i < 100; ++i) {
+    auto ch = res.OnInsert(MakeTuple(i, 0), i);
+    if (ch.added.has_value()) {
+      ASSERT_TRUE(ch.evicted.has_value());
+      EXPECT_FALSE(res.Contains(ch.evicted->id));
+      EXPECT_TRUE(res.Contains(ch.added->id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace janus

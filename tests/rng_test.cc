@@ -1,0 +1,153 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextUint64BoundedAndCoversRange) {
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextUint64(10);
+    ASSERT_LT(v, 10u);
+    hits[static_cast<size_t>(v)]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(RngTest, NextInt64Inclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt64(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ZipfRangeAndSkew) {
+  Rng rng(23);
+  int ones = 0, twos = 0, rest = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.Zipf(100, 1.5);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+    ones += (v == 1);
+    twos += (v == 2);
+    rest += (v > 10);
+  }
+  // Rank 1 dominates rank 2 dominates the tail under s = 1.5.
+  EXPECT_GT(ones, n / 5);
+  EXPECT_GT(ones, twos);
+  EXPECT_LT(rest, n / 2);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(29);
+  auto idx = rng.SampleIndices(1000, 100);
+  ASSERT_EQ(idx.size(), 100u);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_TRUE(std::adjacent_find(idx.begin(), idx.end()) == idx.end());
+  EXPECT_LT(idx.back(), 1000u);
+}
+
+TEST(RngTest, SampleIndicesAllWhenKExceedsN) {
+  Rng rng(31);
+  auto idx = rng.SampleIndices(5, 10);
+  ASSERT_EQ(idx.size(), 5u);
+}
+
+TEST(RngTest, SampleIndicesUniformity) {
+  // Each index should appear with probability k/n.
+  Rng rng(37);
+  std::vector<int> hits(20, 0);
+  const int reps = 20000;
+  for (int r = 0; r < reps; ++r) {
+    for (size_t i : rng.SampleIndices(20, 5)) hits[i]++;
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / reps, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace janus

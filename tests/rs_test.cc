@@ -1,0 +1,96 @@
+#include "baselines/rs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/ground_truth.h"
+
+namespace janus {
+namespace {
+
+AggQuery MakeQuery(AggFunc f, double lo, double hi) {
+  AggQuery q;
+  q.func = f;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({lo}, {hi});
+  return q;
+}
+
+class RsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = GenerateUniform(20000, 1, 8);
+    RsOptions opts;
+    opts.sample_rate = 0.02;
+    system_ = std::make_unique<ReservoirBaseline>(opts);
+    system_->LoadInitial(ds_.rows);
+    system_->Initialize();
+  }
+  GeneratedDataset ds_;
+  std::unique_ptr<ReservoirBaseline> system_;
+};
+
+TEST_F(RsTest, ReservoirSizedByRate) {
+  EXPECT_EQ(system_->sample_size(), 800u);  // 2 * 0.02 * 20000
+}
+
+TEST_F(RsTest, SumCountAvgWithinSamplingError) {
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg}) {
+    const AggQuery q = MakeQuery(f, 0.2, 0.8);
+    const auto truth = ExactAnswer(ds_.rows, q);
+    ASSERT_TRUE(truth.has_value());
+    const QueryResult r = system_->Query(q);
+    EXPECT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.12)
+        << AggFuncName(f);
+  }
+}
+
+TEST_F(RsTest, CiIsReportedForSumCount) {
+  const QueryResult r = system_->Query(MakeQuery(AggFunc::kSum, 0.1, 0.9));
+  EXPECT_GT(r.ci_half_width, 0.0);
+  EXPECT_GT(r.variance_sample, 0.0);
+}
+
+TEST_F(RsTest, InsertionsShiftEstimates) {
+  auto rows = ds_.rows;
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    Tuple t;
+    t.id = 600000 + static_cast<uint64_t>(i);
+    t[0] = rng.NextDouble();
+    t[1] = 100.0;  // much larger values
+    system_->Insert(t);
+    rows.push_back(t);
+  }
+  const AggQuery q = MakeQuery(AggFunc::kSum, 0.0, 1.0);
+  const auto truth = ExactAnswer(rows, q);
+  const QueryResult r = system_->Query(q);
+  EXPECT_LT(std::abs(r.estimate - *truth) / *truth, 0.15);
+}
+
+TEST_F(RsTest, DeletionsHandledWithResample) {
+  for (uint64_t id = 0; id < 15000; ++id) system_->Delete(id);
+  EXPECT_EQ(system_->table().size(), 5000u);
+  std::vector<Tuple> remaining(ds_.rows.begin() + 15000, ds_.rows.end());
+  const AggQuery q = MakeQuery(AggFunc::kCount, 0.0, 1.0);
+  const QueryResult r = system_->Query(q);
+  EXPECT_NEAR(r.estimate, 5000.0, 400.0);
+}
+
+TEST_F(RsTest, MinMaxFromSample) {
+  const AggQuery qmin = MakeQuery(AggFunc::kMin, 0.0, 1.0);
+  const QueryResult r = system_->Query(qmin);
+  const auto truth = ExactAnswer(ds_.rows, qmin);
+  // Sample min is an upper bound of the true min.
+  EXPECT_GE(r.estimate, *truth);
+}
+
+TEST_F(RsTest, DeleteMissingReturnsFalse) {
+  EXPECT_FALSE(system_->Delete(987654321));
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,117 @@
+#include "stream/samplers.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+Tuple MakeTuple(uint64_t id) {
+  Tuple t;
+  t.id = id;
+  return t;
+}
+
+class SamplersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topic_ = std::make_unique<Topic>("data", /*poll_overhead_ns=*/0);
+    for (uint64_t i = 0; i < 10000; ++i) topic_->Append(MakeTuple(i));
+  }
+  std::unique_ptr<Topic> topic_;
+};
+
+TEST_F(SamplersTest, SingletonDrawsRequestedCount) {
+  SingletonSampler sampler(topic_.get(), 1);
+  SamplerStats stats;
+  auto sample = sampler.Sample(500, &stats);
+  EXPECT_EQ(sample.size(), 500u);
+  EXPECT_EQ(stats.polls, 500u);
+  EXPECT_EQ(stats.tuples_transferred, 500u);
+}
+
+TEST_F(SamplersTest, SingletonIsRoughlyUniform) {
+  SingletonSampler sampler(topic_.get(), 2);
+  std::map<uint64_t, int> hits;
+  SamplerStats stats;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (const Tuple& t : sampler.Sample(1000, &stats)) hits[t.id]++;
+  }
+  // 20k draws over 10k tuples: first and last decile should both get ~2k.
+  int first_decile = 0, last_decile = 0;
+  for (const auto& [id, n] : hits) {
+    if (id < 1000) first_decile += n;
+    if (id >= 9000) last_decile += n;
+  }
+  EXPECT_NEAR(first_decile, 2000, 350);
+  EXPECT_NEAR(last_decile, 2000, 350);
+}
+
+TEST_F(SamplersTest, SingletonSampleOne) {
+  SingletonSampler sampler(topic_.get(), 3);
+  Tuple t;
+  ASSERT_TRUE(sampler.SampleOne(&t));
+  EXPECT_LT(t.id, 10000u);
+}
+
+TEST_F(SamplersTest, SingletonEmptyTopic) {
+  Topic empty("empty", 0);
+  SingletonSampler sampler(&empty, 4);
+  Tuple t;
+  EXPECT_FALSE(sampler.SampleOne(&t));
+  SamplerStats stats;
+  EXPECT_TRUE(sampler.Sample(10, &stats).empty());
+}
+
+TEST_F(SamplersTest, SequentialTransfersWholeTopic) {
+  SequentialSampler sampler(topic_.get(), /*poll_size=*/1000, 5);
+  SamplerStats stats;
+  auto sample = sampler.Sample(500, &stats);
+  EXPECT_EQ(stats.tuples_transferred, 10000u);
+  EXPECT_EQ(stats.polls, 10u);
+  // Binomial subsample: ~500 expected.
+  EXPECT_NEAR(static_cast<double>(sample.size()), 500, 100);
+}
+
+TEST_F(SamplersTest, SequentialPollCountScalesWithPollSize) {
+  SequentialSampler small(topic_.get(), 100, 6);
+  SequentialSampler large(topic_.get(), 5000, 7);
+  SamplerStats s1, s2;
+  small.Sample(100, &s1);
+  large.Sample(100, &s2);
+  EXPECT_EQ(s1.polls, 100u);
+  EXPECT_EQ(s2.polls, 2u);
+}
+
+TEST_F(SamplersTest, SequentialUniformAcrossPositions) {
+  SequentialSampler sampler(topic_.get(), 512, 8);
+  std::map<uint64_t, int> hits;
+  SamplerStats stats;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (const Tuple& t : sampler.Sample(1000, &stats)) hits[t.id]++;
+  }
+  int first = 0, last = 0;
+  for (const auto& [id, n] : hits) {
+    if (id < 1000) first += n;
+    if (id >= 9000) last += n;
+  }
+  EXPECT_NEAR(first, 2000, 350);
+  EXPECT_NEAR(last, 2000, 350);
+}
+
+TEST_F(SamplersTest, OverheadMakesSingletonSlowerPerTuple) {
+  // With a visible per-poll cost the sequential sampler amortizes it, the
+  // singleton sampler cannot — the Appendix-A tradeoff.
+  Topic slow("slow", /*poll_overhead_ns=*/20000);
+  for (uint64_t i = 0; i < 5000; ++i) slow.Append(MakeTuple(i));
+  SingletonSampler single(&slow, 9);
+  SequentialSampler sequential(&slow, 1000, 10);
+  SamplerStats s1, s2;
+  single.Sample(1000, &s1);
+  sequential.Sample(1000, &s2);
+  EXPECT_GT(s1.seconds, s2.seconds);
+}
+
+}  // namespace
+}  // namespace janus

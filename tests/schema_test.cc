@@ -1,0 +1,87 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s;
+  s.column_names = {"a", "b", "c"};
+  EXPECT_EQ(s.ColumnIndex("a"), 0);
+  EXPECT_EQ(s.ColumnIndex("c"), 2);
+  EXPECT_EQ(s.ColumnIndex("zzz"), -1);
+  EXPECT_EQ(s.num_columns(), 3);
+}
+
+TEST(AggFuncTest, Names) {
+  EXPECT_STREQ(AggFuncName(AggFunc::kSum), "SUM");
+  EXPECT_STREQ(AggFuncName(AggFunc::kCount), "COUNT");
+  EXPECT_STREQ(AggFuncName(AggFunc::kAvg), "AVG");
+  EXPECT_STREQ(AggFuncName(AggFunc::kMin), "MIN");
+  EXPECT_STREQ(AggFuncName(AggFunc::kMax), "MAX");
+}
+
+TEST(RectangleTest, ContainsClosedIntervals) {
+  Rectangle r({0.0, 0.0}, {1.0, 2.0});
+  const double inside[] = {0.5, 1.0};
+  const double on_edge[] = {0.0, 2.0};
+  const double outside[] = {1.5, 1.0};
+  EXPECT_TRUE(r.Contains(inside));
+  EXPECT_TRUE(r.Contains(on_edge));
+  EXPECT_FALSE(r.Contains(outside));
+}
+
+TEST(RectangleTest, CoversSubsetSemantics) {
+  Rectangle big({0.0}, {10.0});
+  Rectangle small({2.0}, {5.0});
+  EXPECT_TRUE(big.Covers(small));
+  EXPECT_FALSE(small.Covers(big));
+  EXPECT_TRUE(big.Covers(big));
+}
+
+TEST(RectangleTest, IntersectsBoundaryTouch) {
+  Rectangle a({0.0}, {1.0});
+  Rectangle b({1.0}, {2.0});
+  Rectangle c({1.5}, {2.0});
+  EXPECT_TRUE(a.Intersects(b));  // closed intervals share x = 1
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+}
+
+TEST(RectangleTest, IntersectsMultiDimRequiresAllDims) {
+  Rectangle a({0.0, 0.0}, {1.0, 1.0});
+  Rectangle b({0.5, 2.0}, {1.5, 3.0});  // overlaps dim 0 only
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(RectangleTest, InfiniteCoversEverything) {
+  Rectangle inf = Rectangle::Infinite(2);
+  Rectangle r({-1e18, -1e18}, {1e18, 1e18});
+  EXPECT_TRUE(inf.Covers(r));
+  const double p[] = {1e300, -1e300};
+  EXPECT_TRUE(inf.Contains(p));
+}
+
+TEST(RectangleTest, EqualityAndToString) {
+  Rectangle a({0.0}, {1.0});
+  Rectangle b({0.0}, {1.0});
+  Rectangle c({0.0}, {2.0});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+TEST(TupleTest, ProjectTuple) {
+  Tuple t;
+  t[0] = 10;
+  t[1] = 20;
+  t[2] = 30;
+  double out[2];
+  ProjectTuple(t, {2, 0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 30);
+  EXPECT_DOUBLE_EQ(out[1], 10);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,138 @@
+#include "baselines/spn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+AggQuery MakeQuery(AggFunc f, double lo, double hi, int pred_col,
+                   int agg_col) {
+  AggQuery q;
+  q.func = f;
+  q.agg_column = agg_col;
+  q.predicate_columns = {pred_col};
+  q.rect = Rectangle({lo}, {hi});
+  return q;
+}
+
+TEST(SpnTest, TrainsAndCountsOnUniformData) {
+  auto ds = GenerateUniform(20000, 1, 21);
+  Spn spn(SpnOptions{}, {0, 1});
+  std::vector<Tuple> train(ds.rows.begin(), ds.rows.begin() + 2000);
+  spn.Train(train, ds.rows.size());
+  EXPECT_GT(spn.train_seconds(), 0.0);
+  EXPECT_GT(spn.num_nodes(), 1u);
+  const AggQuery q = MakeQuery(AggFunc::kCount, 0.2, 0.7, 0, 1);
+  const auto truth = ExactAnswer(ds.rows, q);
+  const QueryResult r = spn.Query(q);
+  EXPECT_LT(std::abs(r.estimate - *truth) / *truth, 0.1);
+}
+
+TEST(SpnTest, SumAndAvgEstimates) {
+  auto ds = GenerateUniform(20000, 1, 22);
+  Spn spn(SpnOptions{}, {0, 1});
+  std::vector<Tuple> train(ds.rows.begin(), ds.rows.begin() + 2000);
+  spn.Train(train, ds.rows.size());
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kAvg}) {
+    const AggQuery q = MakeQuery(f, 0.1, 0.9, 0, 1);
+    const auto truth = ExactAnswer(ds.rows, q);
+    const QueryResult r = spn.Query(q);
+    EXPECT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.15)
+        << AggFuncName(f);
+  }
+}
+
+TEST(SpnTest, CorrelatedColumnsStayJoint) {
+  // Build data with strong correlation between col 0 and col 1; the model
+  // must capture it (conditional expectation shifts with the predicate).
+  Rng rng(23);
+  std::vector<Tuple> rows;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    Tuple t;
+    t.id = i;
+    t[0] = rng.NextDouble();
+    t[1] = 100.0 * t[0] + rng.Normal(0, 1);  // strongly correlated
+    rows.push_back(t);
+  }
+  Spn spn(SpnOptions{}, {0, 1});
+  std::vector<Tuple> train(rows.begin(), rows.begin() + 2000);
+  spn.Train(train, rows.size());
+  const AggQuery low = MakeQuery(AggFunc::kAvg, 0.0, 0.2, 0, 1);
+  const AggQuery high = MakeQuery(AggFunc::kAvg, 0.8, 1.0, 0, 1);
+  const double avg_low = spn.Query(low).estimate;
+  const double avg_high = spn.Query(high).estimate;
+  EXPECT_GT(avg_high, avg_low + 40.0);  // truth: ~10 vs ~90
+}
+
+TEST(SpnTest, FixedResolutionDoesNotImproveWithPopulation) {
+  // The defining DeepDB behaviour (Table 2): growing the table only rescales
+  // N; the density model is frozen, so relative error stays flat.
+  auto ds = GenerateUniform(40000, 1, 24);
+  Spn spn(SpnOptions{}, {0, 1});
+  std::vector<Tuple> train(ds.rows.begin(), ds.rows.begin() + 2000);
+  spn.Train(train, 20000);
+  const AggQuery q = MakeQuery(AggFunc::kCount, 0.3, 0.6, 0, 1);
+  std::vector<Tuple> first(ds.rows.begin(), ds.rows.begin() + 20000);
+  const auto truth1 = ExactAnswer(first, q);
+  const double rel1 =
+      std::abs(spn.Query(q).estimate - *truth1) / *truth1;
+  // Double the data; update only the population scale.
+  spn.set_population(40000);
+  const auto truth2 = ExactAnswer(ds.rows, q);
+  const double rel2 =
+      std::abs(spn.Query(q).estimate - *truth2) / *truth2;
+  EXPECT_LT(std::abs(rel1 - rel2), 0.05);  // error plateau
+}
+
+TEST(SpnTest, RetrainCostScalesWithTrainingSize) {
+  auto ds = GenerateUniform(60000, 2, 25);
+  Spn small(SpnOptions{}, {0, 1, 2});
+  Spn large(SpnOptions{}, {0, 1, 2});
+  std::vector<Tuple> t1(ds.rows.begin(), ds.rows.begin() + 2000);
+  std::vector<Tuple> t2(ds.rows.begin(), ds.rows.begin() + 32000);
+  small.Train(t1, ds.rows.size());
+  large.Train(t2, ds.rows.size());
+  EXPECT_GT(large.train_seconds(), small.train_seconds() * 2);
+}
+
+TEST(SpnTest, MinMaxFallBackToTrainingExtrema) {
+  auto ds = GenerateUniform(5000, 1, 26);
+  Spn spn(SpnOptions{}, {0, 1});
+  spn.Train(ds.rows, ds.rows.size());
+  const AggQuery q = MakeQuery(AggFunc::kMax, 0.4, 0.6, 0, 1);
+  double true_max = -1e300;
+  for (const Tuple& t : ds.rows) true_max = std::max(true_max, t[1]);
+  EXPECT_DOUBLE_EQ(spn.Query(q).estimate, true_max);
+}
+
+TEST(SpnTest, EmptyPredicateRangeGivesZeroCount) {
+  auto ds = GenerateUniform(5000, 1, 27);
+  Spn spn(SpnOptions{}, {0, 1});
+  spn.Train(ds.rows, ds.rows.size());
+  const AggQuery q = MakeQuery(AggFunc::kCount, 5.0, 6.0, 0, 1);
+  EXPECT_NEAR(spn.Query(q).estimate, 0.0, 1.0);
+}
+
+TEST(SpnTest, MultiDimPredicates) {
+  auto ds = GenerateUniform(30000, 3, 28);
+  Spn spn(SpnOptions{}, {0, 1, 2, 3});
+  std::vector<Tuple> train(ds.rows.begin(), ds.rows.begin() + 3000);
+  spn.Train(train, ds.rows.size());
+  AggQuery q;
+  q.func = AggFunc::kCount;
+  q.agg_column = 3;
+  q.predicate_columns = {0, 1, 2};
+  q.rect = Rectangle({0.2, 0.2, 0.2}, {0.8, 0.8, 0.8});
+  const auto truth = ExactAnswer(ds.rows, q);
+  const QueryResult r = spn.Query(q);
+  EXPECT_LT(std::abs(r.estimate - *truth) / *truth, 0.2);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,126 @@
+#include "core/spt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/workload.h"
+
+namespace janus {
+namespace {
+
+class SptAlgorithmTest : public ::testing::TestWithParam<PartitionAlgorithm> {
+ protected:
+  SptOptions BaseOptions() {
+    SptOptions o;
+    o.spec.agg_column = 1;
+    o.spec.predicate_columns = {0};
+    o.num_leaves = 32;
+    o.sample_rate = 0.02;
+    o.algorithm = GetParam();
+    return o;
+  }
+};
+
+TEST_P(SptAlgorithmTest, BuildsAndAnswersAccurately) {
+  auto ds = GenerateUniform(20000, 1, 5);
+  SptBuildResult built = BuildSpt(ds.rows, BaseOptions());
+  ASSERT_NE(built.synopsis, nullptr);
+  EXPECT_GT(built.total_seconds, 0);
+  EXPECT_EQ(built.synopsis->mode(), StatMode::kExact);
+
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions wopts;
+  wopts.num_queries = 100;
+  auto queries = gen.Generate(ds.rows, wopts);
+  auto truths = ExactAnswers(ds.rows, queries);
+  std::vector<double> errors;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!truths[i].has_value() || *truths[i] == 0) continue;
+    const QueryResult r = built.synopsis->Query(queries[i]);
+    errors.push_back(std::abs(r.estimate - *truths[i]) /
+                     std::abs(*truths[i]));
+  }
+  ASSERT_GT(errors.size(), 50u);
+  std::sort(errors.begin(), errors.end());
+  EXPECT_LT(errors[errors.size() / 2], 0.05);  // median rel error < 5%
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, SptAlgorithmTest,
+    ::testing::Values(PartitionAlgorithm::kBinarySearch,
+                      PartitionAlgorithm::kDynamicProgram,
+                      PartitionAlgorithm::kEqualDepth,
+                      PartitionAlgorithm::kKdTree),
+    [](const auto& info) {
+      switch (info.param) {
+        case PartitionAlgorithm::kBinarySearch:
+          return "BS";
+        case PartitionAlgorithm::kDynamicProgram:
+          return "DP";
+        case PartitionAlgorithm::kEqualDepth:
+          return "EqualDepth";
+        case PartitionAlgorithm::kKdTree:
+          return "KdTree";
+      }
+      return "?";
+    });
+
+TEST(SptTest, PartitionTimeReportedSeparately) {
+  auto ds = GenerateUniform(10000, 1, 7);
+  SptOptions o;
+  o.spec.agg_column = 1;
+  o.spec.predicate_columns = {0};
+  o.num_leaves = 16;
+  SptBuildResult built = BuildSpt(ds.rows, o);
+  EXPECT_GE(built.total_seconds, built.partition_seconds);
+}
+
+TEST(SptTest, MultiDimUsesKdPartitioner) {
+  auto ds = GenerateUniform(20000, 3, 9);
+  SptOptions o;
+  o.spec.agg_column = 3;
+  o.spec.predicate_columns = {0, 1, 2};
+  o.num_leaves = 64;
+  o.sample_rate = 0.05;
+  o.algorithm = PartitionAlgorithm::kBinarySearch;  // must reroute to kd
+  SptBuildResult built = BuildSpt(ds.rows, o);
+  ASSERT_NE(built.synopsis, nullptr);
+  EXPECT_EQ(built.synopsis->tree().dims, 3);
+  EXPECT_GT(built.synopsis->tree().num_leaves(), 8);
+
+  WorkloadGenerator gen(ds.rows, {0, 1, 2}, 3);
+  WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  wopts.min_count = 50;
+  auto queries = gen.Generate(ds.rows, wopts);
+  auto truths = ExactAnswers(ds.rows, queries);
+  std::vector<double> errors;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!truths[i].has_value() || *truths[i] == 0) continue;
+    const QueryResult r = built.synopsis->Query(queries[i]);
+    errors.push_back(std::abs(r.estimate - *truths[i]) /
+                     std::abs(*truths[i]));
+  }
+  ASSERT_GT(errors.size(), 30u);
+  std::sort(errors.begin(), errors.end());
+  EXPECT_LT(errors[errors.size() / 2], 0.2);
+}
+
+TEST(SptTest, OptimizePartitionStandalone) {
+  auto ds = GenerateUniform(5000, 1, 11);
+  SptOptions o;
+  o.spec.agg_column = 1;
+  o.spec.predicate_columns = {0};
+  o.num_leaves = 8;
+  std::vector<Tuple> sample(ds.rows.begin(), ds.rows.begin() + 500);
+  const PartitionResult pr = OptimizePartition(sample, o, ds.rows.size());
+  ASSERT_TRUE(pr.ok);
+  EXPECT_LE(pr.spec.num_leaves(), 8);
+  EXPECT_GE(pr.spec.num_leaves(), 2);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,108 @@
+#include "baselines/srs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/ground_truth.h"
+
+namespace janus {
+namespace {
+
+AggQuery MakeQuery(AggFunc f, double lo, double hi) {
+  AggQuery q;
+  q.func = f;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({lo}, {hi});
+  return q;
+}
+
+class SrsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = GenerateUniform(20000, 1, 12);
+    SrsOptions opts;
+    opts.num_strata = 32;
+    opts.predicate_column = 0;
+    opts.sample_rate = 0.02;
+    system_ = std::make_unique<StratifiedReservoirBaseline>(opts);
+    system_->LoadInitial(ds_.rows);
+    system_->Initialize();
+  }
+  GeneratedDataset ds_;
+  std::unique_ptr<StratifiedReservoirBaseline> system_;
+};
+
+TEST_F(SrsTest, StrataPopulationsSumToTable) {
+  double total = 0;
+  for (int s = 0; s < system_->num_strata(); ++s) {
+    total += system_->StratumPopulation(s);
+  }
+  EXPECT_DOUBLE_EQ(total, 20000.0);
+}
+
+TEST_F(SrsTest, EqualDepthStrataAreBalanced) {
+  for (int s = 0; s < system_->num_strata(); ++s) {
+    EXPECT_NEAR(system_->StratumPopulation(s), 20000.0 / 32, 20.0);
+  }
+}
+
+TEST_F(SrsTest, EstimatesWithinSamplingError) {
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg}) {
+    const AggQuery q = MakeQuery(f, 0.15, 0.85);
+    const auto truth = ExactAnswer(ds_.rows, q);
+    const QueryResult r = system_->Query(q);
+    EXPECT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.12)
+        << AggFuncName(f);
+  }
+}
+
+TEST_F(SrsTest, PopulationCountersTrackUpdates) {
+  Tuple t;
+  t.id = 700000;
+  t[0] = 0.0;  // first stratum
+  t[1] = 1.0;
+  const double before = system_->StratumPopulation(0);
+  system_->Insert(t);
+  EXPECT_DOUBLE_EQ(system_->StratumPopulation(0), before + 1);
+  system_->Delete(700000);
+  EXPECT_DOUBLE_EQ(system_->StratumPopulation(0), before);
+}
+
+TEST_F(SrsTest, DeletionsKeepEstimatesConsistent) {
+  // Delete all tuples in the lower half of the key space.
+  std::vector<Tuple> remaining;
+  for (const Tuple& t : ds_.rows) {
+    if (t[0] < 0.5) {
+      system_->Delete(t.id);
+    } else {
+      remaining.push_back(t);
+    }
+  }
+  const AggQuery q = MakeQuery(AggFunc::kCount, 0.0, 1.0);
+  const auto truth = ExactAnswer(remaining, q);
+  const QueryResult r = system_->Query(q);
+  EXPECT_NEAR(r.estimate, *truth, *truth * 0.1);
+  // Queries entirely in the emptied region return ~0.
+  const QueryResult zero = system_->Query(MakeQuery(AggFunc::kCount, 0.0, 0.4));
+  EXPECT_LT(zero.estimate, 200.0);
+}
+
+TEST_F(SrsTest, StratifiedBeatsUniformOnStratifiedSkew) {
+  // Construct data where the aggregate variance differs wildly by region;
+  // stratification should help narrow queries aligned with strata.
+  const AggQuery q = MakeQuery(AggFunc::kSum, 0.0, 0.25);
+  const auto truth = ExactAnswer(ds_.rows, q);
+  const QueryResult r = system_->Query(q);
+  EXPECT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.15);
+  EXPECT_GT(r.ci_half_width, 0.0);
+}
+
+TEST_F(SrsTest, DeleteMissingReturnsFalse) {
+  EXPECT_FALSE(system_->Delete(987654321));
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,196 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/janus.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+JanusOptions TriggerOptions() {
+  JanusOptions o;
+  o.spec.agg_column = 1;
+  o.spec.predicate_columns = {0};
+  o.num_leaves = 16;
+  o.sample_rate = 0.02;
+  o.catchup_rate = 0.10;
+  o.enable_triggers = true;
+  o.trigger_check_interval = 32;
+  o.beta = 4.0;  // sensitive, so tests fire quickly
+  return o;
+}
+
+Tuple SkewTuple(uint64_t id, double key, double value) {
+  Tuple t;
+  t.id = id;
+  t[0] = key;
+  t[1] = value;
+  return t;
+}
+
+TEST(TriggersTest, NoFireUnderStationaryInserts) {
+  auto ds = GenerateUniform(10000, 1, 31);
+  JanusAqp system(TriggerOptions());
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  system.RunCatchupToGoal();
+  Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    Tuple t;
+    t.id = 100000 + static_cast<uint64_t>(i);
+    t[0] = rng.NextDouble();
+    t[1] = rng.Normal(10, 2);
+    system.Insert(t);
+  }
+  EXPECT_GT(system.counters().trigger_checks, 0u);
+  // Stationary data: the variance profile is stable, no re-partition.
+  EXPECT_EQ(system.counters().repartitions, 0u);
+}
+
+TEST(TriggersTest, SkewedInsertsFireVarianceDrift) {
+  auto ds = GenerateUniform(10000, 1, 33);
+  JanusAqp system(TriggerOptions());
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  system.RunCatchupToGoal();
+  // Blast high-variance values into a narrow key range: the touched leaf's
+  // max variance explodes past beta.
+  Rng rng(2);
+  for (int i = 0; i < 8000; ++i) {
+    const double v = rng.Bernoulli(0.5) ? 0.0 : 5000.0;  // huge spread
+    system.Insert(SkewTuple(200000 + static_cast<uint64_t>(i),
+                            0.95 + 0.05 * rng.NextDouble(), v));
+  }
+  EXPECT_GT(system.counters().trigger_fires, 0u);
+  EXPECT_GT(system.counters().repartitions, 0u);
+}
+
+TEST(TriggersTest, RepartitionReducesErrorUnderSkew) {
+  auto ds = GenerateUniform(20000, 1, 35);
+  // Two systems on identical streams: triggers on vs off (DPT baseline).
+  JanusOptions with = TriggerOptions();
+  JanusOptions without = TriggerOptions();
+  without.enable_triggers = false;
+  JanusAqp a(with), b(without);
+  a.LoadInitial(ds.rows);
+  b.LoadInitial(ds.rows);
+  a.Initialize();
+  b.Initialize();
+  a.RunCatchupToGoal();
+  b.RunCatchupToGoal();
+  auto rows = ds.rows;
+  Rng rng(3);
+  for (int i = 0; i < 15000; ++i) {
+    const Tuple t = SkewTuple(300000 + static_cast<uint64_t>(i),
+                              0.98 + 0.02 * rng.NextDouble(),
+                              rng.Bernoulli(0.5) ? 0.0 : 2000.0);
+    a.Insert(t);
+    b.Insert(t);
+    rows.push_back(t);
+  }
+  a.RunCatchupToGoal();
+  // Queries into the hot region.
+  AggQuery q;
+  q.func = AggFunc::kSum;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  std::vector<double> err_a, err_b;
+  Rng qrng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double lo = 0.9 + 0.1 * qrng.NextDouble();
+    const double hi = lo + 0.05;
+    q.rect = Rectangle({lo}, {hi});
+    const auto truth = ExactAnswer(rows, q);
+    if (!truth.has_value() || *truth == 0) continue;
+    err_a.push_back(std::abs(a.Query(q).estimate - *truth) /
+                    std::abs(*truth));
+    err_b.push_back(std::abs(b.Query(q).estimate - *truth) /
+                    std::abs(*truth));
+  }
+  ASSERT_GT(err_a.size(), 20u);
+  std::sort(err_a.begin(), err_a.end());
+  std::sort(err_b.begin(), err_b.end());
+  // With re-partitioning the skewed region gets finer buckets: median error
+  // must not be worse than the frozen baseline.
+  EXPECT_LE(err_a[err_a.size() / 2], err_b[err_b.size() / 2] * 1.5 + 0.01);
+  EXPECT_GT(a.counters().repartitions + a.counters().partial_repartitions,
+            0u);
+}
+
+TEST(TriggersTest, StarvationFiresAfterLeafDrain) {
+  auto ds = GenerateUniform(10000, 1, 37);
+  JanusOptions opts = TriggerOptions();
+  opts.trigger_check_interval = 8;
+  opts.starvation_factor = 1.0;
+  JanusAqp system(opts);
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  system.RunCatchupToGoal();
+  // Delete every tuple inside the first leaf's bucket: its stratum empties
+  // and the starvation trigger must fire.
+  const int first_leaf = system.dpt().tree().leaves.front();
+  const double cutoff = system.dpt().LeafRect(first_leaf).hi(0);
+  std::vector<uint64_t> victims;
+  for (const Tuple& t : ds.rows) {
+    if (t[0] <= cutoff) victims.push_back(t.id);
+  }
+  ASSERT_GT(victims.size(), 100u);
+  for (uint64_t id : victims) system.Delete(id);
+  EXPECT_GT(system.counters().trigger_fires, 0u);
+}
+
+TEST(TriggersTest, PartialRepartitionPath) {
+  auto ds = GenerateUniform(20000, 1, 39);
+  JanusOptions opts = TriggerOptions();
+  opts.partial_repartition_psi = 2;
+  JanusAqp system(opts);
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  system.RunCatchupToGoal();
+  auto rows = ds.rows;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const Tuple t = SkewTuple(400000 + static_cast<uint64_t>(i),
+                              0.97 + 0.03 * rng.NextDouble(),
+                              rng.Bernoulli(0.5) ? 0.0 : 3000.0);
+    system.Insert(t);
+    rows.push_back(t);
+  }
+  EXPECT_GT(system.counters().partial_repartitions +
+                system.counters().repartitions,
+            0u);
+  // Tree invariants survive grafting: every point still routes to a leaf
+  // whose rectangle contains it, and count estimates stay consistent.
+  AggQuery q;
+  q.func = AggFunc::kCount;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({-1.0}, {2.0});
+  const auto truth = ExactAnswer(rows, q);
+  system.RunCatchupToGoal();
+  EXPECT_NEAR(system.Query(q).estimate, *truth, *truth * 0.1);
+}
+
+TEST(TriggersTest, ManualCheckTriggersRespectsInterval) {
+  auto ds = GenerateUniform(5000, 1, 41);
+  JanusOptions opts = TriggerOptions();
+  opts.trigger_check_interval = 1000000;  // effectively never
+  JanusAqp system(opts);
+  system.LoadInitial(ds.rows);
+  system.Initialize();
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t;
+    t.id = 500000 + static_cast<uint64_t>(i);
+    t[0] = rng.NextDouble();
+    t[1] = rng.Normal(10, 2);
+    system.Insert(t);
+  }
+  EXPECT_EQ(system.counters().trigger_checks, 0u);
+}
+
+}  // namespace
+}  // namespace janus

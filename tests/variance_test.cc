@@ -1,0 +1,103 @@
+#include "core/variance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace janus {
+namespace {
+
+TreeAgg MakeAgg(std::initializer_list<double> values) {
+  TreeAgg agg;
+  for (double v : values) {
+    agg.count += 1;
+    agg.sum += v;
+    agg.sumsq += v * v;
+  }
+  return agg;
+}
+
+TEST(VarianceTest, SumQueryVarianceClosedForm) {
+  // N_i = 100, m_i = 4, matching values {1, 2}.
+  const TreeAgg q = MakeAgg({1, 2});
+  // N^2/m^3 * (m * 5 - 9) = 10000 / 64 * 11.
+  EXPECT_NEAR(SumQueryVariance(100, 4, q), 10000.0 / 64.0 * 11.0, 1e-9);
+}
+
+TEST(VarianceTest, SumVarianceZeroWhenNoSamples) {
+  EXPECT_DOUBLE_EQ(SumQueryVariance(100, 0, MakeAgg({})), 0.0);
+}
+
+TEST(VarianceTest, SumVarianceZeroWhenAllMatchEqualConstant) {
+  // All m_i samples match with identical values: spread m*Σa²-(Σa)² = 0.
+  const TreeAgg q = MakeAgg({3, 3, 3, 3});
+  EXPECT_NEAR(SumQueryVariance(50, 4, q), 0.0, 1e-9);
+}
+
+TEST(VarianceTest, CountQueryVarianceMatchesBinomialShape) {
+  // COUNT variance is maximized at half coverage.
+  const double half = CountQueryVariance(100, 10, 5);
+  const double low = CountQueryVariance(100, 10, 1);
+  const double full = CountQueryVariance(100, 10, 10);
+  EXPECT_GT(half, low);
+  EXPECT_NEAR(full, 0.0, 1e-9);  // all samples match -> no uncertainty
+}
+
+TEST(VarianceTest, AvgQueryVarianceClosedForm) {
+  const TreeAgg q = MakeAgg({2, 4});
+  // w=1: 1/(m*cnt^2) * (m*20 - 36) with m=8: (160-36)/(8*4)=3.875.
+  EXPECT_NEAR(AvgQueryVariance(1.0, 8, q), 124.0 / 32.0, 1e-9);
+}
+
+TEST(VarianceTest, AvgVarianceScalesWithWeightSquared) {
+  const TreeAgg q = MakeAgg({1, 5, 9});
+  const double v1 = AvgQueryVariance(1.0, 10, q);
+  const double v2 = AvgQueryVariance(2.0, 10, q);
+  EXPECT_NEAR(v2, 4.0 * v1, 1e-9);
+}
+
+TEST(VarianceTest, CatchupVarianceShrinksWithMoreSamples) {
+  // Same per-sample spread, more catch-up samples => smaller variance.
+  TreeAgg small = MakeAgg({1, 3});
+  TreeAgg large;
+  for (int i = 0; i < 100; ++i) {
+    const double v = (i % 2 == 0) ? 1 : 3;
+    large.count += 1;
+    large.sum += v;
+    large.sumsq += v * v;
+  }
+  const double vs = SumCatchupVariance(1000, small.count, small);
+  const double vl = SumCatchupVariance(1000, large.count, large);
+  EXPECT_GT(vs, vl);
+}
+
+TEST(VarianceTest, SumCatchupMatchesSumQueryAlgebra) {
+  const TreeAgg h = MakeAgg({1, 2, 3});
+  EXPECT_DOUBLE_EQ(SumCatchupVariance(100, 3, h), SumQueryVariance(100, 3, h));
+}
+
+TEST(VarianceTest, LeafErrorUsesSamplingRateScale) {
+  const TreeAgg q = MakeAgg({1, 2, 5});
+  // N_i = m/alpha: quadrupling alpha divides N^2 by 16.
+  const double a = SumLeafError(0.01, 3, q);
+  const double b = SumLeafError(0.04, 3, q);
+  EXPECT_NEAR(a / b, 16.0, 1e-6);
+}
+
+TEST(VarianceTest, AvgLeafErrorIndependentOfScale) {
+  const TreeAgg q = MakeAgg({1, 2, 5});
+  EXPECT_GT(AvgLeafError(10, q), 0.0);
+  EXPECT_DOUBLE_EQ(AvgLeafError(10, MakeAgg({})), 0.0);
+}
+
+TEST(VarianceTest, NegativeSpreadClampedToZero) {
+  // Construct q where floating-point cancellation could go negative.
+  TreeAgg q;
+  q.count = 2;
+  q.sum = 2e8;
+  q.sumsq = 2e16 - 1;  // m*sumsq - sum^2 = 4e16 - 2 - 4e16 < 0
+  EXPECT_GE(SumQueryVariance(10, 2, q), 0.0);
+}
+
+}  // namespace
+}  // namespace janus

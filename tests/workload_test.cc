@@ -1,0 +1,142 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/ground_truth.h"
+
+namespace janus {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  auto ds = GenerateUniform(5000, 1, 1);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 100;
+  opts.min_count = 10;
+  auto queries = gen.Generate(ds.rows, opts);
+  EXPECT_EQ(queries.size(), 100u);
+}
+
+TEST(WorkloadTest, RespectsMinCount) {
+  auto ds = GenerateUniform(5000, 1, 2);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 50;
+  opts.min_count = 25;
+  auto queries = gen.Generate(ds.rows, opts);
+  for (const AggQuery& q : queries) {
+    AggQuery count_q = q;
+    count_q.func = AggFunc::kCount;
+    auto truth = ExactAnswer(ds.rows, count_q);
+    ASSERT_TRUE(truth.has_value());
+    EXPECT_GE(*truth, 25.0);
+  }
+}
+
+TEST(WorkloadTest, RectWithinDomain) {
+  auto ds = GenerateUniform(1000, 2, 3);
+  WorkloadGenerator gen(ds.rows, {0, 1}, 2);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    Rectangle r = gen.RandomRect(&rng);
+    ASSERT_EQ(r.dims(), 2);
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_LE(r.lo(d), r.hi(d));
+      EXPECT_GE(r.lo(d), 0.0);
+      EXPECT_LE(r.hi(d), 1.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  auto ds = GenerateUniform(2000, 1, 4);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 20;
+  opts.seed = 99;
+  auto a = gen.Generate(ds.rows, opts);
+  auto b = gen.Generate(ds.rows, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].rect == b[i].rect);
+  }
+}
+
+TEST(WorkloadTest, CarriesTemplateColumns) {
+  auto ds = GenerateUniform(1000, 2, 5);
+  WorkloadGenerator gen(ds.rows, {1, 0}, 2);
+  WorkloadOptions opts;
+  opts.num_queries = 5;
+  opts.func = AggFunc::kAvg;
+  auto queries = gen.Generate(ds.rows, opts);
+  for (const AggQuery& q : queries) {
+    EXPECT_EQ(q.func, AggFunc::kAvg);
+    EXPECT_EQ(q.agg_column, 2);
+    EXPECT_EQ(q.predicate_columns, (std::vector<int>{1, 0}));
+  }
+}
+
+TEST(GroundTruthTest, ExactAnswerAllFunctions) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 10; ++i) {
+    Tuple t;
+    t.id = static_cast<uint64_t>(i);
+    t[0] = i;       // predicate
+    t[1] = i * 10;  // aggregate
+    rows.push_back(t);
+  }
+  AggQuery q;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({2.0}, {5.0});  // rows 2,3,4,5
+  q.func = AggFunc::kSum;
+  EXPECT_DOUBLE_EQ(*ExactAnswer(rows, q), 140.0);
+  q.func = AggFunc::kCount;
+  EXPECT_DOUBLE_EQ(*ExactAnswer(rows, q), 4.0);
+  q.func = AggFunc::kAvg;
+  EXPECT_DOUBLE_EQ(*ExactAnswer(rows, q), 35.0);
+  q.func = AggFunc::kMin;
+  EXPECT_DOUBLE_EQ(*ExactAnswer(rows, q), 20.0);
+  q.func = AggFunc::kMax;
+  EXPECT_DOUBLE_EQ(*ExactAnswer(rows, q), 50.0);
+}
+
+TEST(GroundTruthTest, EmptyPredicateIsNullopt) {
+  std::vector<Tuple> rows(3);
+  rows[0][0] = 1;
+  rows[1][0] = 2;
+  rows[2][0] = 3;
+  AggQuery q;
+  q.agg_column = 0;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({10.0}, {20.0});
+  q.func = AggFunc::kAvg;
+  EXPECT_FALSE(ExactAnswer(rows, q).has_value());
+}
+
+TEST(GroundTruthTest, BatchMatchesSingle) {
+  auto ds = GenerateUniform(2000, 1, 6);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 30;
+  auto queries = gen.Generate(ds.rows, opts);
+  auto batch = ExactAnswers(ds.rows, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto single = ExactAnswer(ds.rows, queries[i]);
+    ASSERT_EQ(single.has_value(), batch[i].has_value());
+    if (single.has_value()) {
+      EXPECT_DOUBLE_EQ(*single, *batch[i]);
+    }
+  }
+}
+
+TEST(GroundTruthTest, RelativeError) {
+  EXPECT_FALSE(RelativeError(std::nullopt, 1.0).has_value());
+  EXPECT_FALSE(RelativeError(0.0, 1.0).has_value());
+  EXPECT_DOUBLE_EQ(*RelativeError(100.0, 90.0), 0.1);
+  EXPECT_DOUBLE_EQ(*RelativeError(-100.0, -110.0), 0.1);
+}
+
+}  // namespace
+}  // namespace janus
