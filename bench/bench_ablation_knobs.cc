@@ -4,9 +4,9 @@
 // the knee of this sweep.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -21,21 +21,17 @@ void Run(size_t rows, size_t num_queries) {
               "P95", "latency(ms)", "samples");
   for (double alpha : {0.005, 0.01, 0.02}) {
     for (int k : {16, 64, 128, 256, 512}) {
-      JanusOptions opts;
-      opts.spec.agg_column = tmpl.aggregate_column;
-      opts.spec.predicate_columns = {tmpl.predicate_column};
-      opts.num_leaves = k;
-      opts.sample_rate = alpha;
-      opts.catchup_rate = 0.10;
-      opts.enable_triggers = false;
-      JanusAqp system(opts);
-      system.LoadInitial(ds.rows);
-      system.Initialize();
-      system.RunCatchupToGoal();
-      const auto stats = bench::EvaluateWorkload(system, ds.rows, queries);
+      EngineConfig cfg = bench::DefaultConfig(tmpl);
+      cfg.num_leaves = k;
+      cfg.sample_rate = alpha;
+      auto system = EngineRegistry::Create("janus", cfg);
+      system->LoadInitial(ds.rows);
+      system->Initialize();
+      system->RunCatchupToGoal();
+      const auto stats = bench::EvaluateWorkload(*system, ds.rows, queries);
       std::printf("%-8d %-8.3f %10.4f %10.4f %14.4f %14zu\n", k, alpha,
                   stats.median, stats.p95, stats.mean_latency_ms,
-                  system.dpt().sample_size());
+                  system->Stats().sample_size);
     }
   }
 }
@@ -44,9 +40,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 80000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 80000);
+  const size_t queries = args.GetSize("queries", 300);
   janus::bench::PrintHeader(
       "Ablation (Sec. 5.5): leaf count / sampling rate sweep");
   janus::Run(rows, queries);

@@ -5,9 +5,10 @@
 // around the problematic leaf and keeps the estimates of unchanged nodes.
 
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -17,20 +18,20 @@ void Run(size_t rows, size_t num_queries) {
               "repartitions");
   for (int psi : {0, 1, 2, 3}) {
     auto ds = GenerateUniform(rows, 1, 2323);
-    JanusOptions opts;
-    opts.spec.agg_column = 1;
-    opts.spec.predicate_columns = {0};
-    opts.num_leaves = 128;
-    opts.sample_rate = 0.02;
-    opts.catchup_rate = 0.10;
-    opts.enable_triggers = true;
-    opts.beta = 4.0;
-    opts.trigger_check_interval = 64;
-    opts.partial_repartition_psi = psi;
-    JanusAqp system(opts);
-    system.LoadInitial(ds.rows);
-    system.Initialize();
-    system.RunCatchupToGoal();
+    EngineConfig cfg;
+    cfg.agg_column = 1;
+    cfg.predicate_columns = {0};
+    cfg.num_leaves = 128;
+    cfg.sample_rate = 0.02;
+    cfg.catchup_rate = 0.10;
+    cfg.enable_triggers = true;
+    cfg.beta = 4.0;
+    cfg.trigger_check_interval = 64;
+    cfg.partial_repartition_psi = psi;
+    auto system = EngineRegistry::Create("janus", cfg);
+    system->LoadInitial(ds.rows);
+    system->Initialize();
+    system->RunCatchupToGoal();
 
     // Skewed high-variance burst into a narrow region.
     std::vector<Tuple> live = ds.rows;
@@ -41,26 +42,25 @@ void Run(size_t rows, size_t num_queries) {
       t.id = 9000000 + i;
       t[0] = 0.95 + 0.05 * rng.NextDouble();
       t[1] = rng.Bernoulli(0.5) ? 0.0 : 1000.0;
-      const uint64_t before = system.counters().repartitions +
-                              system.counters().partial_repartitions;
-      system.Insert(t);
-      const uint64_t after = system.counters().repartitions +
-                             system.counters().partial_repartitions;
-      if (after > before) {
-        reopt_seconds += system.counters().last_reopt_seconds;
+      const EngineStats before = system->Stats();
+      system->Insert(t);
+      const EngineStats after = system->Stats();
+      if (after.repartitions + after.partial_repartitions >
+          before.repartitions + before.partial_repartitions) {
+        reopt_seconds += after.last_reopt_seconds;
       }
       live.push_back(t);
     }
-    system.RunCatchupToGoal();
+    system->RunCatchupToGoal();
     auto queries =
         bench::MakeWorkload(live, 0, 1, num_queries, AggFunc::kSum, 61);
-    const auto stats = bench::EvaluateWorkload(system, live, queries);
+    const auto stats = bench::EvaluateWorkload(*system, live, queries);
+    const EngineStats es = system->Stats();
     std::printf("%-12s %14.4f %14.4f %16lu\n",
                 psi == 0 ? "full" : ("psi=" + std::to_string(psi)).c_str(),
                 reopt_seconds, stats.p95,
-                static_cast<unsigned long>(system.counters().repartitions +
-                                           system.counters()
-                                               .partial_repartitions));
+                static_cast<unsigned long>(es.repartitions +
+                                           es.partial_repartitions));
   }
 }
 
@@ -68,9 +68,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 40000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 200);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 40000);
+  const size_t queries = args.GetSize("queries", 200);
   janus::bench::PrintHeader(
       "Ablation (Appendix E): partial vs full re-partitioning");
   janus::Run(rows, queries);

@@ -4,9 +4,9 @@
 // P95 error and the number of re-partitions each policy paid for.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -32,46 +32,41 @@ void Run(size_t rows, size_t num_queries) {
               "repartitions", "reopt cost(s)");
   for (Policy policy :
        {Policy::kNone, Policy::kBetaTrigger, Policy::kPeriodic}) {
-    JanusOptions opts;
-    opts.spec.agg_column = tmpl.aggregate_column;
-    opts.spec.predicate_columns = {tmpl.predicate_column};
-    opts.num_leaves = 128;
-    opts.sample_rate = 0.01;
-    opts.catchup_rate = 0.10;
-    opts.enable_triggers = policy == Policy::kBetaTrigger;
-    opts.beta = 8.0;
-    opts.trigger_check_interval = 128;
-    JanusAqp system(opts);
+    EngineConfig cfg = bench::DefaultConfig(tmpl);
+    cfg.enable_triggers = policy == Policy::kBetaTrigger;
+    cfg.beta = 8.0;
+    cfg.trigger_check_interval = 128;
+    auto system = EngineRegistry::Create("janus", cfg);
     const size_t step = ds.rows.size() / 10;
     std::vector<Tuple> historical(ds.rows.begin(),
                                   ds.rows.begin() + static_cast<long>(step));
-    system.LoadInitial(historical);
-    system.Initialize();
-    system.RunCatchupToGoal();
+    system->LoadInitial(historical);
+    system->Initialize();
+    system->RunCatchupToGoal();
     double reopt_cost = 0;
     for (int decile = 2; decile <= 9; ++decile) {
       const size_t lo = step * static_cast<size_t>(decile - 1);
       const size_t hi = step * static_cast<size_t>(decile);
-      for (size_t i = lo; i < hi; ++i) system.Insert(ds.rows[i]);
+      for (size_t i = lo; i < hi; ++i) system->Insert(ds.rows[i]);
       if (policy == Policy::kPeriodic) {
-        system.Reinitialize();
-        system.RunCatchupToGoal();
-        reopt_cost += system.counters().last_reopt_seconds;
+        system->Reinitialize();
+        system->RunCatchupToGoal();
+        reopt_cost += system->Stats().last_reopt_seconds;
       }
     }
-    system.RunCatchupToGoal();
+    system->RunCatchupToGoal();
     std::vector<Tuple> live(ds.rows.begin(),
                             ds.rows.begin() + static_cast<long>(step * 9));
     auto queries = bench::MakeWorkload(live, tmpl.predicate_column,
                                        tmpl.aggregate_column, num_queries,
                                        AggFunc::kSum, 57);
-    const auto stats = bench::EvaluateWorkload(system, live, queries);
+    const auto stats = bench::EvaluateWorkload(*system, live, queries);
+    const EngineStats es = system->Stats();
     std::printf("%-14s %12.4f %12.4f %14lu %14.4f\n", PolicyName(policy),
                 stats.p95, stats.median,
-                static_cast<unsigned long>(system.counters().repartitions +
-                                           system.counters()
-                                               .partial_repartitions),
-                reopt_cost + system.counters().last_reopt_seconds *
+                static_cast<unsigned long>(es.repartitions +
+                                           es.partial_repartitions),
+                reopt_cost + es.last_reopt_seconds *
                                  (policy == Policy::kBetaTrigger ? 1 : 0));
   }
 }
@@ -80,9 +75,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 60000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 200);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 60000);
+  const size_t queries = args.GetSize("queries", 200);
   janus::bench::PrintHeader("Ablation: re-partitioning trigger policy");
   janus::Run(rows, queries);
   return 0;

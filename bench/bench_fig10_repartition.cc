@@ -7,9 +7,9 @@
 //          deleted, then another 10% of data arrives.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -18,17 +18,17 @@ constexpr int kPickup = 0;
 constexpr int kTimeOfDay = 5;
 constexpr int kDistance = 2;
 
-std::unique_ptr<JanusAqp> MakeSystem(const std::vector<Tuple>& historical,
-                                     int predicate_column, bool triggers) {
-  JanusOptions opts;
-  opts.spec.agg_column = kDistance;
-  opts.spec.predicate_columns = {predicate_column};
-  opts.num_leaves = 128;
-  opts.sample_rate = 0.01;
-  opts.catchup_rate = 0.10;
-  opts.enable_triggers = triggers;
-  opts.trigger_check_interval = 64;
-  auto system = std::make_unique<JanusAqp>(opts);
+std::unique_ptr<AqpEngine> MakeSystem(const std::vector<Tuple>& historical,
+                                      int predicate_column, bool triggers) {
+  EngineConfig cfg;
+  cfg.agg_column = kDistance;
+  cfg.predicate_columns = {predicate_column};
+  cfg.num_leaves = 128;
+  cfg.sample_rate = 0.01;
+  cfg.catchup_rate = 0.10;
+  cfg.enable_triggers = triggers;
+  cfg.trigger_check_interval = 64;
+  auto system = EngineRegistry::Create("janus", cfg);
   system->LoadInitial(historical);
   system->Initialize();
   system->RunCatchupToGoal();
@@ -80,7 +80,8 @@ void SkewedDeletions(size_t rows, size_t num_queries) {
   auto janus_sys = MakeSystem(historical, kTimeOfDay, /*triggers=*/true);
 
   // Randomly pick 10% of the leaves and delete half the tuples in them.
-  const auto& leaves = janus_sys->dpt().tree().leaves;
+  const Dpt* synopsis = janus_sys->synopsis();
+  const auto& leaves = synopsis->tree().leaves;
   Rng rng(7);
   std::vector<int> chosen;
   for (int leaf : leaves) {
@@ -89,7 +90,7 @@ void SkewedDeletions(size_t rows, size_t num_queries) {
   std::vector<uint64_t> victims;
   for (const Tuple& t : historical) {
     for (int leaf : chosen) {
-      if (janus_sys->dpt().LeafRect(leaf).Contains(&t.values[kTimeOfDay])) {
+      if (synopsis->LeafRect(leaf).Contains(&t.values[kTimeOfDay])) {
         if (rng.Bernoulli(0.5)) victims.push_back(t.id);
         break;
       }
@@ -117,23 +118,22 @@ void SkewedDeletions(size_t rows, size_t num_queries) {
                                      AggFunc::kSum, 43);
   const auto de = bench::EvaluateWorkload(*dpt_only, live, queries);
   const auto je = bench::EvaluateWorkload(*janus_sys, live, queries);
+  const EngineStats js = janus_sys->Stats();
   std::printf("\n%-24s %14s %14s   (skewed deletions)\n", " ", "DPT(P95)",
               "Janus(P95)");
   std::printf("after skewed deletes    %14.4f %14.4f   (Janus re-partitions:"
               " %lu full, %lu partial)\n",
-              de.p95, je.p95,
-              static_cast<unsigned long>(janus_sys->counters().repartitions),
-              static_cast<unsigned long>(
-                  janus_sys->counters().partial_repartitions));
+              de.p95, je.p95, static_cast<unsigned long>(js.repartitions),
+              static_cast<unsigned long>(js.partial_repartitions));
 }
 
 }  // namespace
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 60000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 200);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 60000);
+  const size_t queries = args.GetSize("queries", 200);
   janus::bench::PrintHeader(
       "Figure 10: re-partitioning under skewed insertions / deletions");
   janus::SkewedInsertions(rows, queries);

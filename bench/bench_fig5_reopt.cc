@@ -5,10 +5,9 @@
 // the paper's point is that learned synopses pay far more per refresh.
 
 #include <cstdio>
+#include <memory>
 
-#include "baselines/spn.h"
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -17,26 +16,22 @@ void Run(size_t rows) {
   auto ds = GenerateDataset(DatasetKind::kNycTaxi, rows, 556);
   const DefaultTemplate tmpl = DefaultTemplateFor(DatasetKind::kNycTaxi);
 
-  JanusOptions opts;
-  opts.spec.agg_column = tmpl.aggregate_column;
-  opts.spec.predicate_columns = {tmpl.predicate_column};
-  opts.num_leaves = 128;
-  opts.sample_rate = 0.01;
-  opts.catchup_rate = 0.10;
-  opts.enable_triggers = false;
-  JanusAqp system(opts);
+  EngineConfig cfg = bench::DefaultConfig(tmpl);
   // DeepDB models the full table, not just the queried pair of columns;
   // the stand-in does the same so its training cost is comparable.
-  std::vector<int> all_columns;
-  for (int c = 0; c < ds.schema.num_columns(); ++c) all_columns.push_back(c);
-  Spn spn(SpnOptions{}, all_columns);
+  for (int c = 0; c < ds.schema.num_columns(); ++c) {
+    cfg.model_columns.push_back(c);
+  }
+  auto system = EngineRegistry::Create("janus", cfg);
+  auto spn = EngineRegistry::Create("spn", cfg);
 
   const size_t step = rows / 10;
   std::vector<Tuple> historical(ds.rows.begin(),
                                 ds.rows.begin() + static_cast<long>(step));
-  system.LoadInitial(historical);
-  system.Initialize();
-  system.RunCatchupToGoal();
+  system->LoadInitial(historical);
+  spn->LoadInitial(historical);
+  system->Initialize();
+  system->RunCatchupToGoal();
 
   std::printf("%-10s %16s %20s %18s\n", "progress", "Janus reopt(s)",
               "Janus blocking(s)", "SPN retrain(s)");
@@ -44,25 +39,20 @@ void Run(size_t rows) {
     if (decile > 1) {
       const size_t lo = step * static_cast<size_t>(decile - 1);
       const size_t hi = step * static_cast<size_t>(decile);
-      for (size_t i = lo; i < hi; ++i) system.Insert(ds.rows[i]);
+      for (size_t i = lo; i < hi; ++i) {
+        system->Insert(ds.rows[i]);
+        spn->Insert(ds.rows[i]);
+      }
     }
-    system.Reinitialize();
-    system.RunCatchupToGoal();
+    system->Reinitialize();
+    system->RunCatchupToGoal();
+    spn->Reinitialize();
 
-    std::vector<Tuple> live(
-        ds.rows.begin(),
-        ds.rows.begin() + static_cast<long>(step * decile));
-    Rng rng(static_cast<uint64_t>(decile) * 3 + 1);
-    std::vector<size_t> idx = rng.SampleIndices(live.size(), live.size() / 10);
-    std::vector<Tuple> train;
-    for (size_t i : idx) train.push_back(live[i]);
-    spn.Train(train, live.size());
-
+    const EngineStats js = system->Stats();
+    const EngineStats ss = spn->Stats();
     std::printf("0.%d        %16.4f %20.4f %18.4f\n", decile,
-                system.counters().last_reopt_seconds +
-                    system.catchup_processing_seconds(),
-                system.counters().last_blocking_seconds,
-                spn.train_seconds());
+                js.last_reopt_seconds + js.catchup_processing_seconds,
+                js.last_blocking_seconds, ss.build_seconds);
   }
 }
 
@@ -70,7 +60,8 @@ void Run(size_t rows) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 200000);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 200000);
   janus::bench::PrintHeader(
       "Figure 5 (right): re-optimization cost (s), JanusAQP vs DeepDB "
       "stand-in");

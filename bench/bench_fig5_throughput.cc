@@ -4,9 +4,9 @@
 // already exists (updates cost O(log k) + per-leaf work only).
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
-#include "core/janus.h"
 #include "util/thread_pool.h"
 
 namespace janus {
@@ -18,18 +18,13 @@ void Run(size_t rows, size_t num_threads) {
   std::printf("%-8s %18s %18s\n", "ratio", "insert(req/s)", "delete(req/s)");
   for (int decile = 1; decile <= 9; ++decile) {
     const size_t existing = rows * static_cast<size_t>(decile) / 10;
-    JanusOptions opts;
-    opts.spec.agg_column = tmpl.aggregate_column;
-    opts.spec.predicate_columns = {tmpl.predicate_column};
-    opts.num_leaves = 128;
-    opts.sample_rate = 0.01;
-    opts.enable_triggers = false;  // concurrent mode (Sec. 6.3)
-    JanusAqp system(opts);
+    EngineConfig cfg = bench::DefaultConfig(tmpl);  // concurrent mode
+    auto system = EngineRegistry::Create("janus", cfg);
     std::vector<Tuple> historical(
         ds.rows.begin(), ds.rows.begin() + static_cast<long>(existing));
-    system.LoadInitial(historical);
-    system.Initialize();
-    system.RunCatchupToGoal();
+    system->LoadInitial(historical);
+    system->Initialize();
+    system->RunCatchupToGoal();
 
     // Batch of inserts: fresh tuples beyond the dataset.
     const size_t batch = 40000;
@@ -42,13 +37,14 @@ void Run(size_t rows, size_t num_threads) {
       inserts.push_back(t);
     }
 
+    AqpEngine* engine = system.get();
     ThreadPool pool(num_threads);
     Timer timer;
     const size_t shard = batch / num_threads;
     for (size_t w = 0; w < num_threads; ++w) {
-      pool.Submit([&system, &inserts, w, shard] {
+      pool.Submit([engine, &inserts, w, shard] {
         const size_t lo = w * shard;
-        for (size_t i = lo; i < lo + shard; ++i) system.Insert(inserts[i]);
+        for (size_t i = lo; i < lo + shard; ++i) engine->Insert(inserts[i]);
       });
     }
     pool.WaitIdle();
@@ -58,10 +54,10 @@ void Run(size_t rows, size_t num_threads) {
     // Deletions of the tuples just inserted.
     timer.Reset();
     for (size_t w = 0; w < num_threads; ++w) {
-      pool.Submit([&system, &inserts, w, shard] {
+      pool.Submit([engine, &inserts, w, shard] {
         const size_t lo = w * shard;
         for (size_t i = lo; i < lo + shard; ++i) {
-          system.Delete(inserts[i].id);
+          engine->Delete(inserts[i].id);
         }
       });
     }
@@ -78,9 +74,9 @@ void Run(size_t rows, size_t num_threads) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 200000);
-  const size_t threads =
-      janus::bench::FlagValue(argc, argv, "--threads", 12);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 200000);
+  const size_t threads = args.GetSize("threads", 12);
   janus::bench::PrintHeader(
       "Figure 5 (left): update throughput vs existing-data ratio, "
       "multi-threaded");

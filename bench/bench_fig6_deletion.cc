@@ -4,9 +4,9 @@
 // where re-optimization is *not* needed (contrast with Figure 10).
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -23,24 +23,17 @@ void Run(size_t rows, size_t num_queries) {
       const DefaultTemplate tmpl = DefaultTemplateFor(kind);
       const size_t half = ds.rows.size() / 2;
 
-      JanusOptions opts;
-      opts.spec.agg_column = tmpl.aggregate_column;
-      opts.spec.predicate_columns = {tmpl.predicate_column};
-      opts.num_leaves = 128;
-      opts.sample_rate = 0.01;
-      opts.catchup_rate = 0.10;
-      opts.enable_triggers = false;
-      JanusAqp system(opts);
+      auto system = EngineRegistry::Create("janus", bench::DefaultConfig(tmpl));
       std::vector<Tuple> historical(
           ds.rows.begin(), ds.rows.begin() + static_cast<long>(half));
-      system.LoadInitial(historical);
-      system.Initialize();
-      system.RunCatchupToGoal();
+      system->LoadInitial(historical);
+      system->Initialize();
+      system->RunCatchupToGoal();
 
       // Delete the last p% of the first 50% (Sec. 6.4). The victims are the
       // most recently loaded tuples; ground truth is over what remains.
       const size_t keep = half - half * static_cast<size_t>(p) / 100;
-      for (size_t i = keep; i < half; ++i) system.Delete(ds.rows[i].id);
+      for (size_t i = keep; i < half; ++i) system->Delete(ds.rows[i].id);
       std::vector<Tuple> live(ds.rows.begin(),
                               ds.rows.begin() + static_cast<long>(keep));
 
@@ -48,7 +41,7 @@ void Run(size_t rows, size_t num_queries) {
                                          tmpl.aggregate_column, num_queries,
                                          AggFunc::kSum,
                                          static_cast<uint64_t>(p));
-      const auto stats = bench::EvaluateWorkload(system, live, queries);
+      const auto stats = bench::EvaluateWorkload(*system, live, queries);
       medians[col++] = stats.median;
     }
     std::printf("%d%%        %14.4f %14.4f %14.4f\n", p, medians[0],
@@ -60,9 +53,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 60000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 60000);
+  const size_t queries = args.GetSize("queries", 300);
   janus::bench::PrintHeader(
       "Figure 6: median relative error vs deletion percentage (uniform "
       "deletions)");

@@ -4,10 +4,9 @@
 // (broker polls + transfer) and *processing* (statistics absorption).
 
 #include <cstdio>
+#include <memory>
 
-#include "baselines/rs.h"
 #include "bench/common.h"
-#include "core/janus.h"
 #include "stream/broker.h"
 #include "stream/samplers.h"
 
@@ -17,18 +16,17 @@ namespace {
 void Run(size_t rows, size_t num_queries) {
   auto ds = GenerateDataset(DatasetKind::kIntelWireless, rows, 888);
   const DefaultTemplate tmpl = DefaultTemplateFor(DatasetKind::kIntelWireless);
+  const EngineConfig base = bench::DefaultConfig(tmpl);
 
   // RS reference at 1%.
-  RsOptions ropts;
-  ropts.sample_rate = 0.01;
-  ReservoirBaseline rs(ropts);
-  rs.LoadInitial(ds.rows);
-  rs.Initialize();
+  auto rs = EngineRegistry::Create("rs", base);
+  rs->LoadInitial(ds.rows);
+  rs->Initialize();
 
   auto queries = bench::MakeWorkload(ds.rows, tmpl.predicate_column,
                                      tmpl.aggregate_column, num_queries,
                                      AggFunc::kSum, 13);
-  const auto rs_stats = bench::EvaluateWorkload(rs, ds.rows, queries);
+  const auto rs_stats = bench::EvaluateWorkload(*rs, ds.rows, queries);
 
   // A broker topic holding the archive, for the loading-cost measurement.
   // The per-poll overhead models a real broker round trip (network + batch
@@ -43,29 +41,25 @@ void Run(size_t rows, size_t num_queries) {
   std::printf("%-10s %16s %14s %14s %16s\n", "catchup", "JanusP95", "RSP95",
               "loading(s)", "processing(s)");
   for (int c = 1; c <= 10; ++c) {
-    JanusOptions opts;
-    opts.spec.agg_column = tmpl.aggregate_column;
-    opts.spec.predicate_columns = {tmpl.predicate_column};
-    opts.num_leaves = 128;
-    opts.sample_rate = 0.01;
-    opts.catchup_rate = c / 100.0;
-    opts.enable_triggers = false;
-    JanusAqp system(opts);
-    system.LoadInitial(ds.rows);
-    system.Initialize();
-    system.RunCatchupToGoal();
-    const auto je = bench::EvaluateWorkload(system, ds.rows, queries);
+    EngineConfig cfg = base;
+    cfg.catchup_rate = c / 100.0;
+    auto system = EngineRegistry::Create("janus", cfg);
+    system->LoadInitial(ds.rows);
+    system->Initialize();
+    system->RunCatchupToGoal();
+    const auto je = bench::EvaluateWorkload(*system, ds.rows, queries);
 
     // Loading cost: pull the same number of catch-up samples through the
     // broker with a sequential sampler (the cheaper option at >= 10%,
     // Appendix A).
+    const EngineStats stats = system->Stats();
     SamplerStats load_stats;
     SequentialSampler loader(archive, 1024, static_cast<uint64_t>(c));
-    loader.Sample(system.catchup_processed(), &load_stats);
+    loader.Sample(stats.catchup_processed, &load_stats);
 
     std::printf("%d%%        %16.4f %14.4f %14.3f %16.3f\n", c, je.p95,
                 rs_stats.p95, load_stats.seconds,
-                system.catchup_processing_seconds());
+                stats.catchup_processing_seconds);
   }
 }
 
@@ -73,9 +67,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 150000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 150000);
+  const size_t queries = args.GetSize("queries", 300);
   janus::bench::PrintHeader(
       "Figure 7: catch-up goal sweep — accuracy (left) and "
       "loading/processing cost (right)");

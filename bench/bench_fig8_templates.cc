@@ -7,9 +7,10 @@
 //   Right:  aggregation-function change — SUM / CNT / AVG on one tree.
 
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -19,18 +20,18 @@ constexpr int kDropoff = 1;   // dropoff_time
 constexpr int kDistance = 2;  // trip_distance
 constexpr int kFare = 4;      // fare
 
-std::unique_ptr<JanusAqp> MakeSystem(const std::vector<Tuple>& live,
-                                     int predicate_column,
-                                     std::vector<int> extra_tracked) {
-  JanusOptions opts;
-  opts.spec.agg_column = kDistance;
-  opts.spec.predicate_columns = {predicate_column};
-  opts.num_leaves = 128;
-  opts.sample_rate = 0.01;
-  opts.catchup_rate = 0.10;
-  opts.enable_triggers = false;
-  opts.extra_tracked_columns = std::move(extra_tracked);
-  auto system = std::make_unique<JanusAqp>(opts);
+std::unique_ptr<AqpEngine> MakeSystem(const std::vector<Tuple>& live,
+                                      int predicate_column,
+                                      std::vector<int> extra_tracked) {
+  EngineConfig cfg;
+  cfg.agg_column = kDistance;
+  cfg.predicate_columns = {predicate_column};
+  cfg.num_leaves = 128;
+  cfg.sample_rate = 0.01;
+  cfg.catchup_rate = 0.10;
+  cfg.enable_triggers = false;
+  cfg.extra_tracked_columns = std::move(extra_tracked);
+  auto system = EngineRegistry::Create("janus", cfg);
   system->LoadInitial(live);
   system->Initialize();
   system->RunCatchupToGoal();
@@ -97,9 +98,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 100000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 100000);
+  const size_t queries = args.GetSize("queries", 300);
   janus::bench::PrintHeader(
       "Figure 8: dynamic query templates (P95 relative error)");
   janus::Run(rows, queries);

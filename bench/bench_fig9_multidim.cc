@@ -4,10 +4,9 @@
 // 0.3 .. 0.9, reporting median relative error and re-optimization cost.
 
 #include <cstdio>
+#include <memory>
 
-#include "baselines/spn.h"
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
@@ -17,22 +16,25 @@ void Run(size_t rows, size_t num_queries) {
   const std::vector<int> preds{0, 1, 2, 3, 4};
   const int agg = 5;  // volume
 
-  JanusOptions opts;
-  opts.spec.agg_column = agg;
-  opts.spec.predicate_columns = preds;
-  opts.num_leaves = 256;
-  opts.sample_rate = 0.01;
-  opts.catchup_rate = 0.10;
-  opts.enable_triggers = false;
-  JanusAqp system(opts);
-  Spn spn(SpnOptions{}, {0, 1, 2, 3, 4, 5});
+  EngineConfig cfg;
+  cfg.agg_column = agg;
+  cfg.predicate_columns = preds;
+  cfg.num_leaves = 256;
+  cfg.sample_rate = 0.01;
+  cfg.catchup_rate = 0.10;
+  cfg.enable_triggers = false;
+  cfg.model_columns = {0, 1, 2, 3, 4, 5};
+  auto system = EngineRegistry::Create("janus", cfg);
+  auto spn = EngineRegistry::Create("spn", cfg);
 
   const size_t step = ds.rows.size() / 10;
   std::vector<Tuple> historical(
       ds.rows.begin(), ds.rows.begin() + static_cast<long>(step * 3));
-  system.LoadInitial(historical);
-  system.Initialize();
-  system.RunCatchupToGoal();
+  system->LoadInitial(historical);
+  spn->LoadInitial(historical);
+  system->Initialize();
+  system->RunCatchupToGoal();
+  spn->Initialize();
 
   std::printf("%-10s %14s %14s %18s %18s\n", "progress", "Janus(med)",
               "SPN(med)", "Janus reopt(s)", "SPN retrain(s)");
@@ -40,21 +42,17 @@ void Run(size_t rows, size_t num_queries) {
     if (decile > 3) {
       const size_t lo = step * static_cast<size_t>(decile - 1);
       const size_t hi = step * static_cast<size_t>(decile);
-      for (size_t i = lo; i < hi; ++i) system.Insert(ds.rows[i]);
-      system.Reinitialize();
-      system.RunCatchupToGoal();
+      for (size_t i = lo; i < hi; ++i) {
+        system->Insert(ds.rows[i]);
+        spn->Insert(ds.rows[i]);
+      }
+      system->Reinitialize();
+      system->RunCatchupToGoal();
+      spn->Reinitialize();
     }
     std::vector<Tuple> live(
         ds.rows.begin(),
         ds.rows.begin() + static_cast<long>(step * decile));
-    {
-      Rng rng(static_cast<uint64_t>(decile) * 5 + 3);
-      std::vector<size_t> idx =
-          rng.SampleIndices(live.size(), live.size() / 10);
-      std::vector<Tuple> train;
-      for (size_t i : idx) train.push_back(live[i]);
-      spn.Train(train, live.size());
-    }
 
     WorkloadGenerator gen(live, preds, agg);
     WorkloadOptions wopts;
@@ -64,13 +62,14 @@ void Run(size_t rows, size_t num_queries) {
     wopts.seed = 31 + static_cast<uint64_t>(decile);
     auto queries = gen.Generate(live, wopts);
 
-    const auto je = bench::EvaluateWorkload(system, live, queries);
-    const auto se = bench::EvaluateWorkload(spn, live, queries);
+    const auto je = bench::EvaluateWorkload(*system, live, queries);
+    const auto se = bench::EvaluateWorkload(*spn, live, queries);
+    const EngineStats js = system->Stats();
+    const EngineStats ss = spn->Stats();
     std::printf("0.%d        %14.4f %14.4f %18.4f %18.4f\n", decile,
                 je.median, se.median,
-                system.counters().last_reopt_seconds +
-                    system.catchup_processing_seconds(),
-                spn.train_seconds());
+                js.last_reopt_seconds + js.catchup_processing_seconds,
+                ss.build_seconds);
   }
 }
 
@@ -78,9 +77,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 80000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 200);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 80000);
+  const size_t queries = args.GetSize("queries", 200);
   janus::bench::PrintHeader(
       "Figure 9: 5-D template on ETF — median relative error and "
       "re-optimization cost");

@@ -1,66 +1,46 @@
 // Table 2: median relative error (%) and average query latency (ms/query) of
 // random SUM queries over the three datasets at 20% / 50% / 90% ingest
-// progress, for JanusAQP, the DeepDB stand-in (mini-SPN), RS and SRS.
+// progress, for JanusAQP, the DeepDB stand-in (mini-SPN), RS and SRS — all
+// driven through the AqpEngine facade.
 //
 // Protocol (Sec. 6.2): start with 10% of the data as historical, add 10%
 // increments; after every increment re-initialize JanusAQP and re-train the
-// SPN; report at 20/50/90%.
+// SPN (both are Reinitialize() on the facade); report at 20/50/90%.
 
 #include <cstdio>
+#include <memory>
 
-#include "baselines/rs.h"
-#include "baselines/srs.h"
-#include "baselines/spn.h"
 #include "bench/common.h"
-#include "core/janus.h"
 
 namespace janus {
 namespace {
 
 using bench::ErrorStats;
 
-struct Row {
-  ErrorStats janus_stats, spn_stats, rs_stats, srs_stats;
-};
-
 void RunDataset(DatasetKind kind, size_t rows, size_t num_queries) {
   auto ds = GenerateDataset(kind, rows, 2024);
   const DefaultTemplate tmpl = DefaultTemplateFor(kind);
 
-  JanusOptions jopts;
-  jopts.spec.agg_column = tmpl.aggregate_column;
-  jopts.spec.predicate_columns = {tmpl.predicate_column};
-  jopts.num_leaves = 128;
-  jopts.sample_rate = 0.01;
-  jopts.catchup_rate = 0.10;
-  jopts.enable_triggers = false;  // Table 2 re-initializes explicitly
-  JanusAqp janus_sys(jopts);
-
-  RsOptions ropts;
-  ropts.sample_rate = 0.01;
-  ReservoirBaseline rs(ropts);
-
-  SrsOptions sopts;
-  sopts.num_strata = 128;
-  sopts.predicate_column = tmpl.predicate_column;
-  sopts.sample_rate = 0.01;
-  StratifiedReservoirBaseline srs(sopts);
-
-  std::vector<int> all_columns;
-  for (int c = 0; c < ds.schema.num_columns(); ++c) all_columns.push_back(c);
+  EngineConfig cfg = bench::DefaultConfig(tmpl);
   // DeepDB models the full table; the stand-in does the same.
-  Spn spn(SpnOptions{}, all_columns);
+  for (int c = 0; c < ds.schema.num_columns(); ++c) {
+    cfg.model_columns.push_back(c);
+  }
+
+  auto janus_sys = EngineRegistry::Create("janus", cfg);
+  auto spn = EngineRegistry::Create("spn", cfg);
+  auto rs = EngineRegistry::Create("rs", cfg);
+  auto srs = EngineRegistry::Create("srs", cfg);
+  AqpEngine* engines[] = {janus_sys.get(), spn.get(), rs.get(), srs.get()};
 
   const size_t step = ds.rows.size() / 10;
   std::vector<Tuple> historical(ds.rows.begin(),
                                 ds.rows.begin() + static_cast<long>(step));
-  janus_sys.LoadInitial(historical);
-  rs.LoadInitial(historical);
-  srs.LoadInitial(historical);
-  janus_sys.Initialize();
-  janus_sys.RunCatchupToGoal();
-  rs.Initialize();
-  srs.Initialize();
+  for (AqpEngine* e : engines) {
+    e->LoadInitial(historical);
+    e->Initialize();
+  }
+  janus_sys->RunCatchupToGoal();
 
   std::printf("%-5s %10s %10s %10s %10s %12s %10s %10s %10s\n",
               DatasetName(kind), "Janus(%)", "SPN(%)", "RS(%)", "SRS(%)",
@@ -68,31 +48,23 @@ void RunDataset(DatasetKind kind, size_t rows, size_t num_queries) {
   for (int decile = 2; decile <= 9; ++decile) {
     const size_t limit = step * static_cast<size_t>(decile);
     for (size_t i = step * static_cast<size_t>(decile - 1); i < limit; ++i) {
-      janus_sys.Insert(ds.rows[i]);
-      rs.Insert(ds.rows[i]);
-      srs.Insert(ds.rows[i]);
+      for (AqpEngine* e : engines) e->Insert(ds.rows[i]);
     }
     // Re-initialize JanusAQP and re-train the SPN after each increment.
-    janus_sys.Reinitialize();
-    janus_sys.RunCatchupToGoal();
-    std::vector<Tuple> live(ds.rows.begin(),
-                            ds.rows.begin() + static_cast<long>(limit));
-    {
-      Rng rng(static_cast<uint64_t>(decile));
-      std::vector<size_t> idx = rng.SampleIndices(live.size(), live.size() / 10);
-      std::vector<Tuple> train;
-      for (size_t i : idx) train.push_back(live[i]);
-      spn.Train(train, live.size());
-    }
+    janus_sys->Reinitialize();
+    janus_sys->RunCatchupToGoal();
+    spn->Reinitialize();
     if (decile != 2 && decile != 5 && decile != 9) continue;
 
+    std::vector<Tuple> live(ds.rows.begin(),
+                            ds.rows.begin() + static_cast<long>(limit));
     auto queries = bench::MakeWorkload(live, tmpl.predicate_column,
                                        tmpl.aggregate_column, num_queries,
                                        AggFunc::kSum, 7);
-    const ErrorStats je = bench::EvaluateWorkload(janus_sys, live, queries);
-    const ErrorStats se = bench::EvaluateWorkload(spn, live, queries);
-    const ErrorStats re = bench::EvaluateWorkload(rs, live, queries);
-    const ErrorStats ce = bench::EvaluateWorkload(srs, live, queries);
+    const ErrorStats je = bench::EvaluateWorkload(*janus_sys, live, queries);
+    const ErrorStats se = bench::EvaluateWorkload(*spn, live, queries);
+    const ErrorStats re = bench::EvaluateWorkload(*rs, live, queries);
+    const ErrorStats ce = bench::EvaluateWorkload(*srs, live, queries);
     std::printf("0.%d   %10.2f %10.2f %10.2f %10.2f %12.3f %10.3f %10.3f "
                 "%10.3f\n",
                 decile, je.median * 100, se.median * 100, re.median * 100,
@@ -105,9 +77,9 @@ void RunDataset(DatasetKind kind, size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 80000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 400);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 80000);
+  const size_t queries = args.GetSize("queries", 400);
   janus::bench::PrintHeader(
       "Table 2: median relative error (%) and avg latency (ms/query), "
       "2000-query SUM workloads");

@@ -2,12 +2,14 @@
 // programming (DP) partitioner of PASS [30], on the Intel dataset: partition
 // time (s) and the median relative error of the resulting static synopsis
 // for CNT / SUM / AVG workloads, sweeping the partition count 16..128.
-// The sample size scales with the partition count, as in Sec. 6.9.
+// The sample size scales with the partition count, as in Sec. 6.9. The
+// static tree is the "spt" engine of the registry.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
-#include "core/spt.h"
 
 namespace janus {
 namespace {
@@ -20,24 +22,23 @@ struct Cell {
 Cell RunOne(const GeneratedDataset& ds, const DefaultTemplate& tmpl,
             PartitionAlgorithm algo, int k, size_t num_queries) {
   Cell cell;
-  SptOptions o;
-  o.spec.agg_column = tmpl.aggregate_column;
-  o.spec.predicate_columns = {tmpl.predicate_column};
-  o.num_leaves = k;
-  o.focus = AggFunc::kSum;
-  o.algorithm = algo;
+  EngineConfig cfg = bench::DefaultConfig(tmpl);
+  cfg.num_leaves = k;
+  cfg.focus = AggFunc::kSum;
+  cfg.algorithm = algo;
   // Sample size grows with the partition count (Sec. 6.9).
-  o.sample_rate =
+  cfg.sample_rate =
       std::min(0.5, static_cast<double>(100 * k) /
                         static_cast<double>(ds.rows.size()));
-  SptBuildResult built = BuildSpt(ds.rows, o);
-  cell.seconds = built.partition_seconds;
+  auto spt = EngineRegistry::Create("spt", cfg);
+  spt->LoadInitial(ds.rows);
+  spt->Initialize();
+  cell.seconds = spt->Stats().partition_seconds;
   for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg}) {
     auto queries = bench::MakeWorkload(ds.rows, tmpl.predicate_column,
                                        tmpl.aggregate_column, num_queries, f,
                                        17 + static_cast<uint64_t>(k));
-    const auto stats = bench::EvaluateWorkload(*built.synopsis, ds.rows,
-                                               queries);
+    const auto stats = bench::EvaluateWorkload(*spt, ds.rows, queries);
     if (f == AggFunc::kCount) cell.median_cnt = stats.median;
     if (f == AggFunc::kSum) cell.median_sum = stats.median;
     if (f == AggFunc::kAvg) cell.median_avg = stats.median;
@@ -77,9 +78,9 @@ void Run(size_t rows, size_t num_queries) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows = janus::bench::FlagValue(argc, argv, "--rows", 150000);
-  const size_t queries =
-      janus::bench::FlagValue(argc, argv, "--queries", 300);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 150000);
+  const size_t queries = args.GetSize("queries", 300);
   janus::bench::PrintHeader(
       "Table 3: BS vs DP partitioning — time and accuracy vs partition "
       "count");

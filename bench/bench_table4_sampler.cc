@@ -57,12 +57,10 @@ void Run(size_t topic_rows, size_t sample_target, uint64_t overhead_ns) {
 }  // namespace janus
 
 int main(int argc, char** argv) {
-  const size_t rows =
-      janus::bench::FlagValue(argc, argv, "--rows", 1000000);
-  const size_t target =
-      janus::bench::FlagValue(argc, argv, "--sample", 1000000);
-  const uint64_t overhead =
-      janus::bench::FlagValue(argc, argv, "--poll-overhead-ns", 2000);
+  const janus::ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 1000000);
+  const size_t target = args.GetSize("sample", 1000000);
+  const uint64_t overhead = args.GetUint64("poll-overhead-ns", 2000);
   janus::bench::PrintHeader(
       "Table 4 (Appendix A): broker samplers — singleton vs sequential");
   janus::Run(rows, target, overhead);

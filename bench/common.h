@@ -3,19 +3,20 @@
 
 // Shared experiment-harness helpers: dataset/workload setup, error metrics
 // and table printing. Every bench binary reproduces one table or figure of
-// the paper and prints the same rows/series the paper reports. Binaries
-// accept "--rows N" to scale the synthetic datasets (defaults keep the whole
-// suite runnable in minutes on a laptop).
+// the paper and prints the same rows/series the paper reports.
+//
+// All systems are driven through the AqpEngine facade and created via
+// EngineRegistry; flags are parsed with the shared api::ArgMap parser, so
+// "--rows N" and "rows=N" both work on every binary.
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/dpt.h"
+#include "api/config.h"
+#include "api/engine.h"
+#include "api/registry.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
 #include "data/workload.h"
@@ -25,18 +26,7 @@
 namespace janus {
 namespace bench {
 
-/// Parse "--rows N" / "--queries N" style flags with defaults.
-inline size_t FlagValue(int argc, char** argv, const char* name,
-                        size_t def) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) {
-      return static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
-    }
-  }
-  return def;
-}
-
-/// Error summary of one (system, workload) evaluation.
+/// Error summary of one (engine, workload) evaluation.
 struct ErrorStats {
   double median = 0;
   double p95 = 0;
@@ -44,13 +34,13 @@ struct ErrorStats {
   size_t evaluated = 0;
 };
 
-/// Evaluate a query workload on any system exposing Query(const AggQuery&).
-/// Ground truths are computed over `rows` in one batch pass; zero/undefined
-/// truths are skipped (Sec. 6.1.2 / 6.7).
-template <typename System>
-ErrorStats EvaluateWorkload(const System& system,
-                            const std::vector<Tuple>& rows,
-                            const std::vector<AggQuery>& queries) {
+/// Evaluate a query workload against any engine. Ground truths are computed
+/// over `rows` in one batch pass; zero/undefined truths are skipped
+/// (Sec. 6.1.2 / 6.7). Queries run one by one so the mean latency is a
+/// per-query figure (use AqpEngine::QueryBatch for throughput runs).
+inline ErrorStats EvaluateWorkload(const AqpEngine& engine,
+                                   const std::vector<Tuple>& rows,
+                                   const std::vector<AggQuery>& queries) {
   ErrorStats out;
   const auto truths = ExactAnswers(rows, queries);
   std::vector<double> errors;
@@ -59,7 +49,7 @@ ErrorStats EvaluateWorkload(const System& system,
   size_t answered = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     timer.Reset();
-    const QueryResult r = system.Query(queries[i]);
+    const QueryResult r = engine.Query(queries[i]);
     query_seconds += timer.ElapsedSeconds();
     ++answered;
     const auto rel = RelativeError(truths[i], r.estimate);
@@ -90,6 +80,20 @@ inline std::vector<AggQuery> MakeWorkload(const std::vector<Tuple>& rows,
   opts.min_count = std::max<size_t>(20, rows.size() / 500);
   opts.seed = seed;
   return gen.Generate(rows, opts);
+}
+
+/// Engine config for a dataset's default 1-D template, with the knobs the
+/// paper's experiments share (128 leaves, 1% sample, 10% catch-up goal,
+/// triggers off unless the experiment is about them).
+inline EngineConfig DefaultConfig(const DefaultTemplate& tmpl) {
+  EngineConfig cfg;
+  cfg.agg_column = tmpl.aggregate_column;
+  cfg.predicate_columns = {tmpl.predicate_column};
+  cfg.num_leaves = 128;
+  cfg.sample_rate = 0.01;
+  cfg.catchup_rate = 0.10;
+  cfg.enable_triggers = false;
+  return cfg;
 }
 
 inline void PrintHeader(const char* title) {

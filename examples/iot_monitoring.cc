@@ -1,84 +1,93 @@
 // Internet-of-things monitoring (Sec. 1): a sensor fleet appends readings to
-// a Kafka-like broker; JanusAQP consumes the insert topic, keeps its synopsis
-// current, and serves dashboard aggregations (average light level over time
-// windows) at millisecond latency. Demonstrates the full streaming path:
-// broker -> samplers -> synopsis -> queries.
+// a Kafka-like broker; the engine consumes the insert topic, keeps its
+// synopsis current, and serves dashboard aggregations (average light level
+// over time windows) published on the query topic. Demonstrates the full
+// streaming path: broker -> EngineDriver -> any AqpEngine -> results. Run
+// with engine=rs / srs / multi / ... to stream into a different backend.
 
-#include <algorithm>
 #include <cstdio>
+#include <memory>
 
-#include "core/janus.h"
+#include "api/driver.h"
+#include "api/registry.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
-#include "stream/broker.h"
-#include "stream/samplers.h"
 #include "util/timer.h"
 
 using namespace janus;
 
-int main() {
+int main(int argc, char** argv) {
+  const ArgMap args(argc, argv);
   GeneratedDataset ds =
       GenerateDataset(DatasetKind::kIntelWireless, 120000, 11);
   const int kTime = 0;
   const int kLight = 1;
 
-  // The sensor gateway publishes readings to the broker.
+  // The sensor gateway wrote the first half of the readings to an archival
+  // topic before the synopsis goes live; the rest arrives on the insert
+  // request stream.
   Broker broker;
-  Topic* feed = broker.insert_topic();
-  feed->AppendBatch(ds.rows);
-
-  // Bootstrap the synopsis by sampling the historical topic through the
-  // singleton sampler (Appendix A: best for low-rate initialization).
-  JanusOptions options;
-  options.spec.agg_column = kLight;
-  options.spec.predicate_columns = {kTime};
-  options.num_leaves = 128;
-  options.sample_rate = 0.01;
-  options.catchup_rate = 0.10;
-  JanusAqp monitor(options);
-
-  // Consume the topic in polls, as a real consumer group would. The first
-  // half is historical bulk load; then the synopsis goes live and the rest
-  // streams through Insert().
+  Topic* archive = broker.GetTopic("archive");
   const uint64_t go_live = ds.rows.size() / 2;
+  archive->AppendBatch({ds.rows.begin(),
+                        ds.rows.begin() + static_cast<long>(go_live)});
+  broker.insert_topic()->AppendBatch(
+      {ds.rows.begin() + static_cast<long>(go_live), ds.rows.end()});
+
+  EngineConfig config = EngineConfig::FromArgs(args);
+  config.agg_column = kLight;
+  config.predicate_columns = {kTime};
+  auto monitor = EngineRegistry::Create(config);
+
+  // Bootstrap from the archive topic in polls, as a real consumer would.
+  Timer ingest;
   std::vector<Tuple> batch;
   uint64_t offset = 0;
-  Timer ingest;
-  while (offset < go_live) {
-    batch.clear();
-    const size_t n =
-        feed->Poll(offset, std::min<size_t>(8192, go_live - offset), &batch);
-    if (n == 0) break;
-    offset += n;
-    monitor.LoadInitial(batch);
-  }
-  monitor.Initialize();
   while (true) {
     batch.clear();
-    const size_t n = feed->Poll(offset, 8192, &batch);
+    const size_t n = archive->Poll(offset, 8192, &batch);
     if (n == 0) break;
     offset += n;
-    for (const Tuple& t : batch) monitor.Insert(t);
+    monitor->LoadInitial(batch);
   }
-  monitor.RunCatchupToGoal();
-  std::printf("Ingested %llu readings from topic '%s' in %.2fs\n",
-              static_cast<unsigned long long>(offset), feed->name().c_str(),
-              ingest.ElapsedSeconds());
+  monitor->Initialize();
 
-  // Dashboard: average light level per day.
+  // Live phase: the driver consumes the insert/delete/query request streams
+  // against the engine until they are drained.
+  EngineDriverOptions dopts;
+  dopts.poll_batch = 8192;
+  EngineDriver driver(monitor.get(), &broker, dopts);
+  driver.Drain();
+  monitor->RunCatchupToGoal();
+
+  // The dashboard publishes its queries on the query topic — average light
+  // level per day — and the driver answers them on its next rounds.
   const double day = 86400.0;
-  std::printf("\n%-12s %14s %12s %14s\n", "window", "AVG(light)", "+/-",
-              "exact");
+  std::vector<AggQuery> dashboard;
   for (int d = 0; d < 5; ++d) {
     AggQuery q;
     q.func = AggFunc::kAvg;
     q.agg_column = kLight;
     q.predicate_columns = {kTime};
     q.rect = Rectangle({d * day}, {(d + 1) * day});
-    const QueryResult r = monitor.Query(q);
-    const auto truth = ExactAnswer(monitor.table().live(), q);
+    dashboard.push_back(q);
+    broker.query_topic()->Append(q);
+  }
+  driver.Drain();
+  std::printf("Ingested %llu archived + %llu streamed readings in %.2fs, "
+              "answered %llu dashboard queries\n",
+              static_cast<unsigned long long>(offset),
+              static_cast<unsigned long long>(driver.stats().inserts),
+              ingest.ElapsedSeconds(),
+              static_cast<unsigned long long>(driver.stats().queries));
+
+  std::printf("\n%-12s %14s %12s %14s\n", "window", "AVG(light)", "+/-",
+              "exact");
+  for (size_t d = 0; d < dashboard.size(); ++d) {
+    const QueryResult& r = driver.results()[d];
+    const auto truth = ExactAnswer(monitor->table()->live(), dashboard[d]);
     if (!truth.has_value()) continue;
-    std::printf("day %-8d %14.2f %12.2f %14.2f\n", d, r.estimate,
+    std::printf("day %-8zu %14.2f %12.2f %14.2f\n", d, r.estimate,
                 r.ci_half_width, *truth);
   }
   return 0;

@@ -1,64 +1,77 @@
-// Quickstart: build a JanusAQP synopsis over a small table, stream some
+// Quickstart: create any synopsis engine from the registry, stream some
 // updates and ask approximate queries with confidence intervals.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart                       # JanusAQP
+//   $ ./build/quickstart engine=rs             # reservoir-sampling baseline
+//   $ ./build/quickstart engine=srs leaves=64  # any engine, any knob
 
 #include <cstdio>
+#include <memory>
 
-#include "core/janus.h"
+#include "api/config.h"
+#include "api/registry.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
+#include "util/thread_pool.h"
 
 using namespace janus;
 
-int main() {
+int main(int argc, char** argv) {
   // 1. Some data: 100k rows with one predicate column (col 0, uniform in
   //    [0,1)) and one aggregate column (col 1, N(10, 2)).
-  GeneratedDataset ds = GenerateUniform(100000, /*predicate columns=*/1,
+  const ArgMap args(argc, argv);
+  GeneratedDataset ds = GenerateUniform(args.GetSize("rows", 100000),
+                                        /*predicate columns=*/1,
                                         /*seed=*/42);
 
   // 2. Configure a synopsis for the template
   //      SELECT SUM(col1) FROM D WHERE lo <= col0 <= hi
-  JanusOptions options;
-  options.spec.agg_column = 1;
-  options.spec.predicate_columns = {0};
-  options.num_leaves = 128;    // partition-tree buckets
-  options.sample_rate = 0.01;  // 1% stratified reservoir
-  options.catchup_rate = 0.10; // refine node statistics with 10% of |D|
+  //    and create the engine by name. Every key=value flag maps onto the
+  //    same EngineConfig, whatever the backend.
+  EngineConfig config = EngineConfig::FromArgs(args);
+  config.agg_column = 1;
+  config.predicate_columns = {0};
+  auto engine = EngineRegistry::Create(config);
+  std::printf("engine: %s (%s)\n", engine->name(), config.ToString().c_str());
 
-  JanusAqp system(options);
-  system.LoadInitial(ds.rows);  // historical data (archival storage)
-  system.Initialize();          // optimize partitioning + populate synopsis
-  system.RunCatchupToGoal();    // background statistics refinement
+  engine->LoadInitial(ds.rows);  // historical data (archival storage)
+  engine->Initialize();          // optimize partitioning + populate synopsis
+  engine->RunCatchupToGoal();    // background statistics refinement
 
   // 3. Stream some new data and a deletion.
   Tuple fresh;
   fresh.id = 1000000;
   fresh[0] = 0.5;
   fresh[1] = 12.0;
-  system.Insert(fresh);
-  system.Delete(/*id=*/7);
+  engine->Insert(fresh);
+  engine->Delete(/*id=*/7);
 
   // 4. Ask queries. Results come with a 95% confidence interval and never
-  //    touch the base table.
+  //    touch the base table. A whole workload goes through QueryBatch,
+  //    which fans out over a thread pool.
   AggQuery query;
   query.agg_column = 1;
   query.predicate_columns = {0};
   query.rect = Rectangle({0.25}, {0.75});
 
+  std::vector<AggQuery> workload;
   for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg,
                     AggFunc::kMin, AggFunc::kMax}) {
     query.func = f;
-    const QueryResult r = system.Query(query);
-    const auto truth = ExactAnswer(system.table().live(), query);
+    workload.push_back(query);
+  }
+  ThreadPool pool(args.GetSize("threads", 4));
+  const std::vector<QueryResult> results = engine->QueryBatch(workload, &pool);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const auto truth = ExactAnswer(engine->table()->live(), workload[i]);
     std::printf("%-6s estimate=%14.2f  +/- %10.2f   (exact: %14.2f)\n",
-                AggFuncName(f), r.estimate, r.ci_half_width,
-                truth.value_or(0));
+                AggFuncName(workload[i].func), results[i].estimate,
+                results[i].ci_half_width, truth.value_or(0));
   }
 
-  std::printf("\nSynopsis: %d leaves, %zu pooled samples, %zu catch-up "
+  const EngineStats stats = engine->Stats();
+  std::printf("\nSynopsis: %zu rows, %zu pooled samples, %zu catch-up "
               "samples absorbed\n",
-              system.dpt().tree().num_leaves(), system.dpt().sample_size(),
-              system.catchup_processed());
+              stats.rows, stats.sample_size, stats.catchup_processed);
   return 0;
 }

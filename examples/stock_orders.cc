@@ -1,46 +1,46 @@
 // The paper's motivating scenario (Sec. 1): a low-latency approximate SQL
 // interface over a highly dynamic stock-order stream — a large volume of new
 // orders plus a small but significant stream of cancellations (deletions).
-// JanusAQP keeps a partition-tree synopsis fresh while the exchange feed
-// runs, re-optimizing itself when the variance profile drifts.
+// The engine keeps its synopsis fresh while the exchange feed runs,
+// re-optimizing itself when the variance profile drifts. Created through the
+// registry, so engine=rs / srs / spn compares baselines on the same feed.
 
 #include <cstdio>
 #include <deque>
+#include <memory>
 
-#include "core/janus.h"
+#include "api/registry.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
 #include "util/timer.h"
 
 using namespace janus;
 
-int main() {
+int main(int argc, char** argv) {
+  const ArgMap args(argc, argv);
   // ETF trades: volume is the aggregate, close price the predicate.
   GeneratedDataset ds = GenerateDataset(DatasetKind::kNasdaqEtf, 150000, 7);
   const int kClose = 2;
   const int kVolume = 5;
 
-  JanusOptions options;
-  options.spec.agg_column = kVolume;
-  options.spec.predicate_columns = {kClose};
-  options.num_leaves = 128;
-  options.sample_rate = 0.01;
-  options.catchup_rate = 0.10;
-  options.enable_triggers = true;  // self-re-optimization on drift
+  EngineConfig config = EngineConfig::FromArgs(args);
+  config.agg_column = kVolume;
+  config.predicate_columns = {kClose};
+  config.enable_triggers = true;  // self-re-optimization on drift
   // Heavy-tailed order volumes move per-leaf variances a lot; a generous
   // beta and a coarse check interval keep re-partitioning meaningful rather
   // than constant (Sec. 5.4 leaves beta to the user; 10 is the default).
-  options.beta = 50.0;
-  options.trigger_check_interval = 1024;
+  config.beta = 50.0;
+  config.trigger_check_interval = 1024;
 
-  JanusAqp exchange(options);
+  auto exchange = EngineRegistry::Create(config);
   // Bootstrap with the first trading week.
   const size_t bootstrap = ds.rows.size() / 5;
   std::vector<Tuple> history(ds.rows.begin(),
                              ds.rows.begin() + static_cast<long>(bootstrap));
-  exchange.LoadInitial(history);
-  exchange.Initialize();
-  exchange.RunCatchupToGoal();
+  exchange->LoadInitial(history);
+  exchange->Initialize();
+  exchange->RunCatchupToGoal();
 
   // Live feed: new orders stream in; ~5% of recent orders get cancelled.
   Rng rng(3);
@@ -48,26 +48,26 @@ int main() {
   Timer feed_timer;
   size_t orders = 0, cancels = 0;
   for (size_t i = bootstrap; i < ds.rows.size(); ++i) {
-    exchange.Insert(ds.rows[i]);
+    exchange->Insert(ds.rows[i]);
     recent.push_back(ds.rows[i].id);
     if (recent.size() > 2000) recent.pop_front();
     ++orders;
     if (rng.Bernoulli(0.05) && !recent.empty()) {
       const size_t pick = rng.NextUint64(recent.size());
-      if (exchange.Delete(recent[pick])) ++cancels;
+      if (exchange->Delete(recent[pick])) ++cancels;
     }
   }
   const double feed_seconds = feed_timer.ElapsedSeconds();
-  exchange.RunCatchupToGoal();
+  exchange->RunCatchupToGoal();
 
+  const EngineStats stats = exchange->Stats();
   std::printf("Processed %zu orders and %zu cancellations in %.2fs "
               "(%.0f req/s)\n",
               orders, cancels, feed_seconds,
               static_cast<double>(orders + cancels) / feed_seconds);
   std::printf("Automatic re-partitions: %lu full, %lu partial\n",
-              static_cast<unsigned long>(exchange.counters().repartitions),
-              static_cast<unsigned long>(
-                  exchange.counters().partial_repartitions));
+              static_cast<unsigned long>(stats.repartitions),
+              static_cast<unsigned long>(stats.partial_repartitions));
 
   // Analyst queries: total traded volume by price band.
   std::printf("\n%-28s %16s %14s %16s\n", "price band", "est. volume",
@@ -79,9 +79,9 @@ int main() {
     q.predicate_columns = {kClose};
     q.rect = Rectangle({band_lo}, {band_lo * 2});
     Timer latency;
-    const QueryResult r = exchange.Query(q);
+    const QueryResult r = exchange->Query(q);
     const double ms = latency.ElapsedMillis();
-    const auto truth = ExactAnswer(exchange.table().live(), q);
+    const auto truth = ExactAnswer(exchange->table()->live(), q);
     std::printf("$%-6.0f - $%-6.0f (%6.3fms) %16.3e %14.3e %16.3e\n",
                 band_lo, band_lo * 2, ms, r.estimate, r.ci_half_width,
                 truth.value_or(0));

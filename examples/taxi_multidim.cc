@@ -2,39 +2,42 @@
 // (pickup_time_of_day, trip_distance) answering fare aggregations — the
 // higher-dimensional k-d partitioning path (Sec. 5.3), plus the
 // multi-template fallbacks of Sec. 5.5 when an analyst asks something the
-// synopsis was not built for.
+// synopsis was not built for. Run with engine=multi to build the mismatched
+// template on demand from the pooled sample instead of falling back.
 
 #include <cstdio>
+#include <memory>
 
-#include "core/janus.h"
+#include "api/registry.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
 
 using namespace janus;
 
-int main() {
+int main(int argc, char** argv) {
+  const ArgMap args(argc, argv);
   GeneratedDataset ds = GenerateDataset(DatasetKind::kNycTaxi, 120000, 13);
   const int kDistance = 2;
   const int kPassengers = 3;
   const int kFare = 4;
   const int kTimeOfDay = 5;
 
-  JanusOptions options;
-  options.spec.agg_column = kFare;
-  options.spec.predicate_columns = {kTimeOfDay, kDistance};  // 2-D template
-  options.num_leaves = 256;
-  options.sample_rate = 0.02;
-  options.catchup_rate = 0.10;
-  options.extra_tracked_columns = {kPassengers};  // Sec. 5.5, method 2.i
+  EngineConfig config = EngineConfig::FromArgs(args);
+  config.agg_column = kFare;
+  config.predicate_columns = {kTimeOfDay, kDistance};  // 2-D template
+  config.num_leaves = 256;
+  config.sample_rate = 0.02;
+  config.catchup_rate = 0.10;
+  config.extra_tracked_columns = {kPassengers};  // Sec. 5.5, method 2.i
 
-  JanusAqp city(options);
-  city.LoadInitial(ds.rows);
-  city.Initialize();
-  city.RunCatchupToGoal();
+  auto city = EngineRegistry::Create(config);
+  city->LoadInitial(ds.rows);
+  city->Initialize();
+  city->RunCatchupToGoal();
 
   auto report = [&](const char* label, const AggQuery& q) {
-    const QueryResult r = city.Query(q);
-    const auto truth = ExactAnswer(city.table().live(), q);
+    const QueryResult r = city->Query(q);
+    const auto truth = ExactAnswer(city->table()->live(), q);
     std::printf("%-44s %12.2f +/- %8.2f   (exact %12.2f)\n", label,
                 r.estimate, r.ci_half_width, truth.value_or(0));
   };
@@ -62,7 +65,8 @@ int main() {
   report("COUNT(*) morning rush", q);
 
   // A template the synopsis was NOT built for (predicate on distance only):
-  // answered through the uniform-sample fallback of Sec. 5.5.
+  // answered through the uniform-sample fallback of Sec. 5.5 ("janus"), or
+  // by a tree built on demand from the pooled sample ("multi").
   AggQuery other;
   other.func = AggFunc::kAvg;
   other.agg_column = kFare;

@@ -1,0 +1,213 @@
+#include "api/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+namespace janus {
+
+namespace {
+
+std::string StripDashes(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size() && s[i] == '-') ++i;
+  return s.substr(i);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+ArgMap::ArgMap(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    const size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[StripDashes(tok.substr(0, eq))] = tok.substr(eq + 1);
+      continue;
+    }
+    if (tok.size() > 1 && tok[0] == '-') {
+      // "--key value" when a value follows; bare "--flag" means true. A
+      // dash-prefixed token still counts as a value when it is a negative
+      // number ("--beta -2.5"), not another flag.
+      const std::string key = StripDashes(tok);
+      const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+      // The next token is this flag's value unless it is another flag
+      // (dash-prefixed, negative numbers excepted) or a key=value pair.
+      const bool next_is_value =
+          next != nullptr &&
+          std::string_view(next).find('=') == std::string_view::npos &&
+          (next[0] != '-' ||
+           std::isdigit(static_cast<unsigned char>(next[1])) ||
+           next[1] == '.');
+      if (next_is_value) {
+        kv_.insert_or_assign(key, std::string(argv[++i]));
+      } else {
+        // std::string avoids a GCC 12 -Wrestrict false positive (PR105329)
+        // on const char* assignment through insert_or_assign.
+        kv_.insert_or_assign(key, std::string("1"));
+      }
+    }
+    // Bare positional tokens are ignored.
+  }
+}
+
+bool ArgMap::Has(const std::string& key) const {
+  return kv_.count(key) > 0;
+}
+
+std::string ArgMap::GetString(const std::string& key,
+                              const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+size_t ArgMap::GetSize(const std::string& key, size_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end()
+             ? def
+             : static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr,
+                                                 10));
+}
+
+uint64_t ArgMap::GetUint64(const std::string& key, uint64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def
+                         : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+int ArgMap::GetInt(const std::string& key, int def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end()
+             ? def
+             : static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+double ArgMap::GetDouble(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgMap::GetBool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string v = Lower(it->second);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  return def;
+}
+
+std::vector<int> ArgMap::GetIntList(const std::string& key,
+                                    std::vector<int> def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(static_cast<int>(std::strtol(item.c_str(), nullptr, 10)));
+    }
+  }
+  return out.empty() ? def : out;
+}
+
+AggFunc ParseAggFunc(const std::string& name, AggFunc def) {
+  const std::string v = Lower(name);
+  if (v == "sum") return AggFunc::kSum;
+  if (v == "count" || v == "cnt") return AggFunc::kCount;
+  if (v == "avg") return AggFunc::kAvg;
+  if (v == "min") return AggFunc::kMin;
+  if (v == "max") return AggFunc::kMax;
+  return def;
+}
+
+PartitionAlgorithm ParsePartitionAlgorithm(const std::string& name,
+                                           PartitionAlgorithm def) {
+  const std::string v = Lower(name);
+  if (v == "bs" || v == "binary-search") return PartitionAlgorithm::kBinarySearch;
+  if (v == "dp" || v == "dynamic-program") return PartitionAlgorithm::kDynamicProgram;
+  if (v == "ed" || v == "equal-depth") return PartitionAlgorithm::kEqualDepth;
+  if (v == "kd" || v == "kd-tree") return PartitionAlgorithm::kKdTree;
+  return def;
+}
+
+const char* PartitionAlgorithmName(PartitionAlgorithm a) {
+  switch (a) {
+    case PartitionAlgorithm::kBinarySearch:
+      return "bs";
+    case PartitionAlgorithm::kDynamicProgram:
+      return "dp";
+    case PartitionAlgorithm::kEqualDepth:
+      return "ed";
+    case PartitionAlgorithm::kKdTree:
+      return "kd";
+  }
+  return "?";
+}
+
+EngineConfig EngineConfig::FromArgs(const ArgMap& args) {
+  EngineConfig c;
+  c.engine = args.GetString("engine", c.engine);
+  c.agg_column = args.GetInt("agg", c.agg_column);
+  c.predicate_columns = args.GetIntList("pred", c.predicate_columns);
+  c.extra_tracked_columns =
+      args.GetIntList("tracked", c.extra_tracked_columns);
+  c.model_columns = args.GetIntList("columns", c.model_columns);
+  c.num_leaves = args.GetInt("leaves", c.num_leaves);
+  c.sample_rate =
+      args.GetDouble("sample_rate", args.GetDouble("alpha", c.sample_rate));
+  c.catchup_rate =
+      args.GetDouble("catchup_rate", args.GetDouble("catchup", c.catchup_rate));
+  c.confidence = args.GetDouble("confidence", c.confidence);
+  c.focus = ParseAggFunc(args.GetString("focus", ""), c.focus);
+  c.algorithm =
+      ParsePartitionAlgorithm(args.GetString("algorithm", ""), c.algorithm);
+  c.enable_triggers = args.GetBool("triggers", c.enable_triggers);
+  c.beta = args.GetDouble("beta", c.beta);
+  c.trigger_check_interval =
+      args.GetUint64("check_interval", c.trigger_check_interval);
+  c.starvation_factor = args.GetDouble("starvation", c.starvation_factor);
+  c.partial_repartition_psi = args.GetInt("psi", c.partial_repartition_psi);
+  c.num_strata = args.GetInt("strata", c.num_strata);
+  c.train_fraction = args.GetDouble("train_fraction", c.train_fraction);
+  c.seed = args.GetUint64("seed", c.seed);
+  return c;
+}
+
+std::string EngineConfig::ToString() const {
+  std::ostringstream os;
+  auto list = [](const std::vector<int>& v) {
+    std::string s;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(v[i]);
+    }
+    return s;
+  };
+  os << "engine=" << engine << " agg=" << agg_column
+     << " pred=" << list(predicate_columns);
+  if (!extra_tracked_columns.empty()) {
+    os << " tracked=" << list(extra_tracked_columns);
+  }
+  if (!model_columns.empty()) os << " columns=" << list(model_columns);
+  os << " leaves=" << num_leaves << " sample_rate=" << sample_rate
+     << " catchup_rate=" << catchup_rate << " confidence=" << confidence
+     << " focus=" << AggFuncName(focus)
+     << " algorithm=" << PartitionAlgorithmName(algorithm)
+     << " triggers=" << (enable_triggers ? "on" : "off") << " beta=" << beta
+     << " check_interval=" << trigger_check_interval
+     << " starvation=" << starvation_factor
+     << " psi=" << partial_repartition_psi;
+  if (num_strata > 0) os << " strata=" << num_strata;
+  os << " train_fraction=" << train_fraction << " seed=" << seed;
+  return os.str();
+}
+
+}  // namespace janus

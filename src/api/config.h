@@ -1,0 +1,103 @@
+#ifndef JANUS_API_CONFIG_H_
+#define JANUS_API_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/spt.h"
+#include "data/schema.h"
+
+namespace janus {
+
+/// The one flag parser shared by every bench, example and tool. Accepts
+/// "key=value", "--key value" and "--key=value" tokens interchangeably
+/// (leading dashes are stripped, so "--rows 100" and "rows=100" are the same
+/// argument). Later occurrences of a key win.
+class ArgMap {
+ public:
+  ArgMap() = default;
+  ArgMap(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  size_t GetSize(const std::string& key, size_t def) const;
+  uint64_t GetUint64(const std::string& key, uint64_t def) const;
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  /// "1"/"true"/"on"/"yes" => true; "0"/"false"/"off"/"no" => false.
+  bool GetBool(const std::string& key, bool def) const;
+  /// Comma-separated integer list, e.g. "pred=0,5".
+  std::vector<int> GetIntList(const std::string& key,
+                              std::vector<int> def) const;
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Unified configuration every engine in the registry is created from. One
+/// struct covers all six backends; each adapter reads the subset it
+/// understands and ignores the rest, so the same config can be replayed
+/// against any engine name (the conformance suite does exactly that).
+///
+/// CLI keys (via FromArgs): engine, agg, pred, tracked, columns, leaves,
+/// sample_rate (alias alpha), catchup_rate (alias catchup), confidence,
+/// focus, algorithm, triggers, beta, check_interval, starvation, psi,
+/// strata, train_fraction, seed.
+struct EngineConfig {
+  /// Registry name: "janus", "multi", "rs", "srs", "spn", "spt".
+  std::string engine = "janus";
+
+  // --- query template -------------------------------------------------------
+  int agg_column = 1;
+  std::vector<int> predicate_columns = {0};
+  /// Additional aggregate columns with maintained statistics (Sec. 5.5).
+  std::vector<int> extra_tracked_columns;
+  /// Columns a learned model (SPN) covers; empty derives the set from the
+  /// template columns above.
+  std::vector<int> model_columns;
+
+  // --- synopsis shape -------------------------------------------------------
+  int num_leaves = 128;
+  double sample_rate = 0.01;
+  double catchup_rate = 0.10;
+  double confidence = 0.95;
+  AggFunc focus = AggFunc::kSum;
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kBinarySearch;
+
+  // --- re-partitioning triggers (janus) ------------------------------------
+  bool enable_triggers = true;
+  double beta = 10.0;
+  uint64_t trigger_check_interval = 64;
+  double starvation_factor = 0.25;
+  int partial_repartition_psi = 0;
+
+  // --- baselines ------------------------------------------------------------
+  /// Strata count of the SRS baseline; 0 means "use num_leaves".
+  int num_strata = 0;
+  /// Fraction of the live table a learned model (re)trains on.
+  double train_fraction = 0.10;
+
+  uint64_t seed = 42;
+
+  /// Parse from shared CLI args; unknown keys are ignored (benches keep their
+  /// own keys like "rows" in the same ArgMap).
+  static EngineConfig FromArgs(const ArgMap& args);
+
+  /// Canonical "key=value ..." rendering (logging / reproducibility).
+  std::string ToString() const;
+};
+
+/// Names for AggFunc / PartitionAlgorithm config values ("sum", "bs", ...).
+AggFunc ParseAggFunc(const std::string& name, AggFunc def);
+PartitionAlgorithm ParsePartitionAlgorithm(const std::string& name,
+                                           PartitionAlgorithm def);
+const char* PartitionAlgorithmName(PartitionAlgorithm a);
+
+}  // namespace janus
+
+#endif  // JANUS_API_CONFIG_H_

@@ -1,0 +1,61 @@
+#ifndef JANUS_API_DRIVER_H_
+#define JANUS_API_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "api/engine.h"
+#include "stream/broker.h"
+
+namespace janus {
+
+struct EngineDriverOptions {
+  /// Max records pulled from each topic per poll round.
+  size_t poll_batch = 4096;
+  /// Catch-up samples absorbed after each pump round (0 disables).
+  size_t catchup_step = 0;
+};
+
+struct EngineDriverStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t queries = 0;
+};
+
+/// Consumes a Broker's insert/delete/query request streams (Sec. 3.2)
+/// through the AqpEngine interface, so the full streaming scenario runs
+/// against any registered backend. The driver is a plain consumer: it owns
+/// its offsets, polls in batches, applies data updates in arrival order and
+/// answers query requests from the synopsis, collecting results in
+/// query-topic order.
+class EngineDriver {
+ public:
+  EngineDriver(AqpEngine* engine, Broker* broker,
+               EngineDriverOptions opts = {});
+
+  /// One poll round over the three topics. Returns the number of records
+  /// consumed (0 means the streams are drained).
+  size_t PumpOnce();
+
+  /// Pump until every topic is exhausted; returns total records consumed.
+  size_t Drain();
+
+  const EngineDriverStats& stats() const { return stats_; }
+
+  /// Answers to the consumed query requests, in query-topic order.
+  const std::vector<QueryResult>& results() const { return results_; }
+
+ private:
+  AqpEngine* engine_;
+  Broker* broker_;
+  EngineDriverOptions opts_;
+  uint64_t insert_offset_ = 0;
+  uint64_t delete_offset_ = 0;
+  uint64_t query_offset_ = 0;
+  EngineDriverStats stats_;
+  std::vector<QueryResult> results_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_API_DRIVER_H_

@@ -1,0 +1,32 @@
+#include "api/engine.h"
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace janus {
+
+std::vector<QueryResult> AqpEngine::QueryBatch(
+    const std::vector<AggQuery>& queries, ThreadPool* pool) const {
+  std::vector<QueryResult> out(queries.size());
+  if (pool == nullptr || pool->num_threads() <= 1 || queries.size() < 2) {
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = Query(queries[i]);
+    return out;
+  }
+  // Work-stealing over a shared cursor: each worker grabs the next
+  // unanswered query, so skewed per-query costs still balance.
+  std::atomic<size_t> next{0};
+  const size_t workers = std::min(pool->num_threads(), queries.size());
+  for (size_t w = 0; w < workers; ++w) {
+    pool->Submit([this, &queries, &out, &next] {
+      for (size_t i = next.fetch_add(1); i < queries.size();
+           i = next.fetch_add(1)) {
+        out[i] = Query(queries[i]);
+      }
+    });
+  }
+  pool->WaitIdle();
+  return out;
+}
+
+}  // namespace janus

@@ -1,0 +1,115 @@
+#ifndef JANUS_API_ENGINE_H_
+#define JANUS_API_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dpt.h"
+#include "data/table.h"
+#include "data/workload.h"
+
+namespace janus {
+
+class ThreadPool;
+
+/// Uniform operational snapshot of any engine: counters every backend can
+/// fill plus the cost metrics the experiment harnesses report. Fields an
+/// engine has no notion of stay at their zero values.
+struct EngineStats {
+  std::string engine;      ///< registry name of the backend
+  size_t rows = 0;         ///< live tuples in the archive
+  size_t sample_size = 0;  ///< synopsis sample footprint (tuples)
+  int num_templates = 0;   ///< registered query templates (multi)
+
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t repartitions = 0;
+  uint64_t partial_repartitions = 0;
+  uint64_t trigger_checks = 0;
+  uint64_t trigger_fires = 0;
+  uint64_t reservoir_resamples = 0;
+
+  size_t catchup_processed = 0;
+  double catchup_processing_seconds = 0;
+  double last_reopt_seconds = 0;      ///< last re-optimization, wall clock
+  double last_blocking_seconds = 0;   ///< blocking step of the last re-opt
+  double build_seconds = 0;           ///< last full (re)build / retrain
+  double partition_seconds = 0;       ///< optimizer-only share of the build
+};
+
+/// The one dynamic-AQP engine interface (the paper's data/query API of
+/// Sec. 3.2): bulk load, build, a stream of inserts and deletes, approximate
+/// aggregate queries with confidence intervals, and explicit control over
+/// catch-up and re-optimization. Every synopsis backend — JanusAQP, the
+/// multi-template manager, the RS/SRS/SPN baselines and the static SPT —
+/// implements it, so benches, examples and the streaming driver are written
+/// once against this class and run against any registered engine.
+///
+/// Contracts (inherited from the underlying systems):
+///  - LoadInitial() may be called repeatedly before Initialize().
+///  - Insert()/Delete() require Initialize() to have run; engines whose
+///    maintenance path is thread-safe (janus) accept them from multiple
+///    threads, the others must be driven from one thread.
+///  - Query()/QueryBatch() must be externally quiesced against concurrent
+///    updates, exactly as the experiment drivers do; concurrent *readers*
+///    are always allowed.
+class AqpEngine {
+ public:
+  virtual ~AqpEngine() = default;
+
+  /// Registry name of this engine ("janus", "rs", ...).
+  virtual const char* name() const = 0;
+
+  /// Bulk-load historical data without per-update overhead.
+  virtual void LoadInitial(const std::vector<Tuple>& rows) = 0;
+
+  /// Build the synopsis from the loaded archive.
+  virtual void Initialize() = 0;
+
+  /// Process one insertion.
+  virtual void Insert(const Tuple& t) = 0;
+
+  /// Process one deletion by tuple id. Returns false if the id is not live.
+  virtual bool Delete(uint64_t id) = 0;
+
+  /// Answer one query from the synopsis (never touches the archive).
+  virtual QueryResult Query(const AggQuery& q) const = 0;
+
+  /// Answer a whole workload. With a pool, queries fan out over its worker
+  /// threads (the synopsis is read-only during a batch, so parallel readers
+  /// are safe); without one the batch runs inline. Results are positionally
+  /// aligned with `queries`.
+  virtual std::vector<QueryResult> QueryBatch(
+      const std::vector<AggQuery>& queries, ThreadPool* pool = nullptr) const;
+
+  /// Drive background statistics refinement to its goal. No-op for engines
+  /// without a catch-up phase.
+  virtual void RunCatchupToGoal() {}
+
+  /// Absorb up to `batch` catch-up samples; returns how many were absorbed
+  /// (0 for engines without catch-up).
+  virtual size_t StepCatchup(size_t batch) {
+    (void)batch;
+    return 0;
+  }
+
+  /// Full re-optimization / retrain from the current archive. No-op for
+  /// engines whose synopsis never moves (rs, srs).
+  virtual void Reinitialize() {}
+
+  /// Uniform counter/memory snapshot.
+  virtual EngineStats Stats() const = 0;
+
+  /// The evolving archive table, when the engine owns one (all built-in
+  /// engines do). Exact ground truths in examples scan table()->live().
+  virtual const DynamicTable* table() const { return nullptr; }
+
+  /// The primary partition-tree synopsis, for experiment introspection
+  /// (leaf rectangles, tree shape); nullptr for engines without one.
+  virtual const Dpt* synopsis() const { return nullptr; }
+};
+
+}  // namespace janus
+
+#endif  // JANUS_API_ENGINE_H_

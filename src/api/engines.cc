@@ -1,0 +1,453 @@
+// Thin adapters wrapping each synopsis backend behind AqpEngine, plus the
+// registration of all built-ins. This file is the only place (outside unit
+// tests) where the concrete systems are constructed; everything downstream
+// goes through EngineRegistry::Create.
+
+#include <algorithm>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+
+#include "api/registry.h"
+#include "baselines/rs.h"
+#include "baselines/spn.h"
+#include "baselines/srs.h"
+#include "core/janus.h"
+#include "core/multi.h"
+#include "core/spt.h"
+#include "util/thread_pool.h"
+
+namespace janus {
+
+namespace {
+
+JanusOptions MakeJanusOptions(const EngineConfig& c) {
+  JanusOptions o;
+  o.spec.agg_column = c.agg_column;
+  o.spec.predicate_columns = c.predicate_columns;
+  o.num_leaves = c.num_leaves;
+  o.sample_rate = c.sample_rate;
+  o.catchup_rate = c.catchup_rate;
+  o.focus = c.focus;
+  o.algorithm = c.algorithm;
+  o.confidence = c.confidence;
+  o.beta = c.beta;
+  o.extra_tracked_columns = c.extra_tracked_columns;
+  o.enable_triggers = c.enable_triggers;
+  o.trigger_check_interval = c.trigger_check_interval;
+  o.starvation_factor = c.starvation_factor;
+  o.partial_repartition_psi = c.partial_repartition_psi;
+  o.seed = c.seed;
+  return o;
+}
+
+/// "janus": the full JanusAQP system of Sec. 4/5.
+class JanusEngine : public AqpEngine {
+ public:
+  explicit JanusEngine(const EngineConfig& c) : impl_(MakeJanusOptions(c)) {}
+
+  const char* name() const override { return "janus"; }
+  void LoadInitial(const std::vector<Tuple>& rows) override {
+    impl_.LoadInitial(rows);
+  }
+  void Initialize() override {
+    impl_.Initialize();
+    initialized_ = true;
+  }
+  void Insert(const Tuple& t) override { impl_.Insert(t); }
+  bool Delete(uint64_t id) override { return impl_.Delete(id); }
+  QueryResult Query(const AggQuery& q) const override {
+    return impl_.Query(q);
+  }
+  void RunCatchupToGoal() override { impl_.RunCatchupToGoal(); }
+  size_t StepCatchup(size_t batch) override {
+    return impl_.StepCatchup(batch);
+  }
+  void Reinitialize() override { impl_.Reinitialize(); }
+
+  EngineStats Stats() const override {
+    EngineStats s;
+    s.engine = name();
+    s.rows = impl_.table().size();
+    s.sample_size = initialized_ ? impl_.dpt().sample_size() : 0;
+    const JanusCounters& c = impl_.counters();
+    s.inserts = c.inserts;
+    s.deletes = c.deletes;
+    s.repartitions = c.repartitions;
+    s.partial_repartitions = c.partial_repartitions;
+    s.trigger_checks = c.trigger_checks;
+    s.trigger_fires = c.trigger_fires;
+    s.reservoir_resamples = c.reservoir_resamples;
+    s.catchup_processed = impl_.catchup_processed();
+    s.catchup_processing_seconds = impl_.catchup_processing_seconds();
+    s.last_reopt_seconds = c.last_reopt_seconds;
+    s.last_blocking_seconds = c.last_blocking_seconds;
+    return s;
+  }
+  const DynamicTable* table() const override { return &impl_.table(); }
+  const Dpt* synopsis() const override {
+    return initialized_ ? &impl_.dpt() : nullptr;
+  }
+
+ private:
+  JanusAqp impl_;
+  bool initialized_ = false;
+};
+
+/// "multi": one pooled sample, one tree per query template (Sec. 5.5).
+class MultiEngine : public AqpEngine {
+ public:
+  explicit MultiEngine(const EngineConfig& c)
+      : impl_(MakeJanusOptions(c)), inserts_(0), deletes_(0) {
+    SynopsisSpec spec;
+    spec.agg_column = c.agg_column;
+    spec.predicate_columns = c.predicate_columns;
+    impl_.AddTemplate(spec);
+  }
+
+  const char* name() const override { return "multi"; }
+  void LoadInitial(const std::vector<Tuple>& rows) override {
+    impl_.LoadInitial(rows);
+  }
+  void Initialize() override {
+    impl_.Initialize();
+    initialized_ = true;
+  }
+  void Insert(const Tuple& t) override {
+    impl_.Insert(t);
+    ++inserts_;
+  }
+  bool Delete(uint64_t id) override {
+    const bool ok = impl_.Delete(id);
+    if (ok) ++deletes_;
+    return ok;
+  }
+  QueryResult Query(const AggQuery& q) const override {
+    // Template discovery mutates the manager; the engine stays logically
+    // const (a cache fill), hence the mutable member. Concurrent readers
+    // are allowed by the AqpEngine contract, so discovery takes the write
+    // lock while established-template lookups share a read lock.
+    {
+      std::shared_lock<std::shared_mutex> lock(template_mu_);
+      const int idx = impl_.TemplateFor(q.predicate_columns);
+      if (idx >= 0) return impl_.dpt(idx).Query(q);
+    }
+    std::unique_lock<std::shared_mutex> lock(template_mu_);
+    return impl_.Query(q);
+  }
+  std::vector<QueryResult> QueryBatch(const std::vector<AggQuery>& queries,
+                                      ThreadPool* pool) const override {
+    // Materialize any missing templates serially first so the fan-out only
+    // performs read-only tree lookups.
+    {
+      std::unique_lock<std::shared_mutex> lock(template_mu_);
+      for (const AggQuery& q : queries) {
+        if (impl_.TemplateFor(q.predicate_columns) < 0) {
+          SynopsisSpec spec;
+          spec.agg_column = q.agg_column;
+          spec.predicate_columns = q.predicate_columns;
+          impl_.AddTemplate(spec);
+        }
+      }
+    }
+    return AqpEngine::QueryBatch(queries, pool);
+  }
+  void RunCatchupToGoal() override { impl_.RunCatchupToGoal(); }
+
+  EngineStats Stats() const override {
+    // Shares template_mu_ with Query(): on-demand template discovery may
+    // reallocate the template list under a concurrent reader.
+    std::shared_lock<std::shared_mutex> lock(template_mu_);
+    EngineStats s;
+    s.engine = name();
+    s.rows = impl_.table().size();
+    s.sample_size = initialized_ ? impl_.reservoir().size() : 0;
+    s.num_templates = static_cast<int>(impl_.num_templates());
+    s.inserts = inserts_;
+    s.deletes = deletes_;
+    return s;
+  }
+  const DynamicTable* table() const override { return &impl_.table(); }
+  const Dpt* synopsis() const override {
+    std::shared_lock<std::shared_mutex> lock(template_mu_);
+    return initialized_ && impl_.num_templates() > 0 ? &impl_.dpt(0) : nullptr;
+  }
+
+ private:
+  mutable MultiTemplateJanus impl_;
+  mutable std::shared_mutex template_mu_;
+  bool initialized_ = false;
+  uint64_t inserts_;
+  uint64_t deletes_;
+};
+
+/// "rs": uniform reservoir sample over the whole table.
+class RsEngine : public AqpEngine {
+ public:
+  explicit RsEngine(const EngineConfig& c) {
+    RsOptions o;
+    o.sample_rate = c.sample_rate;
+    o.confidence = c.confidence;
+    o.seed = c.seed;
+    impl_ = std::make_unique<ReservoirBaseline>(o);
+  }
+
+  const char* name() const override { return "rs"; }
+  void LoadInitial(const std::vector<Tuple>& rows) override {
+    impl_->LoadInitial(rows);
+  }
+  void Initialize() override { impl_->Initialize(); }
+  void Insert(const Tuple& t) override {
+    impl_->Insert(t);
+    ++inserts_;
+  }
+  bool Delete(uint64_t id) override {
+    const bool ok = impl_->Delete(id);
+    if (ok) ++deletes_;
+    return ok;
+  }
+  QueryResult Query(const AggQuery& q) const override {
+    return impl_->Query(q);
+  }
+
+  EngineStats Stats() const override {
+    EngineStats s;
+    s.engine = name();
+    s.rows = impl_->table().size();
+    s.sample_size = impl_->sample_size();
+    s.inserts = inserts_;
+    s.deletes = deletes_;
+    return s;
+  }
+  const DynamicTable* table() const override { return &impl_->table(); }
+
+ private:
+  std::unique_ptr<ReservoirBaseline> impl_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+/// "srs": stratified reservoir with frozen equal-depth strata.
+class SrsEngine : public AqpEngine {
+ public:
+  explicit SrsEngine(const EngineConfig& c) {
+    SrsOptions o;
+    o.num_strata = c.num_strata > 0 ? c.num_strata : c.num_leaves;
+    o.predicate_column =
+        c.predicate_columns.empty() ? 0 : c.predicate_columns.front();
+    o.sample_rate = c.sample_rate;
+    o.confidence = c.confidence;
+    o.seed = c.seed;
+    impl_ = std::make_unique<StratifiedReservoirBaseline>(o);
+  }
+
+  const char* name() const override { return "srs"; }
+  void LoadInitial(const std::vector<Tuple>& rows) override {
+    impl_->LoadInitial(rows);
+  }
+  void Initialize() override { impl_->Initialize(); }
+  void Insert(const Tuple& t) override {
+    impl_->Insert(t);
+    ++inserts_;
+  }
+  bool Delete(uint64_t id) override {
+    const bool ok = impl_->Delete(id);
+    if (ok) ++deletes_;
+    return ok;
+  }
+  QueryResult Query(const AggQuery& q) const override {
+    return impl_->Query(q);
+  }
+
+  EngineStats Stats() const override {
+    EngineStats s;
+    s.engine = name();
+    s.rows = impl_->table().size();
+    s.sample_size = impl_->sample_size();
+    s.inserts = inserts_;
+    s.deletes = deletes_;
+    return s;
+  }
+  const DynamicTable* table() const override { return &impl_->table(); }
+
+ private:
+  std::unique_ptr<StratifiedReservoirBaseline> impl_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+/// "spn": the learned-model baseline. Owns the archive, (re)trains the model
+/// on a uniform train_fraction sample of the live table; insertions and
+/// deletions only move the population scale until the next Reinitialize()
+/// (DeepDB's warm-start behaviour).
+class SpnEngine : public AqpEngine {
+ public:
+  explicit SpnEngine(const EngineConfig& c)
+      : cfg_(c), table_(Schema{}), rng_(c.seed) {}
+
+  const char* name() const override { return "spn"; }
+  void LoadInitial(const std::vector<Tuple>& rows) override {
+    for (const Tuple& t : rows) table_.Insert(t);
+  }
+  void Initialize() override { Retrain(); }
+  void Reinitialize() override { Retrain(); }
+  void Insert(const Tuple& t) override {
+    table_.Insert(t);
+    ++inserts_;
+    if (spn_) spn_->set_population(table_.size());
+  }
+  bool Delete(uint64_t id) override {
+    if (!table_.Delete(id)) return false;
+    ++deletes_;
+    if (spn_) spn_->set_population(table_.size());
+    return true;
+  }
+  QueryResult Query(const AggQuery& q) const override {
+    return spn_ ? spn_->Query(q) : QueryResult{};
+  }
+
+  EngineStats Stats() const override {
+    EngineStats s;
+    s.engine = name();
+    s.rows = table_.size();
+    s.sample_size = last_train_size_;
+    s.inserts = inserts_;
+    s.deletes = deletes_;
+    s.build_seconds = spn_ ? spn_->train_seconds() : 0;
+    return s;
+  }
+  const DynamicTable* table() const override { return &table_; }
+
+ private:
+  std::vector<int> ModelColumns() const {
+    if (!cfg_.model_columns.empty()) return cfg_.model_columns;
+    std::vector<int> cols = cfg_.predicate_columns;
+    cols.push_back(cfg_.agg_column);
+    cols.insert(cols.end(), cfg_.extra_tracked_columns.begin(),
+                cfg_.extra_tracked_columns.end());
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    return cols;
+  }
+
+  void Retrain() {
+    SpnOptions o;
+    o.confidence = cfg_.confidence;
+    o.seed = rng_.Next();
+    spn_ = std::make_unique<Spn>(o, ModelColumns());
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(cfg_.train_fraction *
+                               static_cast<double>(table_.size())));
+    const std::vector<Tuple> train = table_.SampleUniform(&rng_, k);
+    last_train_size_ = train.size();
+    spn_->Train(train, table_.size());
+  }
+
+  EngineConfig cfg_;
+  DynamicTable table_;
+  std::unique_ptr<Spn> spn_;
+  Rng rng_;
+  size_t last_train_size_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+/// "spt": the static PASS partition tree (Sec. 2.3). Statistics are exact at
+/// build time and folded forward on updates, but the partitioning and the
+/// leaf strata never move — the frozen baseline Fig. 10 contrasts JanusAQP
+/// against. Reinitialize() rebuilds from the current archive.
+class SptEngine : public AqpEngine {
+ public:
+  explicit SptEngine(const EngineConfig& c) : cfg_(c), table_(Schema{}) {}
+
+  const char* name() const override { return "spt"; }
+  void LoadInitial(const std::vector<Tuple>& rows) override {
+    for (const Tuple& t : rows) table_.Insert(t);
+  }
+  void Initialize() override { Rebuild(); }
+  void Reinitialize() override { Rebuild(); }
+  void Insert(const Tuple& t) override {
+    table_.Insert(t);
+    ++inserts_;
+    if (dpt_) dpt_->ApplyInsert(t);
+  }
+  bool Delete(uint64_t id) override {
+    const Tuple* p = table_.Find(id);
+    if (p == nullptr) return false;
+    const Tuple t = *p;
+    table_.Delete(id);
+    ++deletes_;
+    if (dpt_) dpt_->ApplyDelete(t);
+    return true;
+  }
+  QueryResult Query(const AggQuery& q) const override {
+    return dpt_ ? dpt_->Query(q) : QueryResult{};
+  }
+
+  EngineStats Stats() const override {
+    EngineStats s;
+    s.engine = name();
+    s.rows = table_.size();
+    s.sample_size = dpt_ ? dpt_->sample_size() : 0;
+    s.inserts = inserts_;
+    s.deletes = deletes_;
+    s.build_seconds = build_.total_seconds;
+    s.partition_seconds = build_.partition_seconds;
+    return s;
+  }
+  const DynamicTable* table() const override { return &table_; }
+  const Dpt* synopsis() const override { return dpt_.get(); }
+
+ private:
+  void Rebuild() {
+    SptOptions o;
+    o.spec.agg_column = cfg_.agg_column;
+    o.spec.predicate_columns = cfg_.predicate_columns;
+    o.num_leaves = cfg_.num_leaves;
+    o.focus = cfg_.focus;
+    o.sample_rate = cfg_.sample_rate;
+    o.algorithm = cfg_.algorithm;
+    o.confidence = cfg_.confidence;
+    o.seed = cfg_.seed;
+    build_ = BuildSpt(table_.live(), o);
+    dpt_ = std::move(build_.synopsis);
+  }
+
+  EngineConfig cfg_;
+  DynamicTable table_;
+  std::unique_ptr<Dpt> dpt_;
+  SptBuildResult build_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace
+
+void RegisterBuiltinEngines(EngineRegistry* registry) {
+  registry->Register("janus", "JanusAQP: DPT + catch-up + triggers",
+                     [](const EngineConfig& c) {
+                       return std::make_unique<JanusEngine>(c);
+                     });
+  registry->Register("multi", "multi-template manager, one tree per template",
+                     [](const EngineConfig& c) {
+                       return std::make_unique<MultiEngine>(c);
+                     });
+  registry->Register("rs", "uniform reservoir-sampling baseline",
+                     [](const EngineConfig& c) {
+                       return std::make_unique<RsEngine>(c);
+                     });
+  registry->Register("srs", "stratified reservoir baseline, frozen strata",
+                     [](const EngineConfig& c) {
+                       return std::make_unique<SrsEngine>(c);
+                     });
+  registry->Register("spn", "mini sum-product network (DeepDB stand-in)",
+                     [](const EngineConfig& c) {
+                       return std::make_unique<SpnEngine>(c);
+                     });
+  registry->Register("spt", "static PASS partition tree, never re-optimized",
+                     [](const EngineConfig& c) {
+                       return std::make_unique<SptEngine>(c);
+                     });
+}
+
+}  // namespace janus

@@ -1,0 +1,65 @@
+#include "api/registry.h"
+
+#include <stdexcept>
+
+namespace janus {
+
+// Defined in engines.cc; fills the registry with the built-in backends.
+void RegisterBuiltinEngines(EngineRegistry* registry);
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* global = [] {
+    auto* r = new EngineRegistry();
+    RegisterBuiltinEngines(r);
+    return r;
+  }();
+  return *global;
+}
+
+void EngineRegistry::Register(const std::string& name,
+                              const std::string& description,
+                              EngineFactory factory) {
+  engines_[name] = Entry{description, std::move(factory)};
+}
+
+bool EngineRegistry::Contains(const std::string& name) const {
+  return engines_.count(name) > 0;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [name, entry] : engines_) names.push_back(name);
+  return names;
+}
+
+std::string EngineRegistry::Description(const std::string& name) const {
+  const auto it = engines_.find(name);
+  return it == engines_.end() ? std::string() : it->second.description;
+}
+
+std::unique_ptr<AqpEngine> EngineRegistry::CreateEngine(
+    const std::string& name, const EngineConfig& config) const {
+  const auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    std::string known;
+    for (const auto& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown engine '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second.factory(config);
+}
+
+std::unique_ptr<AqpEngine> EngineRegistry::Create(const std::string& name,
+                                                  const EngineConfig& config) {
+  return Global().CreateEngine(name, config);
+}
+
+std::unique_ptr<AqpEngine> EngineRegistry::Create(const EngineConfig& config) {
+  return Global().CreateEngine(config.engine, config);
+}
+
+}  // namespace janus

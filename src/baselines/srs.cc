@@ -17,6 +17,14 @@ void StratifiedReservoirBaseline::LoadInitial(const std::vector<Tuple>& rows) {
   for (const Tuple& t : rows) table_.Insert(t);
 }
 
+size_t StratifiedReservoirBaseline::sample_size() const {
+  size_t total = 0;
+  for (const auto& stratum : strata_) {
+    if (stratum) total += stratum->size();
+  }
+  return total;
+}
+
 int StratifiedReservoirBaseline::StratumOfKey(double key) const {
   // First boundary strictly greater than key.
   const auto it =

@@ -37,6 +37,8 @@ class StratifiedReservoirBaseline {
   QueryResult Query(const AggQuery& q) const;
 
   const DynamicTable& table() const { return table_; }
+  /// Total sample tuples held across all strata reservoirs.
+  size_t sample_size() const;
   /// Exact population of a stratum (maintained counter).
   double StratumPopulation(int s) const {
     return populations_[static_cast<size_t>(s)];

@@ -4,10 +4,8 @@
 
 namespace janus {
 
-namespace {
+namespace detail {
 
-// Busy-wait for the simulated broker round-trip; sleep_for would be far too
-// coarse at microsecond scales.
 void SpinFor(uint64_t ns) {
   if (ns == 0) return;
   const auto deadline =
@@ -16,42 +14,12 @@ void SpinFor(uint64_t ns) {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
-uint64_t Topic::Append(const Tuple& t) {
-  std::lock_guard<std::mutex> lock(mu_);
-  log_.push_back(t);
-  return log_.size() - 1;
-}
-
-void Topic::AppendBatch(const std::vector<Tuple>& ts) {
-  std::lock_guard<std::mutex> lock(mu_);
-  log_.insert(log_.end(), ts.begin(), ts.end());
-}
-
-size_t Topic::Poll(uint64_t offset, size_t max_records,
-                   std::vector<Tuple>* out) const {
-  SpinFor(poll_overhead_ns_);
-  std::lock_guard<std::mutex> lock(mu_);
-  ++poll_count_;
-  if (offset >= log_.size()) return 0;
-  const size_t n = std::min(max_records, log_.size() - offset);
-  out->insert(out->end(), log_.begin() + static_cast<ptrdiff_t>(offset),
-              log_.begin() + static_cast<ptrdiff_t>(offset + n));
-  return n;
-}
-
-uint64_t Topic::EndOffset() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return log_.size();
-}
-
-uint64_t Topic::poll_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return poll_count_;
-}
-
-Broker::Broker() : insert_topic_("insert"), delete_topic_("delete") {}
+Broker::Broker()
+    : insert_topic_("insert"),
+      delete_topic_("delete"),
+      query_topic_("query") {}
 
 Topic* Broker::GetTopic(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,6 +1,7 @@
 #ifndef JANUS_STREAM_BROKER_H_
 #define JANUS_STREAM_BROKER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,62 +10,110 @@
 #include <vector>
 
 #include "data/schema.h"
+#include "data/workload.h"
 
 namespace janus {
 
-/// A Kafka-like append-only topic of tuples: consumers address data only by
-/// offset through batched poll() calls — there is no random-access API, which
-/// is exactly the constraint the Appendix-A samplers are designed around.
+namespace detail {
+/// Busy-wait for the simulated broker round-trip; sleep_for would be far too
+/// coarse at microsecond scales.
+void SpinFor(uint64_t ns);
+}  // namespace detail
+
+/// A Kafka-like append-only log: consumers address records only by offset
+/// through batched poll() calls — there is no random-access API, which is
+/// exactly the constraint the Appendix-A samplers are designed around.
 ///
 /// `poll_overhead_ns` models the fixed per-poll cost of a real broker
-/// round-trip (API call, batch framing). It defaults to a small value so
-/// that the singleton-vs-sequential tradeoff of Table 4 is measurable in an
-/// in-process setting; benches may raise it.
-class Topic {
+/// round-trip (API call, batch framing).
+template <typename Record>
+class TopicLog {
  public:
-  explicit Topic(std::string name, uint64_t poll_overhead_ns = 2000)
+  explicit TopicLog(std::string name, uint64_t poll_overhead_ns = 0)
       : name_(std::move(name)), poll_overhead_ns_(poll_overhead_ns) {}
 
   const std::string& name() const { return name_; }
 
   /// Append one record; returns its offset.
-  uint64_t Append(const Tuple& t);
+  uint64_t Append(const Record& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back(r);
+    return log_.size() - 1;
+  }
 
   /// Append many records.
-  void AppendBatch(const std::vector<Tuple>& ts);
+  void AppendBatch(const std::vector<Record>& rs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.insert(log_.end(), rs.begin(), rs.end());
+  }
 
   /// Poll up to `max_records` starting at `offset`; appends them to `out`
   /// and returns the number of records delivered. Simulates the per-poll
   /// broker overhead.
   size_t Poll(uint64_t offset, size_t max_records,
-              std::vector<Tuple>* out) const;
+              std::vector<Record>* out) const {
+    detail::SpinFor(poll_overhead_ns_);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++poll_count_;
+    if (offset >= log_.size()) return 0;
+    const size_t n = std::min(max_records, log_.size() - offset);
+    out->insert(out->end(), log_.begin() + static_cast<ptrdiff_t>(offset),
+                log_.begin() + static_cast<ptrdiff_t>(offset + n));
+    return n;
+  }
 
   /// Number of records in the log (the end offset).
-  uint64_t EndOffset() const;
+  uint64_t EndOffset() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_.size();
+  }
 
   void set_poll_overhead_ns(uint64_t ns) { poll_overhead_ns_ = ns; }
   uint64_t poll_overhead_ns() const { return poll_overhead_ns_; }
 
   /// Cumulative number of Poll() calls served (for experiment accounting).
-  uint64_t poll_count() const;
+  uint64_t poll_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return poll_count_;
+  }
 
  private:
   std::string name_;
   uint64_t poll_overhead_ns_;
   mutable std::mutex mu_;
-  std::vector<Tuple> log_;
+  std::vector<Record> log_;
   mutable uint64_t poll_count_ = 0;
+};
+
+/// A topic of tuples (data records). The default overhead is a small value
+/// so that the singleton-vs-sequential tradeoff of Table 4 is measurable in
+/// an in-process setting; benches may raise it.
+class Topic : public TopicLog<Tuple> {
+ public:
+  explicit Topic(std::string name, uint64_t poll_overhead_ns = 2000)
+      : TopicLog(std::move(name), poll_overhead_ns) {}
+};
+
+/// A topic of query requests: the execute(query) request stream of the
+/// PSoup-style API (Sec. 3.2). In-process query submission is free, so the
+/// poll overhead defaults to zero.
+class QueryTopic : public TopicLog<AggQuery> {
+ public:
+  explicit QueryTopic(std::string name, uint64_t poll_overhead_ns = 0)
+      : TopicLog(std::move(name), poll_overhead_ns) {}
 };
 
 /// The three request streams of the PSoup-style data/query API (Sec. 3.2):
 /// insert(tuple), delete(tuple) and execute(query) topics, plus arbitrary
-/// named data topics for archival storage.
+/// named data topics for archival storage. EngineDriver consumes all three
+/// against any AqpEngine.
 class Broker {
  public:
   Broker();
 
   Topic* insert_topic() { return &insert_topic_; }
   Topic* delete_topic() { return &delete_topic_; }
+  QueryTopic* query_topic() { return &query_topic_; }
 
   /// Get or create a named data topic.
   Topic* GetTopic(const std::string& name);
@@ -72,6 +121,7 @@ class Broker {
  private:
   Topic insert_topic_;
   Topic delete_topic_;
+  QueryTopic query_topic_;
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
 };

@@ -73,10 +73,32 @@ TEST(BrokerTest, BuiltInAndNamedTopics) {
   Broker broker;
   EXPECT_EQ(broker.insert_topic()->name(), "insert");
   EXPECT_EQ(broker.delete_topic()->name(), "delete");
+  EXPECT_EQ(broker.query_topic()->name(), "query");
   Topic* a = broker.GetTopic("archive");
   Topic* b = broker.GetTopic("archive");
   EXPECT_EQ(a, b);  // same instance
   EXPECT_NE(a, broker.GetTopic("other"));
+}
+
+TEST(QueryTopicTest, AppendAndPollQueries) {
+  QueryTopic topic("q");
+  EXPECT_EQ(topic.EndOffset(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    AggQuery q;
+    q.func = AggFunc::kSum;
+    q.agg_column = 1;
+    q.predicate_columns = {0};
+    q.rect = Rectangle({static_cast<double>(i)}, {static_cast<double>(i + 1)});
+    EXPECT_EQ(topic.Append(q), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(topic.EndOffset(), 20u);
+  std::vector<AggQuery> out;
+  EXPECT_EQ(topic.Poll(0, 5, &out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[3].rect.lo(0), 3.0);
+  out.clear();
+  EXPECT_EQ(topic.Poll(15, 50, &out), 5u);  // truncated at end
+  EXPECT_EQ(topic.Poll(20, 5, &out), 0u);   // drained
 }
 
 }  // namespace

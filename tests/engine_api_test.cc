@@ -1,0 +1,373 @@
+// Conformance suite for the unified AqpEngine API: every registered engine
+// runs the same load / initialize / insert / delete / query / catch-up
+// scenario through the facade, with estimate-sanity and CI-coverage checks.
+// Also covers the registry, the shared ArgMap/EngineConfig parser, QueryBatch
+// and the broker-driven EngineDriver.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/config.h"
+#include "api/driver.h"
+#include "api/engine.h"
+#include "api/registry.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "data/workload.h"
+#include "util/thread_pool.h"
+
+namespace janus {
+namespace {
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.agg_column = 1;
+  cfg.predicate_columns = {0};
+  cfg.num_leaves = 32;
+  cfg.sample_rate = 0.02;
+  cfg.catchup_rate = 0.10;
+  cfg.enable_triggers = false;
+  return cfg;
+}
+
+AggQuery MakeQuery(AggFunc f, double lo, double hi) {
+  AggQuery q;
+  q.func = f;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({lo}, {hi});
+  return q;
+}
+
+/// Workloads wide enough that every backend's resolution suffices.
+std::vector<AggQuery> WideWorkload(const std::vector<Tuple>& rows,
+                                   size_t n, uint64_t seed) {
+  WorkloadGenerator gen(rows, {0}, 1);
+  WorkloadOptions o;
+  o.num_queries = n;
+  o.func = AggFunc::kSum;
+  o.min_count = std::max<size_t>(50, rows.size() / 100);
+  o.seed = seed;
+  return gen.Generate(rows, o);
+}
+
+/// Median relative error the scenario tolerates per engine. The learned
+/// model has fixed resolution; everything else is sampling-based.
+double ErrorBudget(const std::string& engine) {
+  return engine == "spn" ? 0.50 : 0.25;
+}
+
+class EngineConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
+  const std::string name = GetParam();
+  auto ds = GenerateUniform(20000, 1, 31);
+  auto engine = EngineRegistry::Create(name, BaseConfig());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name(), name);
+
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  // Phase 1: estimate sanity on the historical data.
+  auto rows = ds.rows;
+  {
+    const AggQuery q = MakeQuery(AggFunc::kCount, 0.0, 1.0);
+    const auto truth = ExactAnswer(rows, q);
+    const QueryResult r = engine->Query(q);
+    EXPECT_NEAR(r.estimate, *truth, *truth * ErrorBudget(name)) << name;
+  }
+
+  // Phase 2: stream 2000 inserts and 1000 deletes.
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t;
+    t.id = 500000 + static_cast<uint64_t>(i);
+    t[0] = rng.NextDouble();
+    t[1] = rng.Normal(10, 2);
+    engine->Insert(t);
+    rows.push_back(t);
+  }
+  for (uint64_t id = 0; id < 1000; ++id) {
+    EXPECT_TRUE(engine->Delete(id * 7)) << name;
+  }
+  EXPECT_FALSE(engine->Delete(999999999)) << name;
+  std::vector<Tuple> live;
+  for (const Tuple& t : rows) {
+    if (t.id >= 500000 || t.id % 7 != 0 || t.id >= 7000) live.push_back(t);
+  }
+
+  // The archive tracks the stream exactly.
+  ASSERT_NE(engine->table(), nullptr) << name;
+  EXPECT_EQ(engine->table()->size(), live.size()) << name;
+
+  // Phase 3: updates are reflected (after a refresh for engines whose
+  // synopsis only moves on Reinitialize).
+  if (name == "spn" || name == "spt") engine->Reinitialize();
+  engine->RunCatchupToGoal();
+  {
+    const AggQuery q = MakeQuery(AggFunc::kCount, 0.0, 1.0);
+    const auto truth = ExactAnswer(live, q);
+    const QueryResult r = engine->Query(q);
+    EXPECT_NEAR(r.estimate, *truth, *truth * ErrorBudget(name)) << name;
+  }
+
+  // Phase 4: workload-level estimate sanity and CI coverage.
+  const auto queries = WideWorkload(live, 30, 13);
+  const auto truths = ExactAnswers(live, queries);
+  std::vector<double> errors;
+  size_t with_ci = 0, covered = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult r = engine->Query(queries[i]);
+    EXPECT_GE(r.ci_half_width, 0.0) << name;
+    EXPECT_TRUE(std::isfinite(r.estimate)) << name;
+    const auto rel = RelativeError(truths[i], r.estimate);
+    if (rel.has_value()) errors.push_back(*rel);
+    if (r.ci_half_width > 0 && truths[i].has_value()) {
+      ++with_ci;
+      if (std::abs(r.estimate - *truths[i]) <= r.ci_half_width) ++covered;
+    }
+  }
+  ASSERT_FALSE(errors.empty()) << name;
+  std::nth_element(errors.begin(), errors.begin() + errors.size() / 2,
+                   errors.end());
+  EXPECT_LT(errors[errors.size() / 2], ErrorBudget(name)) << name;
+  // Engines that report confidence intervals must cover the truth at least
+  // half the time at 95% nominal confidence (a loose floor; estimators are
+  // biased only through the sample).
+  if (with_ci >= queries.size() / 2) {
+    EXPECT_GE(static_cast<double>(covered) / static_cast<double>(with_ci),
+              0.5)
+        << name;
+  }
+
+  // Stats snapshot is consistent with the stream.
+  const EngineStats stats = engine->Stats();
+  EXPECT_EQ(stats.engine, name);
+  EXPECT_EQ(stats.rows, live.size()) << name;
+  EXPECT_GE(stats.inserts, 2000u) << name;
+  EXPECT_GE(stats.deletes, 1000u) << name;
+}
+
+TEST_P(EngineConformanceTest, QueryBatchMatchesSerialQueries) {
+  const std::string name = GetParam();
+  auto ds = GenerateUniform(8000, 1, 57);
+  auto engine = EngineRegistry::Create(name, BaseConfig());
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  const auto queries = WideWorkload(ds.rows, 24, 5);
+  std::vector<QueryResult> serial;
+  for (const AggQuery& q : queries) serial.push_back(engine->Query(q));
+
+  ThreadPool pool(4);
+  const auto inline_batch = engine->QueryBatch(queries, nullptr);
+  const auto pooled_batch = engine->QueryBatch(queries, &pool);
+  ASSERT_EQ(inline_batch.size(), queries.size());
+  ASSERT_EQ(pooled_batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(inline_batch[i].estimate, serial[i].estimate) << name;
+    EXPECT_DOUBLE_EQ(pooled_batch[i].estimate, serial[i].estimate) << name;
+    EXPECT_DOUBLE_EQ(pooled_batch[i].ci_half_width, serial[i].ci_half_width)
+        << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineConformanceTest,
+    ::testing::Values("janus", "multi", "rs", "srs", "spn", "spt"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(EngineRegistryTest, CoversAllBackends) {
+  const auto names = EngineRegistry::Global().Names();
+  for (const char* expected :
+       {"janus", "multi", "rs", "srs", "spn", "spt"}) {
+    EXPECT_TRUE(EngineRegistry::Global().Contains(expected)) << expected;
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
+    EXPECT_FALSE(EngineRegistry::Global().Description(expected).empty());
+  }
+}
+
+TEST(EngineRegistryTest, UnknownEngineThrowsWithKnownNames) {
+  try {
+    EngineRegistry::Create("nope", EngineConfig{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nope"), std::string::npos);
+    EXPECT_NE(msg.find("janus"), std::string::npos);
+  }
+}
+
+TEST(EngineRegistryTest, RuntimeRegistrationWins) {
+  EngineRegistry registry;
+  registry.Register("custom", "test engine", [](const EngineConfig& c) {
+    return EngineRegistry::Global().CreateEngine("rs", c);
+  });
+  EXPECT_TRUE(registry.Contains("custom"));
+  auto engine = registry.CreateEngine("custom", BaseConfig());
+  EXPECT_STREQ(engine->name(), "rs");
+}
+
+TEST(ArgMapTest, AcceptsAllFlagStyles) {
+  const char* argv[] = {"prog",        "rows=100",  "--queries", "7",
+                        "--beta=2.5",  "engine=srs", "pred=0,2",  "--verbose"};
+  ArgMap args(8, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetSize("rows", 0), 100u);
+  EXPECT_EQ(args.GetSize("queries", 0), 7u);
+  EXPECT_DOUBLE_EQ(args.GetDouble("beta", 0), 2.5);
+  EXPECT_EQ(args.GetString("engine", ""), "srs");
+  EXPECT_EQ(args.GetIntList("pred", {}), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_EQ(args.GetSize("missing", 42), 42u);
+}
+
+TEST(ArgMapTest, NegativeValuesAreNotFlags) {
+  const char* argv[] = {"prog", "--beta", "-2.5", "--agg", "-1", "--flag"};
+  ArgMap args(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.GetDouble("beta", 0), -2.5);
+  EXPECT_EQ(args.GetInt("agg", 0), -1);
+  EXPECT_TRUE(args.GetBool("flag", false));
+}
+
+TEST(ArgMapTest, BareFlagDoesNotSwallowKeyValueToken) {
+  const char* argv[] = {"prog", "--verbose", "engine=rs"};
+  ArgMap args(3, const_cast<char**>(argv));
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_EQ(args.GetString("engine", ""), "rs");
+}
+
+TEST(EngineConfigTest, ToStringRoundTripsEveryKnob) {
+  EngineConfig cfg;
+  cfg.engine = "srs";
+  cfg.beta = 4.0;
+  cfg.partial_repartition_psi = 2;
+  cfg.confidence = 0.99;
+  cfg.num_strata = 17;
+  cfg.train_fraction = 0.2;
+  cfg.enable_triggers = false;
+  // Feed the canonical rendering back through the parser: every knob must
+  // survive the round trip.
+  const std::string line = cfg.ToString();
+  std::vector<std::string> tokens{"prog"};
+  std::stringstream ss(line);
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  std::vector<char*> argv;
+  for (auto& t : tokens) argv.push_back(t.data());
+  const EngineConfig back = EngineConfig::FromArgs(
+      ArgMap(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(back.engine, cfg.engine);
+  EXPECT_DOUBLE_EQ(back.beta, cfg.beta);
+  EXPECT_EQ(back.partial_repartition_psi, cfg.partial_repartition_psi);
+  EXPECT_DOUBLE_EQ(back.confidence, cfg.confidence);
+  EXPECT_EQ(back.num_strata, cfg.num_strata);
+  EXPECT_DOUBLE_EQ(back.train_fraction, cfg.train_fraction);
+  EXPECT_EQ(back.enable_triggers, cfg.enable_triggers);
+  EXPECT_EQ(back.trigger_check_interval, cfg.trigger_check_interval);
+  EXPECT_DOUBLE_EQ(back.starvation_factor, cfg.starvation_factor);
+}
+
+TEST(EngineConfigTest, FromArgsParsesEveryKnob) {
+  const char* argv[] = {"prog",           "engine=spt",  "agg=3",
+                        "pred=1,2",       "leaves=64",   "alpha=0.05",
+                        "catchup=0.2",    "algorithm=dp", "triggers=off",
+                        "seed=9"};
+  ArgMap args(10, const_cast<char**>(argv));
+  const EngineConfig cfg = EngineConfig::FromArgs(args);
+  EXPECT_EQ(cfg.engine, "spt");
+  EXPECT_EQ(cfg.agg_column, 3);
+  EXPECT_EQ(cfg.predicate_columns, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cfg.num_leaves, 64);
+  EXPECT_DOUBLE_EQ(cfg.sample_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.catchup_rate, 0.2);
+  EXPECT_EQ(cfg.algorithm, PartitionAlgorithm::kDynamicProgram);
+  EXPECT_FALSE(cfg.enable_triggers);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_NE(cfg.ToString().find("engine=spt"), std::string::npos);
+}
+
+TEST(EngineDriverTest, ConsumesAllThreeTopics) {
+  auto ds = GenerateUniform(10000, 1, 91);
+  auto engine = EngineRegistry::Create("janus", BaseConfig());
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  Broker broker;
+  Rng rng(15);
+  std::vector<Tuple> fresh;
+  for (int i = 0; i < 3000; ++i) {
+    Tuple t;
+    t.id = 800000 + static_cast<uint64_t>(i);
+    t[0] = rng.NextDouble();
+    t[1] = rng.Normal(10, 2);
+    fresh.push_back(t);
+  }
+  broker.insert_topic()->AppendBatch(fresh);
+  // Deletions address ids only; the delete stream carries bare tuples.
+  std::vector<Tuple> dels;
+  for (uint64_t id = 0; id < 500; ++id) {
+    Tuple t;
+    t.id = id;
+    dels.push_back(t);
+  }
+  broker.delete_topic()->AppendBatch(dels);
+  broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 1.0));
+  broker.query_topic()->Append(MakeQuery(AggFunc::kSum, 0.2, 0.8));
+
+  EngineDriver driver(engine.get(), &broker);
+  const size_t consumed = driver.Drain();
+  EXPECT_EQ(consumed, 3000u + 500u + 2u);
+  EXPECT_EQ(driver.stats().inserts, 3000u);
+  EXPECT_EQ(driver.stats().deletes, 500u);
+  EXPECT_EQ(driver.stats().queries, 2u);
+  ASSERT_EQ(driver.results().size(), 2u);
+
+  // The engine saw every record: 10000 + 3000 - 500 live tuples.
+  EXPECT_EQ(engine->table()->size(), 12500u);
+  EXPECT_NEAR(driver.results()[0].estimate, 12500.0, 12500.0 * 0.15);
+
+  // A second Drain with nothing new is a no-op.
+  EXPECT_EQ(driver.Drain(), 0u);
+}
+
+TEST(EngineDriverTest, WorksAgainstEveryEngine) {
+  // The streaming scenario is engine-agnostic: replay the same topics into
+  // each registered backend.
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    auto ds = GenerateUniform(5000, 1, 17);
+    auto engine = EngineRegistry::Create(name, BaseConfig());
+    engine->LoadInitial(ds.rows);
+    engine->Initialize();
+
+    Broker broker;
+    Rng rng(19);
+    for (int i = 0; i < 500; ++i) {
+      Tuple t;
+      t.id = 900000 + static_cast<uint64_t>(i);
+      t[0] = rng.NextDouble();
+      t[1] = rng.Normal(10, 2);
+      broker.insert_topic()->Append(t);
+    }
+    broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 1.0));
+
+    EngineDriver driver(engine.get(), &broker);
+    driver.Drain();
+    EXPECT_EQ(driver.stats().inserts, 500u) << name;
+    ASSERT_EQ(driver.results().size(), 1u) << name;
+    EXPECT_EQ(engine->table()->size(), 5500u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,5 +1,6 @@
 #include "baselines/spn.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -91,14 +92,22 @@ TEST(SpnTest, FixedResolutionDoesNotImproveWithPopulation) {
 }
 
 TEST(SpnTest, RetrainCostScalesWithTrainingSize) {
+  // Wall-clock at millisecond scale is noisy under load: compare the best
+  // of three runs on each side so a single descheduled run cannot flip the
+  // 16x-data / >2x-time assertion.
   auto ds = GenerateUniform(60000, 2, 25);
-  Spn small(SpnOptions{}, {0, 1, 2});
-  Spn large(SpnOptions{}, {0, 1, 2});
   std::vector<Tuple> t1(ds.rows.begin(), ds.rows.begin() + 2000);
   std::vector<Tuple> t2(ds.rows.begin(), ds.rows.begin() + 32000);
-  small.Train(t1, ds.rows.size());
-  large.Train(t2, ds.rows.size());
-  EXPECT_GT(large.train_seconds(), small.train_seconds() * 2);
+  double small_best = 1e300, large_best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Spn small(SpnOptions{}, {0, 1, 2});
+    Spn large(SpnOptions{}, {0, 1, 2});
+    small.Train(t1, ds.rows.size());
+    large.Train(t2, ds.rows.size());
+    small_best = std::min(small_best, small.train_seconds());
+    large_best = std::min(large_best, large.train_seconds());
+  }
+  EXPECT_GT(large_best, small_best * 2);
 }
 
 TEST(SpnTest, MinMaxFallBackToTrainingExtrema) {
