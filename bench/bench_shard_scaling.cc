@@ -1,0 +1,172 @@
+// Shard-scaling bench: insert throughput and query latency of the sharded
+// engine at 1/2/4/8 shards against the plain inner engine, under
+// multi-threaded producers. Emits one machine-readable JSON line per
+// configuration (and a human table) so the perf trajectory can be tracked
+// across PRs:
+//
+//   {"bench":"shard_scaling","engine":"sharded:janus","shards":4,...}
+//
+// Two throughput figures per run:
+//   enqueue_per_sec  - producer-observed admission rate (sharded ingest is
+//                      an enqueue; bounded queues apply backpressure)
+//   inserts_per_sec  - end-to-end apply rate: enqueue plus draining every
+//                      shard to its quiesce point (the honest figure;
+//                      scaling with shards needs >= shards cores)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace janus {
+namespace {
+
+struct RunResult {
+  std::string engine;
+  int shards = 0;  ///< 0 = plain (unsharded) engine
+  size_t producers = 0;
+  double enqueue_per_sec = 0;
+  double inserts_per_sec = 0;
+  double query_p50_ms = 0;
+  double query_p99_ms = 0;
+};
+
+std::vector<Tuple> FreshTuples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.id = 50000000 + i;
+    t[0] = rng.NextDouble();
+    t[1] = rng.Normal(10, 2);
+    out.push_back(t);
+  }
+  return out;
+}
+
+RunResult RunOne(const std::string& engine_name, int shards,
+                 size_t producers, const std::vector<Tuple>& historical,
+                 const std::vector<Tuple>& inserts,
+                 const std::vector<AggQuery>& queries) {
+  EngineConfig cfg;
+  cfg.agg_column = 1;
+  cfg.predicate_columns = {0};
+  cfg.num_leaves = 64;
+  cfg.sample_rate = 0.01;
+  cfg.enable_triggers = false;
+  cfg.num_shards = shards > 0 ? shards : 1;
+  auto engine = EngineRegistry::Create(engine_name, cfg);
+  engine->LoadInitial(historical);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  // Insert storm: `producers` threads, disjoint slices, in parallel.
+  AqpEngine* raw = engine.get();
+  const size_t per = inserts.size() / producers;
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([raw, &inserts, p, per, producers] {
+      const size_t lo = p * per;
+      const size_t hi = p + 1 == producers ? inserts.size() : lo + per;
+      for (size_t i = lo; i < hi; ++i) raw->Insert(inserts[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double enqueue_seconds = timer.ElapsedSeconds();
+  // Stats() drains every shard to its quiesce point; for plain engines the
+  // inserts were applied synchronously and this is (nearly) free.
+  engine->Stats();
+  const double total_seconds = timer.ElapsedSeconds();
+
+  // Query latency, serially, after the storm settled.
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(queries.size());
+  Timer qtimer;
+  for (const AggQuery& q : queries) {
+    qtimer.Reset();
+    (void)raw->Query(q);
+    latencies_ms.push_back(qtimer.ElapsedSeconds() * 1e3);
+  }
+
+  RunResult r;
+  r.engine = engine_name;
+  r.shards = shards;
+  r.producers = producers;
+  r.enqueue_per_sec =
+      static_cast<double>(inserts.size()) / enqueue_seconds;
+  r.inserts_per_sec = static_cast<double>(inserts.size()) / total_seconds;
+  r.query_p50_ms = Percentile(latencies_ms, 50);
+  r.query_p99_ms = Percentile(latencies_ms, 99);
+  return r;
+}
+
+void EmitJson(const RunResult& r, size_t rows, size_t inserts) {
+  std::printf(
+      "{\"bench\":\"shard_scaling\",\"engine\":\"%s\",\"shards\":%d,"
+      "\"rows\":%zu,\"inserts\":%zu,\"producers\":%zu,"
+      "\"enqueue_per_sec\":%.0f,\"inserts_per_sec\":%.0f,"
+      "\"query_p50_ms\":%.4f,\"query_p99_ms\":%.4f}\n",
+      r.engine.c_str(), r.shards, rows, inserts, r.producers,
+      r.enqueue_per_sec, r.inserts_per_sec, r.query_p50_ms, r.query_p99_ms);
+}
+
+void Run(const std::string& inner, size_t rows, size_t num_inserts,
+         size_t num_queries, size_t producers) {
+  auto ds = GenerateUniform(rows, 1, 909);
+  const auto inserts = FreshTuples(num_inserts, 910);
+  const auto queries =
+      bench::MakeWorkload(ds.rows, 0, 1, num_queries, AggFunc::kSum, 911);
+
+  std::printf("%-16s %7s %10s %14s %14s %12s %12s\n", "engine", "shards",
+              "producers", "enqueue/s", "inserts/s", "query p50 ms",
+              "query p99 ms");
+
+  std::vector<RunResult> results;
+  // Only janus accepts concurrent Insert() on a plain engine (engine.h
+  // contract); other baselines are driven single-threaded. Sharded ingest
+  // is an enqueue and takes full producer parallelism for every backend.
+  const size_t plain_producers = inner == "janus" ? producers : 1;
+  results.push_back(
+      RunOne(inner, 0, plain_producers, ds.rows, inserts, queries));
+  for (int shards : {1, 2, 4, 8}) {
+    results.push_back(RunOne("sharded:" + inner, shards, producers, ds.rows,
+                             inserts, queries));
+  }
+  for (const RunResult& r : results) {
+    std::printf("%-16s %7d %10zu %14.0f %14.0f %12.4f %12.4f\n",
+                r.engine.c_str(), r.shards, r.producers, r.enqueue_per_sec,
+                r.inserts_per_sec, r.query_p50_ms, r.query_p99_ms);
+  }
+
+  const double base = results.front().inserts_per_sec;
+  std::printf("\napply-rate speedup vs plain %s: ", inner.c_str());
+  for (size_t i = 1; i < results.size(); ++i) {
+    std::printf("%dx shards=%.2f  ", results[i].shards,
+                results[i].inserts_per_sec / base);
+  }
+  std::printf("(hardware: %u cores)\n\n",
+              std::thread::hardware_concurrency());
+
+  for (const RunResult& r : results) EmitJson(r, rows, inserts.size());
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const janus::ArgMap args(argc, argv);
+  const std::string inner = args.GetString("engine", "janus");
+  const size_t rows = args.GetSize("rows", 100000);
+  const size_t inserts = args.GetSize("inserts", 100000);
+  const size_t queries = args.GetSize("queries", 200);
+  const size_t producers = std::max<size_t>(1, args.GetSize("producers", 8));
+  janus::bench::PrintHeader(
+      "Shard scaling: insert throughput and query latency vs shard count");
+  janus::Run(inner, rows, inserts, queries, producers);
+  return 0;
+}

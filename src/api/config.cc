@@ -177,6 +177,7 @@ EngineConfig EngineConfig::FromArgs(const ArgMap& args) {
   c.partial_repartition_psi = args.GetInt("psi", c.partial_repartition_psi);
   c.num_strata = args.GetInt("strata", c.num_strata);
   c.train_fraction = args.GetDouble("train_fraction", c.train_fraction);
+  c.num_shards = args.GetInt("shards", c.num_shards);
   c.seed = args.GetUint64("seed", c.seed);
   return c;
 }
@@ -206,7 +207,8 @@ std::string EngineConfig::ToString() const {
      << " starvation=" << starvation_factor
      << " psi=" << partial_repartition_psi;
   if (num_strata > 0) os << " strata=" << num_strata;
-  os << " train_fraction=" << train_fraction << " seed=" << seed;
+  os << " train_fraction=" << train_fraction << " shards=" << num_shards
+     << " seed=" << seed;
   return os.str();
 }
 

@@ -47,9 +47,10 @@ class ArgMap {
 /// CLI keys (via FromArgs): engine, agg, pred, tracked, columns, leaves,
 /// sample_rate (alias alpha), catchup_rate (alias catchup), confidence,
 /// focus, algorithm, triggers, beta, check_interval, starvation, psi,
-/// strata, train_fraction, seed.
+/// strata, train_fraction, shards, seed.
 struct EngineConfig {
-  /// Registry name: "janus", "multi", "rs", "srs", "spn", "spt".
+  /// Registry name: "janus", "multi", "rs", "srs", "spn", "spt", or a
+  /// composed "sharded:<inner>" key.
   std::string engine = "janus";
 
   // --- query template -------------------------------------------------------
@@ -81,6 +82,11 @@ struct EngineConfig {
   int num_strata = 0;
   /// Fraction of the live table a learned model (re)trains on.
   double train_fraction = 0.10;
+
+  // --- sharding ("sharded:<inner>" engines) ---------------------------------
+  /// Number of hash shards, each with its own inner engine and maintenance
+  /// thread. Ignored by non-sharded engines.
+  int num_shards = 4;
 
   uint64_t seed = 42;
 

@@ -54,6 +54,11 @@ struct EngineStats {
 ///  - Query()/QueryBatch() must be externally quiesced against concurrent
 ///    updates, exactly as the experiment drivers do; concurrent *readers*
 ///    are always allowed.
+///  - Exception: the "sharded:<inner>" engines (api/sharded.h) strengthen
+///    this to a fully concurrent contract — Insert()/Delete() from any
+///    number of threads and Query()/QueryBatch()/Stats() concurrent with
+///    updates, with an internal per-shard quiesce point providing
+///    read-your-writes. No external quiescing is required for them.
 class AqpEngine {
  public:
   virtual ~AqpEngine() = default;

@@ -6,11 +6,14 @@ namespace janus {
 
 // Defined in engines.cc; fills the registry with the built-in backends.
 void RegisterBuiltinEngines(EngineRegistry* registry);
+// Defined in sharded.cc; composes "sharded:<name>" over the built-ins.
+void RegisterShardedEngines(EngineRegistry* registry);
 
 EngineRegistry& EngineRegistry::Global() {
   static EngineRegistry* global = [] {
     auto* r = new EngineRegistry();
     RegisterBuiltinEngines(r);
+    RegisterShardedEngines(r);
     return r;
   }();
   return *global;

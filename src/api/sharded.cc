@@ -1,0 +1,385 @@
+#include "api/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <utility>
+
+#include "util/mpsc_queue.h"
+
+namespace janus {
+
+namespace {
+
+/// Backpressure window per shard: producers stall once a shard falls this
+/// many un-applied inserts behind.
+constexpr size_t kShardQueueCapacity = 1 << 14;
+/// Updates the maintenance thread applies per lock acquisition.
+constexpr size_t kApplyBatch = 256;
+
+/// AVG/MIN/MAX merges need each shard's population share for the predicate.
+bool NeedsShardCounts(AggFunc f) {
+  return f == AggFunc::kAvg || f == AggFunc::kMin || f == AggFunc::kMax;
+}
+
+}  // namespace
+
+size_t ShardIndexForId(uint64_t id, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // splitmix64 finalizer.
+  uint64_t x = id + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
+}
+
+QueryResult MergeShardResults(AggFunc func,
+                              const std::vector<QueryResult>& parts,
+                              const std::vector<double>& shard_counts) {
+  QueryResult merged;
+  if (parts.empty()) return merged;
+
+  switch (func) {
+    case AggFunc::kSum:
+    case AggFunc::kCount: {
+      // Linear estimators over a partitioned population: everything adds.
+      double ci_sq = 0;
+      merged.exact = true;
+      for (const QueryResult& r : parts) {
+        merged.estimate += r.estimate;
+        merged.variance_catchup += r.variance_catchup;
+        merged.variance_sample += r.variance_sample;
+        ci_sq += r.ci_half_width * r.ci_half_width;
+        merged.covered_nodes += r.covered_nodes;
+        merged.partial_leaves += r.partial_leaves;
+        merged.exact = merged.exact && r.exact;
+      }
+      merged.ci_half_width = std::sqrt(ci_sq);
+      return merged;
+    }
+    case AggFunc::kAvg: {
+      double total = 0;
+      for (double c : shard_counts) total += std::max(0.0, c);
+      if (total <= 0) return merged;
+      double ci_sq = 0;
+      merged.exact = true;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        const double c = i < shard_counts.size() ? shard_counts[i] : 0;
+        const QueryResult& r = parts[i];
+        merged.covered_nodes += r.covered_nodes;
+        merged.partial_leaves += r.partial_leaves;
+        if (c <= 0) continue;
+        const double w = c / total;
+        merged.estimate += w * r.estimate;
+        merged.variance_catchup += w * w * r.variance_catchup;
+        merged.variance_sample += w * w * r.variance_sample;
+        ci_sq += w * w * r.ci_half_width * r.ci_half_width;
+        merged.exact = merged.exact && r.exact;
+      }
+      merged.ci_half_width = std::sqrt(ci_sq);
+      return merged;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      // Order statistics: the extremum over contributing shards (those whose
+      // count estimate says the predicate region is populated there).
+      bool any = false;
+      merged.exact = true;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        const double c = i < shard_counts.size() ? shard_counts[i] : 0;
+        const QueryResult& r = parts[i];
+        merged.covered_nodes += r.covered_nodes;
+        merged.partial_leaves += r.partial_leaves;
+        if (c <= 0) continue;
+        if (!any) {
+          merged.estimate = r.estimate;
+        } else if (func == AggFunc::kMin) {
+          merged.estimate = std::min(merged.estimate, r.estimate);
+        } else {
+          merged.estimate = std::max(merged.estimate, r.estimate);
+        }
+        merged.ci_half_width = std::max(merged.ci_half_width, r.ci_half_width);
+        merged.exact = merged.exact && r.exact;
+        any = true;
+      }
+      if (!any) merged.exact = false;
+      return merged;
+    }
+  }
+  return merged;
+}
+
+/// One shard: an inner engine, its bounded update queue, its maintenance
+/// thread, and the two synchronization points every read path uses — the
+/// quiesce point (all updates enqueued before now are applied) and the
+/// reader/writer lock on the engine itself.
+struct ShardedEngine::Shard {
+  explicit Shard(std::unique_ptr<AqpEngine> e)
+      : engine(std::move(e)), queue(kShardQueueCapacity) {
+    worker = std::thread([this] { MaintenanceLoop(); });
+  }
+
+  ~Shard() {
+    queue.Close();
+    worker.join();
+  }
+
+  void EnqueueInsert(const Tuple& t) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      ++enqueued;
+    }
+    // Blocks on backpressure; rejected only during shutdown.
+    if (!queue.Push(t)) {
+      std::lock_guard<std::mutex> lock(state_mu);
+      --enqueued;
+    }
+  }
+
+  /// The shard's quiesce point: wait until every update enqueued before this
+  /// call has been applied. Producers may keep enqueueing; the wait target
+  /// is a snapshot, so readers are never starved by a steady write load.
+  void Quiesce() const {
+    std::unique_lock<std::mutex> lock(state_mu);
+    const uint64_t target = enqueued;
+    applied_cv.wait(lock, [&] { return applied >= target; });
+  }
+
+  void MaintenanceLoop() {
+    std::vector<Tuple> batch;
+    batch.reserve(kApplyBatch);
+    for (;;) {
+      batch.clear();
+      if (queue.PopBatch(&batch, kApplyBatch) == 0) return;
+      {
+        std::unique_lock<std::shared_mutex> lock(engine_mu);
+        for (const Tuple& t : batch) engine->Insert(t);
+      }
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        applied += batch.size();
+      }
+      applied_cv.notify_all();
+    }
+  }
+
+  std::unique_ptr<AqpEngine> engine;
+  BoundedMpscQueue<Tuple> queue;
+  /// Writers (the maintenance thread, synchronous deletes, re-optimization)
+  /// take it unique; queries and stats snapshots share it.
+  mutable std::shared_mutex engine_mu;
+  mutable std::mutex state_mu;
+  mutable std::condition_variable applied_cv;
+  uint64_t enqueued = 0;  ///< guarded by state_mu
+  uint64_t applied = 0;   ///< guarded by state_mu
+  std::thread worker;
+};
+
+ShardedEngine::ShardedEngine(std::string inner_name,
+                             const EngineConfig& config)
+    : name_("sharded:" + inner_name),
+      pool_(static_cast<size_t>(std::max(1, config.num_shards))) {
+  const size_t n = static_cast<size_t>(std::max(1, config.num_shards));
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    EngineConfig shard_cfg = config;
+    shard_cfg.engine = inner_name;
+    // Decorrelate the shards' sampling streams: pooled-variance merging
+    // assumes independent per-shard samples.
+    shard_cfg.seed = config.seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+    shards_.push_back(std::make_unique<Shard>(
+        EngineRegistry::Global().CreateEngine(inner_name, shard_cfg)));
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+const AqpEngine& ShardedEngine::shard_engine(size_t shard) const {
+  return *shards_[shard]->engine;
+}
+
+void ShardedEngine::ForEachShardParallel(
+    const std::function<void(size_t)>& fn) const {
+  if (shards_.size() == 1) {
+    fn(0);
+    return;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    pool_.Submit([&fn, i] { fn(i); });
+  }
+  pool_.WaitIdle();
+}
+
+void ShardedEngine::LoadInitial(const std::vector<Tuple>& rows) {
+  std::vector<std::vector<Tuple>> parts(shards_.size());
+  for (auto& p : parts) p.reserve(rows.size() / shards_.size() + 1);
+  for (const Tuple& t : rows) {
+    parts[ShardIndexForId(t.id, shards_.size())].push_back(t);
+  }
+  ForEachShardParallel([this, &parts](size_t i) {
+    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    shards_[i]->engine->LoadInitial(parts[i]);
+  });
+}
+
+void ShardedEngine::Initialize() {
+  ForEachShardParallel([this](size_t i) {
+    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    shards_[i]->engine->Initialize();
+  });
+}
+
+void ShardedEngine::Insert(const Tuple& t) {
+  shards_[ShardIndexForId(t.id, shards_.size())]->EnqueueInsert(t);
+}
+
+bool ShardedEngine::Delete(uint64_t id) {
+  Shard& shard = *shards_[ShardIndexForId(id, shards_.size())];
+  // Drain the shard first so a delete observes every earlier insert of the
+  // same id, keeping the not-live return value accurate.
+  shard.Quiesce();
+  std::unique_lock<std::shared_mutex> lock(shard.engine_mu);
+  return shard.engine->Delete(id);
+}
+
+QueryResult ShardedEngine::Query(const AggQuery& q) const {
+  return QueryBatch({q}, nullptr).front();
+}
+
+std::vector<QueryResult> ShardedEngine::QueryBatch(
+    const std::vector<AggQuery>& queries, ThreadPool* pool) const {
+  // The fan-out axis is shards, on the internal pool; an external pool adds
+  // nothing here (each shard answers the whole batch under one lock hold).
+  (void)pool;
+  const size_t n = shards_.size();
+  const size_t m = queries.size();
+  if (n == 1) {
+    // Single shard: the merge is an identity, so skip it (and the COUNT
+    // companion queries AVG/MIN/MAX merging would otherwise need).
+    Shard& shard = *shards_[0];
+    shard.Quiesce();
+    std::shared_lock<std::shared_mutex> lock(shard.engine_mu);
+    return shard.engine->QueryBatch(queries, nullptr);
+  }
+  std::vector<std::vector<QueryResult>> parts(
+      n, std::vector<QueryResult>(m));
+  std::vector<std::vector<double>> counts(n, std::vector<double>(m, 0));
+  ForEachShardParallel([&, this](size_t s) {
+    Shard& shard = *shards_[s];
+    shard.Quiesce();
+    std::shared_lock<std::shared_mutex> lock(shard.engine_mu);
+    for (size_t i = 0; i < m; ++i) {
+      parts[s][i] = shard.engine->Query(queries[i]);
+      if (NeedsShardCounts(queries[i].func)) {
+        AggQuery cq = queries[i];
+        cq.func = AggFunc::kCount;
+        counts[s][i] = shard.engine->Query(cq).estimate;
+      }
+    }
+  });
+
+  std::vector<QueryResult> out;
+  out.reserve(m);
+  std::vector<QueryResult> column(n);
+  std::vector<double> count_column(n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t s = 0; s < n; ++s) {
+      column[s] = parts[s][i];
+      count_column[s] = counts[s][i];
+    }
+    out.push_back(MergeShardResults(queries[i].func, column, count_column));
+  }
+  return out;
+}
+
+void ShardedEngine::RunCatchupToGoal() {
+  ForEachShardParallel([this](size_t i) {
+    shards_[i]->Quiesce();
+    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    shards_[i]->engine->RunCatchupToGoal();
+  });
+}
+
+size_t ShardedEngine::StepCatchup(size_t batch) {
+  // Distribute the budget so the fleet absorbs at most `batch` samples in
+  // total, honoring the "up to batch" contract.
+  const size_t n = shards_.size();
+  const size_t base = batch / n;
+  const size_t remainder = batch % n;
+  std::vector<size_t> absorbed(n, 0);
+  ForEachShardParallel([&, this](size_t i) {
+    const size_t budget = base + (i < remainder ? 1 : 0);
+    if (budget == 0) return;
+    shards_[i]->Quiesce();
+    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    absorbed[i] = shards_[i]->engine->StepCatchup(budget);
+  });
+  size_t total = 0;
+  for (size_t a : absorbed) total += a;
+  return total;
+}
+
+void ShardedEngine::Reinitialize() {
+  ForEachShardParallel([this](size_t i) {
+    shards_[i]->Quiesce();
+    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    shards_[i]->engine->Reinitialize();
+  });
+}
+
+EngineStats ShardedEngine::Stats() const {
+  // Coherence: each shard's snapshot is taken at the shard's quiesce point
+  // under its reader lock, so per-shard counters are internally consistent
+  // and monotone; sums of monotone per-shard counters are monotone.
+  std::vector<EngineStats> parts(shards_.size());
+  ForEachShardParallel([this, &parts](size_t i) {
+    shards_[i]->Quiesce();
+    std::shared_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    parts[i] = shards_[i]->engine->Stats();
+  });
+  EngineStats total;
+  total.engine = name_;
+  for (const EngineStats& s : parts) {
+    total.rows += s.rows;
+    total.sample_size += s.sample_size;
+    total.num_templates = std::max(total.num_templates, s.num_templates);
+    total.inserts += s.inserts;
+    total.deletes += s.deletes;
+    total.repartitions += s.repartitions;
+    total.partial_repartitions += s.partial_repartitions;
+    total.trigger_checks += s.trigger_checks;
+    total.trigger_fires += s.trigger_fires;
+    total.reservoir_resamples += s.reservoir_resamples;
+    total.catchup_processed += s.catchup_processed;
+    total.catchup_processing_seconds += s.catchup_processing_seconds;
+    // Wall-clock style metrics: the slowest shard bounds the fleet.
+    total.last_reopt_seconds =
+        std::max(total.last_reopt_seconds, s.last_reopt_seconds);
+    total.last_blocking_seconds =
+        std::max(total.last_blocking_seconds, s.last_blocking_seconds);
+    total.build_seconds = std::max(total.build_seconds, s.build_seconds);
+    total.partition_seconds =
+        std::max(total.partition_seconds, s.partition_seconds);
+  }
+  return total;
+}
+
+void RegisterShardedEngines(EngineRegistry* registry) {
+  for (const std::string& base : registry->Names()) {
+    if (base.rfind("sharded:", 0) == 0) continue;
+    registry->Register(
+        "sharded:" + base,
+        "hash-sharded (shards=N) over: " + registry->Description(base),
+        [base](const EngineConfig& c) {
+          return std::make_unique<ShardedEngine>(base, c);
+        });
+  }
+}
+
+}  // namespace janus

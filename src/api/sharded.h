@@ -1,0 +1,103 @@
+#ifndef JANUS_API_SHARDED_H_
+#define JANUS_API_SHARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/registry.h"
+#include "util/thread_pool.h"
+
+namespace janus {
+
+/// Shard an id onto [0, num_shards) with a splitmix64-style bit mixer, so
+/// sequential ids (the generators emit 0..n-1) still spread uniformly.
+size_t ShardIndexForId(uint64_t id, size_t num_shards);
+
+/// Merge per-shard answers to the same query into one pooled estimator.
+/// Shards partition the population, and each shard's synopsis is built from
+/// an independent sample, so stratified-estimator algebra applies
+/// (Sec. 4.4.1 carried one level up):
+///   SUM/COUNT: estimates and variances add; the merged CI half-width is
+///     sqrt(sum ci_i^2), which equals z*sqrt(sum var_i) for any backend that
+///     reports ci = z*sqrt(var) — no z round-trip needed.
+///   AVG: a count-weighted mean of the shard means, weights w_i = c_i / C
+///     from `shard_counts` (the shards' COUNT estimates for the same
+///     predicate); variances scale by w_i^2.
+///   MIN/MAX: order statistics don't pool; the merged estimate is the
+///     min/max over shards with a non-zero count estimate, the CI the widest
+///     contributing one.
+/// `shard_counts` may be empty for SUM/COUNT; it must be per-shard COUNT
+/// estimates for AVG/MIN/MAX. `exact` survives only if every contributing
+/// shard was exact.
+QueryResult MergeShardResults(AggFunc func,
+                              const std::vector<QueryResult>& parts,
+                              const std::vector<double>& shard_counts);
+
+/// Horizontally sharded engine: hash-partitions tuples by id across N inner
+/// engines (any registered backend) and pools their answers. Each shard owns
+/// a maintenance thread fed by a bounded MPSC queue, so Insert() is an
+/// enqueue — this is the first concurrent ingest path that works for *every*
+/// backend, including the single-threaded baselines, because a shard's
+/// engine is only ever touched by its own maintenance thread (writes) or
+/// under the shard's reader lock (queries).
+///
+/// Thread-safety contract (stronger than base AqpEngine):
+///  - Insert()/Delete() may be called from any number of threads.
+///  - Query()/QueryBatch()/Stats() may run concurrently with updates: each
+///    fan-out first waits at the shard's quiesce point (every update
+///    enqueued before the call is applied), then reads under the shard's
+///    shared lock. Callers get read-your-writes without external quiescing.
+///  - Delete() is synchronous (quiesces the target shard first) so its
+///    not-live return value stays accurate.
+///
+/// Registered under composed keys ("sharded:janus", "sharded:rs", ...) with
+/// the shard count taken from EngineConfig::num_shards ("shards=N").
+/// table()/synopsis() return nullptr: the archive lives in the shards
+/// (Stats() aggregates rows across them).
+class ShardedEngine : public AqpEngine {
+ public:
+  /// Builds `config.num_shards` inner engines of registered name
+  /// `inner_name`, each from a copy of `config` with a decorrelated seed.
+  ShardedEngine(std::string inner_name, const EngineConfig& config);
+  ~ShardedEngine() override;
+
+  const char* name() const override { return name_.c_str(); }
+  void LoadInitial(const std::vector<Tuple>& rows) override;
+  void Initialize() override;
+  void Insert(const Tuple& t) override;
+  bool Delete(uint64_t id) override;
+  QueryResult Query(const AggQuery& q) const override;
+  std::vector<QueryResult> QueryBatch(const std::vector<AggQuery>& queries,
+                                      ThreadPool* pool) const override;
+  void RunCatchupToGoal() override;
+  size_t StepCatchup(size_t batch) override;
+  void Reinitialize() override;
+  EngineStats Stats() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Inner engine of one shard (test introspection; not quiesced).
+  const AqpEngine& shard_engine(size_t shard) const;
+
+ private:
+  struct Shard;
+
+  /// Run fn(shard_index) for every shard on the fan-out pool and wait.
+  void ForEachShardParallel(const std::function<void(size_t)>& fn) const;
+
+  std::string name_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Fan-out pool for queries / initialization, one thread per shard
+  /// (distinct from the per-shard maintenance threads).
+  mutable ThreadPool pool_;
+};
+
+/// Registers "sharded:<name>" for every non-sharded engine currently in
+/// `registry`. Called once on the global registry right after the built-ins.
+void RegisterShardedEngines(EngineRegistry* registry);
+
+}  // namespace janus
+
+#endif  // JANUS_API_SHARDED_H_

@@ -1,0 +1,95 @@
+#ifndef JANUS_UTIL_MPSC_QUEUE_H_
+#define JANUS_UTIL_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace janus {
+
+/// Bounded multi-producer queue feeding one consumer thread: the update
+/// channel between client threads and a shard's maintenance thread in the
+/// sharded engine. Push() applies backpressure (blocks while the queue is
+/// full), so a burst of producers can never outrun a shard's apply rate by
+/// more than the queue capacity. The consumer drains in batches to amortize
+/// wakeups and lock acquisitions.
+///
+/// Mutex-based rather than lock-free on purpose: the consumer's per-item
+/// work (synopsis maintenance) dwarfs queue overhead, and a mutex keeps the
+/// queue trivially ThreadSanitizer-clean. Any thread may call Close(); after
+/// it, Push() rejects and PopBatch() drains the remainder then returns 0.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueue one item, blocking while the queue is at capacity. Returns
+  /// false (and drops the item) once the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_not_full_.wait(lock,
+                      [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    cv_not_empty_.notify_one();
+    return true;
+  }
+
+  /// Append up to `max_items` items to `*out`. Blocks while the queue is
+  /// empty and open; returns 0 only when the queue is closed and fully
+  /// drained (the consumer's termination signal).
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    const size_t n = std::min(max_items, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (n > 0) cv_not_full_.notify_all();
+    return n;
+  }
+
+  /// Reject further pushes and wake all waiters. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_not_empty_.notify_all();
+    cv_not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_UTIL_MPSC_QUEUE_H_

@@ -1,12 +1,14 @@
 // Conformance suite for the unified AqpEngine API: every registered engine
-// runs the same load / initialize / insert / delete / query / catch-up
-// scenario through the facade, with estimate-sanity and CI-coverage checks.
-// Also covers the registry, the shared ArgMap/EngineConfig parser, QueryBatch
-// and the broker-driven EngineDriver.
+// (including every "sharded:*" composition, at 1 and 4 shards) runs the same
+// load / initialize / insert / delete / query / catch-up scenario through
+// the facade, with estimate-sanity and CI-coverage checks. Also covers the
+// registry, the shared ArgMap/EngineConfig parser, QueryBatch and the
+// broker-driven EngineDriver.
 
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -24,6 +26,51 @@
 namespace janus {
 namespace {
 
+/// One conformance instantiation: a registry key plus, for sharded engines,
+/// the shard count to run the scenario at (0 = engine has no shards).
+struct ConformanceParam {
+  std::string name;
+  int shards = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ConformanceParam& p) {
+  os << p.name;
+  if (p.shards > 0) os << " shards=" << p.shards;
+  return os;
+}
+
+bool IsSharded(const std::string& name) {
+  return name.rfind("sharded:", 0) == 0;
+}
+
+/// Registry key of the backend doing the estimating ("sharded:spn" -> "spn").
+std::string InnerName(const std::string& name) {
+  return IsSharded(name) ? name.substr(std::string("sharded:").size()) : name;
+}
+
+/// The full conformance matrix, derived from the registry: plain engines run
+/// once, sharded engines run at 1 and 4 shards.
+std::vector<ConformanceParam> BuildConformanceParams() {
+  std::vector<ConformanceParam> out;
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    if (IsSharded(name)) {
+      out.push_back({name, 1});
+      out.push_back({name, 4});
+    } else {
+      out.push_back({name, 0});
+    }
+  }
+  return out;
+}
+
+/// Snapshot used both to instantiate the suite and to verify coverage, so
+/// the coverage check fails if the registry grows past the instantiation.
+const std::vector<ConformanceParam>& InstantiatedParams() {
+  static const std::vector<ConformanceParam> params =
+      BuildConformanceParams();
+  return params;
+}
+
 EngineConfig BaseConfig() {
   EngineConfig cfg;
   cfg.agg_column = 1;
@@ -33,6 +80,19 @@ EngineConfig BaseConfig() {
   cfg.catchup_rate = 0.10;
   cfg.enable_triggers = false;
   return cfg;
+}
+
+EngineConfig ConfigFor(const ConformanceParam& p) {
+  EngineConfig cfg = BaseConfig();
+  if (p.shards > 0) cfg.num_shards = p.shards;
+  return cfg;
+}
+
+/// Live row count however the engine exposes it: directly from the archive
+/// table, or from the stats snapshot when the archive lives in shards.
+size_t LiveRows(const AqpEngine& engine) {
+  return engine.table() != nullptr ? engine.table()->size()
+                                   : engine.Stats().rows;
 }
 
 AggQuery MakeQuery(AggFunc f, double lo, double hi) {
@@ -56,18 +116,21 @@ std::vector<AggQuery> WideWorkload(const std::vector<Tuple>& rows,
   return gen.Generate(rows, o);
 }
 
-/// Median relative error the scenario tolerates per engine. The learned
-/// model has fixed resolution; everything else is sampling-based.
+/// Median relative error the scenario tolerates per engine (keyed by the
+/// inner backend; sharding pools unbiased per-shard estimators, so the
+/// budget carries over). The learned model has fixed resolution; everything
+/// else is sampling-based.
 double ErrorBudget(const std::string& engine) {
-  return engine == "spn" ? 0.50 : 0.25;
+  return InnerName(engine) == "spn" ? 0.50 : 0.25;
 }
 
-class EngineConformanceTest : public ::testing::TestWithParam<std::string> {};
+class EngineConformanceTest
+    : public ::testing::TestWithParam<ConformanceParam> {};
 
 TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
-  const std::string name = GetParam();
+  const std::string name = GetParam().name;
   auto ds = GenerateUniform(20000, 1, 31);
-  auto engine = EngineRegistry::Create(name, BaseConfig());
+  auto engine = EngineRegistry::Create(name, ConfigFor(GetParam()));
   ASSERT_NE(engine, nullptr);
   EXPECT_EQ(engine->name(), name);
 
@@ -103,13 +166,20 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
     if (t.id >= 500000 || t.id % 7 != 0 || t.id >= 7000) live.push_back(t);
   }
 
-  // The archive tracks the stream exactly.
-  ASSERT_NE(engine->table(), nullptr) << name;
-  EXPECT_EQ(engine->table()->size(), live.size()) << name;
+  // The archive tracks the stream exactly (sharded engines expose the row
+  // count through Stats, which quiesces every shard first; every other
+  // engine must still expose its archive table).
+  if (IsSharded(name)) {
+    EXPECT_EQ(engine->table(), nullptr) << name;
+  } else {
+    ASSERT_NE(engine->table(), nullptr) << name;
+  }
+  EXPECT_EQ(LiveRows(*engine), live.size()) << name;
 
   // Phase 3: updates are reflected (after a refresh for engines whose
   // synopsis only moves on Reinitialize).
-  if (name == "spn" || name == "spt") engine->Reinitialize();
+  const std::string inner = InnerName(name);
+  if (inner == "spn" || inner == "spt") engine->Reinitialize();
   engine->RunCatchupToGoal();
   {
     const AggQuery q = MakeQuery(AggFunc::kCount, 0.0, 1.0);
@@ -156,9 +226,9 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
 }
 
 TEST_P(EngineConformanceTest, QueryBatchMatchesSerialQueries) {
-  const std::string name = GetParam();
+  const std::string name = GetParam().name;
   auto ds = GenerateUniform(8000, 1, 57);
-  auto engine = EngineRegistry::Create(name, BaseConfig());
+  auto engine = EngineRegistry::Create(name, ConfigFor(GetParam()));
   engine->LoadInitial(ds.rows);
   engine->Initialize();
   engine->RunCatchupToGoal();
@@ -182,18 +252,49 @@ TEST_P(EngineConformanceTest, QueryBatchMatchesSerialQueries) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineConformanceTest,
-    ::testing::Values("janus", "multi", "rs", "srs", "spn", "spt"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    ::testing::ValuesIn(InstantiatedParams()),
+    [](const ::testing::TestParamInfo<ConformanceParam>& info) {
+      std::string label = info.param.name;
+      std::replace(label.begin(), label.end(), ':', '_');
+      if (info.param.shards > 0) {
+        label += "_" + std::to_string(info.param.shards) + "shards";
+      }
+      return label;
     });
 
 TEST(EngineRegistryTest, CoversAllBackends) {
   const auto names = EngineRegistry::Global().Names();
   for (const char* expected :
-       {"janus", "multi", "rs", "srs", "spn", "spt"}) {
+       {"janus", "multi", "rs", "srs", "spn", "spt", "sharded:janus",
+        "sharded:multi", "sharded:rs", "sharded:srs", "sharded:spn",
+        "sharded:spt"}) {
     EXPECT_TRUE(EngineRegistry::Global().Contains(expected)) << expected;
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
     EXPECT_FALSE(EngineRegistry::Global().Description(expected).empty());
+  }
+}
+
+TEST(EngineRegistryTest, ConformanceSuiteCoversEveryRegisteredEngine) {
+  // The suite is instantiated from a registry snapshot taken at static
+  // initialization; every engine registered by query time must be in it.
+  // Registering a backend without conformance coverage is a test failure.
+  std::set<std::string> covered;
+  for (const ConformanceParam& p : InstantiatedParams()) {
+    covered.insert(p.name);
+  }
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    EXPECT_TRUE(covered.count(name) > 0)
+        << "engine '" << name
+        << "' is registered but missing from the conformance suite";
+  }
+  // Every sharded composition must run at both 1 and 4 shards.
+  for (const ConformanceParam& p : InstantiatedParams()) {
+    if (p.name.rfind("sharded:", 0) != 0) continue;
+    size_t variants = 0;
+    for (const ConformanceParam& q : InstantiatedParams()) {
+      if (q.name == p.name && (q.shards == 1 || q.shards == 4)) ++variants;
+    }
+    EXPECT_EQ(variants, 2u) << p.name;
   }
 }
 
@@ -254,6 +355,7 @@ TEST(EngineConfigTest, ToStringRoundTripsEveryKnob) {
   cfg.confidence = 0.99;
   cfg.num_strata = 17;
   cfg.train_fraction = 0.2;
+  cfg.num_shards = 6;
   cfg.enable_triggers = false;
   // Feed the canonical rendering back through the parser: every knob must
   // survive the round trip.
@@ -272,6 +374,7 @@ TEST(EngineConfigTest, ToStringRoundTripsEveryKnob) {
   EXPECT_DOUBLE_EQ(back.confidence, cfg.confidence);
   EXPECT_EQ(back.num_strata, cfg.num_strata);
   EXPECT_DOUBLE_EQ(back.train_fraction, cfg.train_fraction);
+  EXPECT_EQ(back.num_shards, cfg.num_shards);
   EXPECT_EQ(back.enable_triggers, cfg.enable_triggers);
   EXPECT_EQ(back.trigger_check_interval, cfg.trigger_check_interval);
   EXPECT_DOUBLE_EQ(back.starvation_factor, cfg.starvation_factor);
@@ -343,10 +446,13 @@ TEST(EngineDriverTest, ConsumesAllThreeTopics) {
 
 TEST(EngineDriverTest, WorksAgainstEveryEngine) {
   // The streaming scenario is engine-agnostic: replay the same topics into
-  // each registered backend.
+  // each registered backend, sharded compositions included (the driver is
+  // routed through them unchanged).
   for (const std::string& name : EngineRegistry::Global().Names()) {
     auto ds = GenerateUniform(5000, 1, 17);
-    auto engine = EngineRegistry::Create(name, BaseConfig());
+    EngineConfig cfg = BaseConfig();
+    cfg.num_shards = 2;
+    auto engine = EngineRegistry::Create(name, cfg);
     engine->LoadInitial(ds.rows);
     engine->Initialize();
 
@@ -365,7 +471,7 @@ TEST(EngineDriverTest, WorksAgainstEveryEngine) {
     driver.Drain();
     EXPECT_EQ(driver.stats().inserts, 500u) << name;
     ASSERT_EQ(driver.results().size(), 1u) << name;
-    EXPECT_EQ(engine->table()->size(), 5500u) << name;
+    EXPECT_EQ(LiveRows(*engine), 5500u) << name;
   }
 }
 

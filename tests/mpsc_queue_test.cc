@@ -1,0 +1,113 @@
+// Unit tests for the bounded MPSC queue feeding the sharded engine's
+// maintenance threads: FIFO delivery, backpressure at capacity, close
+// semantics, and lossless delivery under concurrent producers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/mpsc_queue.h"
+
+namespace janus {
+namespace {
+
+TEST(BoundedMpscQueueTest, FifoWithinCapacity) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.PopBatch(&out, 100), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedMpscQueueTest, PushBlocksAtCapacityUntilConsumed) {
+  BoundedMpscQueue<int> q(2);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(3);  // must block until the consumer drains one slot
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 1), 1u);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.PopBatch(&out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedMpscQueueTest, CloseDrainsRemainderThenSignalsZero) {
+  BoundedMpscQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected after close
+
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 1), 1u);
+  EXPECT_EQ(q.PopBatch(&out, 8), 1u);
+  EXPECT_EQ(q.PopBatch(&out, 8), 0u);  // closed and drained
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedMpscQueueTest, CloseWakesBlockedProducer) {
+  BoundedMpscQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] { rejected = !q.Push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(BoundedMpscQueueTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  BoundedMpscQueue<uint64_t> q(256);  // small: forces backpressure
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(static_cast<uint64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+
+  uint64_t received = 0, sum = 0;
+  std::thread consumer([&] {
+    std::vector<uint64_t> batch;
+    for (;;) {
+      batch.clear();
+      if (q.PopBatch(&batch, 128) == 0) return;
+      received += batch.size();
+      for (uint64_t v : batch) sum += v;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  q.Close();
+  consumer.join();
+
+  const uint64_t total = kProducers * kPerProducer;
+  EXPECT_EQ(received, total);
+  EXPECT_EQ(sum, total * (total - 1) / 2);  // every value exactly once
+}
+
+}  // namespace
+}  // namespace janus
