@@ -1,0 +1,189 @@
+// Columnar archive microbench: row-path (std::vector<Tuple> + id index, the
+// pre-refactor DynamicTable layout) vs column-path (ColumnStore + data/scan.h
+// kernels) on the archival access patterns the paper's slow paths are built
+// from: bulk load, full-scan aggregate, selective rectangle scan and uniform
+// sampling. Emits one JSON line per (metric, path, rows) so CI can track the
+// speedup:
+//
+//   {"bench":"columnar_scan","metric":"full_scan_aggregate","path":"column",
+//    "rows":1000000,"seconds":0.0042,"rows_per_sec":2.4e8,"checksum":...}
+//
+// Flags: rows=1000000[,10000000]  reps=3  seed=2024
+
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "api/config.h"
+#include "data/column_store.h"
+#include "data/generators.h"
+#include "data/scan.h"
+#include "data/table.h"
+#include "util/timer.h"
+
+namespace janus {
+namespace {
+
+/// The pre-refactor row layout: one std::vector<Tuple> plus an id index.
+struct RowTable {
+  std::vector<Tuple> live;
+  std::unordered_map<uint64_t, size_t> index;
+
+  void Insert(const Tuple& t) {
+    index[t.id] = live.size();
+    live.push_back(t);
+  }
+
+  size_t MemoryBytes() const {
+    return live.capacity() * sizeof(Tuple) +
+           index.bucket_count() * sizeof(void*) +
+           index.size() * (sizeof(uint64_t) + sizeof(size_t) + sizeof(void*));
+  }
+};
+
+struct Sample {
+  double seconds = 0;
+  double checksum = 0;
+};
+
+template <typename Fn>
+Sample Best(int reps, Fn&& fn) {
+  Sample best;
+  best.seconds = std::numeric_limits<double>::max();
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    const double checksum = fn();
+    const double secs = timer.ElapsedSeconds();
+    if (secs < best.seconds) best = {secs, checksum};
+  }
+  return best;
+}
+
+void Emit(const char* metric, const char* path, size_t rows,
+          const Sample& s) {
+  std::printf(
+      "{\"bench\":\"columnar_scan\",\"metric\":\"%s\",\"path\":\"%s\","
+      "\"rows\":%zu,\"seconds\":%.6f,\"rows_per_sec\":%.3e,"
+      "\"checksum\":%.6e}\n",
+      metric, path, rows, s.seconds,
+      s.seconds > 0 ? static_cast<double>(rows) / s.seconds : 0.0,
+      s.checksum);
+}
+
+void RunAt(size_t rows, int reps, uint64_t seed) {
+  const GeneratedDataset ds = GenerateDataset(DatasetKind::kNycTaxi, rows,
+                                              seed);
+  const DefaultTemplate tmpl = DefaultTemplateFor(ds.kind);
+  const std::vector<int> pred = {tmpl.predicate_column};
+  const int agg = tmpl.aggregate_column;
+
+  // --- bulk load -----------------------------------------------------------
+  const Sample load_row = Best(reps, [&] {
+    RowTable t;
+    for (const Tuple& r : ds.rows) t.Insert(r);
+    return static_cast<double>(t.live.size());
+  });
+  Emit("bulk_load", "row", rows, load_row);
+  const Sample load_col = Best(reps, [&] {
+    DynamicTable t(ds.schema);
+    for (const Tuple& r : ds.rows) t.Insert(r);
+    return static_cast<double>(t.size());
+  });
+  Emit("bulk_load", "column", rows, load_col);
+
+  RowTable row_table;
+  for (const Tuple& r : ds.rows) row_table.Insert(r);
+  DynamicTable col_table(ds.schema);
+  for (const Tuple& r : ds.rows) col_table.Insert(r);
+
+  // --- full-scan aggregate (SUM over the whole table) ----------------------
+  const Rectangle everything = Rectangle::Infinite(1);
+  const Sample full_row = Best(reps, [&] {
+    double point[1];
+    double sum = 0;
+    for (const Tuple& t : row_table.live) {
+      ProjectTuple(t, pred, point);
+      if (everything.Contains(point)) sum += t[agg];
+    }
+    return sum;
+  });
+  Emit("full_scan_aggregate", "row", rows, full_row);
+  const Sample full_col = Best(reps, [&] {
+    return scan::AggregateInRect(col_table.store(), AggFunc::kSum, agg, pred,
+                                 everything)
+        .value_or(0);
+  });
+  Emit("full_scan_aggregate", "column", rows, full_col);
+
+  // --- selective rectangle scan (~1% of the predicate domain) --------------
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (double v : col_table.column(pred[0])) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double mid = lo + 0.5 * (hi - lo);
+  const double half = 0.005 * (hi - lo);
+  const Rectangle window({mid - half}, {mid + half});
+  const Sample sel_row = Best(reps, [&] {
+    double point[1];
+    size_t count = 0;
+    for (const Tuple& t : row_table.live) {
+      ProjectTuple(t, pred, point);
+      if (window.Contains(point)) ++count;
+    }
+    return static_cast<double>(count);
+  });
+  Emit("selective_rect_scan", "row", rows, sel_row);
+  const Sample sel_col = Best(reps, [&] {
+    return static_cast<double>(
+        scan::CountInRect(col_table.store(), pred, window));
+  });
+  Emit("selective_rect_scan", "column", rows, sel_col);
+
+  // --- uniform sampling (1% of the table, without replacement) -------------
+  const size_t k = std::max<size_t>(1, rows / 100);
+  const Sample samp_row = Best(reps, [&] {
+    Rng rng(seed + 1);
+    std::vector<size_t> idx = rng.SampleIndices(row_table.live.size(), k);
+    double sum = 0;
+    for (size_t i : idx) sum += row_table.live[i][agg];
+    return sum;
+  });
+  Emit("sample_uniform", "row", rows, samp_row);
+  const Sample samp_col = Best(reps, [&] {
+    Rng rng(seed + 1);
+    double sum = 0;
+    for (const Tuple& t : col_table.SampleUniform(&rng, k)) sum += t[agg];
+    return sum;
+  });
+  Emit("sample_uniform", "column", rows, samp_col);
+
+  // --- correctness + memory ------------------------------------------------
+  if (full_row.checksum != full_col.checksum ||
+      sel_row.checksum != sel_col.checksum) {
+    std::printf("{\"bench\":\"columnar_scan\",\"error\":\"row/column "
+                "mismatch\",\"rows\":%zu}\n",
+                rows);
+  }
+  std::printf(
+      "{\"bench\":\"columnar_scan\",\"metric\":\"archive_bytes\","
+      "\"rows\":%zu,\"row\":%zu,\"column\":%zu}\n",
+      rows, row_table.MemoryBytes(), col_table.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const janus::ArgMap args(argc, argv);
+  const std::vector<int> rows_list = args.GetIntList("rows", {1000000});
+  const int reps = args.GetInt("reps", 3);
+  const uint64_t seed = args.GetUint64("seed", 2024);
+  for (int rows : rows_list) {
+    if (rows <= 0) continue;
+    janus::RunAt(static_cast<size_t>(rows), reps, seed);
+  }
+  return 0;
+}

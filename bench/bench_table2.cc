@@ -21,7 +21,7 @@ void RunDataset(DatasetKind kind, size_t rows, size_t num_queries) {
   auto ds = GenerateDataset(kind, rows, 2024);
   const DefaultTemplate tmpl = DefaultTemplateFor(kind);
 
-  EngineConfig cfg = bench::DefaultConfig(tmpl);
+  EngineConfig cfg = bench::DefaultConfig(tmpl, ds.schema);
   // DeepDB models the full table; the stand-in does the same.
   for (int c = 0; c < ds.schema.num_columns(); ++c) {
     cfg.model_columns.push_back(c);
@@ -70,6 +70,17 @@ void RunDataset(DatasetKind kind, size_t rows, size_t num_queries) {
                 decile, je.median * 100, se.median * 100, re.median * 100,
                 ce.median * 100, je.mean_latency_ms, se.mean_latency_ms,
                 re.mean_latency_ms, ce.mean_latency_ms);
+  }
+
+  // Memory footprint at 90% ingest: columnar archive vs synopsis state.
+  std::printf("%-5s %-8s %14s %14s\n", DatasetName(kind), "memory",
+              "archive(MB)", "synopsis(MB)");
+  for (AqpEngine* e : engines) {
+    const EngineStats s = e->Stats();
+    std::printf("%-5s %-8s %14.2f %14.2f\n", DatasetName(kind),
+                s.engine.c_str(),
+                static_cast<double>(s.archive_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(s.synopsis_bytes) / (1024.0 * 1024.0));
   }
 }
 

@@ -34,10 +34,12 @@ struct ErrorStats {
   size_t evaluated = 0;
 };
 
-/// Evaluate a query workload against any engine. Ground truths are computed
-/// over `rows` in one batch pass; zero/undefined truths are skipped
-/// (Sec. 6.1.2 / 6.7). Queries run one by one so the mean latency is a
-/// per-query figure (use AqpEngine::QueryBatch for throughput runs).
+/// Evaluate a query workload against any engine. Ground truths run through
+/// the vectorized scan kernels (data/scan.h): `rows` are transposed once
+/// into a scratch ColumnStore, then each query scans only its own columns.
+/// Zero/undefined truths are skipped (Sec. 6.1.2 / 6.7). Queries run one by
+/// one so the mean latency is a per-query figure (use AqpEngine::QueryBatch
+/// for throughput runs).
 inline ErrorStats EvaluateWorkload(const AqpEngine& engine,
                                    const std::vector<Tuple>& rows,
                                    const std::vector<AggQuery>& queries) {
@@ -84,9 +86,13 @@ inline std::vector<AggQuery> MakeWorkload(const std::vector<Tuple>& rows,
 
 /// Engine config for a dataset's default 1-D template, with the knobs the
 /// paper's experiments share (128 leaves, 1% sample, 10% catch-up goal,
-/// triggers off unless the experiment is about them).
-inline EngineConfig DefaultConfig(const DefaultTemplate& tmpl) {
+/// triggers off unless the experiment is about them). Passing the dataset's
+/// schema sizes every backend's columnar archive to exactly the dataset
+/// width instead of the kMaxColumns fallback.
+inline EngineConfig DefaultConfig(const DefaultTemplate& tmpl,
+                                  const Schema& schema = Schema{}) {
   EngineConfig cfg;
+  cfg.schema = schema;
   cfg.agg_column = tmpl.aggregate_column;
   cfg.predicate_columns = {tmpl.predicate_column};
   cfg.num_leaves = 128;

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       {ds.rows.begin() + static_cast<long>(go_live), ds.rows.end()});
 
   EngineConfig config = EngineConfig::FromArgs(args);
+  config.schema = ds.schema;
   config.agg_column = kLight;
   config.predicate_columns = {kTime};
   auto monitor = EngineRegistry::Create(config);
@@ -93,7 +94,7 @@ int main(int argc, char** argv) {
                   r.ci_half_width, "n/a");
       continue;
     }
-    const auto truth = ExactAnswer(monitor->table()->live(), dashboard[d]);
+    const auto truth = ExactAnswer(monitor->table()->store(), dashboard[d]);
     if (!truth.has_value()) continue;
     std::printf("day %-8zu %14.2f %12.2f %14.2f\n", d, r.estimate,
                 r.ci_half_width, *truth);

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   //    and create the engine by name. Every key=value flag maps onto the
   //    same EngineConfig, whatever the backend.
   EngineConfig config = EngineConfig::FromArgs(args);
+  config.schema = ds.schema;
   config.agg_column = 1;
   config.predicate_columns = {0};
   auto engine = EngineRegistry::Create(config);
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
     // Sharded engines keep the archive inside their shards; exact ground
     // truths are only scannable when the engine exposes a single table.
     if (engine->table() != nullptr) {
-      const auto truth = ExactAnswer(engine->table()->live(), workload[i]);
+      const auto truth = ExactAnswer(engine->table()->store(), workload[i]);
       std::printf("%-6s estimate=%14.2f  +/- %10.2f   (exact: %14.2f)\n",
                   AggFuncName(workload[i].func), results[i].estimate,
                   results[i].ci_half_width, truth.value_or(0));

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const int kVolume = 5;
 
   EngineConfig config = EngineConfig::FromArgs(args);
+  config.schema = ds.schema;
   config.agg_column = kVolume;
   config.predicate_columns = {kClose};
   config.enable_triggers = true;  // self-re-optimization on drift
@@ -84,7 +85,7 @@ int main(int argc, char** argv) {
     // Sharded engines expose no single archive table to scan; the exact
     // column then reads n/a rather than a fabricated number.
     const auto truth = exchange->table() != nullptr
-                           ? ExactAnswer(exchange->table()->live(), q)
+                           ? ExactAnswer(exchange->table()->store(), q)
                            : std::nullopt;
     if (truth.has_value()) {
       std::printf("$%-6.0f - $%-6.0f (%6.3fms) %16.3e %14.3e %16.3e\n",

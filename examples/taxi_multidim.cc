@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const int kTimeOfDay = 5;
 
   EngineConfig config = EngineConfig::FromArgs(args);
+  config.schema = ds.schema;
   config.agg_column = kFare;
   config.predicate_columns = {kTimeOfDay, kDistance};  // 2-D template
   config.num_leaves = 256;
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
     // Sharded engines expose no single archive table to scan for an exact
     // answer; the column then reads n/a rather than a fabricated number.
     const auto truth = city->table() != nullptr
-                           ? ExactAnswer(city->table()->live(), q)
+                           ? ExactAnswer(city->table()->store(), q)
                            : std::nullopt;
     if (truth.has_value()) {
       std::printf("%-44s %12.2f +/- %8.2f   (exact %12.2f)\n", label,

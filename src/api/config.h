@@ -53,6 +53,11 @@ struct EngineConfig {
   /// composed "sharded:<inner>" key.
   std::string engine = "janus";
 
+  /// Archive schema. When set, every backend's table allocates exactly
+  /// schema.num_columns() columns; empty falls back to kMaxColumns-wide
+  /// storage (safe for schema-less callers).
+  Schema schema;
+
   // --- query template -------------------------------------------------------
   int agg_column = 1;
   std::vector<int> predicate_columns = {0};

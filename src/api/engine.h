@@ -36,6 +36,13 @@ struct EngineStats {
   double last_blocking_seconds = 0;   ///< blocking step of the last re-opt
   double build_seconds = 0;           ///< last full (re)build / retrain
   double partition_seconds = 0;       ///< optimizer-only share of the build
+
+  /// Heap footprint of the columnar archive (ids + columns + id index);
+  /// sharded engines report the sum over their shards.
+  size_t archive_bytes = 0;
+  /// Estimated heap footprint of the synopsis state answering queries
+  /// (partition trees, reservoirs / strata samples, learned models).
+  size_t synopsis_bytes = 0;
 };
 
 /// The one dynamic-AQP engine interface (the paper's data/query API of
@@ -107,7 +114,8 @@ class AqpEngine {
   virtual EngineStats Stats() const = 0;
 
   /// The evolving archive table, when the engine owns one (all built-in
-  /// engines do). Exact ground truths in examples scan table()->live().
+  /// engines do). Exact ground truths in examples run the columnar scan
+  /// kernels over table()->store().
   virtual const DynamicTable* table() const { return nullptr; }
 
   /// The primary partition-tree synopsis, for experiment introspection

@@ -21,8 +21,14 @@ namespace janus {
 
 namespace {
 
+/// Reservoir sample footprint: the reservoir stores materialized tuples.
+size_t ReservoirBytes(size_t sample_tuples) {
+  return sample_tuples * sizeof(Tuple);
+}
+
 JanusOptions MakeJanusOptions(const EngineConfig& c) {
   JanusOptions o;
+  o.schema = c.schema;
   o.spec.agg_column = c.agg_column;
   o.spec.predicate_columns = c.predicate_columns;
   o.num_leaves = c.num_leaves;
@@ -82,6 +88,11 @@ class JanusEngine : public AqpEngine {
     s.catchup_processing_seconds = impl_.catchup_processing_seconds();
     s.last_reopt_seconds = c.last_reopt_seconds;
     s.last_blocking_seconds = c.last_blocking_seconds;
+    s.archive_bytes = impl_.table().MemoryBytes();
+    if (initialized_) {
+      s.synopsis_bytes = impl_.dpt().MemoryBytes() +
+                         ReservoirBytes(impl_.reservoir().size());
+    }
     return s;
   }
   const DynamicTable* table() const override { return &impl_.table(); }
@@ -165,6 +176,13 @@ class MultiEngine : public AqpEngine {
     s.num_templates = static_cast<int>(impl_.num_templates());
     s.inserts = inserts_;
     s.deletes = deletes_;
+    s.archive_bytes = impl_.table().MemoryBytes();
+    if (initialized_) {
+      s.synopsis_bytes = ReservoirBytes(impl_.reservoir().size());
+      for (size_t i = 0; i < impl_.num_templates(); ++i) {
+        s.synopsis_bytes += impl_.dpt(static_cast<int>(i)).MemoryBytes();
+      }
+    }
     return s;
   }
   const DynamicTable* table() const override { return &impl_.table(); }
@@ -186,6 +204,7 @@ class RsEngine : public AqpEngine {
  public:
   explicit RsEngine(const EngineConfig& c) {
     RsOptions o;
+    o.schema = c.schema;
     o.sample_rate = c.sample_rate;
     o.confidence = c.confidence;
     o.seed = c.seed;
@@ -217,6 +236,8 @@ class RsEngine : public AqpEngine {
     s.sample_size = impl_->sample_size();
     s.inserts = inserts_;
     s.deletes = deletes_;
+    s.archive_bytes = impl_->table().MemoryBytes();
+    s.synopsis_bytes = ReservoirBytes(impl_->sample_size());
     return s;
   }
   const DynamicTable* table() const override { return &impl_->table(); }
@@ -232,6 +253,7 @@ class SrsEngine : public AqpEngine {
  public:
   explicit SrsEngine(const EngineConfig& c) {
     SrsOptions o;
+    o.schema = c.schema;
     o.num_strata = c.num_strata > 0 ? c.num_strata : c.num_leaves;
     o.predicate_column =
         c.predicate_columns.empty() ? 0 : c.predicate_columns.front();
@@ -266,6 +288,8 @@ class SrsEngine : public AqpEngine {
     s.sample_size = impl_->sample_size();
     s.inserts = inserts_;
     s.deletes = deletes_;
+    s.archive_bytes = impl_->table().MemoryBytes();
+    s.synopsis_bytes = ReservoirBytes(impl_->sample_size());
     return s;
   }
   const DynamicTable* table() const override { return &impl_->table(); }
@@ -283,7 +307,7 @@ class SrsEngine : public AqpEngine {
 class SpnEngine : public AqpEngine {
  public:
   explicit SpnEngine(const EngineConfig& c)
-      : cfg_(c), table_(Schema{}), rng_(c.seed) {}
+      : cfg_(c), table_(c.schema), rng_(c.seed) {}
 
   const char* name() const override { return "spn"; }
   void LoadInitial(const std::vector<Tuple>& rows) override {
@@ -314,6 +338,8 @@ class SpnEngine : public AqpEngine {
     s.inserts = inserts_;
     s.deletes = deletes_;
     s.build_seconds = spn_ ? spn_->train_seconds() : 0;
+    s.archive_bytes = table_.MemoryBytes();
+    s.synopsis_bytes = spn_ ? spn_->MemoryBytes() : 0;
     return s;
   }
   const DynamicTable* table() const override { return &table_; }
@@ -358,7 +384,7 @@ class SpnEngine : public AqpEngine {
 /// against. Reinitialize() rebuilds from the current archive.
 class SptEngine : public AqpEngine {
  public:
-  explicit SptEngine(const EngineConfig& c) : cfg_(c), table_(Schema{}) {}
+  explicit SptEngine(const EngineConfig& c) : cfg_(c), table_(c.schema) {}
 
   const char* name() const override { return "spt"; }
   void LoadInitial(const std::vector<Tuple>& rows) override {
@@ -372,8 +398,8 @@ class SptEngine : public AqpEngine {
     if (dpt_) dpt_->ApplyInsert(t);
   }
   bool Delete(uint64_t id) override {
-    const Tuple* p = table_.Find(id);
-    if (p == nullptr) return false;
+    const std::optional<Tuple> p = table_.Find(id);
+    if (!p.has_value()) return false;
     const Tuple t = *p;
     table_.Delete(id);
     ++deletes_;
@@ -393,6 +419,8 @@ class SptEngine : public AqpEngine {
     s.deletes = deletes_;
     s.build_seconds = build_.total_seconds;
     s.partition_seconds = build_.partition_seconds;
+    s.archive_bytes = table_.MemoryBytes();
+    s.synopsis_bytes = dpt_ ? dpt_->MemoryBytes() : 0;
     return s;
   }
   const DynamicTable* table() const override { return &table_; }
@@ -409,7 +437,7 @@ class SptEngine : public AqpEngine {
     o.algorithm = cfg_.algorithm;
     o.confidence = cfg_.confidence;
     o.seed = cfg_.seed;
-    build_ = BuildSpt(table_.live(), o);
+    build_ = BuildSpt(table_.store(), o);
     dpt_ = std::move(build_.synopsis);
   }
 

@@ -358,6 +358,8 @@ EngineStats ShardedEngine::Stats() const {
     total.reservoir_resamples += s.reservoir_resamples;
     total.catchup_processed += s.catchup_processed;
     total.catchup_processing_seconds += s.catchup_processing_seconds;
+    total.archive_bytes += s.archive_bytes;
+    total.synopsis_bytes += s.synopsis_bytes;
     // Wall-clock style metrics: the slowest shard bounds the fleet.
     total.last_reopt_seconds =
         std::max(total.last_reopt_seconds, s.last_reopt_seconds);

@@ -10,7 +10,7 @@
 namespace janus {
 
 ReservoirBaseline::ReservoirBaseline(const RsOptions& opts)
-    : opts_(opts), table_(Schema{}), rng_(opts.seed) {}
+    : opts_(opts), table_(opts.schema), rng_(opts.seed) {}
 
 void ReservoirBaseline::LoadInitial(const std::vector<Tuple>& rows) {
   for (const Tuple& t : rows) table_.Insert(t);

@@ -11,6 +11,8 @@ namespace janus {
 
 /// Options for the reservoir-sampling baseline (Sec. 6.1.3).
 struct RsOptions {
+  /// Archive schema (empty falls back to kMaxColumns-wide storage).
+  Schema schema;
   double sample_rate = 0.01;
   double confidence = 0.95;
   uint64_t seed = 17;

@@ -41,6 +41,15 @@ struct Spn::Node {
     for (const auto& c : children) n += c->CountNodes();
     return n;
   }
+
+  size_t Bytes() const {
+    size_t b = sizeof(Node) + children.capacity() * sizeof(children[0]) +
+               (weights.capacity() + masses.capacity() + means.capacity()) *
+                   sizeof(double) +
+               cols.capacity() * sizeof(int);
+    for (const auto& c : children) b += c->Bytes();
+    return b;
+  }
 };
 
 Spn::Spn(const SpnOptions& opts, std::vector<int> columns)
@@ -49,6 +58,8 @@ Spn::Spn(const SpnOptions& opts, std::vector<int> columns)
 Spn::~Spn() = default;
 
 size_t Spn::num_nodes() const { return root_ ? root_->CountNodes() : 0; }
+
+size_t Spn::MemoryBytes() const { return root_ ? root_->Bytes() : 0; }
 
 std::unique_ptr<Spn::Node> Spn::Build(std::vector<uint32_t> rows,
                                       std::vector<int> cols, int depth) {

@@ -54,6 +54,8 @@ class Spn {
 
   double train_seconds() const { return train_seconds_; }
   size_t num_nodes() const;
+  /// Heap footprint of the trained model (nodes + histograms).
+  size_t MemoryBytes() const;
 
  private:
   struct Node;

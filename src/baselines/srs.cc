@@ -11,7 +11,7 @@ namespace janus {
 
 StratifiedReservoirBaseline::StratifiedReservoirBaseline(
     const SrsOptions& opts)
-    : opts_(opts), table_(Schema{}), rng_(opts.seed) {}
+    : opts_(opts), table_(opts.schema), rng_(opts.seed) {}
 
 void StratifiedReservoirBaseline::LoadInitial(const std::vector<Tuple>& rows) {
   for (const Tuple& t : rows) table_.Insert(t);
@@ -38,10 +38,14 @@ int StratifiedReservoirBaseline::StratumOf(const Tuple& t) const {
 
 void StratifiedReservoirBaseline::Initialize() {
   rows_at_init_ = table_.size();
-  // Equal-depth boundaries from a sort of the predicate column.
-  std::vector<double> keys;
-  keys.reserve(table_.size());
-  for (const Tuple& t : table_.live()) keys.push_back(t[opts_.predicate_column]);
+  // Equal-depth boundaries from a sort of the predicate column — copied
+  // straight out of its contiguous array.
+  const ColumnSpan key_col = table_.column(opts_.predicate_column);
+  std::vector<double> keys(key_col.begin(), key_col.end());
+  if (key_col.data == nullptr) {
+    // Key column outside the schema reads 0.0 everywhere.
+    keys.assign(table_.size(), 0.0);
+  }
   std::sort(keys.begin(), keys.end());
   boundaries_.clear();
   const size_t n = keys.size();
@@ -61,11 +65,16 @@ void StratifiedReservoirBaseline::Initialize() {
                              static_cast<double>(strata)));
   strata_.clear();
   populations_.assign(strata, 0);
-  std::vector<std::vector<Tuple>> members(strata);
-  for (const Tuple& t : table_.live()) {
-    const int s = StratumOf(t);
+  // Stratum membership from one pass over the key column; only the rows a
+  // reservoir actually draws are materialized.
+  const ColumnStore& store = table_.store();
+  std::vector<std::vector<size_t>> members(strata);
+  for (size_t pos = 0; pos < store.size(); ++pos) {
+    const double key =
+        key_col.data != nullptr ? key_col[pos] : 0.0;
+    const int s = StratumOfKey(key);
     populations_[static_cast<size_t>(s)] += 1;
-    members[static_cast<size_t>(s)].push_back(t);
+    members[static_cast<size_t>(s)].push_back(pos);
   }
   for (size_t s = 0; s < strata; ++s) {
     strata_.push_back(
@@ -74,7 +83,7 @@ void StratifiedReservoirBaseline::Initialize() {
         rng_.SampleIndices(members[s].size(), per_stratum_target);
     std::vector<Tuple> sample;
     sample.reserve(idx.size());
-    for (size_t i : idx) sample.push_back(members[s][i]);
+    for (size_t i : idx) sample.push_back(store.RowTuple(members[s][i]));
     strata_[s]->Reset(std::move(sample));
   }
 }
@@ -96,23 +105,28 @@ void StratifiedReservoirBaseline::Insert(const Tuple& t) {
 }
 
 bool StratifiedReservoirBaseline::Delete(uint64_t id) {
-  const Tuple* p = table_.Find(id);
-  if (p == nullptr) return false;
+  const std::optional<Tuple> p = table_.Find(id);
+  if (!p.has_value()) return false;
   const Tuple t = *p;
   table_.Delete(id);
   const int s = StratumOf(t);
   populations_[static_cast<size_t>(s)] -= 1;
   ReservoirChange ch = strata_[static_cast<size_t>(s)]->OnDelete(id);
   if (ch.needs_resample) {
-    // Re-fill this stratum from the archive.
-    std::vector<Tuple> members;
-    for (const Tuple& row : table_.live()) {
-      if (StratumOf(row) == s) members.push_back(row);
+    // Re-fill this stratum from the archive: membership comes from a dense
+    // scan of the key column, only sampled rows are materialized.
+    const ColumnStore& store = table_.store();
+    const ColumnSpan key_col = table_.column(opts_.predicate_column);
+    std::vector<size_t> members;
+    for (size_t pos = 0; pos < store.size(); ++pos) {
+      const double key = key_col.data != nullptr ? key_col[pos] : 0.0;
+      if (StratumOfKey(key) == s) members.push_back(pos);
     }
     std::vector<size_t> idx = rng_.SampleIndices(
         members.size(), strata_[static_cast<size_t>(s)]->capacity());
     std::vector<Tuple> sample;
-    for (size_t i : idx) sample.push_back(members[i]);
+    sample.reserve(idx.size());
+    for (size_t i : idx) sample.push_back(store.RowTuple(members[i]));
     strata_[static_cast<size_t>(s)]->Reset(std::move(sample));
   }
   return true;

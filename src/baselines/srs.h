@@ -13,6 +13,8 @@ namespace janus {
 /// Options for the stratified reservoir sampling baseline (Sec. 6.1.3:
 /// "the strata is constructed using an equal-depth partitioning algorithm").
 struct SrsOptions {
+  /// Archive schema (empty falls back to kMaxColumns-wide storage).
+  Schema schema;
   int num_strata = 128;
   int predicate_column = 0;
   double sample_rate = 0.01;

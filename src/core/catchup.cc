@@ -2,24 +2,30 @@
 
 #include <algorithm>
 
+#include "data/scan.h"
 #include "util/timer.h"
 
 namespace janus {
 
-CatchupEngine::CatchupEngine(Dpt* dpt, std::vector<Tuple> snapshot,
+CatchupEngine::CatchupEngine(Dpt* dpt, ColumnStore snapshot,
                              size_t goal_samples, uint64_t seed)
     : dpt_(dpt),
       snapshot_(std::move(snapshot)),
       goal_(snapshot_.empty() ? 0 : goal_samples),
       rng_(seed) {}
 
+CatchupEngine::CatchupEngine(Dpt* dpt, const std::vector<Tuple>& snapshot,
+                             size_t goal_samples, uint64_t seed)
+    : CatchupEngine(dpt, scan::ToColumnStore(snapshot, {}), goal_samples,
+                    seed) {}
+
 size_t CatchupEngine::Step(size_t batch) {
   if (Done() || snapshot_.empty()) return 0;
   const size_t todo = std::min(batch, goal_ - processed_);
   Timer timer;
   for (size_t i = 0; i < todo; ++i) {
-    const Tuple& t = snapshot_[rng_.NextUint64(snapshot_.size())];
-    dpt_->AddCatchupSample(t);
+    dpt_->AddCatchupSample(
+        snapshot_.RowTuple(rng_.NextUint64(snapshot_.size())));
   }
   processing_seconds_ += timer.ElapsedSeconds();
   processed_ += todo;

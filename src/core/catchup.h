@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/dpt.h"
+#include "data/column_store.h"
 #include "util/rng.h"
 
 namespace janus {
@@ -13,17 +14,25 @@ namespace janus {
 /// snapshot refine the approximate node statistics in the background until a
 /// user-chosen goal (e.g. 0.1 * |D| samples) is reached.
 ///
-/// The engine owns an immutable copy of the snapshot taken at
-/// (re-)initialization, so its estimates target exactly the population the
-/// deltas are measured against (tuples inserted/deleted later are covered by
-/// the per-node deltas — see Dpt). Samples are drawn with replacement, which
+/// The engine owns an immutable columnar copy of the snapshot taken at
+/// (re-)initialization — schema-width columns and ids only, no id index, so
+/// the copy never exceeds the old row snapshot and shrinks with the schema —
+/// and its estimates target exactly the population the deltas are measured
+/// against (tuples inserted/deleted later are covered by the per-node
+/// deltas — see Dpt). Samples are drawn with replacement, which
 /// keeps the Horvitz-Thompson scaling unbiased at any stopping point; this
 /// is why queries issued mid-catch-up are valid, just wider (Sec. 4.3).
 class CatchupEngine {
  public:
   /// `goal_samples` caps the catch-up (the paper runs until 0.1 * |D|).
-  CatchupEngine(Dpt* dpt, std::vector<Tuple> snapshot, size_t goal_samples,
+  /// Pass `table.store().WithoutIndex()` (or move a scratch store in) — the
+  /// sampler only reads positions, never ids.
+  CatchupEngine(Dpt* dpt, ColumnStore snapshot, size_t goal_samples,
                 uint64_t seed);
+
+  /// Row-vector snapshot (tests / stream boundary); transposed on entry.
+  CatchupEngine(Dpt* dpt, const std::vector<Tuple>& snapshot,
+                size_t goal_samples, uint64_t seed);
 
   /// Process up to `batch` samples; returns how many were absorbed.
   size_t Step(size_t batch);
@@ -41,7 +50,7 @@ class CatchupEngine {
 
  private:
   Dpt* dpt_;
-  std::vector<Tuple> snapshot_;
+  ColumnStore snapshot_;
   size_t goal_;
   size_t processed_ = 0;
   double processing_seconds_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "data/scan.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -120,38 +121,57 @@ Rectangle Dpt::ClippedRect(int node) const {
   return Rectangle(std::move(lo), std::move(hi));
 }
 
-void Dpt::InitializeExact(const std::vector<Tuple>& data,
-                          const std::vector<Tuple>& reservoir) {
-  mode_ = StatMode::kExact;
-  n0_ = static_cast<double>(data.size());
+void Dpt::ResetLeafStats(StatMode mode, double n0) {
+  mode_ = mode;
+  n0_ = n0;
   catchup_total_.store(0);
   for (size_t i = 0; i < leaf_stats_.size(); ++i) {
     for (ColumnStats& c : leaf_stats_[i].columns) c = ColumnStats{};
     leaf_stats_[i].minmax.Clear();
   }
-  for (const Tuple& t : data) {
-    double point[kMaxColumns];
-    ProjectTuple(t, opts_.spec.predicate_columns, point);
-    GrowDomain(point);
-    const int leaf = LeafForTuple(t);
-    LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
-    for (size_t i = 0; i < tracked_columns_.size(); ++i) {
-      ls.columns[i].exact.Add(t[tracked_columns_[i]]);
+}
+
+void Dpt::InitializeExact(const std::vector<Tuple>& data,
+                          const std::vector<Tuple>& reservoir) {
+  // Row-vector entry point (tests): transpose once, then run the one
+  // columnar implementation so the two paths cannot drift.
+  InitializeExact(scan::ToColumnStore(data, {}), reservoir);
+}
+
+void Dpt::InitializeExact(const ColumnStore& data,
+                          const std::vector<Tuple>& reservoir) {
+  ResetLeafStats(StatMode::kExact, static_cast<double>(data.size()));
+  // Column-oriented archive scan: per-row work touches only the predicate
+  // and tracked columns, read straight out of their contiguous arrays.
+  const std::vector<int>& pred = opts_.spec.predicate_columns;
+  std::vector<ColumnSpan> pred_cols;
+  pred_cols.reserve(pred.size());
+  for (int c : pred) pred_cols.push_back(data.column(c));
+  std::vector<ColumnSpan> tracked_cols;
+  tracked_cols.reserve(tracked_columns_.size());
+  for (int c : tracked_columns_) tracked_cols.push_back(data.column(c));
+  const ColumnSpan agg = data.column(opts_.spec.agg_column);
+  double point[kMaxColumns];
+  const size_t n = data.size();
+  for (size_t pos = 0; pos < n; ++pos) {
+    for (size_t i = 0; i < pred_cols.size(); ++i) {
+      point[i] = pred_cols[i].data != nullptr ? pred_cols[i][pos] : 0.0;
     }
-    ls.minmax.Insert(t[opts_.spec.agg_column]);
+    GrowDomain(point);
+    const int leaf = spec_.LeafFor(point);
+    LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
+    for (size_t i = 0; i < tracked_cols.size(); ++i) {
+      ls.columns[i].exact.Add(
+          tracked_cols[i].data != nullptr ? tracked_cols[i][pos] : 0.0);
+    }
+    ls.minmax.Insert(agg.data != nullptr ? agg[pos] : 0.0);
   }
   ResetSamples(reservoir);
 }
 
 void Dpt::InitializeFromReservoir(const std::vector<Tuple>& reservoir,
                                   size_t n0) {
-  mode_ = StatMode::kCatchup;
-  n0_ = static_cast<double>(n0);
-  catchup_total_.store(0);
-  for (size_t i = 0; i < leaf_stats_.size(); ++i) {
-    for (ColumnStats& c : leaf_stats_[i].columns) c = ColumnStats{};
-    leaf_stats_[i].minmax.Clear();
-  }
+  ResetLeafStats(StatMode::kCatchup, static_cast<double>(n0));
   for (const Tuple& t : reservoir) AddCatchupSample(t);
   ResetSamples(reservoir);
 }
@@ -336,6 +356,26 @@ void Dpt::SetCatchupState(StatMode mode, double n0, double total) {
   mode_ = mode;
   n0_ = n0;
   catchup_total_.store(total);
+}
+
+size_t Dpt::MemoryBytes() const {
+  const size_t d = static_cast<size_t>(dims());
+  // Tree shape: nodes plus their heap-allocated rectangle bounds.
+  size_t bytes =
+      spec_.nodes.size() * (sizeof(PartitionNode) + 2 * d * sizeof(double));
+  for (const LeafStats& ls : leaf_stats_) {
+    bytes += ls.columns.capacity() * sizeof(ColumnStats);
+  }
+  // MIN/MAX heaps: up to 2k multiset nodes per leaf (value + rb-tree node).
+  bytes += spec_.leaves.size() * 2 * static_cast<size_t>(opts_.minmax_k) *
+           (sizeof(double) + 4 * sizeof(void*));
+  // Pooled sample: kd-index points (point + subtree aggregates) and the
+  // id -> tuple mirror.
+  bytes += samples_.size() * 2 * sizeof(KdPoint);
+  bytes += sample_tuples_.size() *
+               (sizeof(uint64_t) + sizeof(Tuple) + sizeof(void*)) +
+           sample_tuples_.bucket_count() * sizeof(void*);
+  return bytes;
 }
 
 void Dpt::Frontier(const Rectangle& q, std::vector<int>* cover,

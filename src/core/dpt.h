@@ -82,6 +82,11 @@ class Dpt {
   void InitializeExact(const std::vector<Tuple>& data,
                        const std::vector<Tuple>& reservoir);
 
+  /// Columnar variant: scans the archive's predicate/tracked columns
+  /// directly (no per-row Tuple materialization).
+  void InitializeExact(const ColumnStore& data,
+                       const std::vector<Tuple>& reservoir);
+
   /// Approximate initialization from the pooled reservoir only — the single
   /// blocking step of re-initialization (Sec. 4.3 step 2). `n0` is |D| at
   /// the snapshot; estimates use N̂_i = (h_i/h) * n0.
@@ -146,6 +151,10 @@ class Dpt {
   /// Restore the global catch-up bookkeeping after a graft.
   void SetCatchupState(StatMode mode, double n0, double total);
 
+  /// Estimated heap footprint of the synopsis: tree nodes, per-leaf
+  /// statistics, the pooled sample index and its tuple mirror.
+  size_t MemoryBytes() const;
+
  private:
   struct ColumnStats {
     MomentAccumulator exact;
@@ -160,6 +169,8 @@ class Dpt {
 
   int TrackedIndex(int column) const;  // -1 if untracked
   void ComputeLeafRanges();
+  /// Zero every leaf's statistics and set the (mode, n0) bookkeeping.
+  void ResetLeafStats(StatMode mode, double n0);
   double LeafCountEstimate(int leaf) const;
   double LeafSumEstimate(int leaf, int tracked_idx) const;
   TreeAgg MatchingSamples(int leaf, const AggQuery& q, double* stratum_size,

@@ -8,7 +8,7 @@
 namespace janus {
 
 JanusAqp::JanusAqp(const JanusOptions& opts)
-    : opts_(opts), table_(Schema{}), rng_(opts.seed) {}
+    : opts_(opts), table_(opts.schema), rng_(opts.seed) {}
 
 JanusAqp::~JanusAqp() {
   if (opt_thread_.joinable()) opt_thread_.join();
@@ -57,9 +57,8 @@ void JanusAqp::AdoptSpec(PartitionTreeSpec spec) {
   dpt_->InitializeFromReservoir(reservoir_->samples(), table_.size());
   const size_t goal = static_cast<size_t>(
       opts_.catchup_rate * static_cast<double>(table_.size()));
-  catchup_ =
-      std::make_unique<CatchupEngine>(dpt_.get(), table_.live(), goal,
-                                      rng_.Next());
+  catchup_ = std::make_unique<CatchupEngine>(
+      dpt_.get(), table_.store().WithoutIndex(), goal, rng_.Next());
   RefreshBaselines();
 }
 
@@ -96,8 +95,8 @@ bool JanusAqp::Delete(uint64_t id) {
   Tuple t;
   {
     std::lock_guard<std::mutex> lock(update_mu_);
-    const Tuple* p = table_.Find(id);
-    if (p == nullptr) return false;
+    const std::optional<Tuple> p = table_.Find(id);
+    if (!p.has_value()) return false;
     t = *p;
     table_.Delete(id);
     ++counters_.deletes;
@@ -327,8 +326,8 @@ bool JanusAqp::PartialRepartition(int leaf) {
   dpt_ = std::move(fresh);
   const size_t goal = static_cast<size_t>(
       opts_.catchup_rate * static_cast<double>(table_.size()));
-  catchup_ = std::make_unique<CatchupEngine>(dpt_.get(), table_.live(), goal,
-                                             rng_.Next());
+  catchup_ = std::make_unique<CatchupEngine>(
+      dpt_.get(), table_.store().WithoutIndex(), goal, rng_.Next());
   RefreshBaselines();
   counters_.last_reopt_seconds = timer.ElapsedSeconds();
   ++counters_.partial_repartitions;

@@ -20,6 +20,9 @@ namespace janus {
 /// re-optimization parameters of Sec. 5.4).
 struct JanusOptions {
   SynopsisSpec spec;
+  /// Archive schema; the table allocates one column per schema entry. An
+  /// empty schema falls back to kMaxColumns-wide storage.
+  Schema schema;
   int num_leaves = 128;
   /// Sampling rate alpha (1% in most experiments).
   double sample_rate = 0.01;

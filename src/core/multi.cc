@@ -5,7 +5,7 @@
 namespace janus {
 
 MultiTemplateJanus::MultiTemplateJanus(const JanusOptions& base)
-    : base_(base), table_(Schema{}), rng_(base.seed) {}
+    : base_(base), table_(base.schema), rng_(base.seed) {}
 
 int MultiTemplateJanus::TemplateFor(
     const std::vector<int>& predicate_columns) const {
@@ -62,7 +62,7 @@ void MultiTemplateJanus::BuildEntry(Entry* entry) {
   const size_t goal = static_cast<size_t>(
       base_.catchup_rate * static_cast<double>(table_.size()));
   entry->catchup = std::make_unique<CatchupEngine>(
-      entry->dpt.get(), table_.live(), goal, rng_.Next());
+      entry->dpt.get(), table_.store().WithoutIndex(), goal, rng_.Next());
 }
 
 void MultiTemplateJanus::LoadInitial(const std::vector<Tuple>& rows) {
@@ -92,8 +92,8 @@ void MultiTemplateJanus::Insert(const Tuple& t) {
 }
 
 bool MultiTemplateJanus::Delete(uint64_t id) {
-  const Tuple* p = table_.Find(id);
-  if (p == nullptr) return false;
+  const std::optional<Tuple> p = table_.Find(id);
+  if (!p.has_value()) return false;
   const Tuple t = *p;
   table_.Delete(id);
   ReservoirChange ch = reservoir_->OnDelete(id);

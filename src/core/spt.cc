@@ -6,6 +6,7 @@
 #include "core/partitioner_1d.h"
 #include "core/partitioner_dp.h"
 #include "core/partitioner_kd.h"
+#include "data/scan.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -79,8 +80,7 @@ PartitionResult OptimizePartition(const std::vector<Tuple>& samples,
   }
 }
 
-SptBuildResult BuildSpt(const std::vector<Tuple>& data,
-                        const SptOptions& opts) {
+SptBuildResult BuildSpt(const ColumnStore& data, const SptOptions& opts) {
   SptBuildResult result;
   Timer total;
   Rng rng(opts.seed);
@@ -90,7 +90,7 @@ SptBuildResult BuildSpt(const std::vector<Tuple>& data,
   std::vector<size_t> idx = rng.SampleIndices(data.size(), 2 * m);
   std::vector<Tuple> samples;
   samples.reserve(idx.size());
-  for (size_t i : idx) samples.push_back(data[i]);
+  for (size_t i : idx) samples.push_back(data.RowTuple(i));
 
   Timer part;
   PartitionResult pr = OptimizePartition(samples, opts, data.size());
@@ -107,6 +107,11 @@ SptBuildResult BuildSpt(const std::vector<Tuple>& data,
   result.synopsis->InitializeExact(data, samples);
   result.total_seconds = total.ElapsedSeconds();
   return result;
+}
+
+SptBuildResult BuildSpt(const std::vector<Tuple>& data,
+                        const SptOptions& opts) {
+  return BuildSpt(scan::ToColumnStore(data, {}), opts);
 }
 
 }  // namespace janus

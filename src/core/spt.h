@@ -45,6 +45,10 @@ struct SptBuildResult {
 /// the leaf strata.
 SptBuildResult BuildSpt(const std::vector<Tuple>& data, const SptOptions& opts);
 
+/// Columnar variant: samples and the exact statistics scan read the archive's
+/// columns directly (no row materialization on the hot path).
+SptBuildResult BuildSpt(const ColumnStore& data, const SptOptions& opts);
+
 /// Run only the partition optimizer over `samples` (no statistics scan);
 /// shared by BuildSpt and by JanusAQP re-optimization.
 PartitionResult OptimizePartition(const std::vector<Tuple>& samples,

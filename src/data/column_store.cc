@@ -1,0 +1,133 @@
+#include "data/column_store.h"
+
+#include <cassert>
+#include <limits>
+
+namespace janus {
+
+namespace {
+
+size_t WidthFor(const Schema& schema) {
+  const int n = schema.num_columns();
+  if (n <= 0) return static_cast<size_t>(kMaxColumns);
+  return static_cast<size_t>(n < kMaxColumns ? n : kMaxColumns);
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(Schema schema)
+    : schema_(std::move(schema)), columns_(WidthFor(schema_)) {}
+
+ColumnStore::ColumnStore(int num_columns)
+    : columns_(static_cast<size_t>(
+          num_columns < 1 ? 1
+                          : (num_columns > kMaxColumns ? kMaxColumns
+                                                       : num_columns))) {}
+
+void ColumnStore::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+  ids_.reserve(rows);
+  index_.reserve(rows);
+}
+
+void ColumnStore::Insert(const Tuple& t) {
+  EnsureIndex();
+  assert(index_.find(t.id) == index_.end());
+  index_[t.id] = ids_.size();
+  ids_.push_back(t.id);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(t.values[c]);
+  }
+}
+
+void ColumnStore::BulkAppend(const std::vector<Tuple>& rows) {
+  Reserve(ids_.size() + rows.size());
+  for (const Tuple& t : rows) {
+    ids_.push_back(t.id);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(t.values[c]);
+    }
+  }
+  indexed_ = false;
+}
+
+ColumnStore ColumnStore::WithoutIndex() const {
+  ColumnStore copy(schema_);
+  copy.columns_ = columns_;
+  copy.ids_ = ids_;
+  copy.indexed_ = false;
+  return copy;
+}
+
+void ColumnStore::EnsureIndex() const {
+  if (indexed_) return;
+  index_.clear();
+  index_.reserve(ids_.size());
+  for (size_t pos = 0; pos < ids_.size(); ++pos) index_[ids_[pos]] = pos;
+  indexed_ = true;
+}
+
+bool ColumnStore::Delete(uint64_t id) {
+  EnsureIndex();
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const size_t pos = it->second;
+  const size_t last = ids_.size() - 1;
+  if (pos != last) {
+    ids_[pos] = ids_[last];
+    for (auto& col : columns_) col[pos] = col[last];
+    index_[ids_[pos]] = pos;
+  }
+  ids_.pop_back();
+  for (auto& col : columns_) col.pop_back();
+  index_.erase(it);
+  return true;
+}
+
+std::optional<Tuple> ColumnStore::Find(uint64_t id) const {
+  EnsureIndex();
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return RowTuple(it->second);
+}
+
+size_t ColumnStore::PositionOf(uint64_t id) const {
+  EnsureIndex();
+  auto it = index_.find(id);
+  return it == index_.end() ? std::numeric_limits<size_t>::max() : it->second;
+}
+
+Tuple ColumnStore::RowTuple(size_t pos) const {
+  Tuple t;
+  t.id = ids_[pos];
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    t.values[c] = columns_[c][pos];
+  }
+  return t;
+}
+
+std::vector<Tuple> ColumnStore::SampleUniform(Rng* rng, size_t k) const {
+  std::vector<size_t> idx = rng->SampleIndices(ids_.size(), k);
+  std::vector<Tuple> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(RowTuple(i));
+  return out;
+}
+
+Tuple ColumnStore::SampleOne(Rng* rng) const {
+  assert(!ids_.empty());
+  return RowTuple(rng->NextUint64(ids_.size()));
+}
+
+size_t ColumnStore::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col.capacity() * sizeof(double);
+  bytes += ids_.capacity() * sizeof(uint64_t);
+  // Open-addressing-agnostic estimate of the unordered_map footprint: one
+  // bucket pointer plus one heap node (key, value, next) per entry.
+  bytes += index_.bucket_count() * sizeof(void*) +
+           index_.size() * (sizeof(uint64_t) + sizeof(size_t) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace janus

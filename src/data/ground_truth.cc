@@ -1,49 +1,16 @@
 #include "data/ground_truth.h"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
+
+#include "data/scan.h"
 
 namespace janus {
 
-namespace {
-
-struct Accum {
-  double count = 0;
-  double sum = 0;
-  double min = std::numeric_limits<double>::max();
-  double max = std::numeric_limits<double>::lowest();
-
-  void Add(double a) {
-    count += 1;
-    sum += a;
-    min = std::min(min, a);
-    max = std::max(max, a);
-  }
-
-  std::optional<double> Finish(AggFunc f) const {
-    if (count == 0) return std::nullopt;
-    switch (f) {
-      case AggFunc::kSum:
-        return sum;
-      case AggFunc::kCount:
-        return count;
-      case AggFunc::kAvg:
-        return sum / count;
-      case AggFunc::kMin:
-        return min;
-      case AggFunc::kMax:
-        return max;
-    }
-    return std::nullopt;
-  }
-};
-
-}  // namespace
-
 std::optional<double> ExactAnswer(const std::vector<Tuple>& rows,
                                   const AggQuery& q) {
-  Accum acc;
+  // Row path kept for callers holding snapshot vectors; small inputs stay on
+  // the shared accumulator, avoiding the transposition.
+  AggAccumulator acc;
   std::vector<double> point(q.predicate_columns.size());
   for (const Tuple& t : rows) {
     ProjectTuple(t, q.predicate_columns, point.data());
@@ -52,22 +19,18 @@ std::optional<double> ExactAnswer(const std::vector<Tuple>& rows,
   return acc.Finish(q.func);
 }
 
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q) {
+  return scan::ExactAnswer(store, q);
+}
+
 std::vector<std::optional<double>> ExactAnswers(
     const std::vector<Tuple>& rows, const std::vector<AggQuery>& queries) {
-  std::vector<Accum> accs(queries.size());
-  std::vector<double> point(kMaxColumns);
-  for (const Tuple& t : rows) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      const AggQuery& q = queries[i];
-      ProjectTuple(t, q.predicate_columns, point.data());
-      if (q.rect.Contains(point.data())) accs[i].Add(t[q.agg_column]);
-    }
-  }
-  std::vector<std::optional<double>> out(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    out[i] = accs[i].Finish(queries[i].func);
-  }
-  return out;
+  return scan::ExactAnswers(scan::ToColumnStore(rows, queries), queries);
+}
+
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries) {
+  return scan::ExactAnswers(store, queries);
 }
 
 std::optional<double> RelativeError(std::optional<double> truth, double est) {

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "data/column_store.h"
 #include "data/schema.h"
 #include "data/workload.h"
 
@@ -16,10 +17,20 @@ namespace janus {
 std::optional<double> ExactAnswer(const std::vector<Tuple>& rows,
                                   const AggQuery& q);
 
-/// Batch evaluation: one pass over the rows for all queries. Much faster
-/// than per-query scans when |queries| is large.
+/// Columnar variant: runs the vectorized scan kernels (data/scan.h) directly
+/// over an archive — the implementation both row paths delegate to.
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q);
+
+/// Batch evaluation over rows: the rows are transposed into a scratch
+/// ColumnStore once, then each query runs one vectorized kernel scan over
+/// only its own predicate/aggregate columns. Much faster than per-query
+/// tuple scans when |queries| is large.
 std::vector<std::optional<double>> ExactAnswers(
     const std::vector<Tuple>& rows, const std::vector<AggQuery>& queries);
+
+/// Batch evaluation over a columnar archive (no transposition needed).
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries);
 
 /// Relative error |est - truth| / |truth|; nullopt when the truth is zero or
 /// undefined.

@@ -1,0 +1,224 @@
+#include "data/scan.h"
+
+namespace janus {
+
+std::optional<double> AggAccumulator::Finish(AggFunc f) const {
+  if (count == 0) return std::nullopt;
+  switch (f) {
+    case AggFunc::kSum:
+      return sum;
+    case AggFunc::kCount:
+      return count;
+    case AggFunc::kAvg:
+      return sum / count;
+    case AggFunc::kMin:
+      return min;
+    case AggFunc::kMax:
+      return max;
+  }
+  return std::nullopt;
+}
+
+namespace scan {
+
+namespace {
+
+/// Closed-interval test with the same NaN semantics as Rectangle::Contains
+/// (a NaN coordinate never fails the bound checks, so it matches).
+inline bool InBounds(double x, double lo, double hi) {
+  return !(x < lo) & !(x > hi);
+}
+
+}  // namespace
+
+size_t FilterBlock(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect, size_t begin, size_t end,
+                   uint32_t* sel) {
+  const size_t len = end - begin;
+  size_t matched = 0;
+  bool first = true;
+  for (size_t d = 0; d < predicate_columns.size(); ++d) {
+    const double lo = rect.lo(static_cast<int>(d));
+    const double hi = rect.hi(static_cast<int>(d));
+    const ColumnSpan col = store.column(predicate_columns[d]);
+    if (col.data == nullptr) {
+      // Column outside the schema: every row reads 0.0 (Tuple's
+      // zero-initialized slots).
+      if (InBounds(0.0, lo, hi)) continue;
+      return 0;
+    }
+    if (first) {
+      // First dimension: dense branch-free scan of the contiguous column.
+      const double* v = col.data + begin;
+      for (size_t i = 0; i < len; ++i) {
+        sel[matched] = static_cast<uint32_t>(begin + i);
+        matched += static_cast<size_t>(InBounds(v[i], lo, hi));
+      }
+      first = false;
+      continue;
+    }
+    // Subsequent dimensions: compact the selection vector in place.
+    const double* v = col.data;
+    size_t out = 0;
+    for (size_t i = 0; i < matched; ++i) {
+      const uint32_t p = sel[i];
+      sel[out] = p;
+      out += static_cast<size_t>(InBounds(v[p], lo, hi));
+    }
+    matched = out;
+    if (matched == 0) return 0;
+  }
+  if (first) {
+    // No predicate columns: every row in the block matches.
+    for (size_t i = 0; i < len; ++i) {
+      sel[i] = static_cast<uint32_t>(begin + i);
+    }
+    matched = len;
+  }
+  return matched;
+}
+
+size_t CountInRect(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect) {
+  return CountInRectAtLeast(store, predicate_columns, rect,
+                            std::numeric_limits<size_t>::max());
+}
+
+size_t CountInRectAtLeast(const ColumnStore& store,
+                          const std::vector<int>& predicate_columns,
+                          const Rectangle& rect, size_t threshold) {
+  const size_t n = store.size();
+  if (predicate_columns.empty()) return std::min(n, threshold);
+  if (predicate_columns.size() == 1) {
+    // Pure counting needs no selection vector: one dense pass per block with
+    // an early exit at the threshold.
+    const double lo = rect.lo(0);
+    const double hi = rect.hi(0);
+    const ColumnSpan col = store.column(predicate_columns[0]);
+    if (col.data == nullptr) {
+      return InBounds(0.0, lo, hi) ? std::min(n, threshold) : 0;
+    }
+    size_t count = 0;
+    for (size_t begin = 0; begin < n; begin += kBlockRows) {
+      const size_t end = std::min(n, begin + kBlockRows);
+      const double* v = col.data;
+      size_t block = 0;
+      for (size_t i = begin; i < end; ++i) {
+        block += static_cast<size_t>(InBounds(v[i], lo, hi));
+      }
+      count += block;
+      if (count >= threshold) return threshold;
+    }
+    return count;
+  }
+  uint32_t sel[kBlockRows];
+  size_t count = 0;
+  for (size_t begin = 0; begin < n; begin += kBlockRows) {
+    const size_t end = std::min(n, begin + kBlockRows);
+    count += FilterBlock(store, predicate_columns, rect, begin, end, sel);
+    if (count >= threshold) return threshold;
+  }
+  return count;
+}
+
+std::optional<double> AggregateInRect(const ColumnStore& store, AggFunc func,
+                                      int agg_column,
+                                      const std::vector<int>& predicate_columns,
+                                      const Rectangle& rect) {
+  if (func == AggFunc::kCount) {
+    const size_t c = CountInRect(store, predicate_columns, rect);
+    if (c == 0) return std::nullopt;
+    return static_cast<double>(c);
+  }
+  const ColumnSpan agg = store.column(agg_column);
+  const size_t n = store.size();
+  uint32_t sel[kBlockRows];
+  double count = 0;
+  double sum = 0;
+  double best_min = std::numeric_limits<double>::max();
+  double best_max = std::numeric_limits<double>::lowest();
+  for (size_t begin = 0; begin < n; begin += kBlockRows) {
+    const size_t end = std::min(n, begin + kBlockRows);
+    const size_t matched =
+        FilterBlock(store, predicate_columns, rect, begin, end, sel);
+    if (matched == 0) continue;
+    count += static_cast<double>(matched);
+    if (agg.data == nullptr) {
+      // Aggregate column outside the schema reads 0.0 everywhere.
+      best_min = std::min(best_min, 0.0);
+      best_max = std::max(best_max, 0.0);
+      continue;
+    }
+    const double* v = agg.data;
+    switch (func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (matched == end - begin) {
+          // Saturated block: skip the gather and sum the column directly.
+          for (size_t i = begin; i < end; ++i) sum += v[i];
+        } else {
+          for (size_t i = 0; i < matched; ++i) sum += v[sel[i]];
+        }
+        break;
+      case AggFunc::kMin:
+        for (size_t i = 0; i < matched; ++i) {
+          best_min = std::min(best_min, v[sel[i]]);
+        }
+        break;
+      case AggFunc::kMax:
+        for (size_t i = 0; i < matched; ++i) {
+          best_max = std::max(best_max, v[sel[i]]);
+        }
+        break;
+      case AggFunc::kCount:
+        break;  // handled above
+    }
+  }
+  if (count == 0) return std::nullopt;
+  switch (func) {
+    case AggFunc::kSum:
+      return sum;
+    case AggFunc::kAvg:
+      return sum / count;
+    case AggFunc::kMin:
+      return best_min;
+    case AggFunc::kMax:
+      return best_max;
+    case AggFunc::kCount:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q) {
+  return AggregateInRect(store, q.func, q.agg_column, q.predicate_columns,
+                         q.rect);
+}
+
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries) {
+  std::vector<std::optional<double>> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = ExactAnswer(store, queries[i]);
+  }
+  return out;
+}
+
+ColumnStore ToColumnStore(const std::vector<Tuple>& rows,
+                          const std::vector<AggQuery>& queries) {
+  int width = queries.empty() ? kMaxColumns : 1;
+  for (const AggQuery& q : queries) {
+    width = std::max(width, q.agg_column + 1);
+    for (int c : q.predicate_columns) width = std::max(width, c + 1);
+  }
+  ColumnStore store(width);
+  // Index-free append: the scan kernels never look rows up by id, and the
+  // id index would dominate the cost of the transposition.
+  store.BulkAppend(rows);
+  return store;
+}
+
+}  // namespace scan
+}  // namespace janus

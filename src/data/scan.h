@@ -1,0 +1,111 @@
+#ifndef JANUS_DATA_SCAN_H_
+#define JANUS_DATA_SCAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "data/column_store.h"
+#include "data/schema.h"
+#include "data/workload.h"
+
+namespace janus {
+
+/// Streaming aggregate accumulator shared by the columnar scan kernels and
+/// the row-oriented ground-truth path (data/ground_truth.cc) — the single
+/// place the SUM/COUNT/AVG/MIN/MAX finishing rules live.
+struct AggAccumulator {
+  double count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::max();
+  double max = std::numeric_limits<double>::lowest();
+
+  void Add(double a) {
+    count += 1;
+    sum += a;
+    min = std::min(min, a);
+    max = std::max(max, a);
+  }
+
+  /// nullopt when no tuple matched (AVG/MIN/MAX undefined; relative error of
+  /// a zero SUM/COUNT is undefined too, so harnesses skip those queries).
+  std::optional<double> Finish(AggFunc f) const;
+};
+
+/// Vectorized scan kernels over a ColumnStore. All kernels process rows in
+/// fixed-size blocks with a column-at-a-time selection-vector filter: each
+/// predicate dimension is evaluated over its contiguous column for the whole
+/// block before any other column is touched, so the hot loops are simple
+/// branch-light passes over dense double arrays that auto-vectorize.
+namespace scan {
+
+/// Block size of the vectorized kernels: big enough to amortize per-block
+/// work, small enough that a block's selection vector stays in L1.
+inline constexpr size_t kBlockRows = 4096;
+
+/// Filter one block [begin, end) of `store` against `rect` over
+/// `predicate_columns`, column at a time. On return `sel` holds the matching
+/// row positions; returns how many. `sel` must have room for end - begin
+/// entries. An empty predicate set matches every row.
+size_t FilterBlock(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect, size_t begin, size_t end,
+                   uint32_t* sel);
+
+/// Number of live rows inside `rect` (closed intervals, row semantics
+/// identical to Rectangle::Contains over materialized tuples).
+size_t CountInRect(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect);
+
+/// Early-exit variant for rejection sampling: stops as soon as `threshold`
+/// matches are found. Returns min(matches, threshold).
+size_t CountInRectAtLeast(const ColumnStore& store,
+                          const std::vector<int>& predicate_columns,
+                          const Rectangle& rect, size_t threshold);
+
+/// Aggregate of `agg_column` over the rows inside `rect`; nullopt when no
+/// row matches.
+std::optional<double> AggregateInRect(const ColumnStore& store, AggFunc func,
+                                      int agg_column,
+                                      const std::vector<int>& predicate_columns,
+                                      const Rectangle& rect);
+
+/// Invoke `fn(row_position)` for every live row inside `rect`, in position
+/// order. The callable is templated so tight consumers inline.
+template <typename Fn>
+void ForEachInRect(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect, Fn&& fn) {
+  uint32_t sel[kBlockRows];
+  const size_t n = store.size();
+  for (size_t begin = 0; begin < n; begin += kBlockRows) {
+    const size_t end = std::min(n, begin + kBlockRows);
+    const size_t matched =
+        FilterBlock(store, predicate_columns, rect, begin, end, sel);
+    for (size_t i = 0; i < matched; ++i) fn(static_cast<size_t>(sel[i]));
+  }
+}
+
+/// Exact answer of one aggregate query via the columnar kernels — the single
+/// ground-truth implementation behind data/ground_truth.* and bench/common.h.
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q);
+
+/// Batch evaluation: one kernel scan per query (each touching only that
+/// query's predicate + aggregate columns).
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries);
+
+/// Materialize a row vector into a scratch ColumnStore wide enough for
+/// `queries` (or kMaxColumns when queries is empty) so row-oriented callers
+/// can run the columnar kernels. The store is built index-free (BulkAppend);
+/// the id index is only constructed if someone later looks a row up by id.
+ColumnStore ToColumnStore(const std::vector<Tuple>& rows,
+                          const std::vector<AggQuery>& queries);
+
+}  // namespace scan
+}  // namespace janus
+
+#endif  // JANUS_DATA_SCAN_H_

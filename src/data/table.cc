@@ -1,46 +1,14 @@
 #include "data/table.h"
 
-#include <cassert>
-
 namespace janus {
 
-void DynamicTable::Insert(const Tuple& t) {
-  assert(index_.find(t.id) == index_.end());
-  index_[t.id] = live_.size();
-  live_.push_back(t);
-}
-
-bool DynamicTable::Delete(uint64_t id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  const size_t pos = it->second;
-  const size_t last = live_.size() - 1;
-  if (pos != last) {
-    live_[pos] = live_[last];
-    index_[live_[pos].id] = pos;
+std::vector<Tuple> DynamicTable::live() const {
+  std::vector<Tuple> rows;
+  rows.reserve(store_.size());
+  for (size_t pos = 0; pos < store_.size(); ++pos) {
+    rows.push_back(store_.RowTuple(pos));
   }
-  live_.pop_back();
-  index_.erase(it);
-  return true;
-}
-
-const Tuple* DynamicTable::Find(uint64_t id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) return nullptr;
-  return &live_[it->second];
-}
-
-std::vector<Tuple> DynamicTable::SampleUniform(Rng* rng, size_t k) const {
-  std::vector<size_t> idx = rng->SampleIndices(live_.size(), k);
-  std::vector<Tuple> out;
-  out.reserve(idx.size());
-  for (size_t i : idx) out.push_back(live_[i]);
-  return out;
-}
-
-const Tuple& DynamicTable::SampleOne(Rng* rng) const {
-  assert(!live_.empty());
-  return live_[rng->NextUint64(live_.size())];
+  return rows;
 }
 
 }  // namespace janus

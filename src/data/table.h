@@ -2,9 +2,10 @@
 #define JANUS_DATA_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
+#include "data/column_store.h"
 #include "data/schema.h"
 #include "util/rng.h"
 
@@ -15,40 +16,53 @@ namespace janus {
 /// initialization, re-optimization and catch-up (slow, offline reads are
 /// allowed; query processing must not touch it).
 ///
-/// Internally keeps the live tuples contiguous (swap-remove on delete) so
-/// that archival uniform sampling and exact ground-truth scans are cheap.
+/// Storage is columnar (ColumnStore): one contiguous array per schema column
+/// with swap-remove deletes, so archival scans run through the vectorized
+/// kernels in data/scan.h instead of materializing row tuples. Hot paths read
+/// columns zero-copy via store()/column(); live() materializes rows and is
+/// kept only for the stream boundary and tests.
 class DynamicTable {
  public:
-  explicit DynamicTable(Schema schema) : schema_(std::move(schema)) {}
+  explicit DynamicTable(Schema schema) : store_(std::move(schema)) {}
 
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const { return store_.schema(); }
 
   /// Insert a tuple. Ids must be unique among live tuples.
-  void Insert(const Tuple& t);
+  void Insert(const Tuple& t) { store_.Insert(t); }
 
   /// Delete a live tuple by id. Returns false if the id is not live.
-  bool Delete(uint64_t id);
+  bool Delete(uint64_t id) { return store_.Delete(id); }
 
-  /// Fetch a live tuple by id; nullptr if absent. The pointer is invalidated
-  /// by subsequent mutations.
-  const Tuple* Find(uint64_t id) const;
+  /// Materialize a live tuple by id; nullopt if absent.
+  std::optional<Tuple> Find(uint64_t id) const { return store_.Find(id); }
 
-  size_t size() const { return live_.size(); }
-  bool empty() const { return live_.empty(); }
+  size_t size() const { return store_.size(); }
+  bool empty() const { return store_.empty(); }
 
-  /// Live tuples, in arbitrary order (archival scan).
-  const std::vector<Tuple>& live() const { return live_; }
+  /// Zero-copy columnar view of the archive (the scan-kernel entry point).
+  const ColumnStore& store() const { return store_; }
+
+  /// Zero-copy view of one column, positionally aligned with store().ids().
+  ColumnSpan column(int col) const { return store_.column(col); }
+
+  /// Live tuples materialized into rows, in arbitrary order. O(n * width):
+  /// archival scans should use store() + data/scan.h kernels instead; this
+  /// exists for the stream boundary and test assertions.
+  std::vector<Tuple> live() const;
 
   /// Uniform random sample (without replacement) of k live tuples.
-  std::vector<Tuple> SampleUniform(Rng* rng, size_t k) const;
+  std::vector<Tuple> SampleUniform(Rng* rng, size_t k) const {
+    return store_.SampleUniform(rng, k);
+  }
 
   /// One uniform random live tuple (with replacement semantics across calls).
-  const Tuple& SampleOne(Rng* rng) const;
+  Tuple SampleOne(Rng* rng) const { return store_.SampleOne(rng); }
+
+  /// Heap footprint of the archive (columns + ids + id index).
+  size_t MemoryBytes() const { return store_.MemoryBytes(); }
 
  private:
-  Schema schema_;
-  std::vector<Tuple> live_;
-  std::unordered_map<uint64_t, size_t> index_;  // id -> position in live_
+  ColumnStore store_;
 };
 
 }  // namespace janus

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "data/scan.h"
+
 namespace janus {
 
 WorkloadGenerator::WorkloadGenerator(const std::vector<Tuple>& rows,
@@ -22,6 +24,28 @@ WorkloadGenerator::WorkloadGenerator(const std::vector<Tuple>& rows,
   }
 }
 
+WorkloadGenerator::WorkloadGenerator(const ColumnStore& store,
+                                     std::vector<int> predicate_columns,
+                                     int agg_column)
+    : predicate_columns_(std::move(predicate_columns)),
+      agg_column_(agg_column) {
+  const size_t d = predicate_columns_.size();
+  domain_lo_.assign(d, std::numeric_limits<double>::max());
+  domain_hi_.assign(d, std::numeric_limits<double>::lowest());
+  for (size_t i = 0; i < d; ++i) {
+    const ColumnSpan col = store.column(predicate_columns_[i]);
+    for (double v : col) {
+      domain_lo_[i] = std::min(domain_lo_[i], v);
+      domain_hi_[i] = std::max(domain_hi_[i], v);
+    }
+    if (col.empty() && !store.empty()) {
+      // Column outside the schema reads 0.0 everywhere.
+      domain_lo_[i] = 0.0;
+      domain_hi_[i] = 0.0;
+    }
+  }
+}
+
 Rectangle WorkloadGenerator::RandomRect(Rng* rng) const {
   const size_t d = predicate_columns_.size();
   std::vector<double> lo(d), hi(d);
@@ -37,11 +61,17 @@ Rectangle WorkloadGenerator::RandomRect(Rng* rng) const {
 
 std::vector<AggQuery> WorkloadGenerator::Generate(
     const std::vector<Tuple>& rows, const WorkloadOptions& opts) const {
+  AggQuery probe;
+  probe.agg_column = agg_column_;
+  probe.predicate_columns = predicate_columns_;
+  return Generate(scan::ToColumnStore(rows, {probe}), opts);
+}
+
+std::vector<AggQuery> WorkloadGenerator::Generate(
+    const ColumnStore& store, const WorkloadOptions& opts) const {
   Rng rng(opts.seed);
   std::vector<AggQuery> out;
   out.reserve(opts.num_queries);
-  const size_t d = predicate_columns_.size();
-  std::vector<double> point(d);
   int attempts_left = static_cast<int>(opts.num_queries) * 50;
   while (out.size() < opts.num_queries && attempts_left-- > 0) {
     AggQuery q;
@@ -49,13 +79,10 @@ std::vector<AggQuery> WorkloadGenerator::Generate(
     q.agg_column = agg_column_;
     q.predicate_columns = predicate_columns_;
     q.rect = RandomRect(&rng);
-    if (opts.min_count > 0) {
-      size_t count = 0;
-      for (const Tuple& t : rows) {
-        ProjectTuple(t, predicate_columns_, point.data());
-        if (q.rect.Contains(point.data()) && ++count >= opts.min_count) break;
-      }
-      if (count < opts.min_count) continue;
+    if (opts.min_count > 0 &&
+        scan::CountInRectAtLeast(store, predicate_columns_, q.rect,
+                                 opts.min_count) < opts.min_count) {
+      continue;
     }
     out.push_back(std::move(q));
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/column_store.h"
 #include "data/schema.h"
 #include "util/rng.h"
 
@@ -33,15 +34,25 @@ struct WorkloadOptions {
 
 /// Generates random rectangular range queries. Each per-dimension interval is
 /// obtained by sorting two uniform draws from the observed attribute domain.
+/// Rejection counts run through the vectorized CountInRectAtLeast kernel
+/// (data/scan.h) with an early exit at min_count.
 class WorkloadGenerator {
  public:
   /// Domain is estimated from `rows` (min/max of each predicate column).
   WorkloadGenerator(const std::vector<Tuple>& rows,
                     std::vector<int> predicate_columns, int agg_column);
 
+  /// Columnar variant: domain min/max come from contiguous column scans.
+  WorkloadGenerator(const ColumnStore& store,
+                    std::vector<int> predicate_columns, int agg_column);
+
   /// Generate a workload; rejection-samples queries below opts.min_count
-  /// over `rows`.
+  /// over `rows` (transposed once into a scratch ColumnStore).
   std::vector<AggQuery> Generate(const std::vector<Tuple>& rows,
+                                 const WorkloadOptions& opts) const;
+
+  /// Columnar variant: rejection counts scan the store's columns directly.
+  std::vector<AggQuery> Generate(const ColumnStore& store,
                                  const WorkloadOptions& opts) const;
 
   /// Generate a single random rectangle (no rejection).

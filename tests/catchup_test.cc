@@ -55,7 +55,7 @@ TEST_F(CatchupTest, RunToGoalFeedsDpt) {
 }
 
 TEST_F(CatchupTest, EmptySnapshotIsDone) {
-  CatchupEngine engine(dpt_.get(), {}, 1000, 4);
+  CatchupEngine engine(dpt_.get(), std::vector<Tuple>{}, 1000, 4);
   EXPECT_TRUE(engine.Done());
   EXPECT_EQ(engine.Step(10), 0u);
 }

@@ -90,7 +90,7 @@ TEST(EdgeCaseTest, NegativeAggregationValues) {
   system.Initialize();
   system.RunCatchupToGoal();
   const AggQuery q = MakeQuery(AggFunc::kSum, 0.1, 0.9);
-  const auto truth = ExactAnswer(system.table().live(), q);
+  const auto truth = ExactAnswer(system.table().store(), q);
   const QueryResult r = system.Query(q);
   ASSERT_LT(*truth, 0);
   EXPECT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.05);
@@ -108,7 +108,7 @@ TEST(EdgeCaseTest, AllKeysIdentical) {
   system.Initialize();
   system.RunCatchupToGoal();
   const auto truth =
-      ExactAnswer(system.table().live(), MakeQuery(AggFunc::kSum, 42.0, 42.0));
+      ExactAnswer(system.table().store(), MakeQuery(AggFunc::kSum, 42.0, 42.0));
   const QueryResult hit = system.Query(MakeQuery(AggFunc::kSum, 40.0, 44.0));
   const QueryResult miss = system.Query(MakeQuery(AggFunc::kSum, 0.0, 41.0));
   EXPECT_NEAR(hit.estimate, *truth, std::abs(*truth) * 0.05);
@@ -165,7 +165,7 @@ TEST(EdgeCaseTest, ZeroInflatedAggregates) {
   system.Initialize();
   system.RunCatchupToGoal();
   const AggQuery q = MakeQuery(AggFunc::kSum, 0.1, 0.7);
-  const auto truth = ExactAnswer(system.table().live(), q);
+  const auto truth = ExactAnswer(system.table().store(), q);
   const QueryResult r = system.Query(q);
   EXPECT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.15);
 }
@@ -179,7 +179,7 @@ TEST(EdgeCaseTest, RepeatedReinitializeIsStable) {
     system.Reinitialize();
     system.RunCatchupToGoal();
     const AggQuery q = MakeQuery(AggFunc::kSum, 0.2, 0.8);
-    const auto truth = ExactAnswer(system.table().live(), q);
+    const auto truth = ExactAnswer(system.table().store(), q);
     const QueryResult r = system.Query(q);
     ASSERT_LT(std::abs(r.estimate - *truth) / std::abs(*truth), 0.08)
         << "round " << i;
@@ -247,9 +247,9 @@ TEST(EdgeCaseTest, MinMaxOnNegativeAndMixedSigns) {
   system.Initialize();
   system.RunCatchupToGoal();
   const auto tmin =
-      ExactAnswer(system.table().live(), MakeQuery(AggFunc::kMin, 0.0, 1.0));
+      ExactAnswer(system.table().store(), MakeQuery(AggFunc::kMin, 0.0, 1.0));
   const auto tmax =
-      ExactAnswer(system.table().live(), MakeQuery(AggFunc::kMax, 0.0, 1.0));
+      ExactAnswer(system.table().store(), MakeQuery(AggFunc::kMax, 0.0, 1.0));
   // Sample extremes: inner approximations.
   EXPECT_GE(system.Query(MakeQuery(AggFunc::kMin, 0.0, 1.0)).estimate, *tmin);
   EXPECT_LE(system.Query(MakeQuery(AggFunc::kMax, 0.0, 1.0)).estimate, *tmax);

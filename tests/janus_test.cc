@@ -111,7 +111,7 @@ TEST(JanusTest, HeavyDeletionsTriggerReservoirResample) {
   EXPECT_GE(system.counters().reservoir_resamples, 1u);
   // Reservoir samples must all still be live tuples.
   for (const Tuple& t : system.reservoir().samples()) {
-    EXPECT_NE(system.table().Find(t.id), nullptr);
+    EXPECT_TRUE(system.table().Find(t.id).has_value());
   }
 }
 

@@ -146,7 +146,7 @@ TEST_F(MultiTemplateTest, HeavyDeletionResampleKeepsTreesConsistent) {
   // Every mirrored sample is still live.
   for (const auto& [id, t] : system_->dpt(0).sample_tuples()) {
     (void)t;
-    EXPECT_NE(system_->table().Find(id), nullptr);
+    EXPECT_TRUE(system_->table().Find(id).has_value());
   }
 }
 

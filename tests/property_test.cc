@@ -51,7 +51,7 @@ TEST_P(ReservoirChurnTest, SizeBoundsHoldUnderChurn) {
     // Every sample is live.
     if (step % 2500 == 0) {
       for (const Tuple& t : res.samples()) {
-        ASSERT_NE(table.Find(t.id), nullptr);
+        ASSERT_TRUE(table.Find(t.id).has_value());
       }
     }
   }

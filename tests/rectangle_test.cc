@@ -1,0 +1,172 @@
+// Rectangle edge-case coverage: closed-interval boundaries (lo == hi),
+// Infinite() containment, and degenerate Covers/Intersects on touching
+// edges — plus matching checks that the vectorized CountInRect kernel agrees
+// with a naive row loop on exactly these cases.
+
+#include "data/schema.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/column_store.h"
+#include "data/scan.h"
+
+namespace janus {
+namespace {
+
+TEST(RectangleTest, ClosedIntervalIncludesBothEndpoints) {
+  const Rectangle r({1.0, -2.0}, {3.0, 2.0});
+  const double on_lo[] = {1.0, -2.0};
+  const double on_hi[] = {3.0, 2.0};
+  const double inside[] = {2.0, 0.0};
+  const double below[] = {1.0 - 1e-12, 0.0};
+  const double above[] = {3.0 + 1e-12, 0.0};
+  EXPECT_TRUE(r.Contains(on_lo));
+  EXPECT_TRUE(r.Contains(on_hi));
+  EXPECT_TRUE(r.Contains(inside));
+  EXPECT_FALSE(r.Contains(below));
+  EXPECT_FALSE(r.Contains(above));
+}
+
+TEST(RectangleTest, DegeneratePointRectangle) {
+  // lo == hi: the closed interval [x, x] contains exactly x.
+  const Rectangle point({5.0}, {5.0});
+  const double exact[] = {5.0};
+  const double off[] = {5.0 + 1e-12};
+  EXPECT_TRUE(point.Contains(exact));
+  EXPECT_FALSE(point.Contains(off));
+  // A point rectangle covers itself and intersects itself.
+  EXPECT_TRUE(point.Covers(point));
+  EXPECT_TRUE(point.Intersects(point));
+}
+
+TEST(RectangleTest, InfiniteContainsEverything) {
+  const Rectangle inf = Rectangle::Infinite(2);
+  const double big = std::numeric_limits<double>::max();
+  const double points[][2] = {{0, 0}, {-big, big}, {big, -big}};
+  for (const auto& p : points) EXPECT_TRUE(inf.Contains(p));
+  const double at_inf[] = {std::numeric_limits<double>::infinity(), 0};
+  EXPECT_TRUE(inf.Contains(at_inf));
+  // Infinite covers any finite rectangle; any finite rectangle never covers
+  // Infinite.
+  const Rectangle finite({-1, -1}, {1, 1});
+  EXPECT_TRUE(inf.Covers(finite));
+  EXPECT_FALSE(finite.Covers(inf));
+  EXPECT_TRUE(inf.Intersects(finite));
+  EXPECT_TRUE(finite.Intersects(inf));
+  EXPECT_TRUE(inf.Covers(inf));
+}
+
+TEST(RectangleTest, TouchingEdgesIntersectButDoNotCover) {
+  // [0,1] and [1,2] share exactly the boundary point 1 (closed intervals).
+  const Rectangle left({0.0}, {1.0});
+  const Rectangle right({1.0}, {2.0});
+  EXPECT_TRUE(left.Intersects(right));
+  EXPECT_TRUE(right.Intersects(left));
+  EXPECT_FALSE(left.Covers(right));
+  EXPECT_FALSE(right.Covers(left));
+  // Separated by any gap: no intersection.
+  const Rectangle gapped({1.0 + 1e-12}, {2.0});
+  EXPECT_FALSE(left.Intersects(gapped));
+}
+
+TEST(RectangleTest, CoversIsInclusiveOnSharedEdges) {
+  const Rectangle outer({0.0, 0.0}, {2.0, 2.0});
+  const Rectangle flush({0.0, 1.0}, {2.0, 2.0});  // shares three edges
+  EXPECT_TRUE(outer.Covers(flush));
+  EXPECT_TRUE(outer.Covers(outer));
+  const Rectangle spill({0.0, 1.0}, {2.0 + 1e-12, 2.0});
+  EXPECT_FALSE(outer.Covers(spill));
+}
+
+TEST(RectangleTest, DegenerateSliceCoversAndIntersects) {
+  // A zero-width slice inside a box: covered by the box, intersects a
+  // rectangle that only touches it.
+  const Rectangle box({0.0, 0.0}, {4.0, 4.0});
+  const Rectangle slice({2.0, 0.0}, {2.0, 4.0});
+  EXPECT_TRUE(box.Covers(slice));
+  EXPECT_TRUE(slice.Intersects(box));
+  const Rectangle touching({2.0, 4.0}, {3.0, 5.0});
+  EXPECT_TRUE(slice.Intersects(touching));
+}
+
+// ---------------------------------------------------------------------------
+// The columnar kernel must agree with a naive row loop on the same edge
+// cases: boundary equality, degenerate rectangles, infinite rectangles.
+// ---------------------------------------------------------------------------
+
+size_t NaiveCount(const std::vector<Tuple>& rows,
+                  const std::vector<int>& cols, const Rectangle& rect) {
+  size_t count = 0;
+  std::vector<double> point(cols.size());
+  for (const Tuple& t : rows) {
+    ProjectTuple(t, cols, point.data());
+    if (rect.Contains(point.data())) ++count;
+  }
+  return count;
+}
+
+class CountKernelEdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<ColumnStore>(Schema{{"x", "y"}});
+    // A grid of integer points, including repeated boundary values.
+    uint64_t id = 0;
+    for (int x = 0; x <= 4; ++x) {
+      for (int y = 0; y <= 4; ++y) {
+        Tuple t;
+        t.id = id++;
+        t[0] = static_cast<double>(x);
+        t[1] = static_cast<double>(y);
+        store_->Insert(t);
+        rows_.push_back(t);
+      }
+    }
+  }
+
+  void ExpectAgreement(const std::vector<int>& cols, const Rectangle& rect) {
+    EXPECT_EQ(scan::CountInRect(*store_, cols, rect),
+              NaiveCount(rows_, cols, rect))
+        << rect.ToString();
+  }
+
+  std::unique_ptr<ColumnStore> store_;
+  std::vector<Tuple> rows_;
+};
+
+TEST_F(CountKernelEdgeCaseTest, ClosedBoundaries) {
+  ExpectAgreement({0}, Rectangle({0.0}, {4.0}));      // everything
+  ExpectAgreement({0}, Rectangle({0.0}, {0.0}));      // lo == hi at the edge
+  ExpectAgreement({0}, Rectangle({2.0}, {2.0}));      // lo == hi inside
+  ExpectAgreement({0}, Rectangle({4.0}, {4.0}));      // lo == hi at max
+  ExpectAgreement({0}, Rectangle({2.0}, {1.0}));      // inverted: empty
+  ExpectAgreement({0, 1}, Rectangle({1.0, 1.0}, {1.0, 3.0}));  // slice
+  ExpectAgreement({0, 1}, Rectangle({4.0, 4.0}, {9.0, 9.0}));  // corner touch
+}
+
+TEST_F(CountKernelEdgeCaseTest, InfiniteRectangles) {
+  ExpectAgreement({0}, Rectangle::Infinite(1));
+  ExpectAgreement({0, 1}, Rectangle::Infinite(2));
+  ExpectAgreement({1, 0}, Rectangle::Infinite(2));  // column order permuted
+}
+
+TEST_F(CountKernelEdgeCaseTest, AggregatesOnDegenerateRects) {
+  // AggregateInRect agrees with the kernel count on a lo==hi slice, and the
+  // SUM over an inverted (empty) rect is undefined, exactly as the row path.
+  AggQuery q;
+  q.func = AggFunc::kCount;
+  q.agg_column = 1;
+  q.predicate_columns = {0};
+  q.rect = Rectangle({3.0}, {3.0});
+  const auto count = scan::ExactAnswer(*store_, q);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_DOUBLE_EQ(*count, static_cast<double>(NaiveCount(rows_, {0}, q.rect)));
+  q.rect = Rectangle({3.0}, {2.0});
+  q.func = AggFunc::kSum;
+  EXPECT_FALSE(scan::ExactAnswer(*store_, q).has_value());
+}
+
+}  // namespace
+}  // namespace janus

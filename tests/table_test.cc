@@ -1,5 +1,6 @@
 #include "data/table.h"
 
+#include <optional>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -19,11 +20,11 @@ TEST(DynamicTableTest, InsertFindDelete) {
   table.Insert(MakeTuple(1, 10));
   table.Insert(MakeTuple(2, 20));
   ASSERT_EQ(table.size(), 2u);
-  const Tuple* t = table.Find(1);
-  ASSERT_NE(t, nullptr);
+  const std::optional<Tuple> t = table.Find(1);
+  ASSERT_TRUE(t.has_value());
   EXPECT_DOUBLE_EQ((*t)[0], 10);
   EXPECT_TRUE(table.Delete(1));
-  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_FALSE(table.Find(1).has_value());
   EXPECT_EQ(table.size(), 1u);
 }
 
@@ -41,15 +42,45 @@ TEST(DynamicTableTest, SwapRemoveKeepsIndexConsistent) {
   // Delete from the middle repeatedly; every remaining id must stay findable.
   for (uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(table.Delete(i * 2));
   for (uint64_t i = 0; i < 100; ++i) {
-    const Tuple* t = table.Find(i);
+    const std::optional<Tuple> t = table.Find(i);
     if (i % 2 == 0) {
-      EXPECT_EQ(t, nullptr);
+      EXPECT_FALSE(t.has_value());
     } else {
-      ASSERT_NE(t, nullptr);
+      ASSERT_TRUE(t.has_value());
       EXPECT_EQ(t->id, i);
       EXPECT_DOUBLE_EQ((*t)[0], static_cast<double>(i));
     }
   }
+}
+
+TEST(DynamicTableTest, SchemaSizesColumnWidth) {
+  DynamicTable narrow(Schema{{"x", "y"}});
+  EXPECT_EQ(narrow.store().num_columns(), 2);
+  DynamicTable fallback(Schema{});
+  EXPECT_EQ(fallback.store().num_columns(), kMaxColumns);
+}
+
+TEST(DynamicTableTest, ColumnSpanIsPositionallyAligned) {
+  DynamicTable table(Schema{{"x", "y"}});
+  for (uint64_t i = 0; i < 10; ++i) {
+    Tuple t;
+    t.id = i;
+    t[0] = static_cast<double>(i);
+    t[1] = static_cast<double>(i) * 2;
+    table.Insert(t);
+  }
+  table.Delete(4);  // swap-remove moves the last row into position 4
+  const ColumnSpan x = table.column(0);
+  const ColumnSpan y = table.column(1);
+  ASSERT_EQ(x.size, table.size());
+  ASSERT_EQ(y.size, table.size());
+  for (size_t pos = 0; pos < table.size(); ++pos) {
+    const uint64_t id = table.store().id_at(pos);
+    EXPECT_DOUBLE_EQ(x[pos], static_cast<double>(id));
+    EXPECT_DOUBLE_EQ(y[pos], static_cast<double>(id) * 2);
+  }
+  // Columns outside the schema yield an empty span.
+  EXPECT_EQ(table.column(5).data, nullptr);
 }
 
 TEST(DynamicTableTest, SampleUniformSizeAndMembership) {
@@ -60,7 +91,7 @@ TEST(DynamicTableTest, SampleUniformSizeAndMembership) {
   ASSERT_EQ(sample.size(), 100u);
   std::set<uint64_t> ids;
   for (const Tuple& t : sample) {
-    EXPECT_NE(table.Find(t.id), nullptr);
+    EXPECT_TRUE(table.Find(t.id).has_value());
     ids.insert(t.id);
   }
   EXPECT_EQ(ids.size(), 100u);  // without replacement
@@ -78,7 +109,7 @@ TEST(DynamicTableTest, SampleOneIsLive) {
   for (uint64_t i = 0; i < 10; ++i) table.Insert(MakeTuple(i, 0));
   Rng rng(9);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_NE(table.Find(table.SampleOne(&rng).id), nullptr);
+    EXPECT_TRUE(table.Find(table.SampleOne(&rng).id).has_value());
   }
 }
 
