@@ -1,0 +1,192 @@
+// Snapshot persistence throughput: how fast an engine's complete state goes
+// to disk and comes back, and how fast a recovered engine replays a broker
+// stream tail. Emits one JSON line per metric so CI can track regressions:
+//   {"bench":"persist","metric":"save",...,"rows_per_sec":...,"bytes":...}
+//   {"bench":"persist","metric":"load",...}
+//   {"bench":"persist","metric":"load_replay",...,"replayed":...}
+//
+// The binary doubles as the CI recovery smoke: "mode=save" builds an engine,
+// snapshots it and prints a fixed workload's answers; "mode=load" (a fresh
+// process — the "kill" between the two invocations) restores the snapshot
+// and prints the same workload's answers. Identical output == recovery
+// verified across a real process boundary.
+//
+// Usage:
+//   bench_persist rows=1000000 engine=janus replay=100000
+//   bench_persist mode=save path=snap.bin rows=50000   > answers_a.txt
+//   bench_persist mode=load path=snap.bin rows=50000   > answers_b.txt
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "api/driver.h"
+#include "bench/common.h"
+#include "persist/snapshot.h"
+#include "stream/broker.h"
+#include "util/timer.h"
+
+namespace janus {
+namespace {
+
+size_t FileBytes(const std::string& path) {
+  struct stat st{};
+  return stat(path.c_str(), &st) == 0 ? static_cast<size_t>(st.st_size) : 0;
+}
+
+EngineConfig ConfigFrom(const ArgMap& args, const GeneratedDataset& ds) {
+  EngineConfig cfg = EngineConfig::FromArgs(args);
+  cfg.schema = ds.schema;
+  cfg.agg_column = 1;
+  cfg.predicate_columns = {0};
+  cfg.enable_triggers = false;
+  return cfg;
+}
+
+std::vector<AggQuery> FixedWorkload() {
+  std::vector<AggQuery> out;
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg}) {
+    for (int i = 0; i < 8; ++i) {
+      AggQuery q;
+      q.func = f;
+      q.agg_column = 1;
+      q.predicate_columns = {0};
+      q.rect = Rectangle({0.09 * i}, {0.09 * i + 0.25});
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+void PrintAnswers(AqpEngine* engine) {
+  const auto queries = FixedWorkload();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult r = engine->Query(queries[i]);
+    // %.17g round-trips doubles exactly: byte-identical lines across the
+    // save and load processes mean bit-identical recovery.
+    std::printf(
+        "{\"bench\":\"persist\",\"metric\":\"answer\",\"i\":%zu,"
+        "\"estimate\":\"%.17g\",\"ci\":\"%.17g\"}\n",
+        i, r.estimate, r.ci_half_width);
+  }
+}
+
+int RunSmoke(const ArgMap& args, const std::string& mode) {
+  const size_t rows = args.GetSize("rows", 50000);
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const std::string path = args.GetString("path", "bench_persist.snap");
+  auto ds = GenerateUniform(rows, 1, seed);
+  const EngineConfig cfg = ConfigFrom(args, ds);
+  auto engine = EngineRegistry::Create(cfg.engine, cfg);
+  if (mode == "save") {
+    engine->LoadInitial(ds.rows);
+    engine->Initialize();
+    engine->RunCatchupToGoal();
+    engine->Save(path);
+  } else {
+    try {
+      engine->Load(path);
+    } catch (const persist::PersistError& e) {
+      std::printf("{\"bench\":\"persist\",\"error\":\"%s\"}\n", e.what());
+      return 1;
+    }
+  }
+  PrintAnswers(engine.get());
+  return 0;
+}
+
+void RunBench(const ArgMap& args) {
+  const size_t rows = args.GetSize("rows", 1000000);
+  const size_t replay = args.GetSize("replay", 100000);
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const std::string path = args.GetString("path", "bench_persist.snap");
+
+  auto ds = GenerateUniform(rows, 1, seed);
+  const EngineConfig cfg = ConfigFrom(args, ds);
+  auto engine = EngineRegistry::Create(cfg.engine, cfg);
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  // The replay tail lives in the broker up front so the stream cost is not
+  // billed to the recovery path.
+  Broker broker;
+  broker.insert_topic()->set_poll_overhead_ns(0);
+  {
+    Rng rng(seed + 1);
+    std::vector<Tuple> fresh;
+    fresh.reserve(replay);
+    for (size_t i = 0; i < replay; ++i) {
+      Tuple t;
+      t.id = 10000000 + i;
+      t[0] = rng.NextDouble();
+      t[1] = rng.Normal(10, 2);
+      fresh.push_back(t);
+    }
+    broker.insert_topic()->AppendBatch(fresh);
+  }
+  EngineDriver driver(engine.get(), &broker);
+
+  // Snapshot write throughput (engine state at `rows` archived tuples).
+  Timer timer;
+  driver.SaveSnapshot(path);
+  const double save_s = timer.ElapsedSeconds();
+  const size_t bytes = FileBytes(path);
+  std::printf(
+      "{\"bench\":\"persist\",\"metric\":\"save\",\"engine\":\"%s\","
+      "\"rows\":%zu,\"bytes\":%zu,\"seconds\":%.4f,\"rows_per_sec\":%.0f,"
+      "\"mb_per_sec\":%.1f}\n",
+      cfg.engine.c_str(), rows, bytes, save_s,
+      static_cast<double>(rows) / save_s,
+      static_cast<double>(bytes) / 1e6 / save_s);
+
+  // Cold load throughput.
+  auto restored = EngineRegistry::Create(cfg.engine, cfg);
+  EngineDriver rdriver(restored.get(), &broker);
+  timer.Reset();
+  rdriver.LoadSnapshot(path);
+  const double load_s = timer.ElapsedSeconds();
+  std::printf(
+      "{\"bench\":\"persist\",\"metric\":\"load\",\"engine\":\"%s\","
+      "\"rows\":%zu,\"bytes\":%zu,\"seconds\":%.4f,\"rows_per_sec\":%.0f,"
+      "\"mb_per_sec\":%.1f}\n",
+      cfg.engine.c_str(), rows, bytes, load_s,
+      static_cast<double>(rows) / load_s,
+      static_cast<double>(bytes) / 1e6 / load_s);
+
+  // Load + replay: the full recovery path back to stream head.
+  timer.Reset();
+  const size_t replayed = rdriver.Drain();
+  const double replay_s = timer.ElapsedSeconds();
+  std::printf(
+      "{\"bench\":\"persist\",\"metric\":\"load_replay\",\"engine\":\"%s\","
+      "\"rows\":%zu,\"replayed\":%zu,\"seconds\":%.4f,"
+      "\"replay_rows_per_sec\":%.0f,\"recovery_seconds\":%.4f}\n",
+      cfg.engine.c_str(), rows, replayed, replay_s,
+      replay_s > 0 ? static_cast<double>(replayed) / replay_s : 0.0,
+      load_s + replay_s);
+
+  // Sanity: the recovered-and-caught-up engine sees the whole stream.
+  driver.Drain();
+  const EngineStats sa = engine->Stats();
+  const EngineStats sb = restored->Stats();
+  if (sa.rows != sb.rows) {
+    std::printf(
+        "{\"bench\":\"persist\",\"error\":\"recovered rows %zu != %zu\"}\n",
+        sb.rows, sa.rows);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  const janus::ArgMap args(argc, argv);
+  const std::string mode = args.GetString("mode", "bench");
+  if (mode == "save" || mode == "load") {
+    return janus::RunSmoke(args, mode);
+  }
+  janus::RunBench(args);
+  return 0;
+}

@@ -47,7 +47,7 @@ class ArgMap {
 /// CLI keys (via FromArgs): engine, agg, pred, tracked, columns, leaves,
 /// sample_rate (alias alpha), catchup_rate (alias catchup), confidence,
 /// focus, algorithm, triggers, beta, check_interval, starvation, psi,
-/// strata, train_fraction, shards, seed.
+/// strata, train_fraction, shards, snapshot_path, snapshot_every, seed.
 struct EngineConfig {
   /// Registry name: "janus", "multi", "rs", "srs", "spn", "spt", or a
   /// composed "sharded:<inner>" key.
@@ -92,6 +92,14 @@ struct EngineConfig {
   /// Number of hash shards, each with its own inner engine and maintenance
   /// thread. Ignored by non-sharded engines.
   int num_shards = 4;
+
+  // --- snapshot persistence -------------------------------------------------
+  /// Where EngineDriver writes periodic snapshots (AqpEngine::Save format);
+  /// empty disables automatic snapshotting.
+  std::string snapshot_path;
+  /// Data records (inserts + deletes) consumed between automatic snapshots;
+  /// 0 disables. Requires snapshot_path.
+  uint64_t snapshot_every = 0;
 
   uint64_t seed = 42;
 

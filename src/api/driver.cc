@@ -29,6 +29,15 @@ size_t EngineDriver::PumpOnce() {
 
   if (opts_.catchup_step > 0) engine_->StepCatchup(opts_.catchup_step);
 
+  // Periodic snapshots: count data records only (queries carry no state).
+  if (opts_.snapshot_every > 0 && !opts_.snapshot_path.empty()) {
+    records_since_snapshot_ += ins + del;
+    if (records_since_snapshot_ >= opts_.snapshot_every) {
+      SaveSnapshot(opts_.snapshot_path);
+      records_since_snapshot_ = 0;
+    }
+  }
+
   std::vector<AggQuery> queries;
   const size_t qs = broker_->query_topic()->Poll(query_offset_,
                                                  opts_.poll_batch, &queries);
@@ -48,6 +57,22 @@ size_t EngineDriver::Drain() {
     total += n;
   }
   return total;
+}
+
+void EngineDriver::SaveSnapshot(const std::string& path) const {
+  SnapshotMeta meta;
+  meta.insert_offset = insert_offset_;
+  meta.delete_offset = delete_offset_;
+  meta.query_offset = query_offset_;
+  engine_->Save(path, meta);
+}
+
+void EngineDriver::LoadSnapshot(const std::string& path) {
+  const SnapshotMeta meta = engine_->Load(path);
+  insert_offset_ = meta.insert_offset;
+  delete_offset_ = meta.delete_offset;
+  query_offset_ = meta.query_offset;
+  records_since_snapshot_ = 0;
 }
 
 }  // namespace janus

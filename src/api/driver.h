@@ -2,8 +2,10 @@
 #define JANUS_API_DRIVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "api/config.h"
 #include "api/engine.h"
 #include "stream/broker.h"
 
@@ -14,6 +16,19 @@ struct EngineDriverOptions {
   size_t poll_batch = 4096;
   /// Catch-up samples absorbed after each pump round (0 disables).
   size_t catchup_step = 0;
+  /// Automatic snapshotting: after every `snapshot_every` data records
+  /// (inserts + deletes) the driver writes the engine plus its consumer
+  /// offsets to `snapshot_path`. 0 / empty disables.
+  std::string snapshot_path;
+  uint64_t snapshot_every = 0;
+
+  /// Pull the snapshot knobs out of an EngineConfig.
+  static EngineDriverOptions FromConfig(const EngineConfig& cfg) {
+    EngineDriverOptions o;
+    o.snapshot_path = cfg.snapshot_path;
+    o.snapshot_every = cfg.snapshot_every;
+    return o;
+  }
 };
 
 struct EngineDriverStats {
@@ -45,6 +60,25 @@ class EngineDriver {
   /// Answers to the consumed query requests, in query-topic order.
   const std::vector<QueryResult>& results() const { return results_; }
 
+  // --- snapshot persistence & crash recovery --------------------------------
+
+  uint64_t insert_offset() const { return insert_offset_; }
+  uint64_t delete_offset() const { return delete_offset_; }
+  uint64_t query_offset() const { return query_offset_; }
+
+  /// Write the engine's state plus this driver's consumer offsets to `path`
+  /// (AqpEngine::Save with the offsets as recovery metadata). Call between
+  /// pump rounds — the driver applies updates synchronously, so the snapshot
+  /// is an exact cut of the consumed stream prefix.
+  void SaveSnapshot(const std::string& path) const;
+
+  /// Restore engine state and consumer offsets from a snapshot. The next
+  /// PumpOnce()/Drain() replays the stream tail past the recorded offsets;
+  /// because engine state round-trips bit-exactly, the recovered run is
+  /// indistinguishable from one that never stopped. Throws
+  /// persist::PersistError on corrupt or mismatched snapshots.
+  void LoadSnapshot(const std::string& path);
+
  private:
   AqpEngine* engine_;
   Broker* broker_;
@@ -52,6 +86,7 @@ class EngineDriver {
   uint64_t insert_offset_ = 0;
   uint64_t delete_offset_ = 0;
   uint64_t query_offset_ = 0;
+  uint64_t records_since_snapshot_ = 0;
   EngineDriverStats stats_;
   std::vector<QueryResult> results_;
 };

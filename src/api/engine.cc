@@ -29,4 +29,48 @@ std::vector<QueryResult> AqpEngine::QueryBatch(
   return out;
 }
 
+void AqpEngine::SaveState(persist::Writer* w) const {
+  (void)w;
+  throw persist::PersistError(std::string("engine '") + name() +
+                              "' does not implement snapshot persistence");
+}
+
+void AqpEngine::LoadState(persist::Reader* r) {
+  (void)r;
+  throw persist::PersistError(std::string("engine '") + name() +
+                              "' does not implement snapshot persistence");
+}
+
+void AqpEngine::Save(const std::string& path, const SnapshotMeta& meta) const {
+  persist::Writer payload;
+  SnapshotMeta stamped = meta;
+  stamped.engine = name();
+  persist::WriteMeta(stamped, &payload);
+  SaveState(&payload);
+  persist::WriteSnapshotFile(path, payload);
+}
+
+SnapshotMeta AqpEngine::Load(const std::string& path) {
+  // File-level verification (magic, version, size, checksum) happens fully
+  // before any engine state is touched, so file corruption never mutates a
+  // live engine. State-level mismatches inside LoadState (wrong config for
+  // this snapshot) throw after mutation has begun — discard the engine and
+  // recreate it in that case.
+  const persist::SnapshotFile file = persist::ReadSnapshotFile(path);
+  persist::Reader r(file.payload(), file.payload_size());
+  const SnapshotMeta meta = persist::ReadMeta(&r);
+  if (meta.engine != name()) {
+    throw persist::PersistError("snapshot mismatch: file " + path +
+                                " was written by engine '" + meta.engine +
+                                "', this engine is '" + name() + "'");
+  }
+  LoadState(&r);
+  if (!r.AtEnd()) {
+    throw persist::PersistError("snapshot corrupt: " +
+                                std::to_string(r.remaining()) +
+                                " trailing bytes after engine state");
+  }
+  return meta;
+}
+
 }  // namespace janus

@@ -8,6 +8,7 @@
 #include "core/dpt.h"
 #include "data/table.h"
 #include "data/workload.h"
+#include "persist/snapshot.h"
 
 namespace janus {
 
@@ -121,6 +122,44 @@ class AqpEngine {
   /// The primary partition-tree synopsis, for experiment introspection
   /// (leaf rectangles, tree shape); nullptr for engines without one.
   virtual const Dpt* synopsis() const { return nullptr; }
+
+  // --- snapshot persistence & crash recovery --------------------------------
+  //
+  // Every built-in backend (sharded compositions included) captures its
+  // *complete* operational state: a restored engine answers queries
+  // bit-identically to the saved one, and — because samplers, RNGs and index
+  // structures round-trip exactly — processing the same update stream after
+  // restore reproduces the uninterrupted run exactly. Recovery therefore
+  // composes with the broker: snapshot + replayed stream tail == never
+  // crashed (see EngineDriver::SaveSnapshot/LoadSnapshot).
+  //
+  // Concurrency: Save/SaveState read unsynchronized engine state — quiesce
+  // updates first, exactly like Query(). The "sharded:*" engines are again
+  // the exception: their SaveState/LoadState quiesce each shard internally,
+  // so a snapshot taken under concurrent ingest is a consistent per-shard
+  // cut of everything enqueued before the call.
+
+  /// Serialize complete engine state into `w`. Engines registered at
+  /// runtime without an override reject with persist::PersistError.
+  virtual void SaveState(persist::Writer* w) const;
+
+  /// Restore state from `r` into an engine constructed with the *same*
+  /// EngineConfig (configuration is not part of the snapshot). Throws
+  /// persist::PersistError on corrupt or mismatched payloads.
+  virtual void LoadState(persist::Reader* r);
+
+  /// Write a versioned, checksummed snapshot file (magic + format version +
+  /// FNV-1a checksum; see persist/snapshot.h). `meta.engine` is stamped with
+  /// name() automatically; the broker offsets are the caller's. Throws
+  /// persist::PersistError on failure; on success the file is complete (the
+  /// write is staged through a temp file and renamed).
+  void Save(const std::string& path, const SnapshotMeta& meta = {}) const;
+
+  /// Verify and load a snapshot file written by an engine of the same
+  /// registry name; returns the recovery metadata (broker offsets at save
+  /// time). Throws persist::PersistError on bad magic / version / checksum /
+  /// truncation / engine mismatch — never crashes on corrupt input.
+  SnapshotMeta Load(const std::string& path);
 };
 
 }  // namespace janus

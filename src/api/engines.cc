@@ -15,6 +15,7 @@
 #include "core/janus.h"
 #include "core/multi.h"
 #include "core/spt.h"
+#include "persist/serde.h"
 #include "util/thread_pool.h"
 
 namespace janus {
@@ -98,6 +99,12 @@ class JanusEngine : public AqpEngine {
   const DynamicTable* table() const override { return &impl_.table(); }
   const Dpt* synopsis() const override {
     return initialized_ ? &impl_.dpt() : nullptr;
+  }
+
+  void SaveState(persist::Writer* w) const override { impl_.SaveTo(w); }
+  void LoadState(persist::Reader* r) override {
+    impl_.LoadFrom(r);
+    initialized_ = impl_.initialized();
   }
 
  private:
@@ -191,6 +198,21 @@ class MultiEngine : public AqpEngine {
     return initialized_ && impl_.num_templates() > 0 ? &impl_.dpt(0) : nullptr;
   }
 
+  void SaveState(persist::Writer* w) const override {
+    std::shared_lock<std::shared_mutex> lock(template_mu_);
+    w->Bool(initialized_);
+    w->U64(inserts_);
+    w->U64(deletes_);
+    impl_.SaveTo(w);
+  }
+  void LoadState(persist::Reader* r) override {
+    std::unique_lock<std::shared_mutex> lock(template_mu_);
+    initialized_ = r->Bool();
+    inserts_ = r->U64();
+    deletes_ = r->U64();
+    impl_.LoadFrom(r);
+  }
+
  private:
   mutable MultiTemplateJanus impl_;
   mutable std::shared_mutex template_mu_;
@@ -241,6 +263,17 @@ class RsEngine : public AqpEngine {
     return s;
   }
   const DynamicTable* table() const override { return &impl_->table(); }
+
+  void SaveState(persist::Writer* w) const override {
+    w->U64(inserts_);
+    w->U64(deletes_);
+    impl_->SaveTo(w);
+  }
+  void LoadState(persist::Reader* r) override {
+    inserts_ = r->U64();
+    deletes_ = r->U64();
+    impl_->LoadFrom(r);
+  }
 
  private:
   std::unique_ptr<ReservoirBaseline> impl_;
@@ -294,6 +327,17 @@ class SrsEngine : public AqpEngine {
   }
   const DynamicTable* table() const override { return &impl_->table(); }
 
+  void SaveState(persist::Writer* w) const override {
+    w->U64(inserts_);
+    w->U64(deletes_);
+    impl_->SaveTo(w);
+  }
+  void LoadState(persist::Reader* r) override {
+    inserts_ = r->U64();
+    deletes_ = r->U64();
+    impl_->LoadFrom(r);
+  }
+
  private:
   std::unique_ptr<StratifiedReservoirBaseline> impl_;
   uint64_t inserts_ = 0;
@@ -343,6 +387,31 @@ class SpnEngine : public AqpEngine {
     return s;
   }
   const DynamicTable* table() const override { return &table_; }
+
+  void SaveState(persist::Writer* w) const override {
+    table_.SaveTo(w);
+    rng_.SaveTo(w);
+    w->Size(last_train_size_);
+    w->U64(inserts_);
+    w->U64(deletes_);
+    w->Bool(spn_ != nullptr);
+    if (spn_) spn_->SaveTo(w);
+  }
+  void LoadState(persist::Reader* r) override {
+    table_.LoadFrom(r);
+    rng_.LoadFrom(r);
+    last_train_size_ = r->Size();
+    inserts_ = r->U64();
+    deletes_ = r->U64();
+    if (r->Bool()) {
+      SpnOptions o;
+      o.confidence = cfg_.confidence;
+      spn_ = std::make_unique<Spn>(o, std::vector<int>{});
+      spn_->LoadFrom(r);
+    } else {
+      spn_.reset();
+    }
+  }
 
  private:
   std::vector<int> ModelColumns() const {
@@ -426,8 +495,42 @@ class SptEngine : public AqpEngine {
   const DynamicTable* table() const override { return &table_; }
   const Dpt* synopsis() const override { return dpt_.get(); }
 
+  void SaveState(persist::Writer* w) const override {
+    table_.SaveTo(w);
+    w->U64(inserts_);
+    w->U64(deletes_);
+    w->F64(build_.partition_seconds);
+    w->F64(build_.total_seconds);
+    w->F64(build_.achieved_error);
+    w->Bool(dpt_ != nullptr);
+    if (dpt_) dpt_->SaveTo(w);
+  }
+  void LoadState(persist::Reader* r) override {
+    table_.LoadFrom(r);
+    inserts_ = r->U64();
+    deletes_ = r->U64();
+    build_.synopsis.reset();
+    build_.partition_seconds = r->F64();
+    build_.total_seconds = r->F64();
+    build_.achieved_error = r->F64();
+    if (r->Bool()) {
+      // The same DptOptions mapping BuildSpt applies to SptOptions.
+      const SptOptions o = MakeOpts();
+      DptOptions dopts;
+      dopts.spec = o.spec;
+      dopts.sample_rate = o.sample_rate;
+      dopts.minmax_k = o.minmax_k;
+      dopts.confidence = o.confidence;
+      dopts.delta = o.delta;
+      dpt_ = std::make_unique<Dpt>(dopts, PartitionTreeSpec{});
+      dpt_->LoadFrom(r);
+    } else {
+      dpt_.reset();
+    }
+  }
+
  private:
-  void Rebuild() {
+  SptOptions MakeOpts() const {
     SptOptions o;
     o.spec.agg_column = cfg_.agg_column;
     o.spec.predicate_columns = cfg_.predicate_columns;
@@ -437,7 +540,11 @@ class SptEngine : public AqpEngine {
     o.algorithm = cfg_.algorithm;
     o.confidence = cfg_.confidence;
     o.seed = cfg_.seed;
-    build_ = BuildSpt(table_.store(), o);
+    return o;
+  }
+
+  void Rebuild() {
+    build_ = BuildSpt(table_.store(), MakeOpts());
     dpt_ = std::move(build_.synopsis);
   }
 

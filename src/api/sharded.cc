@@ -372,6 +372,32 @@ EngineStats ShardedEngine::Stats() const {
   return total;
 }
 
+void ShardedEngine::SaveState(persist::Writer* w) const {
+  w->U32(static_cast<uint32_t>(shards_.size()));
+  // Serially, one shard at a time: the writer is a single buffer, and each
+  // shard's quiesce + writer lock gives a consistent per-shard cut.
+  for (const auto& shard : shards_) {
+    shard->Quiesce();
+    std::unique_lock<std::shared_mutex> lock(shard->engine_mu);
+    shard->engine->SaveState(w);
+  }
+}
+
+void ShardedEngine::LoadState(persist::Reader* r) {
+  const uint32_t count = r->U32();
+  if (count != shards_.size()) {
+    throw persist::PersistError(
+        "snapshot mismatch: file holds " + std::to_string(count) +
+        " shards, engine was created with shards=" +
+        std::to_string(shards_.size()));
+  }
+  for (const auto& shard : shards_) {
+    shard->Quiesce();
+    std::unique_lock<std::shared_mutex> lock(shard->engine_mu);
+    shard->engine->LoadState(r);
+  }
+}
+
 void RegisterShardedEngines(EngineRegistry* registry) {
   for (const std::string& base : registry->Names()) {
     if (base.rfind("sharded:", 0) == 0) continue;

@@ -77,6 +77,16 @@ class ShardedEngine : public AqpEngine {
   void Reinitialize() override;
   EngineStats Stats() const override;
 
+  /// Snapshot persistence: each shard is captured at its quiesce point under
+  /// its writer lock (every update enqueued before the call is applied
+  /// first), then serialized in shard order. With a single producer —
+  /// EngineDriver replaying a broker stream — the snapshot is an exact cut
+  /// of the consumed prefix; with concurrent producers it is a consistent
+  /// per-shard cut. LoadState requires the engine to have been created with
+  /// the same shard count and inner backend.
+  void SaveState(persist::Writer* w) const override;
+  void LoadState(persist::Reader* r) override;
+
   size_t num_shards() const { return shards_.size(); }
   /// Inner engine of one shard (test introspection; not quiesced).
   const AqpEngine& shard_engine(size_t shard) const;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/variance.h"
+#include "persist/serde.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -89,6 +90,24 @@ QueryResult ReservoirBaseline::Query(const AggQuery& q) const {
   }
   r.ci_half_width = NormalZ(opts_.confidence) * std::sqrt(r.variance_sample);
   return r;
+}
+
+void ReservoirBaseline::SaveTo(persist::Writer* w) const {
+  table_.SaveTo(w);
+  rng_.SaveTo(w);
+  w->Bool(reservoir_ != nullptr);
+  if (reservoir_) reservoir_->SaveTo(w);
+}
+
+void ReservoirBaseline::LoadFrom(persist::Reader* r) {
+  table_.LoadFrom(r);
+  rng_.LoadFrom(r);
+  if (r->Bool()) {
+    reservoir_ = std::make_unique<DynamicReservoir>(2, 0);
+    reservoir_->LoadFrom(r);
+  } else {
+    reservoir_.reset();
+  }
 }
 
 }  // namespace janus

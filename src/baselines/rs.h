@@ -39,6 +39,11 @@ class ReservoirBaseline {
     return reservoir_ ? reservoir_->size() : 0;
   }
 
+  /// Snapshot persistence: archive, reservoir (contents + RNG) and the
+  /// system RNG.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   RsOptions opts_;
   DynamicTable table_;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "persist/serde.h"
 #include "util/timer.h"
 
 namespace janus {
@@ -414,6 +415,71 @@ QueryResult Spn::Query(const AggQuery& q) const {
       break;
   }
   return r;
+}
+
+void Spn::SaveNode(const Node& n, persist::Writer* w) {
+  w->U8(static_cast<uint8_t>(n.kind));
+  w->F64Vec(n.weights);
+  w->I32(n.column);
+  w->F64(n.lo);
+  w->F64(n.hi);
+  w->F64Vec(n.masses);
+  w->F64Vec(n.means);
+  w->IntVec(n.cols);
+  w->Size(n.children.size());
+  for (const auto& c : n.children) SaveNode(*c, w);
+}
+
+std::unique_ptr<Spn::Node> Spn::LoadNode(persist::Reader* r, int depth) {
+  // Depth bound against forged payloads: training caps structure depth at
+  // max_depth (default 12) plus a product/leaf layer, far below 256.
+  if (depth > 256) {
+    throw persist::PersistError("snapshot corrupt: SPN too deep");
+  }
+  auto n = std::make_unique<Node>();
+  const uint8_t kind = r->U8();
+  if (kind > static_cast<uint8_t>(Node::Kind::kLeaf)) {
+    throw persist::PersistError("snapshot corrupt: bad SPN node kind");
+  }
+  n->kind = static_cast<Node::Kind>(kind);
+  n->weights = r->F64Vec();
+  n->column = r->I32();
+  n->lo = r->F64();
+  n->hi = r->F64();
+  n->masses = r->F64Vec();
+  n->means = r->F64Vec();
+  n->cols = r->IntVec();
+  const size_t num_children = r->Size();
+  n->children.reserve(num_children);
+  for (size_t i = 0; i < num_children; ++i) {
+    n->children.push_back(LoadNode(r, depth + 1));
+  }
+  return n;
+}
+
+void Spn::SaveTo(persist::Writer* w) const {
+  w->IntVec(columns_);
+  w->F64(population_);
+  w->F64(train_seconds_);
+  for (int c = 0; c < kMaxColumns; ++c) {
+    w->F64(col_min_[static_cast<size_t>(c)]);
+    w->F64(col_max_[static_cast<size_t>(c)]);
+  }
+  w->U64(rng_state_);
+  w->Bool(root_ != nullptr);
+  if (root_) SaveNode(*root_, w);
+}
+
+void Spn::LoadFrom(persist::Reader* r) {
+  columns_ = r->IntVec();
+  population_ = r->F64();
+  train_seconds_ = r->F64();
+  for (int c = 0; c < kMaxColumns; ++c) {
+    col_min_[static_cast<size_t>(c)] = r->F64();
+    col_max_[static_cast<size_t>(c)] = r->F64();
+  }
+  rng_state_ = r->U64();
+  root_ = r->Bool() ? LoadNode(r, 0) : nullptr;
 }
 
 }  // namespace janus

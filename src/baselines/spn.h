@@ -57,6 +57,13 @@ class Spn {
   /// Heap footprint of the trained model (nodes + histograms).
   size_t MemoryBytes() const;
 
+  /// Snapshot persistence: the trained network (sum/product/leaf nodes with
+  /// weights and histograms), covered columns, population scale, training
+  /// extrema and the structure-learning RNG state — a restored model answers
+  /// bit-identically without retraining.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   struct Node;
   struct EvalResult {
@@ -68,6 +75,8 @@ class Spn {
   std::unique_ptr<Node> Build(std::vector<uint32_t> rows,
                               std::vector<int> cols, int depth);
   EvalResult Eval(const Node& node, const AggQuery& q, int agg_column) const;
+  static void SaveNode(const Node& n, persist::Writer* w);
+  static std::unique_ptr<Node> LoadNode(persist::Reader* r, int depth);
 
   SpnOptions opts_;
   std::vector<int> columns_;

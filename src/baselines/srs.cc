@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/variance.h"
+#include "persist/serde.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -208,6 +209,44 @@ QueryResult StratifiedReservoirBaseline::Query(const AggQuery& q) const {
   r.variance_sample = nu;
   r.ci_half_width = NormalZ(opts_.confidence) * std::sqrt(nu);
   return r;
+}
+
+void StratifiedReservoirBaseline::SaveTo(persist::Writer* w) const {
+  table_.SaveTo(w);
+  rng_.SaveTo(w);
+  w->Size(rows_at_init_);
+  w->F64Vec(boundaries_);
+  w->F64Vec(populations_);
+  w->Size(strata_.size());
+  for (const auto& stratum : strata_) {
+    w->Bool(stratum != nullptr);
+    if (stratum) stratum->SaveTo(w);
+  }
+}
+
+void StratifiedReservoirBaseline::LoadFrom(persist::Reader* r) {
+  table_.LoadFrom(r);
+  rng_.LoadFrom(r);
+  rows_at_init_ = r->Size();
+  boundaries_ = r->F64Vec();
+  populations_ = r->F64Vec();
+  strata_.clear();
+  const size_t num_strata = r->Size();
+  if (populations_.size() != num_strata ||
+      (num_strata > 0 && num_strata != boundaries_.size() + 1)) {
+    throw persist::PersistError(
+        "snapshot corrupt: strata/boundaries/populations disagree");
+  }
+  strata_.reserve(num_strata);
+  for (size_t s = 0; s < num_strata; ++s) {
+    if (r->Bool()) {
+      auto stratum = std::make_unique<DynamicReservoir>(2, 0);
+      stratum->LoadFrom(r);
+      strata_.push_back(std::move(stratum));
+    } else {
+      strata_.push_back(nullptr);
+    }
+  }
 }
 
 }  // namespace janus

@@ -47,6 +47,11 @@ class StratifiedReservoirBaseline {
   }
   int num_strata() const { return static_cast<int>(boundaries_.size()) + 1; }
 
+  /// Snapshot persistence: archive, stratum boundaries, per-stratum
+  /// reservoirs and populations, rebuild trigger state and the system RNG.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   int StratumOf(const Tuple& t) const;
   int StratumOfKey(double key) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "data/scan.h"
+#include "persist/serde.h"
 #include "util/timer.h"
 
 namespace janus {
@@ -34,6 +35,22 @@ size_t CatchupEngine::Step(size_t batch) {
 
 void CatchupEngine::RunToGoal() {
   while (!Done()) Step(4096);
+}
+
+void CatchupEngine::SaveTo(persist::Writer* w) const {
+  snapshot_.SaveTo(w);
+  w->Size(goal_);
+  w->Size(processed_);
+  w->F64(processing_seconds_);
+  rng_.SaveTo(w);
+}
+
+void CatchupEngine::LoadFrom(persist::Reader* r) {
+  snapshot_.LoadFrom(r);
+  goal_ = r->Size();
+  processed_ = r->Size();
+  processing_seconds_ = r->F64();
+  rng_.LoadFrom(r);
 }
 
 }  // namespace janus

@@ -48,6 +48,13 @@ class CatchupEngine {
   /// "loading" cost is measured by the broker samplers).
   double processing_seconds() const { return processing_seconds_; }
 
+  /// Snapshot persistence: the archival snapshot copy, progress counters and
+  /// the draw RNG, so a restored catch-up draws the same remaining sample
+  /// sequence as the uninterrupted one. The owning Dpt pointer is set at
+  /// construction and not serialized.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   Dpt* dpt_;
   ColumnStore snapshot_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "data/scan.h"
+#include "persist/common.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -44,6 +45,7 @@ void Dpt::ComputeLeafRanges() {
   range_lo_.assign(n, 0);
   range_hi_.assign(n, 0);
   dfs_leaves_.clear();
+  if (n == 0) return;  // placeholder spec before a snapshot LoadFrom
   dfs_leaves_.reserve(spec_.leaves.size());
   // Iterative DFS computing, for every node, the contiguous range of its
   // descendant leaves in dfs_leaves_.
@@ -177,6 +179,7 @@ void Dpt::InitializeFromReservoir(const std::vector<Tuple>& reservoir,
 }
 
 void Dpt::ApplyInsert(const Tuple& t) {
+  if (spec_.nodes.empty()) return;  // placeholder spec (failed LoadFrom)
   double point[kMaxColumns];
   ProjectTuple(t, opts_.spec.predicate_columns, point);
   GrowDomain(point);
@@ -195,6 +198,7 @@ void Dpt::ApplyInsert(const Tuple& t) {
 }
 
 void Dpt::ApplyDelete(const Tuple& t) {
+  if (spec_.nodes.empty()) return;  // placeholder spec (failed LoadFrom)
   const int leaf = LeafForTuple(t);
   std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
   LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
@@ -235,6 +239,7 @@ void Dpt::ResetSamples(const std::vector<Tuple>& samples) {
 }
 
 void Dpt::AddCatchupSample(const Tuple& t) {
+  if (spec_.nodes.empty()) return;  // placeholder spec (failed LoadFrom)
   double point[kMaxColumns];
   ProjectTuple(t, opts_.spec.predicate_columns, point);
   GrowDomain(point);
@@ -378,6 +383,132 @@ size_t Dpt::MemoryBytes() const {
   return bytes;
 }
 
+void Dpt::SaveTo(persist::Writer* w) const {
+  // Tree spec.
+  w->Size(spec_.nodes.size());
+  for (const PartitionNode& n : spec_.nodes) {
+    persist::SaveRectangle(n.rect, w);
+    w->I32(n.left);
+    w->I32(n.right);
+    w->I32(n.parent);
+    w->I32(n.split_dim);
+    w->F64(n.split_val);
+  }
+  w->IntVec(spec_.leaves);
+  w->I32(spec_.dims);
+  w->F64(spec_.worst_error);
+
+  // Catch-up bookkeeping and observed domain.
+  w->U8(mode_ == StatMode::kExact ? 0 : 1);
+  w->F64(n0_);
+  w->F64(catchup_total_.load());
+  for (int d = 0; d < kMaxColumns; ++d) {
+    w->F64(domain_lo_[static_cast<size_t>(d)].load());
+    w->F64(domain_hi_[static_cast<size_t>(d)].load());
+  }
+
+  // Per-node statistics (empty column vectors for internal nodes).
+  for (const LeafStats& ls : leaf_stats_) {
+    w->Size(ls.columns.size());
+    for (const ColumnStats& c : ls.columns) {
+      persist::SaveMoments(c.exact, w);
+      persist::SaveMoments(c.inserted, w);
+      persist::SaveMoments(c.removed, w);
+      persist::SaveTreeAgg(c.catchup, w);
+    }
+    ls.minmax.SaveTo(w);
+  }
+
+  // Pooled sample: structure-exact indexes plus the id -> tuple mirror
+  // (serialized in ascending id order; the map's own iteration order is
+  // never load-bearing for template queries).
+  samples_.SaveTo(w);
+  std::vector<uint64_t> ids;
+  ids.reserve(sample_tuples_.size());
+  for (const auto& [id, t] : sample_tuples_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w->Size(ids.size());
+  for (uint64_t id : ids) persist::SaveTuple(sample_tuples_.at(id), w);
+}
+
+void Dpt::LoadFrom(persist::Reader* r) {
+  PartitionTreeSpec spec;
+  const size_t num_nodes = r->Size();
+  if (num_nodes == 0) {
+    throw persist::PersistError("snapshot corrupt: empty partition tree");
+  }
+  spec.nodes.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    PartitionNode n;
+    n.rect = persist::LoadRectangle(r);
+    n.left = r->I32();
+    n.right = r->I32();
+    n.parent = r->I32();
+    n.split_dim = r->I32();
+    n.split_val = r->F64();
+    const int max_idx = static_cast<int>(num_nodes);
+    if (n.left >= max_idx || n.right >= max_idx || n.parent >= max_idx) {
+      throw persist::PersistError(
+          "snapshot corrupt: partition node link out of range");
+    }
+    spec.nodes.push_back(std::move(n));
+  }
+  spec.leaves = r->IntVec();
+  for (int leaf : spec.leaves) {
+    if (leaf < 0 || static_cast<size_t>(leaf) >= num_nodes) {
+      throw persist::PersistError(
+          "snapshot corrupt: leaf index out of range");
+    }
+  }
+  spec.dims = r->I32();
+  if (spec.dims != dims()) {
+    throw persist::PersistError(
+        "snapshot mismatch: partition tree dimensionality differs from the "
+        "engine's configured template");
+  }
+  spec.worst_error = r->F64();
+  spec_ = std::move(spec);
+
+  const uint8_t mode = r->U8();
+  mode_ = mode == 0 ? StatMode::kExact : StatMode::kCatchup;
+  n0_ = r->F64();
+  catchup_total_.store(r->F64());
+  for (int d = 0; d < kMaxColumns; ++d) {
+    domain_lo_[static_cast<size_t>(d)].store(r->F64());
+    domain_hi_[static_cast<size_t>(d)].store(r->F64());
+  }
+
+  leaf_stats_.clear();
+  leaf_stats_.resize(spec_.nodes.size());
+  leaf_mu_ = std::make_unique<std::mutex[]>(spec_.nodes.size());
+  ComputeLeafRanges();
+  for (LeafStats& ls : leaf_stats_) {
+    const size_t cols = r->Size();
+    if (cols != 0 && cols != tracked_columns_.size()) {
+      throw persist::PersistError(
+          "snapshot mismatch: tracked-column count differs from the "
+          "engine's configuration");
+    }
+    ls.columns.assign(cols, ColumnStats{});
+    for (ColumnStats& c : ls.columns) {
+      c.exact = persist::LoadMoments(r);
+      c.inserted = persist::LoadMoments(r);
+      c.removed = persist::LoadMoments(r);
+      c.catchup = persist::LoadTreeAgg(r);
+    }
+    ls.minmax.LoadFrom(r);
+  }
+
+  samples_.LoadFrom(r);
+  sample_tuples_.clear();
+  const size_t num_samples = r->Size();
+  sample_tuples_.reserve(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    const Tuple t = persist::LoadTuple(r);
+    sample_tuples_[t.id] = t;
+  }
+}
+
 void Dpt::Frontier(const Rectangle& q, std::vector<int>* cover,
                    std::vector<int>* partial) const {
   std::vector<int> stack{0};
@@ -502,6 +633,9 @@ QueryResult Dpt::QueryMinMax(const AggQuery& q) const {
 }
 
 QueryResult Dpt::Query(const AggQuery& q) const {
+  // A Dpt left holding the placeholder spec (a LoadFrom that threw part-way
+  // through an engine restore) answers zero instead of walking no tree.
+  if (spec_.nodes.empty()) return QueryResult{};
   if (q.predicate_columns != opts_.spec.predicate_columns) {
     return QuerySampleOnly(q);
   }

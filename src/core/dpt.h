@@ -18,6 +18,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// How node statistics were obtained (Sec. 4.3 / 4.4).
 enum class StatMode {
   kExact,    ///< full-scan initialization; statistics are exact (SPT-style)
@@ -154,6 +159,15 @@ class Dpt {
   /// Estimated heap footprint of the synopsis: tree nodes, per-leaf
   /// statistics, the pooled sample index and its tuple mirror.
   size_t MemoryBytes() const;
+
+  /// Snapshot persistence: the full synopsis state — tree spec, observed
+  /// data domain, per-leaf statistics, the pooled-sample indexes
+  /// (structure-exact, so query summation order is preserved) and the
+  /// sample mirror, plus the catch-up bookkeeping. Construct the Dpt with
+  /// the same DptOptions (engine configuration, not state) and any
+  /// placeholder spec — LoadFrom replaces the tree wholesale.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
 
  private:
   struct ColumnStats {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/partition.h"
+#include "persist/serde.h"
 #include "util/timer.h"
 
 namespace janus {
@@ -403,6 +405,72 @@ void JanusAqp::Reinitialize() {
   dpt_->ResetSamples(fresh);
   counters_.last_reopt_seconds = timer.ElapsedSeconds();
   ++counters_.repartitions;
+}
+
+void JanusAqp::SaveTo(persist::Writer* w) const {
+  table_.SaveTo(w);
+  rng_.SaveTo(w);
+
+  w->U64(counters_.inserts);
+  w->U64(counters_.deletes);
+  w->U64(counters_.reservoir_resamples);
+  w->U64(counters_.trigger_checks);
+  w->U64(counters_.trigger_fires);
+  w->U64(counters_.repartitions);
+  w->U64(counters_.partial_repartitions);
+  w->F64(counters_.last_reopt_seconds);
+  w->F64(counters_.last_blocking_seconds);
+  w->U64(updates_since_check_.load());
+  w->F64Vec(leaf_baseline_var_);
+
+  w->Bool(reservoir_ != nullptr);
+  if (reservoir_) reservoir_->SaveTo(w);
+  w->Bool(dpt_ != nullptr);
+  if (dpt_) dpt_->SaveTo(w);
+  w->Bool(catchup_ != nullptr);
+  if (catchup_) catchup_->SaveTo(w);
+}
+
+void JanusAqp::LoadFrom(persist::Reader* r) {
+  table_.LoadFrom(r);
+  rng_.LoadFrom(r);
+
+  counters_.inserts = r->U64();
+  counters_.deletes = r->U64();
+  counters_.reservoir_resamples = r->U64();
+  counters_.trigger_checks = r->U64();
+  counters_.trigger_fires = r->U64();
+  counters_.repartitions = r->U64();
+  counters_.partial_repartitions = r->U64();
+  counters_.last_reopt_seconds = r->F64();
+  counters_.last_blocking_seconds = r->F64();
+  updates_since_check_.store(r->U64());
+  leaf_baseline_var_ = r->F64Vec();
+
+  if (r->Bool()) {
+    reservoir_ = std::make_unique<DynamicReservoir>(2, 0);
+    reservoir_->LoadFrom(r);
+  } else {
+    reservoir_.reset();
+  }
+  if (r->Bool()) {
+    dpt_ = std::make_unique<Dpt>(MakeDptOptions(), PartitionTreeSpec{});
+    dpt_->LoadFrom(r);
+  } else {
+    dpt_.reset();
+  }
+  if (r->Bool()) {
+    if (!dpt_) {
+      throw persist::PersistError(
+          "snapshot corrupt: catch-up state without a synopsis");
+    }
+    catchup_ = std::make_unique<CatchupEngine>(dpt_.get(),
+                                               ColumnStore(opts_.schema),
+                                               /*goal_samples=*/0, /*seed=*/0);
+    catchup_->LoadFrom(r);
+  } else {
+    catchup_.reset();
+  }
 }
 
 void JanusAqp::BeginReinitialize() {

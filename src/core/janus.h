@@ -16,6 +16,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Configuration of a JanusAQP instance (Sec. 3.1 knobs plus the
 /// re-optimization parameters of Sec. 5.4).
 struct JanusOptions {
@@ -115,6 +120,20 @@ class JanusAqp {
   /// Trigger evaluation for the leaf of `t` (Sec. 5.4); called internally by
   /// Insert/Delete, public for tests. Returns true if a re-partition ran.
   bool CheckTriggers(const Tuple& t);
+
+  /// Snapshot persistence: archive, pooled reservoir, synopsis (structure-
+  /// exact), catch-up engine, system RNG, counters and trigger baselines —
+  /// the complete state needed so a restored instance answers queries
+  /// bit-identically and continues the update stream exactly like the
+  /// uninterrupted one. Options come from construction, not the snapshot.
+  /// Not thread-safe: quiesce updates first (the save path of a running
+  /// service goes through the sharded engine's per-shard quiesce points).
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
+  /// True once Initialize() has run (or a snapshot of an initialized
+  /// instance was loaded).
+  bool initialized() const { return dpt_ != nullptr; }
 
   const Dpt& dpt() const { return *dpt_; }
   const DynamicTable& table() const { return table_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/variance.h"
+#include "persist/serde.h"
 
 namespace janus {
 
@@ -181,6 +182,17 @@ double MaxVarianceIndex::MaxVarianceRankRange(size_t lo, size_t hi) const {
 double MaxVarianceIndex::MaxVarianceRankRange(size_t lo, size_t hi,
                                               AggFunc f) const {
   return RankRangeVariance(lo, hi, f);
+}
+
+
+void MaxVarianceIndex::SaveTo(persist::Writer* w) const {
+  kd_.SaveTo(w);
+  if (opts_.dims == 1) tree1d_.SaveTo(w);
+}
+
+void MaxVarianceIndex::LoadFrom(persist::Reader* r) {
+  kd_.LoadFrom(r);
+  if (opts_.dims == 1) tree1d_.LoadFrom(r);
 }
 
 }  // namespace janus

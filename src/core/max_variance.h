@@ -69,6 +69,12 @@ class MaxVarianceIndex {
   const DynamicKdTree& kd() const { return kd_; }
   const OrderStatTree& tree1d() const { return tree1d_; }
 
+  /// Snapshot persistence: both underlying indexes, structure-exact. The
+  /// options are not serialized — the owner reconstructs the index with the
+  /// same configuration before calling LoadFrom.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   double RankRangeVariance(size_t lo, size_t hi, AggFunc f) const;
   double RectVariance(const Rectangle& r, AggFunc f) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/serde.h"
+
 namespace janus {
 
 MultiTemplateJanus::MultiTemplateJanus(const JanusOptions& base)
@@ -130,6 +132,64 @@ QueryResult MultiTemplateJanus::Query(const AggQuery& q) {
 void MultiTemplateJanus::RunCatchupToGoal() {
   for (Entry& entry : entries_) {
     if (entry.catchup) entry.catchup->RunToGoal();
+  }
+}
+
+void MultiTemplateJanus::SaveTo(persist::Writer* w) const {
+  table_.SaveTo(w);
+  rng_.SaveTo(w);
+  w->Bool(initialized_);
+  w->Bool(reservoir_ != nullptr);
+  if (reservoir_) reservoir_->SaveTo(w);
+  w->Size(entries_.size());
+  for (const Entry& e : entries_) {
+    w->I32(e.spec.agg_column);
+    w->IntVec(e.spec.predicate_columns);
+    w->Bool(e.dpt != nullptr);
+    if (e.dpt) e.dpt->SaveTo(w);
+    w->Bool(e.catchup != nullptr);
+    if (e.catchup) e.catchup->SaveTo(w);
+  }
+}
+
+void MultiTemplateJanus::LoadFrom(persist::Reader* r) {
+  table_.LoadFrom(r);
+  rng_.LoadFrom(r);
+  initialized_ = r->Bool();
+  if (r->Bool()) {
+    reservoir_ = std::make_unique<DynamicReservoir>(2, 0);
+    reservoir_->LoadFrom(r);
+  } else {
+    reservoir_.reset();
+  }
+  entries_.clear();
+  const size_t num_entries = r->Size();
+  entries_.reserve(num_entries);
+  for (size_t i = 0; i < num_entries; ++i) {
+    Entry e;
+    e.spec.agg_column = r->I32();
+    e.spec.predicate_columns = r->IntVec();
+    if (r->Bool()) {
+      DptOptions dopts;
+      dopts.spec = e.spec;
+      dopts.sample_rate = base_.sample_rate;
+      dopts.minmax_k = base_.minmax_k;
+      dopts.confidence = base_.confidence;
+      dopts.delta = base_.delta;
+      e.dpt = std::make_unique<Dpt>(dopts, PartitionTreeSpec{});
+      e.dpt->LoadFrom(r);
+    }
+    if (r->Bool()) {
+      if (!e.dpt) {
+        throw persist::PersistError(
+            "snapshot corrupt: template catch-up without a tree");
+      }
+      e.catchup = std::make_unique<CatchupEngine>(
+          e.dpt.get(), ColumnStore(base_.schema), /*goal_samples=*/0,
+          /*seed=*/0);
+      e.catchup->LoadFrom(r);
+    }
+    entries_.push_back(std::move(e));
   }
 }
 

@@ -60,6 +60,12 @@ class MultiTemplateJanus {
   /// absent.
   int TemplateFor(const std::vector<int>& predicate_columns) const;
 
+  /// Snapshot persistence: archive, global reservoir, every template's spec,
+  /// tree and catch-up engine, and the manager RNG. Templates registered on
+  /// the instance before LoadFrom are replaced by the snapshot's set.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   struct Entry {
     SynopsisSpec spec;

@@ -1,5 +1,7 @@
 #include "core/node_stats.h"
 
+#include "persist/serde.h"
+
 namespace janus {
 
 void MinMaxTracker::Insert(double v) {
@@ -40,6 +42,26 @@ void MinMaxTracker::Clear() {
   bottom_.clear();
   top_.clear();
   degraded_ = false;
+}
+
+void MinMaxTracker::SaveTo(persist::Writer* w) const {
+  w->Size(k_);
+  w->Bool(degraded_);
+  w->Size(bottom_.size());
+  for (double v : bottom_) w->F64(v);
+  w->Size(top_.size());
+  for (double v : top_) w->F64(v);
+}
+
+void MinMaxTracker::LoadFrom(persist::Reader* r) {
+  k_ = r->Size();
+  degraded_ = r->Bool();
+  bottom_.clear();
+  top_.clear();
+  const size_t nb = r->Size();
+  for (size_t i = 0; i < nb; ++i) bottom_.insert(r->F64());
+  const size_t nt = r->Size();
+  for (size_t i = 0; i < nt; ++i) top_.insert(r->F64());
 }
 
 }  // namespace janus

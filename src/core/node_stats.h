@@ -9,6 +9,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Tracks MIN and MAX of a node's aggregation values under insertions and
 /// deletions via bounded top-k / bottom-k heaps (Sec. 4.1):
 ///  * insert: push into both heaps, trimming them back to k;
@@ -34,6 +39,11 @@ class MinMaxTracker {
   bool degraded() const { return degraded_; }
 
   void Clear();
+
+  /// Snapshot persistence: heap contents in sorted order plus the degraded
+  /// flag (multisets rebuilt from sorted input iterate identically).
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
 
  private:
   size_t k_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "persist/common.h"
+
 namespace janus {
 
 namespace {
@@ -128,6 +130,43 @@ size_t ColumnStore::MemoryBytes() const {
   bytes += index_.bucket_count() * sizeof(void*) +
            index_.size() * (sizeof(uint64_t) + sizeof(size_t) + sizeof(void*));
   return bytes;
+}
+
+void ColumnStore::SaveTo(persist::Writer* w) const {
+  persist::SaveSchema(schema_, w);
+  w->U32(static_cast<uint32_t>(columns_.size()));
+  w->U64Vec(ids_);
+  for (const std::vector<double>& col : columns_) w->F64Vec(col);
+}
+
+void ColumnStore::LoadFrom(persist::Reader* r) {
+  const Schema loaded = persist::LoadSchema(r);
+  const uint32_t width = r->U32();
+  if (width == 0 || width > static_cast<uint32_t>(kMaxColumns)) {
+    throw persist::PersistError("snapshot corrupt: bad column-store width");
+  }
+  // The snapshot must have been written under the same schema this store
+  // was configured with: column indexes in the owner's config refer to this
+  // layout, so silently adopting a different one would corrupt every scan.
+  if (loaded.column_names != schema_.column_names ||
+      width != columns_.size()) {
+    throw persist::PersistError(
+        "snapshot mismatch: archive schema differs from the engine's "
+        "configured schema (recreate the engine with the schema the "
+        "snapshot was written under)");
+  }
+  schema_ = loaded;
+  ids_ = r->U64Vec();
+  columns_.assign(width, {});
+  for (std::vector<double>& col : columns_) {
+    col = r->F64Vec();
+    if (col.size() != ids_.size()) {
+      throw persist::PersistError(
+          "snapshot corrupt: column length does not match id column");
+    }
+  }
+  index_.clear();
+  indexed_ = false;
 }
 
 }  // namespace janus

@@ -11,6 +11,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Zero-copy view of one column: a contiguous run of doubles, one value per
 /// live row, positionally aligned with ColumnStore::ids().
 struct ColumnSpan {
@@ -104,6 +109,13 @@ class ColumnStore {
 
   /// Heap footprint of the archive: column data + id column + id index.
   size_t MemoryBytes() const;
+
+  /// Snapshot persistence. Rows serialize in physical position order, so a
+  /// restored store has the identical layout (swap-remove history included)
+  /// and every position-based scan or sample replays bit-identically. The id
+  /// index is not serialized; it is rebuilt lazily by the first id lookup.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
 
  private:
   /// Rebuild the id index after BulkAppend left it stale. Not thread-safe

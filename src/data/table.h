@@ -61,6 +61,10 @@ class DynamicTable {
   /// Heap footprint of the archive (columns + ids + id index).
   size_t MemoryBytes() const { return store_.MemoryBytes(); }
 
+  /// Snapshot persistence (delegates to the columnar store).
+  void SaveTo(persist::Writer* w) const { store_.SaveTo(w); }
+  void LoadFrom(persist::Reader* r) { store_.LoadFrom(r); }
+
  private:
   ColumnStore store_;
 };

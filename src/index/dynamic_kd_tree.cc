@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "persist/common.h"
+
 namespace janus {
 
 struct DynamicKdTree::Node {
@@ -370,6 +372,84 @@ void DynamicKdTree::Dump(std::vector<KdPoint>* out) const {
   out->clear();
   out->reserve(size_);
   CollectPoints(root_, out);
+}
+
+void DynamicKdTree::SaveNode(const Node* n, persist::Writer* w) const {
+  if (n == nullptr) {
+    w->Bool(false);
+    return;
+  }
+  w->Bool(true);
+  w->Bool(n->IsLeaf());
+  w->I32(n->split_dim);
+  w->F64(n->split_val);
+  w->Size(n->count);
+  w->F64(n->sum);
+  w->F64(n->sumsq);
+  for (int d = 0; d < kMaxColumns; ++d) {
+    w->F64(n->bb_lo[static_cast<size_t>(d)]);
+    w->F64(n->bb_hi[static_cast<size_t>(d)]);
+  }
+  if (n->IsLeaf()) {
+    w->Size(n->leaf_points.size());
+    for (const KdPoint& p : n->leaf_points) persist::SaveKdPoint(p, w);
+  } else {
+    SaveNode(n->left, w);
+    SaveNode(n->right, w);
+  }
+}
+
+DynamicKdTree::Node* DynamicKdTree::LoadNode(persist::Reader* r, int depth) {
+  // Depth bound: the checksum catches accidental corruption, but a forged
+  // payload could encode a pathologically deep chain and blow the stack
+  // before any structural validation fires. Legitimate trees are scapegoat-
+  // balanced (depth ~1.6*log2(n)), so 512 is unreachable in practice.
+  if (depth > 512) {
+    throw persist::PersistError("snapshot corrupt: kd-tree too deep");
+  }
+  if (!r->Bool()) return nullptr;
+  const bool is_leaf = r->Bool();
+  Node* n = new Node;
+  n->split_dim = r->I32();
+  n->split_val = r->F64();
+  n->count = r->Size();
+  n->sum = r->F64();
+  n->sumsq = r->F64();
+  for (int d = 0; d < kMaxColumns; ++d) {
+    n->bb_lo[static_cast<size_t>(d)] = r->F64();
+    n->bb_hi[static_cast<size_t>(d)] = r->F64();
+  }
+  if (is_leaf) {
+    n->leaf_points.resize(r->Size());
+    for (KdPoint& p : n->leaf_points) p = persist::LoadKdPoint(r);
+  } else {
+    n->left = LoadNode(r, depth + 1);
+    n->right = LoadNode(r, depth + 1);
+    if (n->left == nullptr || n->right == nullptr) {
+      FreeTree(n);
+      throw persist::PersistError(
+          "snapshot corrupt: kd internal node missing a child");
+    }
+  }
+  return n;
+}
+
+void DynamicKdTree::SaveTo(persist::Writer* w) const {
+  w->I32(dims_);
+  w->Size(size_);
+  SaveNode(root_, w);
+}
+
+void DynamicKdTree::LoadFrom(persist::Reader* r) {
+  const int dims = r->I32();
+  if (dims != dims_) {
+    throw persist::PersistError(
+        "snapshot corrupt: kd-tree dimensionality mismatch");
+  }
+  FreeTree(root_);
+  root_ = nullptr;
+  size_ = r->Size();
+  root_ = LoadNode(r, 0);
 }
 
 }  // namespace janus

@@ -11,6 +11,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// A point in predicate space with an aggregation value. `id` addresses
 /// deletions (reservoir evictions name a specific sample).
 struct KdPoint {
@@ -68,6 +73,14 @@ class DynamicKdTree {
   /// inverted/degenerate box).
   Rectangle BoundingBox() const;
 
+  /// Snapshot persistence. The tree's subtree statistics and bounding boxes
+  /// are maintained incrementally (a delete subtracts from cached sums), so
+  /// they are serialized verbatim rather than recomputed: a restored tree is
+  /// bit-identical to the saved one, including the floating-point state of
+  /// every cache and the exact report/traversal order.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   struct Node;
 
@@ -76,6 +89,8 @@ class DynamicKdTree {
 
   Node* BuildRec(std::vector<KdPoint>* pts, size_t lo, size_t hi, int depth);
   void FreeTree(Node* n);
+  void SaveNode(const Node* n, persist::Writer* w) const;
+  Node* LoadNode(persist::Reader* r, int depth);
   void CollectPoints(Node* n, std::vector<KdPoint>* out) const;
   void MaybeRebuild(std::vector<Node*>* path);
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "persist/serde.h"
+
 namespace janus {
 
 struct OrderStatTree::Node {
@@ -251,6 +253,54 @@ TreeAgg OrderStatTree::KeyRangeAggregate(double lo, double hi) const {
     }
   }
   return RankRangeAggregate(rlo, rhi);
+}
+
+void OrderStatTree::SaveTo(persist::Writer* w) const {
+  w->Size(size_);
+  rng_.SaveTo(w);
+  SaveNode(root_, w);
+}
+
+void OrderStatTree::LoadFrom(persist::Reader* r) {
+  FreeTree(root_);
+  root_ = nullptr;
+  size_ = r->Size();
+  rng_.LoadFrom(r);
+  root_ = LoadNode(r, 0);
+}
+
+void OrderStatTree::SaveNode(const Node* n, persist::Writer* w) const {
+  if (n == nullptr) {
+    w->Bool(false);
+    return;
+  }
+  w->Bool(true);
+  w->F64(n->key);
+  w->F64(n->value);
+  w->U64(n->priority);
+  SaveNode(n->left, w);
+  SaveNode(n->right, w);
+}
+
+OrderStatTree::Node* OrderStatTree::LoadNode(persist::Reader* r, int depth) {
+  // Depth bound against forged payloads (see DynamicKdTree::LoadNode); a
+  // treap with random priorities stays within O(log n) with overwhelming
+  // probability, so 512 levels never occur legitimately.
+  if (depth > 512) {
+    throw persist::PersistError("snapshot corrupt: treap too deep");
+  }
+  if (!r->Bool()) return nullptr;
+  const double key = r->F64();
+  const double value = r->F64();
+  const uint64_t pri = r->U64();
+  Node* n = new Node(key, value, pri);
+  n->left = LoadNode(r, depth + 1);
+  n->right = LoadNode(r, depth + 1);
+  // Children are fully pulled before the parent, so every cached subtree
+  // aggregate is recomputed by the same bottom-up arithmetic the live tree's
+  // split/merge path used — bit-identical to the saved instance.
+  n->Pull();
+  return n;
 }
 
 void OrderStatTree::Dump(std::vector<std::pair<double, double>>* out) const {

@@ -9,6 +9,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Aggregate statistics of a set of (key, value) points: the moments the
 /// variance formulas of Appendix C need.
 struct TreeAgg {
@@ -69,6 +74,13 @@ class OrderStatTree {
   /// In-order dump of (key, value) pairs; O(n). For tests and rebuilds.
   void Dump(std::vector<std::pair<double, double>>* out) const;
 
+  /// Snapshot persistence. Serializes the exact treap shape (keys, values,
+  /// priorities) plus the priority RNG; subtree aggregates are recomputed on
+  /// load with the same Pull() arithmetic the live tree uses, so restored
+  /// aggregates (and all future rebalances) are bit-identical.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
+
  private:
   struct Node;
 
@@ -78,6 +90,8 @@ class OrderStatTree {
   /// Splits by rank: left subtree gets the first r nodes.
   void SplitByRank(Node* t, size_t r, Node** l, Node** r_out);
   void FreeTree(Node* t);
+  void SaveNode(const Node* n, persist::Writer* w) const;
+  Node* LoadNode(persist::Reader* r, int depth);
 
   Node* root_ = nullptr;
   size_t size_ = 0;

@@ -1,0 +1,16 @@
+#include "persist/serde.h"
+
+namespace janus {
+namespace persist {
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace persist
+}  // namespace janus

@@ -1,5 +1,7 @@
 #include "sampling/reservoir.h"
 
+#include "persist/common.h"
+
 namespace janus {
 
 DynamicReservoir::DynamicReservoir(size_t target_2m, uint64_t seed)
@@ -56,6 +58,21 @@ void DynamicReservoir::Reset(std::vector<Tuple> fresh) {
   index_.clear();
   index_.reserve(samples_.size());
   for (size_t i = 0; i < samples_.size(); ++i) index_[samples_[i].id] = i;
+}
+
+void DynamicReservoir::SaveTo(persist::Writer* w) const {
+  w->Size(target_);
+  rng_.SaveTo(w);
+  persist::SaveTupleVec(samples_, w);
+}
+
+void DynamicReservoir::LoadFrom(persist::Reader* r) {
+  target_ = r->Size();
+  if (target_ < 2) {
+    throw persist::PersistError("snapshot corrupt: reservoir target < 2");
+  }
+  rng_.LoadFrom(r);
+  Reset(persist::LoadTupleVec(r));
 }
 
 }  // namespace janus

@@ -11,6 +11,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// What changed in the reservoir after an update; the DPT mirrors these
 /// changes into its sample index (Sec. 4.2).
 struct ReservoirChange {
@@ -50,6 +55,12 @@ class DynamicReservoir {
   /// Replace contents with a fresh archive sample (after needs_resample, or
   /// at (re-)initialization).
   void Reset(std::vector<Tuple> fresh);
+
+  /// Snapshot persistence: slot order and RNG state are part of the state
+  /// (victim selection indexes slots), so a restored reservoir makes the
+  /// same accept/evict decisions as the uninterrupted one.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
 
  private:
   size_t target_;  // 2m

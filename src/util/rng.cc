@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "persist/serde.h"
+
 namespace janus {
 
 namespace {
@@ -126,6 +128,18 @@ std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
     }
   }
   return out;
+}
+
+void Rng::SaveTo(persist::Writer* w) const {
+  for (uint64_t s : s_) w->U64(s);
+  w->Bool(have_cached_normal_);
+  w->F64(cached_normal_);
+}
+
+void Rng::LoadFrom(persist::Reader* r) {
+  for (uint64_t& s : s_) s = r->U64();
+  have_cached_normal_ = r->Bool();
+  cached_normal_ = r->F64();
 }
 
 }  // namespace janus

@@ -8,6 +8,11 @@
 
 namespace janus {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// Deterministic, seedable pseudo-random number generator used throughout the
 /// library. Wraps a xoshiro256** core so that experiments are reproducible
 /// across platforms (std::mt19937 would also work, but the distributions in
@@ -67,6 +72,12 @@ class Rng {
 
   /// Reservoir-style choice of k distinct indices from [0, n).
   std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Snapshot persistence: captures the full generator state (xoshiro core
+  /// plus the cached Box-Muller normal), so a restored stream continues
+  /// bit-identically to the uninterrupted one.
+  void SaveTo(persist::Writer* w) const;
+  void LoadFrom(persist::Reader* r);
 
  private:
   uint64_t s_[4];

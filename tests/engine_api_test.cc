@@ -21,6 +21,8 @@
 #include "data/generators.h"
 #include "data/ground_truth.h"
 #include "data/workload.h"
+#include "persist/serde.h"
+#include "tests/test_seed.h"
 #include "util/thread_pool.h"
 
 namespace janus {
@@ -79,6 +81,7 @@ EngineConfig BaseConfig() {
   cfg.sample_rate = 0.02;
   cfg.catchup_rate = 0.10;
   cfg.enable_triggers = false;
+  cfg.seed = TestSeed();
   return cfg;
 }
 
@@ -129,7 +132,7 @@ class EngineConformanceTest
 
 TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
   const std::string name = GetParam().name;
-  auto ds = GenerateUniform(20000, 1, 31);
+  auto ds = GenerateUniform(20000, 1, TestSeed() + 31);
   auto engine = EngineRegistry::Create(name, ConfigFor(GetParam()));
   ASSERT_NE(engine, nullptr);
   EXPECT_EQ(engine->name(), name);
@@ -148,7 +151,7 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
   }
 
   // Phase 2: stream 2000 inserts and 1000 deletes.
-  Rng rng(77);
+  Rng rng(TestSeed() + 77);
   for (int i = 0; i < 2000; ++i) {
     Tuple t;
     t.id = 500000 + static_cast<uint64_t>(i);
@@ -189,7 +192,7 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
   }
 
   // Phase 4: workload-level estimate sanity and CI coverage.
-  const auto queries = WideWorkload(live, 30, 13);
+  const auto queries = WideWorkload(live, 30, TestSeed() + 13);
   const auto truths = ExactAnswers(live, queries);
   std::vector<double> errors;
   size_t with_ci = 0, covered = 0;
@@ -227,13 +230,13 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
 
 TEST_P(EngineConformanceTest, QueryBatchMatchesSerialQueries) {
   const std::string name = GetParam().name;
-  auto ds = GenerateUniform(8000, 1, 57);
+  auto ds = GenerateUniform(8000, 1, TestSeed() + 57);
   auto engine = EngineRegistry::Create(name, ConfigFor(GetParam()));
   engine->LoadInitial(ds.rows);
   engine->Initialize();
   engine->RunCatchupToGoal();
 
-  const auto queries = WideWorkload(ds.rows, 24, 5);
+  const auto queries = WideWorkload(ds.rows, 24, TestSeed() + 5);
   std::vector<QueryResult> serial;
   for (const AggQuery& q : queries) serial.push_back(engine->Query(q));
 
@@ -248,6 +251,151 @@ TEST_P(EngineConformanceTest, QueryBatchMatchesSerialQueries) {
     EXPECT_DOUBLE_EQ(pooled_batch[i].ci_half_width, serial[i].ci_half_width)
         << name;
   }
+}
+
+/// Bitwise equality of two query results: a restored engine must be
+/// indistinguishable from the saved one, down to the last ulp of every
+/// variance term (the persist layer round-trips doubles through their
+/// IEEE-754 bits and serializes index structures shape-exactly).
+void ExpectSameResult(const QueryResult& a, const QueryResult& b,
+                      const std::string& name, size_t query_index) {
+  EXPECT_EQ(a.estimate, b.estimate) << name << " q" << query_index;
+  EXPECT_EQ(a.ci_half_width, b.ci_half_width) << name << " q" << query_index;
+  EXPECT_EQ(a.variance_catchup, b.variance_catchup)
+      << name << " q" << query_index;
+  EXPECT_EQ(a.variance_sample, b.variance_sample)
+      << name << " q" << query_index;
+  EXPECT_EQ(a.covered_nodes, b.covered_nodes) << name << " q" << query_index;
+  EXPECT_EQ(a.partial_leaves, b.partial_leaves) << name << " q" << query_index;
+  EXPECT_EQ(a.exact, b.exact) << name << " q" << query_index;
+}
+
+void ExpectSameStats(const EngineStats& a, const EngineStats& b,
+                     const std::string& name) {
+  EXPECT_EQ(a.engine, b.engine) << name;
+  EXPECT_EQ(a.rows, b.rows) << name;
+  EXPECT_EQ(a.sample_size, b.sample_size) << name;
+  EXPECT_EQ(a.num_templates, b.num_templates) << name;
+  EXPECT_EQ(a.inserts, b.inserts) << name;
+  EXPECT_EQ(a.deletes, b.deletes) << name;
+  EXPECT_EQ(a.repartitions, b.repartitions) << name;
+  EXPECT_EQ(a.partial_repartitions, b.partial_repartitions) << name;
+  EXPECT_EQ(a.trigger_checks, b.trigger_checks) << name;
+  EXPECT_EQ(a.trigger_fires, b.trigger_fires) << name;
+  EXPECT_EQ(a.reservoir_resamples, b.reservoir_resamples) << name;
+  EXPECT_EQ(a.catchup_processed, b.catchup_processed) << name;
+  EXPECT_EQ(a.catchup_processing_seconds, b.catchup_processing_seconds)
+      << name;
+  EXPECT_EQ(a.last_reopt_seconds, b.last_reopt_seconds) << name;
+  EXPECT_EQ(a.last_blocking_seconds, b.last_blocking_seconds) << name;
+  EXPECT_EQ(a.build_seconds, b.build_seconds) << name;
+  EXPECT_EQ(a.partition_seconds, b.partition_seconds) << name;
+  // Byte footprints derive from container capacities (allocator growth
+  // history, not logical state): a restored engine is typically tighter.
+  EXPECT_GT(b.archive_bytes, 0u) << name;
+  EXPECT_LE(a.archive_bytes, 3 * b.archive_bytes) << name;
+  EXPECT_LE(b.archive_bytes, 3 * a.archive_bytes) << name;
+  EXPECT_LE(a.synopsis_bytes, 3 * b.synopsis_bytes + 1024) << name;
+  EXPECT_LE(b.synopsis_bytes, 3 * a.synopsis_bytes + 1024) << name;
+}
+
+TEST_P(EngineConformanceTest, SaveLoadRoundTripIsBitIdentical) {
+  const std::string name = GetParam().name;
+  const EngineConfig cfg = ConfigFor(GetParam());
+  auto ds = GenerateUniform(8000, 1, TestSeed() + 3);
+  auto engine = EngineRegistry::Create(name, cfg);
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  // Stream updates so the snapshot carries dynamic state: post-init deltas,
+  // reservoir churn, swap-removed archive slots.
+  Rng rng(TestSeed() + 4);
+  for (int i = 0; i < 600; ++i) {
+    Tuple t;
+    t.id = 700000 + static_cast<uint64_t>(i);
+    t[0] = rng.NextDouble();
+    t[1] = rng.Normal(10, 2);
+    engine->Insert(t);
+  }
+  for (uint64_t id = 0; id < 200; ++id) engine->Delete(id * 11);
+
+  std::string label = name;
+  std::replace(label.begin(), label.end(), ':', '_');
+  const std::string path = ::testing::TempDir() + "/roundtrip_" + label +
+                           "_" + std::to_string(GetParam().shards) + ".snap";
+  SnapshotMeta meta;
+  meta.insert_offset = 123;
+  meta.delete_offset = 45;
+  meta.query_offset = 6;
+  engine->Save(path, meta);
+
+  // A fresh engine from the same config, restored from the file: no
+  // LoadInitial, no Initialize.
+  auto restored = EngineRegistry::Create(name, cfg);
+  const SnapshotMeta back = restored->Load(path);
+  EXPECT_EQ(back.engine, name);
+  EXPECT_EQ(back.insert_offset, 123u);
+  EXPECT_EQ(back.delete_offset, 45u);
+  EXPECT_EQ(back.query_offset, 6u);
+
+  // Fixed workload over the engine's own template, every aggregate: the
+  // restored engine must answer bit-identically.
+  std::vector<AggQuery> queries = WideWorkload(ds.rows, 20, TestSeed() + 5);
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg,
+                    AggFunc::kMin, AggFunc::kMax}) {
+    queries.push_back(MakeQuery(f, 0.1, 0.8));
+    queries.push_back(MakeQuery(f, 0.4, 0.6));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResult(engine->Query(queries[i]), restored->Query(queries[i]),
+                     name, i);
+  }
+  ExpectSameStats(engine->Stats(), restored->Stats(), name);
+
+  // And the restored engine keeps *behaving* identically: the same further
+  // update stream leaves both engines in the same state (RNGs, reservoirs
+  // and index shapes round-tripped exactly).
+  Rng follow_a(TestSeed() + 6), follow_b(TestSeed() + 6);
+  auto feed = [](AqpEngine* e, Rng* r) {
+    for (int i = 0; i < 150; ++i) {
+      Tuple t;
+      t.id = 800000 + static_cast<uint64_t>(i);
+      t[0] = r->NextDouble();
+      t[1] = r->Normal(10, 2);
+      e->Insert(t);
+    }
+    for (uint64_t id = 300; id < 340; ++id) e->Delete(id * 7);
+  };
+  feed(engine.get(), &follow_a);
+  feed(restored.get(), &follow_b);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResult(engine->Query(queries[i]), restored->Query(queries[i]),
+                     name, i);
+  }
+  ExpectSameStats(engine->Stats(), restored->Stats(), name);
+
+  std::remove(path.c_str());
+}
+
+TEST_P(EngineConformanceTest, LoadRejectsSnapshotFromOtherEngine) {
+  const std::string name = GetParam().name;
+  // A snapshot written by a different backend must be rejected by name, not
+  // misparsed. ("rs" engines get an "srs" snapshot, everything else "rs".)
+  const std::string other = name == "rs" ? "srs" : "rs";
+  auto donor = EngineRegistry::Create(other, BaseConfig());
+  auto ds = GenerateUniform(500, 1, TestSeed() + 7);
+  donor->LoadInitial(ds.rows);
+  donor->Initialize();
+  std::string label = name;
+  std::replace(label.begin(), label.end(), ':', '_');
+  const std::string path = ::testing::TempDir() + "/mismatch_" + label +
+                           "_" + std::to_string(GetParam().shards) + ".snap";
+  donor->Save(path);
+
+  auto engine = EngineRegistry::Create(name, ConfigFor(GetParam()));
+  EXPECT_THROW(engine->Load(path), persist::PersistError) << name;
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -400,14 +548,14 @@ TEST(EngineConfigTest, FromArgsParsesEveryKnob) {
 }
 
 TEST(EngineDriverTest, ConsumesAllThreeTopics) {
-  auto ds = GenerateUniform(10000, 1, 91);
+  auto ds = GenerateUniform(10000, 1, TestSeed() + 91);
   auto engine = EngineRegistry::Create("janus", BaseConfig());
   engine->LoadInitial(ds.rows);
   engine->Initialize();
   engine->RunCatchupToGoal();
 
   Broker broker;
-  Rng rng(15);
+  Rng rng(TestSeed() + 15);
   std::vector<Tuple> fresh;
   for (int i = 0; i < 3000; ++i) {
     Tuple t;
@@ -449,7 +597,7 @@ TEST(EngineDriverTest, WorksAgainstEveryEngine) {
   // each registered backend, sharded compositions included (the driver is
   // routed through them unchanged).
   for (const std::string& name : EngineRegistry::Global().Names()) {
-    auto ds = GenerateUniform(5000, 1, 17);
+    auto ds = GenerateUniform(5000, 1, TestSeed() + 17);
     EngineConfig cfg = BaseConfig();
     cfg.num_shards = 2;
     auto engine = EngineRegistry::Create(name, cfg);
@@ -457,7 +605,7 @@ TEST(EngineDriverTest, WorksAgainstEveryEngine) {
     engine->Initialize();
 
     Broker broker;
-    Rng rng(19);
+    Rng rng(TestSeed() + 19);
     for (int i = 0; i < 500; ++i) {
       Tuple t;
       t.id = 900000 + static_cast<uint64_t>(i);
