@@ -19,6 +19,7 @@
 #include "api/registry.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
+#include "data/scan.h"
 #include "data/workload.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -44,7 +45,11 @@ inline ErrorStats EvaluateWorkload(const AqpEngine& engine,
                                    const std::vector<Tuple>& rows,
                                    const std::vector<AggQuery>& queries) {
   ErrorStats out;
-  const auto truths = ExactAnswers(rows, queries);
+  // Ground truths via the morsel-parallel layer on the shared scan pool:
+  // transpose once, then fan the queries out one per worker slot.
+  const auto truths =
+      ExactAnswers(scan::ToColumnStore(rows, queries), queries,
+                   scan::DefaultExec());
   std::vector<double> errors;
   Timer timer;
   double query_seconds = 0;
@@ -81,6 +86,9 @@ inline std::vector<AggQuery> MakeWorkload(const std::vector<Tuple>& rows,
   // the same, Sec. 6.7).
   opts.min_count = std::max<size_t>(20, rows.size() / 500);
   opts.seed = seed;
+  // Rejection counting on the shared scan pool; the accepted workload is
+  // identical to the serial path's (threshold counts are exact).
+  opts.exec = scan::DefaultExec();
   return gen.Generate(rows, opts);
 }
 

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI bench jobs.
+
+Reads bench JSON lines (one object per line, as emitted by
+bench_columnar_scan / bench_shard_scaling / bench_parallel_scan), extracts
+per-metric throughput, and fails (exit 1) if any metric present in the
+checked-in baseline dropped more than --tolerance (default 25%) below its
+baseline value.
+
+The baseline records throughput *floors*, not exact expectations: CI runner
+hardware varies run to run, so floors are set conservatively and ratcheted
+up by committing the BENCH_parallel.json artifact of a healthy run (scaled
+by the tolerance) when the fleet speeds up. Metrics in the measurement that
+have no baseline entry are reported but never fail the job, so adding a
+bench metric does not require a baseline in the same change.
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline/bench_baseline.json \
+      --measured BENCH_parallel.json [--tolerance 0.25]
+
+Baseline format: {"<bench>/<metric>/<key>": rows_per_sec, ...} where <key>
+is "path=column" / "threads=8" / "shards=4" style, matching MetricKey().
+"""
+
+import argparse
+import json
+import sys
+
+
+def metric_key(obj):
+    """Stable identity of one bench measurement line, or None to skip."""
+    bench = obj.get("bench")
+    if bench is None or "error" in obj:
+        return None
+    metric = obj.get("metric")
+    if metric is None:
+        if bench == "shard_scaling" and "inserts_per_sec" in obj:
+            metric = "ingest"  # apply-rate lines carry no metric field
+        else:
+            return None
+    if "path" in obj:
+        qual = "path=%s" % obj["path"]
+    elif "threads" in obj:
+        qual = "threads=%s" % obj["threads"]
+    elif "shards" in obj:
+        qual = "shards=%s" % obj["shards"]
+    else:
+        qual = "default"
+    return "%s/%s/%s" % (bench, metric, qual)
+
+
+def throughput(obj):
+    for field in ("rows_per_sec", "inserts_per_sec", "records_per_sec",
+                  "updates_per_sec", "queries_per_sec"):
+        if field in obj:
+            return float(obj[field])
+    return None
+
+
+def load_measurements(paths):
+    out = {}
+    errors = []
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if "error" in obj:
+                    errors.append(line)
+                    continue
+                key = metric_key(obj)
+                rate = throughput(obj)
+                if key is None or rate is None:
+                    continue
+                # Keep the best rate per key (benches may emit several reps).
+                out[key] = max(out.get(key, 0.0), rate)
+    return out, errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--measured", required=True, nargs="+")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="maximum allowed fractional drop vs baseline")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    measured, errors = load_measurements(args.measured)
+
+    failures = []
+    for line in errors:
+        # Correctness tripwires from the benches are fatal regardless of
+        # throughput.
+        failures.append("bench error line: %s" % line)
+        print("ERROR %s" % line)
+    print("%-55s %14s %14s %8s" % ("metric", "baseline", "measured", "ratio"))
+    for key in sorted(set(baseline) | set(measured)):
+        base = baseline.get(key)
+        got = measured.get(key)
+        if base is None:
+            print("%-55s %14s %14.3e %8s" % (key, "-", got, "new"))
+            continue
+        if got is None:
+            failures.append("%s: present in baseline but not measured" % key)
+            print("%-55s %14.3e %14s %8s" % (key, base, "-", "MISSING"))
+            continue
+        ratio = got / base if base > 0 else float("inf")
+        status = "ok" if got >= (1.0 - args.tolerance) * base else "FAIL"
+        print("%-55s %14.3e %14.3e %7.2fx %s" % (key, base, got, ratio,
+                                                 status))
+        if status == "FAIL":
+            failures.append(
+                "%s: %.3e < %.0f%% of baseline %.3e"
+                % (key, got, 100 * (1.0 - args.tolerance), base))
+
+    if failures:
+        print("\nPERF REGRESSION (> %.0f%% drop):" % (100 * args.tolerance))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nAll metrics within %.0f%% of baseline." % (100 * args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -178,6 +178,8 @@ EngineConfig EngineConfig::FromArgs(const ArgMap& args) {
   c.num_strata = args.GetInt("strata", c.num_strata);
   c.train_fraction = args.GetDouble("train_fraction", c.train_fraction);
   c.num_shards = args.GetInt("shards", c.num_shards);
+  c.scan_threads = args.GetInt("scan_threads", c.scan_threads);
+  c.parallel_min_rows = args.GetSize("parallel_min_rows", c.parallel_min_rows);
   c.snapshot_path = args.GetString("snapshot_path", c.snapshot_path);
   c.snapshot_every = args.GetUint64("snapshot_every", c.snapshot_every);
   c.seed = args.GetUint64("seed", c.seed);
@@ -209,7 +211,9 @@ std::string EngineConfig::ToString() const {
      << " starvation=" << starvation_factor
      << " psi=" << partial_repartition_psi;
   if (num_strata > 0) os << " strata=" << num_strata;
-  os << " train_fraction=" << train_fraction << " shards=" << num_shards;
+  os << " train_fraction=" << train_fraction << " shards=" << num_shards
+     << " scan_threads=" << scan_threads
+     << " parallel_min_rows=" << parallel_min_rows;
   if (!snapshot_path.empty()) os << " snapshot_path=" << snapshot_path;
   if (snapshot_every > 0) os << " snapshot_every=" << snapshot_every;
   os << " seed=" << seed;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/spt.h"
+#include "data/exec_context.h"
 #include "data/schema.h"
 
 namespace janus {
@@ -47,7 +48,8 @@ class ArgMap {
 /// CLI keys (via FromArgs): engine, agg, pred, tracked, columns, leaves,
 /// sample_rate (alias alpha), catchup_rate (alias catchup), confidence,
 /// focus, algorithm, triggers, beta, check_interval, starvation, psi,
-/// strata, train_fraction, shards, snapshot_path, snapshot_every, seed.
+/// strata, train_fraction, shards, scan_threads, parallel_min_rows,
+/// snapshot_path, snapshot_every, seed.
 struct EngineConfig {
   /// Registry name: "janus", "multi", "rs", "srs", "spn", "spt", or a
   /// composed "sharded:<inner>" key.
@@ -92,6 +94,15 @@ struct EngineConfig {
   /// Number of hash shards, each with its own inner engine and maintenance
   /// thread. Ignored by non-sharded engines.
   int num_shards = 4;
+
+  // --- parallel scan execution ----------------------------------------------
+  /// Worker cap for morsel-parallel archival scans (exact initialization,
+  /// catch-up batches, strata construction): 0 = all shared-pool threads
+  /// (hardware concurrency / JANUS_SCAN_THREADS), 1 = serial, N = at most N
+  /// workers per scan.
+  int scan_threads = 0;
+  /// Cost cutoff: scans under this many rows stay serial.
+  size_t parallel_min_rows = scan::kDefaultParallelMinRows;
 
   // --- snapshot persistence -------------------------------------------------
   /// Where EngineDriver writes periodic snapshots (AqpEngine::Save format);

@@ -1,31 +1,100 @@
 #include "api/engine.h"
 
-#include <atomic>
+#include <mutex>
 
+#include "data/parallel_scan.h"
 #include "util/thread_pool.h"
 
 namespace janus {
 
+// --- public API: the concurrency contract ----------------------------------
+
+void AqpEngine::LoadInitial(const std::vector<Tuple>& rows) {
+  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  LoadInitialImpl(rows);
+}
+
+void AqpEngine::Initialize() {
+  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  InitializeImpl();
+}
+
+void AqpEngine::Insert(const Tuple& t) {
+  UpdateRoom room(internal() ? nullptr : &rooms_);
+  if (update_concurrency() == UpdateConcurrency::kSerial) {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    InsertImpl(t);
+    return;
+  }
+  InsertImpl(t);
+}
+
+bool AqpEngine::Delete(uint64_t id) {
+  UpdateRoom room(internal() ? nullptr : &rooms_);
+  if (update_concurrency() == UpdateConcurrency::kSerial) {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    return DeleteImpl(id);
+  }
+  return DeleteImpl(id);
+}
+
+QueryResult AqpEngine::Query(const AggQuery& q) const {
+  ReadRoom room(internal() ? nullptr : &rooms_);
+  return QueryImpl(q);
+}
+
 std::vector<QueryResult> AqpEngine::QueryBatch(
+    const std::vector<AggQuery>& queries, ThreadPool* pool) const {
+  ReadRoom room(internal() ? nullptr : &rooms_);
+  return QueryBatchImpl(queries, pool);
+}
+
+void AqpEngine::RunCatchupToGoal() {
+  // Catch-up shares the update room with inserts/deletes (leaf statistics
+  // are per-leaf locked) but is serialized against itself: the catch-up
+  // engine's draw RNG and progress counters are single-writer state.
+  UpdateRoom room(internal() ? nullptr : &rooms_);
+  std::lock_guard<std::mutex> lock(update_mu_);
+  RunCatchupToGoalImpl();
+}
+
+size_t AqpEngine::StepCatchup(size_t batch) {
+  UpdateRoom room(internal() ? nullptr : &rooms_);
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return StepCatchupImpl(batch);
+}
+
+void AqpEngine::Reinitialize() {
+  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  ReinitializeImpl();
+}
+
+EngineStats AqpEngine::Stats() const {
+  ReadRoom room(internal() ? nullptr : &rooms_);
+  return StatsImpl();
+}
+
+std::vector<QueryResult> AqpEngine::QueryBatchImpl(
     const std::vector<AggQuery>& queries, ThreadPool* pool) const {
   std::vector<QueryResult> out(queries.size());
   if (pool == nullptr || pool->num_threads() <= 1 || queries.size() < 2) {
-    for (size_t i = 0; i < queries.size(); ++i) out[i] = Query(queries[i]);
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = QueryImpl(queries[i]);
     return out;
   }
-  // Work-stealing over a shared cursor: each worker grabs the next
-  // unanswered query, so skewed per-query costs still balance.
-  std::atomic<size_t> next{0};
-  const size_t workers = std::min(pool->num_threads(), queries.size());
-  for (size_t w = 0; w < workers; ++w) {
-    pool->Submit([this, &queries, &out, &next] {
-      for (size_t i = next.fetch_add(1); i < queries.size();
-           i = next.fetch_add(1)) {
-        out[i] = Query(queries[i]);
-      }
-    });
-  }
-  pool->WaitIdle();
+  // Work-stealing over a shared cursor (scan::ForEachIndex): each worker
+  // grabs the next unanswered query, so skewed per-query costs still
+  // balance, and workers call QueryImpl directly — the caller already holds
+  // the read room for the whole batch. Completion is a per-call latch, the
+  // caller drains the cursor too, and a batch issued from inside another
+  // fan-out's worker runs inline, so concurrent batches on one shared pool
+  // neither wait on each other nor deadlock.
+  scan::ExecContext ctx;
+  ctx.pool = pool;
+  const size_t workers = std::min(pool->num_threads() + 1, queries.size());
+  scan::ForEachIndex(ctx, queries.size(), workers, [this, &queries, &out](
+                                                       size_t i) {
+    out[i] = QueryImpl(queries[i]);
+  });
   return out;
 }
 
@@ -42,6 +111,9 @@ void AqpEngine::LoadState(persist::Reader* r) {
 }
 
 void AqpEngine::Save(const std::string& path, const SnapshotMeta& meta) const {
+  // Reader role: concurrent queries may proceed, updates are fenced off for
+  // the duration of the state capture (kInternal engines quiesce per shard).
+  ReadRoom room(internal() ? nullptr : &rooms_);
   persist::Writer payload;
   SnapshotMeta stamped = meta;
   stamped.engine = name();
@@ -51,6 +123,7 @@ void AqpEngine::Save(const std::string& path, const SnapshotMeta& meta) const {
 }
 
 SnapshotMeta AqpEngine::Load(const std::string& path) {
+  ExclusiveRoom room(internal() ? nullptr : &rooms_);
   // File-level verification (magic, version, size, checksum) happens fully
   // before any engine state is touched, so file corruption never mutates a
   // live engine. State-level mismatches inside LoadState (wrong config for

@@ -9,6 +9,7 @@
 #include "data/table.h"
 #include "data/workload.h"
 #include "persist/snapshot.h"
+#include "util/room_lock.h"
 
 namespace janus {
 
@@ -33,6 +34,11 @@ struct EngineStats {
 
   size_t catchup_processed = 0;
   double catchup_processing_seconds = 0;
+
+  /// Archival scans that took the morsel-parallel path vs stayed serial
+  /// (cost cutoff, scan_threads=1, or nested inside another scan).
+  uint64_t parallel_scans = 0;
+  uint64_t serial_scans = 0;
   double last_reopt_seconds = 0;      ///< last re-optimization, wall clock
   double last_blocking_seconds = 0;   ///< blocking step of the last re-opt
   double build_seconds = 0;           ///< last full (re)build / retrain
@@ -54,65 +60,72 @@ struct EngineStats {
 /// implements it, so benches, examples and the streaming driver are written
 /// once against this class and run against any registered engine.
 ///
-/// Contracts (inherited from the underlying systems):
-///  - LoadInitial() may be called repeatedly before Initialize().
-///  - Insert()/Delete() require Initialize() to have run; engines whose
-///    maintenance path is thread-safe (janus) accept them from multiple
-///    threads, the others must be driven from one thread.
-///  - Query()/QueryBatch() must be externally quiesced against concurrent
-///    updates, exactly as the experiment drivers do; concurrent *readers*
-///    are always allowed.
-///  - Exception: the "sharded:<inner>" engines (api/sharded.h) strengthen
-///    this to a fully concurrent contract — Insert()/Delete() from any
-///    number of threads and Query()/QueryBatch()/Stats() concurrent with
-///    updates, with an internal per-shard quiesce point providing
-///    read-your-writes. No external quiescing is required for them.
+/// Concurrency contract (provided by this base class; no external quiescing
+/// required for any engine):
+///  - Query()/QueryBatch()/Stats()/Save() are *readers*: any number may run
+///    concurrently, against one engine, from any threads.
+///  - Insert()/Delete()/StepCatchup()/RunCatchupToGoal() are *updaters*:
+///    they exclude readers but run concurrently with each other when the
+///    backend's maintenance path is thread-safe (update_concurrency()
+///    kConcurrent — janus); otherwise the base class serializes them too.
+///  - LoadInitial()/Initialize()/Reinitialize()/Load() are *exclusive*.
+/// The two rooms alternate under contention (util/room_lock.h), so a steady
+/// update stream cannot starve queries or vice versa. The "sharded:<inner>"
+/// engines implement their own, stronger synchronization (per-shard quiesce
+/// points give read-your-writes) and opt out of the base locking entirely.
+///
+/// Subclasses implement the protected *Impl hooks; the public non-virtual
+/// API wraps them in the contract above.
 class AqpEngine {
  public:
   virtual ~AqpEngine() = default;
+
+  /// How the base class synchronizes this engine.
+  enum class UpdateConcurrency {
+    kSerial,      ///< base serializes updates (single-threaded backends)
+    kConcurrent,  ///< backend accepts concurrent updates (janus)
+    kInternal,    ///< fully internally synchronized (sharded); no base locks
+  };
 
   /// Registry name of this engine ("janus", "rs", ...).
   virtual const char* name() const = 0;
 
   /// Bulk-load historical data without per-update overhead.
-  virtual void LoadInitial(const std::vector<Tuple>& rows) = 0;
+  void LoadInitial(const std::vector<Tuple>& rows);
 
   /// Build the synopsis from the loaded archive.
-  virtual void Initialize() = 0;
+  void Initialize();
 
   /// Process one insertion.
-  virtual void Insert(const Tuple& t) = 0;
+  void Insert(const Tuple& t);
 
   /// Process one deletion by tuple id. Returns false if the id is not live.
-  virtual bool Delete(uint64_t id) = 0;
+  bool Delete(uint64_t id);
 
   /// Answer one query from the synopsis (never touches the archive).
-  virtual QueryResult Query(const AggQuery& q) const = 0;
+  QueryResult Query(const AggQuery& q) const;
 
   /// Answer a whole workload. With a pool, queries fan out over its worker
-  /// threads (the synopsis is read-only during a batch, so parallel readers
-  /// are safe); without one the batch runs inline. Results are positionally
+  /// threads under one read-room hold (the synopsis is read-only during a
+  /// batch); without one the batch runs inline. Results are positionally
   /// aligned with `queries`.
-  virtual std::vector<QueryResult> QueryBatch(
-      const std::vector<AggQuery>& queries, ThreadPool* pool = nullptr) const;
+  std::vector<QueryResult> QueryBatch(const std::vector<AggQuery>& queries,
+                                      ThreadPool* pool = nullptr) const;
 
   /// Drive background statistics refinement to its goal. No-op for engines
   /// without a catch-up phase.
-  virtual void RunCatchupToGoal() {}
+  void RunCatchupToGoal();
 
   /// Absorb up to `batch` catch-up samples; returns how many were absorbed
   /// (0 for engines without catch-up).
-  virtual size_t StepCatchup(size_t batch) {
-    (void)batch;
-    return 0;
-  }
+  size_t StepCatchup(size_t batch);
 
   /// Full re-optimization / retrain from the current archive. No-op for
   /// engines whose synopsis never moves (rs, srs).
-  virtual void Reinitialize() {}
+  void Reinitialize();
 
   /// Uniform counter/memory snapshot.
-  virtual EngineStats Stats() const = 0;
+  EngineStats Stats() const;
 
   /// The evolving archive table, when the engine owns one (all built-in
   /// engines do). Exact ground truths in examples run the columnar scan
@@ -133,11 +146,12 @@ class AqpEngine {
   // composes with the broker: snapshot + replayed stream tail == never
   // crashed (see EngineDriver::SaveSnapshot/LoadSnapshot).
   //
-  // Concurrency: Save/SaveState read unsynchronized engine state — quiesce
-  // updates first, exactly like Query(). The "sharded:*" engines are again
-  // the exception: their SaveState/LoadState quiesce each shard internally,
-  // so a snapshot taken under concurrent ingest is a consistent per-shard
-  // cut of everything enqueued before the call.
+  // Concurrency: Save() reads in the read room (concurrent updates are
+  // fenced off for the duration); Load() is exclusive. Direct
+  // SaveState/LoadState calls bypass the rooms — quiesce externally. The
+  // "sharded:*" engines quiesce each shard internally, so a snapshot taken
+  // under concurrent ingest is a consistent per-shard cut of everything
+  // enqueued before the call.
 
   /// Serialize complete engine state into `w`. Engines registered at
   /// runtime without an override reject with persist::PersistError.
@@ -160,6 +174,41 @@ class AqpEngine {
   /// time). Throws persist::PersistError on bad magic / version / checksum /
   /// truncation / engine mismatch — never crashes on corrupt input.
   SnapshotMeta Load(const std::string& path);
+
+ protected:
+  /// How the base class must synchronize updates for this backend.
+  virtual UpdateConcurrency update_concurrency() const {
+    return UpdateConcurrency::kSerial;
+  }
+
+  // Backend hooks behind the public API above. Implementations may assume
+  // the base class has provided the documented synchronization (kInternal
+  // engines are called bare and synchronize themselves).
+  virtual void LoadInitialImpl(const std::vector<Tuple>& rows) = 0;
+  virtual void InitializeImpl() = 0;
+  virtual void InsertImpl(const Tuple& t) = 0;
+  virtual bool DeleteImpl(uint64_t id) = 0;
+  virtual QueryResult QueryImpl(const AggQuery& q) const = 0;
+  /// Default: work-stealing fan-out over `pool` calling QueryImpl (already
+  /// inside the read room).
+  virtual std::vector<QueryResult> QueryBatchImpl(
+      const std::vector<AggQuery>& queries, ThreadPool* pool) const;
+  virtual void RunCatchupToGoalImpl() {}
+  virtual size_t StepCatchupImpl(size_t batch) {
+    (void)batch;
+    return 0;
+  }
+  virtual void ReinitializeImpl() {}
+  virtual EngineStats StatsImpl() const = 0;
+
+ private:
+  bool internal() const {
+    return update_concurrency() == UpdateConcurrency::kInternal;
+  }
+
+  mutable RoomLock rooms_;
+  /// Serializes updates among themselves for kSerial backends.
+  mutable std::mutex update_mu_;
 };
 
 }  // namespace janus

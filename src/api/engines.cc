@@ -27,8 +27,23 @@ size_t ReservoirBytes(size_t sample_tuples) {
   return sample_tuples * sizeof(Tuple);
 }
 
-JanusOptions MakeJanusOptions(const EngineConfig& c) {
+/// Morsel-parallel execution context of one engine: the shared scan pool
+/// capped at scan_threads workers (scan_threads=1 pins every scan serial),
+/// with telemetry flowing into the engine's own counters.
+scan::ExecContext MakeExec(const EngineConfig& c,
+                           scan::ScanCounters* counters) {
+  scan::ExecContext e;
+  if (c.scan_threads != 1) e.pool = scan::SharedScanPool();
+  e.max_workers = c.scan_threads > 0 ? static_cast<size_t>(c.scan_threads) : 0;
+  e.parallel_min_rows = c.parallel_min_rows;
+  e.counters = counters;
+  return e;
+}
+
+JanusOptions MakeJanusOptions(const EngineConfig& c,
+                              scan::ScanCounters* counters) {
   JanusOptions o;
+  o.exec = MakeExec(c, counters);
   o.schema = c.schema;
   o.spec.agg_column = c.agg_column;
   o.spec.predicate_columns = c.predicate_columns;
@@ -51,28 +66,29 @@ JanusOptions MakeJanusOptions(const EngineConfig& c) {
 /// "janus": the full JanusAQP system of Sec. 4/5.
 class JanusEngine : public AqpEngine {
  public:
-  explicit JanusEngine(const EngineConfig& c) : impl_(MakeJanusOptions(c)) {}
+  explicit JanusEngine(const EngineConfig& c)
+      : impl_(MakeJanusOptions(c, &scan_counters_)) {}
 
   const char* name() const override { return "janus"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     impl_.LoadInitial(rows);
   }
-  void Initialize() override {
+  void InitializeImpl() override {
     impl_.Initialize();
     initialized_ = true;
   }
-  void Insert(const Tuple& t) override { impl_.Insert(t); }
-  bool Delete(uint64_t id) override { return impl_.Delete(id); }
-  QueryResult Query(const AggQuery& q) const override {
+  void InsertImpl(const Tuple& t) override { impl_.Insert(t); }
+  bool DeleteImpl(uint64_t id) override { return impl_.Delete(id); }
+  QueryResult QueryImpl(const AggQuery& q) const override {
     return impl_.Query(q);
   }
-  void RunCatchupToGoal() override { impl_.RunCatchupToGoal(); }
-  size_t StepCatchup(size_t batch) override {
+  void RunCatchupToGoalImpl() override { impl_.RunCatchupToGoal(); }
+  size_t StepCatchupImpl(size_t batch) override {
     return impl_.StepCatchup(batch);
   }
-  void Reinitialize() override { impl_.Reinitialize(); }
+  void ReinitializeImpl() override { impl_.Reinitialize(); }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats s;
     s.engine = name();
     s.rows = impl_.table().size();
@@ -94,6 +110,8 @@ class JanusEngine : public AqpEngine {
       s.synopsis_bytes = impl_.dpt().MemoryBytes() +
                          ReservoirBytes(impl_.reservoir().size());
     }
+    s.parallel_scans = scan_counters_.parallel_scans.load();
+    s.serial_scans = scan_counters_.serial_scans.load();
     return s;
   }
   const DynamicTable* table() const override { return &impl_.table(); }
@@ -107,7 +125,15 @@ class JanusEngine : public AqpEngine {
     initialized_ = impl_.initialized();
   }
 
+ protected:
+  /// JanusAQP's maintenance path is thread-safe (per-leaf statistic locks +
+  /// an internal table/reservoir mutex), so updates run concurrently.
+  UpdateConcurrency update_concurrency() const override {
+    return UpdateConcurrency::kConcurrent;
+  }
+
  private:
+  scan::ScanCounters scan_counters_;
   JanusAqp impl_;
   bool initialized_ = false;
 };
@@ -116,7 +142,7 @@ class JanusEngine : public AqpEngine {
 class MultiEngine : public AqpEngine {
  public:
   explicit MultiEngine(const EngineConfig& c)
-      : impl_(MakeJanusOptions(c)), inserts_(0), deletes_(0) {
+      : impl_(MakeJanusOptions(c, &scan_counters_)), inserts_(0), deletes_(0) {
     SynopsisSpec spec;
     spec.agg_column = c.agg_column;
     spec.predicate_columns = c.predicate_columns;
@@ -124,23 +150,23 @@ class MultiEngine : public AqpEngine {
   }
 
   const char* name() const override { return "multi"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     impl_.LoadInitial(rows);
   }
-  void Initialize() override {
+  void InitializeImpl() override {
     impl_.Initialize();
     initialized_ = true;
   }
-  void Insert(const Tuple& t) override {
+  void InsertImpl(const Tuple& t) override {
     impl_.Insert(t);
     ++inserts_;
   }
-  bool Delete(uint64_t id) override {
+  bool DeleteImpl(uint64_t id) override {
     const bool ok = impl_.Delete(id);
     if (ok) ++deletes_;
     return ok;
   }
-  QueryResult Query(const AggQuery& q) const override {
+  QueryResult QueryImpl(const AggQuery& q) const override {
     // Template discovery mutates the manager; the engine stays logically
     // const (a cache fill), hence the mutable member. Concurrent readers
     // are allowed by the AqpEngine contract, so discovery takes the write
@@ -153,8 +179,9 @@ class MultiEngine : public AqpEngine {
     std::unique_lock<std::shared_mutex> lock(template_mu_);
     return impl_.Query(q);
   }
-  std::vector<QueryResult> QueryBatch(const std::vector<AggQuery>& queries,
-                                      ThreadPool* pool) const override {
+  std::vector<QueryResult> QueryBatchImpl(
+      const std::vector<AggQuery>& queries,
+      ThreadPool* pool) const override {
     // Materialize any missing templates serially first so the fan-out only
     // performs read-only tree lookups.
     {
@@ -168,11 +195,11 @@ class MultiEngine : public AqpEngine {
         }
       }
     }
-    return AqpEngine::QueryBatch(queries, pool);
+    return AqpEngine::QueryBatchImpl(queries, pool);
   }
-  void RunCatchupToGoal() override { impl_.RunCatchupToGoal(); }
+  void RunCatchupToGoalImpl() override { impl_.RunCatchupToGoal(); }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     // Shares template_mu_ with Query(): on-demand template discovery may
     // reallocate the template list under a concurrent reader.
     std::shared_lock<std::shared_mutex> lock(template_mu_);
@@ -190,6 +217,8 @@ class MultiEngine : public AqpEngine {
         s.synopsis_bytes += impl_.dpt(static_cast<int>(i)).MemoryBytes();
       }
     }
+    s.parallel_scans = scan_counters_.parallel_scans.load();
+    s.serial_scans = scan_counters_.serial_scans.load();
     return s;
   }
   const DynamicTable* table() const override { return &impl_.table(); }
@@ -214,6 +243,7 @@ class MultiEngine : public AqpEngine {
   }
 
  private:
+  scan::ScanCounters scan_counters_;
   mutable MultiTemplateJanus impl_;
   mutable std::shared_mutex template_mu_;
   bool initialized_ = false;
@@ -234,24 +264,24 @@ class RsEngine : public AqpEngine {
   }
 
   const char* name() const override { return "rs"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     impl_->LoadInitial(rows);
   }
-  void Initialize() override { impl_->Initialize(); }
-  void Insert(const Tuple& t) override {
+  void InitializeImpl() override { impl_->Initialize(); }
+  void InsertImpl(const Tuple& t) override {
     impl_->Insert(t);
     ++inserts_;
   }
-  bool Delete(uint64_t id) override {
+  bool DeleteImpl(uint64_t id) override {
     const bool ok = impl_->Delete(id);
     if (ok) ++deletes_;
     return ok;
   }
-  QueryResult Query(const AggQuery& q) const override {
+  QueryResult QueryImpl(const AggQuery& q) const override {
     return impl_->Query(q);
   }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats s;
     s.engine = name();
     s.rows = impl_->table().size();
@@ -293,28 +323,29 @@ class SrsEngine : public AqpEngine {
     o.sample_rate = c.sample_rate;
     o.confidence = c.confidence;
     o.seed = c.seed;
+    o.exec = MakeExec(c, &scan_counters_);
     impl_ = std::make_unique<StratifiedReservoirBaseline>(o);
   }
 
   const char* name() const override { return "srs"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     impl_->LoadInitial(rows);
   }
-  void Initialize() override { impl_->Initialize(); }
-  void Insert(const Tuple& t) override {
+  void InitializeImpl() override { impl_->Initialize(); }
+  void InsertImpl(const Tuple& t) override {
     impl_->Insert(t);
     ++inserts_;
   }
-  bool Delete(uint64_t id) override {
+  bool DeleteImpl(uint64_t id) override {
     const bool ok = impl_->Delete(id);
     if (ok) ++deletes_;
     return ok;
   }
-  QueryResult Query(const AggQuery& q) const override {
+  QueryResult QueryImpl(const AggQuery& q) const override {
     return impl_->Query(q);
   }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats s;
     s.engine = name();
     s.rows = impl_->table().size();
@@ -323,6 +354,8 @@ class SrsEngine : public AqpEngine {
     s.deletes = deletes_;
     s.archive_bytes = impl_->table().MemoryBytes();
     s.synopsis_bytes = ReservoirBytes(impl_->sample_size());
+    s.parallel_scans = scan_counters_.parallel_scans.load();
+    s.serial_scans = scan_counters_.serial_scans.load();
     return s;
   }
   const DynamicTable* table() const override { return &impl_->table(); }
@@ -339,6 +372,7 @@ class SrsEngine : public AqpEngine {
   }
 
  private:
+  scan::ScanCounters scan_counters_;
   std::unique_ptr<StratifiedReservoirBaseline> impl_;
   uint64_t inserts_ = 0;
   uint64_t deletes_ = 0;
@@ -354,27 +388,27 @@ class SpnEngine : public AqpEngine {
       : cfg_(c), table_(c.schema), rng_(c.seed) {}
 
   const char* name() const override { return "spn"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     for (const Tuple& t : rows) table_.Insert(t);
   }
-  void Initialize() override { Retrain(); }
-  void Reinitialize() override { Retrain(); }
-  void Insert(const Tuple& t) override {
+  void InitializeImpl() override { Retrain(); }
+  void ReinitializeImpl() override { Retrain(); }
+  void InsertImpl(const Tuple& t) override {
     table_.Insert(t);
     ++inserts_;
     if (spn_) spn_->set_population(table_.size());
   }
-  bool Delete(uint64_t id) override {
+  bool DeleteImpl(uint64_t id) override {
     if (!table_.Delete(id)) return false;
     ++deletes_;
     if (spn_) spn_->set_population(table_.size());
     return true;
   }
-  QueryResult Query(const AggQuery& q) const override {
+  QueryResult QueryImpl(const AggQuery& q) const override {
     return spn_ ? spn_->Query(q) : QueryResult{};
   }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats s;
     s.engine = name();
     s.rows = table_.size();
@@ -453,20 +487,21 @@ class SpnEngine : public AqpEngine {
 /// against. Reinitialize() rebuilds from the current archive.
 class SptEngine : public AqpEngine {
  public:
-  explicit SptEngine(const EngineConfig& c) : cfg_(c), table_(c.schema) {}
+  explicit SptEngine(const EngineConfig& c)
+      : cfg_(c), exec_(MakeExec(c, &scan_counters_)), table_(c.schema) {}
 
   const char* name() const override { return "spt"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     for (const Tuple& t : rows) table_.Insert(t);
   }
-  void Initialize() override { Rebuild(); }
-  void Reinitialize() override { Rebuild(); }
-  void Insert(const Tuple& t) override {
+  void InitializeImpl() override { Rebuild(); }
+  void ReinitializeImpl() override { Rebuild(); }
+  void InsertImpl(const Tuple& t) override {
     table_.Insert(t);
     ++inserts_;
     if (dpt_) dpt_->ApplyInsert(t);
   }
-  bool Delete(uint64_t id) override {
+  bool DeleteImpl(uint64_t id) override {
     const std::optional<Tuple> p = table_.Find(id);
     if (!p.has_value()) return false;
     const Tuple t = *p;
@@ -475,11 +510,11 @@ class SptEngine : public AqpEngine {
     if (dpt_) dpt_->ApplyDelete(t);
     return true;
   }
-  QueryResult Query(const AggQuery& q) const override {
+  QueryResult QueryImpl(const AggQuery& q) const override {
     return dpt_ ? dpt_->Query(q) : QueryResult{};
   }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats s;
     s.engine = name();
     s.rows = table_.size();
@@ -490,6 +525,8 @@ class SptEngine : public AqpEngine {
     s.partition_seconds = build_.partition_seconds;
     s.archive_bytes = table_.MemoryBytes();
     s.synopsis_bytes = dpt_ ? dpt_->MemoryBytes() : 0;
+    s.parallel_scans = scan_counters_.parallel_scans.load();
+    s.serial_scans = scan_counters_.serial_scans.load();
     return s;
   }
   const DynamicTable* table() const override { return &table_; }
@@ -540,6 +577,7 @@ class SptEngine : public AqpEngine {
     o.algorithm = cfg_.algorithm;
     o.confidence = cfg_.confidence;
     o.seed = cfg_.seed;
+    o.exec = exec_;
     return o;
   }
 
@@ -549,6 +587,8 @@ class SptEngine : public AqpEngine {
   }
 
   EngineConfig cfg_;
+  scan::ScanCounters scan_counters_;
+  scan::ExecContext exec_;
   DynamicTable table_;
   std::unique_ptr<Dpt> dpt_;
   SptBuildResult build_;

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/completion_latch.h"
 #include "util/mpsc_queue.h"
 
 namespace janus {
@@ -210,13 +211,20 @@ void ShardedEngine::ForEachShardParallel(
     fn(0);
     return;
   }
+  // Per-call latch, not pool-global WaitIdle: concurrent fan-outs (Stats
+  // alongside QueryBatch — both readers under the new contract) must not
+  // wait on each other's shard tasks.
+  CompletionLatch latch(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    pool_.Submit([&fn, i] { fn(i); });
+    pool_.Submit([&fn, &latch, i] {
+      fn(i);
+      latch.Arrive();
+    });
   }
-  pool_.WaitIdle();
+  latch.Wait();
 }
 
-void ShardedEngine::LoadInitial(const std::vector<Tuple>& rows) {
+void ShardedEngine::LoadInitialImpl(const std::vector<Tuple>& rows) {
   std::vector<std::vector<Tuple>> parts(shards_.size());
   for (auto& p : parts) p.reserve(rows.size() / shards_.size() + 1);
   for (const Tuple& t : rows) {
@@ -228,18 +236,18 @@ void ShardedEngine::LoadInitial(const std::vector<Tuple>& rows) {
   });
 }
 
-void ShardedEngine::Initialize() {
+void ShardedEngine::InitializeImpl() {
   ForEachShardParallel([this](size_t i) {
     std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
     shards_[i]->engine->Initialize();
   });
 }
 
-void ShardedEngine::Insert(const Tuple& t) {
+void ShardedEngine::InsertImpl(const Tuple& t) {
   shards_[ShardIndexForId(t.id, shards_.size())]->EnqueueInsert(t);
 }
 
-bool ShardedEngine::Delete(uint64_t id) {
+bool ShardedEngine::DeleteImpl(uint64_t id) {
   Shard& shard = *shards_[ShardIndexForId(id, shards_.size())];
   // Drain the shard first so a delete observes every earlier insert of the
   // same id, keeping the not-live return value accurate.
@@ -248,11 +256,11 @@ bool ShardedEngine::Delete(uint64_t id) {
   return shard.engine->Delete(id);
 }
 
-QueryResult ShardedEngine::Query(const AggQuery& q) const {
-  return QueryBatch({q}, nullptr).front();
+QueryResult ShardedEngine::QueryImpl(const AggQuery& q) const {
+  return QueryBatchImpl({q}, nullptr).front();
 }
 
-std::vector<QueryResult> ShardedEngine::QueryBatch(
+std::vector<QueryResult> ShardedEngine::QueryBatchImpl(
     const std::vector<AggQuery>& queries, ThreadPool* pool) const {
   // The fan-out axis is shards, on the internal pool; an external pool adds
   // nothing here (each shard answers the whole batch under one lock hold).
@@ -298,7 +306,7 @@ std::vector<QueryResult> ShardedEngine::QueryBatch(
   return out;
 }
 
-void ShardedEngine::RunCatchupToGoal() {
+void ShardedEngine::RunCatchupToGoalImpl() {
   ForEachShardParallel([this](size_t i) {
     shards_[i]->Quiesce();
     std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
@@ -306,7 +314,7 @@ void ShardedEngine::RunCatchupToGoal() {
   });
 }
 
-size_t ShardedEngine::StepCatchup(size_t batch) {
+size_t ShardedEngine::StepCatchupImpl(size_t batch) {
   // Distribute the budget so the fleet absorbs at most `batch` samples in
   // total, honoring the "up to batch" contract.
   const size_t n = shards_.size();
@@ -325,7 +333,7 @@ size_t ShardedEngine::StepCatchup(size_t batch) {
   return total;
 }
 
-void ShardedEngine::Reinitialize() {
+void ShardedEngine::ReinitializeImpl() {
   ForEachShardParallel([this](size_t i) {
     shards_[i]->Quiesce();
     std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
@@ -333,7 +341,7 @@ void ShardedEngine::Reinitialize() {
   });
 }
 
-EngineStats ShardedEngine::Stats() const {
+EngineStats ShardedEngine::StatsImpl() const {
   // Coherence: each shard's snapshot is taken at the shard's quiesce point
   // under its reader lock, so per-shard counters are internally consistent
   // and monotone; sums of monotone per-shard counters are monotone.
@@ -358,6 +366,8 @@ EngineStats ShardedEngine::Stats() const {
     total.reservoir_resamples += s.reservoir_resamples;
     total.catchup_processed += s.catchup_processed;
     total.catchup_processing_seconds += s.catchup_processing_seconds;
+    total.parallel_scans += s.parallel_scans;
+    total.serial_scans += s.serial_scans;
     total.archive_bytes += s.archive_bytes;
     total.synopsis_bytes += s.synopsis_bytes;
     // Wall-clock style metrics: the slowest shard bounds the fleet.

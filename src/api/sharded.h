@@ -65,17 +65,6 @@ class ShardedEngine : public AqpEngine {
   ~ShardedEngine() override;
 
   const char* name() const override { return name_.c_str(); }
-  void LoadInitial(const std::vector<Tuple>& rows) override;
-  void Initialize() override;
-  void Insert(const Tuple& t) override;
-  bool Delete(uint64_t id) override;
-  QueryResult Query(const AggQuery& q) const override;
-  std::vector<QueryResult> QueryBatch(const std::vector<AggQuery>& queries,
-                                      ThreadPool* pool) const override;
-  void RunCatchupToGoal() override;
-  size_t StepCatchup(size_t batch) override;
-  void Reinitialize() override;
-  EngineStats Stats() const override;
 
   /// Snapshot persistence: each shard is captured at its quiesce point under
   /// its writer lock (every update enqueued before the call is applied
@@ -90,6 +79,25 @@ class ShardedEngine : public AqpEngine {
   size_t num_shards() const { return shards_.size(); }
   /// Inner engine of one shard (test introspection; not quiesced).
   const AqpEngine& shard_engine(size_t shard) const;
+
+ protected:
+  /// The shards provide all synchronization (per-shard quiesce points +
+  /// reader/writer locks); the base-class rooms are bypassed entirely.
+  UpdateConcurrency update_concurrency() const override {
+    return UpdateConcurrency::kInternal;
+  }
+
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override;
+  void InitializeImpl() override;
+  void InsertImpl(const Tuple& t) override;
+  bool DeleteImpl(uint64_t id) override;
+  QueryResult QueryImpl(const AggQuery& q) const override;
+  std::vector<QueryResult> QueryBatchImpl(const std::vector<AggQuery>& queries,
+                                          ThreadPool* pool) const override;
+  void RunCatchupToGoalImpl() override;
+  size_t StepCatchupImpl(size_t batch) override;
+  void ReinitializeImpl() override;
+  EngineStats StatsImpl() const override;
 
  private:
   struct Shard;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/variance.h"
+#include "data/parallel_scan.h"
 #include "persist/serde.h"
 #include "util/stats.h"
 
@@ -37,6 +38,34 @@ int StratifiedReservoirBaseline::StratumOf(const Tuple& t) const {
   return StratumOfKey(t[opts_.predicate_column]);
 }
 
+std::vector<std::vector<size_t>> StratifiedReservoirBaseline::MembersByStratum(
+    size_t num_strata, int only_stratum) const {
+  const ColumnStore& store = table_.store();
+  const ColumnSpan key_col = table_.column(opts_.predicate_column);
+  const size_t n = store.size();
+  const size_t workers = scan::PlanWorkers(opts_.exec, n);
+  std::vector<std::vector<std::vector<size_t>>> parts(
+      workers, std::vector<std::vector<size_t>>(num_strata));
+  scan::ForEachRange(opts_.exec, n, workers,
+                     [&](size_t w, size_t begin, size_t end) {
+                       for (size_t pos = begin; pos < end; ++pos) {
+                         const double key =
+                             key_col.data != nullptr ? key_col[pos] : 0.0;
+                         const int s = StratumOfKey(key);
+                         if (only_stratum >= 0 && s != only_stratum) continue;
+                         parts[w][static_cast<size_t>(s)].push_back(pos);
+                       }
+                     });
+  std::vector<std::vector<size_t>> members = std::move(parts[0]);
+  for (size_t w = 1; w < workers; ++w) {
+    for (size_t s = 0; s < num_strata; ++s) {
+      members[s].insert(members[s].end(), parts[w][s].begin(),
+                        parts[w][s].end());
+    }
+  }
+  return members;
+}
+
 void StratifiedReservoirBaseline::Initialize() {
   rows_at_init_ = table_.size();
   // Equal-depth boundaries from a sort of the predicate column — copied
@@ -66,16 +95,13 @@ void StratifiedReservoirBaseline::Initialize() {
                              static_cast<double>(strata)));
   strata_.clear();
   populations_.assign(strata, 0);
-  // Stratum membership from one pass over the key column; only the rows a
-  // reservoir actually draws are materialized.
+  // Stratum membership from one (morsel-parallel) pass over the key column;
+  // only the rows a reservoir actually draws are materialized.
   const ColumnStore& store = table_.store();
-  std::vector<std::vector<size_t>> members(strata);
-  for (size_t pos = 0; pos < store.size(); ++pos) {
-    const double key =
-        key_col.data != nullptr ? key_col[pos] : 0.0;
-    const int s = StratumOfKey(key);
-    populations_[static_cast<size_t>(s)] += 1;
-    members[static_cast<size_t>(s)].push_back(pos);
+  const std::vector<std::vector<size_t>> members =
+      MembersByStratum(strata, /*only_stratum=*/-1);
+  for (size_t s = 0; s < strata; ++s) {
+    populations_[s] = static_cast<double>(members[s].size());
   }
   for (size_t s = 0; s < strata; ++s) {
     strata_.push_back(
@@ -115,14 +141,13 @@ bool StratifiedReservoirBaseline::Delete(uint64_t id) {
   ReservoirChange ch = strata_[static_cast<size_t>(s)]->OnDelete(id);
   if (ch.needs_resample) {
     // Re-fill this stratum from the archive: membership comes from a dense
-    // scan of the key column, only sampled rows are materialized.
+    // (morsel-parallel) scan of the key column, only sampled rows are
+    // materialized.
     const ColumnStore& store = table_.store();
-    const ColumnSpan key_col = table_.column(opts_.predicate_column);
-    std::vector<size_t> members;
-    for (size_t pos = 0; pos < store.size(); ++pos) {
-      const double key = key_col.data != nullptr ? key_col[pos] : 0.0;
-      if (StratumOfKey(key) == s) members.push_back(pos);
-    }
+    std::vector<std::vector<size_t>> by_stratum =
+        MembersByStratum(strata_.size(), s);
+    const std::vector<size_t> members =
+        std::move(by_stratum[static_cast<size_t>(s)]);
     std::vector<size_t> idx = rng_.SampleIndices(
         members.size(), strata_[static_cast<size_t>(s)]->capacity());
     std::vector<Tuple> sample;

@@ -20,6 +20,9 @@ struct SrsOptions {
   double sample_rate = 0.01;
   double confidence = 0.95;
   uint64_t seed = 23;
+  /// Morsel-parallel execution of the strata-membership archive scans
+  /// (initial construction and drained-stratum refills). Default: serial.
+  scan::ExecContext exec;
 };
 
 /// Stratified Reservoir Sampling (SRS): fixed equal-depth strata over the
@@ -55,6 +58,13 @@ class StratifiedReservoirBaseline {
  private:
   int StratumOf(const Tuple& t) const;
   int StratumOfKey(double key) const;
+  /// Row positions of every stratum, in position order — one pass over the
+  /// key column, morsel-parallel under opts.exec (per-worker partial lists
+  /// concatenate in worker order, so the result matches the serial pass).
+  /// With `only_stratum` >= 0 just that stratum's list is collected (the
+  /// drained-stratum refill path); the others stay empty.
+  std::vector<std::vector<size_t>> MembersByStratum(size_t num_strata,
+                                                    int only_stratum) const;
 
   SrsOptions opts_;
   DynamicTable table_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "data/parallel_scan.h"
 #include "data/scan.h"
 #include "persist/common.h"
 #include "util/stats.h"
@@ -153,20 +154,58 @@ void Dpt::InitializeExact(const ColumnStore& data,
   tracked_cols.reserve(tracked_columns_.size());
   for (int c : tracked_columns_) tracked_cols.push_back(data.column(c));
   const ColumnSpan agg = data.column(opts_.spec.agg_column);
-  double point[kMaxColumns];
   const size_t n = data.size();
-  for (size_t pos = 0; pos < n; ++pos) {
-    for (size_t i = 0; i < pred_cols.size(); ++i) {
-      point[i] = pred_cols[i].data != nullptr ? pred_cols[i][pos] : 0.0;
+
+  // The per-row body of the exact-statistics scan over [begin, end),
+  // accumulating into `stats` (leaf-indexed). Leaf routing and the domain
+  // growth are read-only / lock-free, so workers share them safely.
+  const auto scan_range = [&](size_t begin, size_t end,
+                              std::vector<LeafStats>* stats) {
+    double point[kMaxColumns];
+    for (size_t pos = begin; pos < end; ++pos) {
+      for (size_t i = 0; i < pred_cols.size(); ++i) {
+        point[i] = pred_cols[i].data != nullptr ? pred_cols[i][pos] : 0.0;
+      }
+      GrowDomain(point);
+      const int leaf = spec_.LeafFor(point);
+      LeafStats& ls = (*stats)[static_cast<size_t>(leaf)];
+      for (size_t i = 0; i < tracked_cols.size(); ++i) {
+        ls.columns[i].exact.Add(
+            tracked_cols[i].data != nullptr ? tracked_cols[i][pos] : 0.0);
+      }
+      ls.minmax.Insert(agg.data != nullptr ? agg[pos] : 0.0);
     }
-    GrowDomain(point);
-    const int leaf = spec_.LeafFor(point);
-    LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
-    for (size_t i = 0; i < tracked_cols.size(); ++i) {
-      ls.columns[i].exact.Add(
-          tracked_cols[i].data != nullptr ? tracked_cols[i][pos] : 0.0);
+  };
+
+  const size_t workers = scan::PlanWorkers(opts_.exec, n);
+  if (workers <= 1) {
+    scan_range(0, n, &leaf_stats_);
+  } else {
+    // Morsel-parallel initialization: per-worker leaf partials over
+    // contiguous row ranges, merged in worker order so the result is
+    // deterministic for a fixed worker count.
+    std::vector<std::vector<LeafStats>> partials(workers);
+    scan::ForEachRange(opts_.exec, n, workers,
+                       [&](size_t w, size_t begin, size_t end) {
+                         std::vector<LeafStats>& mine = partials[w];
+                         mine.resize(leaf_stats_.size());
+                         for (LeafStats& ls : mine) {
+                           ls.columns.resize(tracked_columns_.size());
+                           ls.minmax = MinMaxTracker(
+                               static_cast<size_t>(opts_.minmax_k));
+                         }
+                         scan_range(begin, end, &mine);
+                       });
+    for (std::vector<LeafStats>& part : partials) {
+      for (size_t leaf = 0; leaf < leaf_stats_.size(); ++leaf) {
+        LeafStats& dst = leaf_stats_[leaf];
+        const LeafStats& src = part[leaf];
+        for (size_t i = 0; i < dst.columns.size(); ++i) {
+          dst.columns[i].exact.Merge(src.columns[i].exact);
+        }
+        dst.minmax.Merge(src.minmax);
+      }
     }
-    ls.minmax.Insert(agg.data != nullptr ? agg[pos] : 0.0);
   }
   ResetSamples(reservoir);
 }
@@ -256,6 +295,67 @@ void Dpt::AddCatchupSample(const Tuple& t) {
     ls.minmax.Insert(t[opts_.spec.agg_column]);
   }
   catchup_total_.fetch_add(1.0);
+}
+
+void Dpt::AddCatchupSamples(const ColumnStore& snapshot,
+                            const std::vector<size_t>& positions) {
+  if (spec_.nodes.empty() || positions.empty()) return;
+  const size_t n = positions.size();
+  // A catch-up sample costs far more than a kernel row (tree descent plus
+  // per-column moment updates), so the parallel cutoff sits much lower than
+  // the scan kernels'.
+  constexpr size_t kMinCatchupBatch = 2048;
+  const size_t workers =
+      scan::PlanWorkersAtCutoff(opts_.exec, n, kMinCatchupBatch);
+  if (workers <= 1) {
+    for (size_t pos : positions) AddCatchupSample(snapshot.RowTuple(pos));
+    return;
+  }
+  // Phase 1: materialize and route every draw in parallel morsels (routing
+  // is read-only, domain growth is lock-free).
+  std::vector<Tuple> batch(n);
+  std::vector<int> leaf_of(n);
+  scan::ForEachRange(opts_.exec, n, workers,
+                     [&](size_t, size_t begin, size_t end) {
+                       double point[kMaxColumns];
+                       for (size_t i = begin; i < end; ++i) {
+                         batch[i] = snapshot.RowTuple(positions[i]);
+                         ProjectTuple(batch[i], opts_.spec.predicate_columns,
+                                      point);
+                         GrowDomain(point);
+                         leaf_of[i] = spec_.LeafFor(point);
+                       }
+                     });
+  // Phase 2: group the draws by leaf, preserving draw order within a leaf.
+  std::vector<std::vector<uint32_t>> by_leaf(leaf_stats_.size());
+  for (size_t i = 0; i < n; ++i) {
+    by_leaf[static_cast<size_t>(leaf_of[i])].push_back(
+        static_cast<uint32_t>(i));
+  }
+  std::vector<uint32_t> active;
+  for (size_t leaf = 0; leaf < by_leaf.size(); ++leaf) {
+    if (!by_leaf[leaf].empty()) active.push_back(static_cast<uint32_t>(leaf));
+  }
+  // Phase 3: leaf-partitioned application — exactly one worker plays a
+  // leaf's whole draw sequence, in draw order, so the resulting statistics
+  // are bit-identical to the serial loop (cross-leaf order never matters;
+  // catchup_total_ sums unit weights, which add exactly).
+  scan::ForEachIndex(opts_.exec, active.size(), workers, [&](size_t a) {
+    const size_t leaf = active[a];
+    std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+    LeafStats& ls = leaf_stats_[leaf];
+    for (uint32_t i : by_leaf[leaf]) {
+      const Tuple& t = batch[i];
+      for (size_t c = 0; c < tracked_columns_.size(); ++c) {
+        const double v = t[tracked_columns_[c]];
+        ls.columns[c].catchup.count += 1;
+        ls.columns[c].catchup.sum += v;
+        ls.columns[c].catchup.sumsq += v * v;
+      }
+      ls.minmax.Insert(t[opts_.spec.agg_column]);
+    }
+  });
+  catchup_total_.fetch_add(static_cast<double>(n));
 }
 
 double Dpt::LeafSampleCount(int node) const {

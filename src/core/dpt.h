@@ -13,6 +13,7 @@
 #include "core/node_stats.h"
 #include "core/partition.h"
 #include "core/variance.h"
+#include "data/exec_context.h"
 #include "data/table.h"
 #include "data/workload.h"
 
@@ -43,6 +44,9 @@ struct DptOptions {
   /// maintained, enabling aggregation-attribute changes (Sec. 5.5, method
   /// 2.i). spec.agg_column is always tracked.
   std::vector<int> extra_tracked_columns;
+  /// Morsel-parallel execution of the archival scans (exact initialization,
+  /// batched catch-up). Default: serial.
+  scan::ExecContext exec;
 };
 
 /// Result of one approximate query (Sec. 4.4).
@@ -118,6 +122,15 @@ class Dpt {
 
   /// Absorb one uniform archive-snapshot sample into the node statistics.
   void AddCatchupSample(const Tuple& t);
+
+  /// Absorb a whole batch of snapshot samples, by position. Routing runs in
+  /// parallel morsels (opts.exec); application is partitioned by leaf with
+  /// each leaf's samples applied in draw order, so the resulting node
+  /// statistics are bit-identical to feeding the batch through
+  /// AddCatchupSample one position at a time.
+  void AddCatchupSamples(const ColumnStore& snapshot,
+                         const std::vector<size_t>& positions);
+
   double catchup_count() const { return catchup_total_.load(); }
 
   // --- queries (Sec. 4.4) ---------------------------------------------------

@@ -24,6 +24,7 @@ DptOptions JanusAqp::MakeDptOptions() const {
   d.confidence = opts_.confidence;
   d.delta = opts_.delta;
   d.extra_tracked_columns = opts_.extra_tracked_columns;
+  d.exec = opts_.exec;
   return d;
 }
 
@@ -39,6 +40,7 @@ SptOptions JanusAqp::MakeSptOptions() const {
   s.minmax_k = opts_.minmax_k;
   s.confidence = opts_.confidence;
   s.seed = opts_.seed;
+  s.exec = opts_.exec;
   return s;
 }
 

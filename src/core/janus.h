@@ -54,6 +54,9 @@ struct JanusOptions {
   /// Partial re-partitioning: rebuild only the subtree `psi` levels above a
   /// problematic leaf (Appendix E). 0 disables (always full).
   int partial_repartition_psi = 0;
+  /// Morsel-parallel execution of the archival scans (catch-up batches,
+  /// exact-mode initialization). Default: serial.
+  scan::ExecContext exec;
   uint64_t seed = 42;
 };
 

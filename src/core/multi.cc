@@ -46,6 +46,7 @@ SptOptions MultiTemplateJanus::MakeSptOptions(const SynopsisSpec& spec) const {
   s.minmax_k = base_.minmax_k;
   s.confidence = base_.confidence;
   s.seed = base_.seed;
+  s.exec = base_.exec;
   return s;
 }
 
@@ -59,6 +60,7 @@ void MultiTemplateJanus::BuildEntry(Entry* entry) {
   dopts.minmax_k = base_.minmax_k;
   dopts.confidence = base_.confidence;
   dopts.delta = base_.delta;
+  dopts.exec = base_.exec;
   entry->dpt = std::make_unique<Dpt>(dopts, std::move(pr.spec));
   entry->dpt->InitializeFromReservoir(reservoir_->samples(), table_.size());
   const size_t goal = static_cast<size_t>(
@@ -176,6 +178,7 @@ void MultiTemplateJanus::LoadFrom(persist::Reader* r) {
       dopts.minmax_k = base_.minmax_k;
       dopts.confidence = base_.confidence;
       dopts.delta = base_.delta;
+      dopts.exec = base_.exec;
       e.dpt = std::make_unique<Dpt>(dopts, PartitionTreeSpec{});
       e.dpt->LoadFrom(r);
     }

@@ -28,6 +28,18 @@ void MinMaxTracker::Erase(double v) {
   }
 }
 
+void MinMaxTracker::Merge(const MinMaxTracker& o) {
+  for (double v : o.bottom_) {
+    bottom_.insert(v);
+    if (bottom_.size() > k_) bottom_.erase(std::prev(bottom_.end()));
+  }
+  for (double v : o.top_) {
+    top_.insert(v);
+    if (top_.size() > k_) top_.erase(std::prev(top_.end()));
+  }
+  degraded_ = degraded_ || o.degraded_;
+}
+
 std::optional<double> MinMaxTracker::Min() const {
   if (bottom_.empty()) return std::nullopt;
   return *bottom_.begin();

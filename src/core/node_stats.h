@@ -29,6 +29,11 @@ class MinMaxTracker {
   /// Remove `v` after the corresponding tuple's deletion.
   void Erase(double v);
 
+  /// Fold another tracker in (the k smallest / largest of a union are a
+  /// function of the two heaps alone, so per-worker partial trackers merge
+  /// into exactly the tracker a sequential pass would have built).
+  void Merge(const MinMaxTracker& o);
+
   /// Smallest tracked value; nullopt when no value was ever inserted.
   std::optional<double> Min() const;
   /// Largest tracked value.

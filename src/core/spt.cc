@@ -103,6 +103,7 @@ SptBuildResult BuildSpt(const ColumnStore& data, const SptOptions& opts) {
   dopts.minmax_k = opts.minmax_k;
   dopts.confidence = opts.confidence;
   dopts.delta = opts.delta;
+  dopts.exec = opts.exec;
   result.synopsis = std::make_unique<Dpt>(dopts, std::move(pr.spec));
   result.synopsis->InitializeExact(data, samples);
   result.total_seconds = total.ElapsedSeconds();

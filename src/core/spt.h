@@ -28,6 +28,9 @@ struct SptOptions {
   int minmax_k = 32;
   double confidence = 0.95;
   uint64_t seed = 42;
+  /// Morsel-parallel execution of the exact statistics scan (and of the
+  /// built Dpt's later catch-up batches). Default: serial.
+  scan::ExecContext exec;
 };
 
 /// A built SPT plus construction metrics (Table 3 reports the partitioning

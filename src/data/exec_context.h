@@ -1,0 +1,58 @@
+#ifndef JANUS_DATA_EXEC_CONTEXT_H_
+#define JANUS_DATA_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace janus {
+
+class ThreadPool;
+
+namespace scan {
+
+/// Telemetry of the parallel execution layer: how many scans chose the
+/// morsel-parallel path vs stayed serial (cost cutoff, no pool, or a
+/// one-thread plan), and how many worker ranges were dispatched. Engines own
+/// one instance each and surface the numbers through EngineStats.
+struct ScanCounters {
+  std::atomic<uint64_t> parallel_scans{0};
+  std::atomic<uint64_t> serial_scans{0};
+  std::atomic<uint64_t> worker_ranges{0};
+};
+
+/// Default cost cutoff: scans below this many rows stay serial. Dispatching
+/// a worker costs roughly a queue push + wakeup (~µs); a 4096-row block
+/// filters in ~1µs, so parallelism only pays once a scan spans many blocks.
+inline constexpr size_t kDefaultParallelMinRows = 64 * 1024;
+
+/// Execution context threaded through every archival scan consumer. A
+/// default-constructed context is the serial path (no pool); engines build
+/// theirs from EngineConfig (scan_threads / parallel_min_rows) against the
+/// process-wide shared pool.
+struct ExecContext {
+  /// Pool the morsels are dispatched on; nullptr pins the scan serial.
+  ThreadPool* pool = nullptr;
+  /// Cap on workers per scan; 0 means "all pool threads".
+  size_t max_workers = 0;
+  /// Cost cutoff: scans of fewer rows run serial even with a pool.
+  size_t parallel_min_rows = kDefaultParallelMinRows;
+  /// Optional telemetry sink (per-engine or GlobalScanCounters()).
+  ScanCounters* counters = nullptr;
+};
+
+/// Process-wide scan pool, created lazily on first use with
+/// JANUS_SCAN_THREADS threads (default: std::thread::hardware_concurrency).
+ThreadPool* SharedScanPool();
+
+/// Process-wide telemetry for contexts without an engine-owned sink.
+ScanCounters& GlobalScanCounters();
+
+/// Shared pool + global counters + default cutoff — the context free-standing
+/// consumers (benches, examples, ground-truth helpers) use.
+ExecContext DefaultExec();
+
+}  // namespace scan
+}  // namespace janus
+
+#endif  // JANUS_DATA_EXEC_CONTEXT_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "data/parallel_scan.h"
 #include "data/scan.h"
 
 namespace janus {
@@ -31,6 +32,17 @@ std::vector<std::optional<double>> ExactAnswers(
 std::vector<std::optional<double>> ExactAnswers(
     const ColumnStore& store, const std::vector<AggQuery>& queries) {
   return scan::ExactAnswers(store, queries);
+}
+
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q,
+                                  const scan::ExecContext& exec) {
+  return scan::ExactAnswer(store, q, exec);
+}
+
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries,
+    const scan::ExecContext& exec) {
+  return scan::ExactAnswers(store, queries, exec);
 }
 
 std::optional<double> RelativeError(std::optional<double> truth, double est) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/column_store.h"
+#include "data/exec_context.h"
 #include "data/schema.h"
 #include "data/workload.h"
 
@@ -31,6 +32,15 @@ std::vector<std::optional<double>> ExactAnswers(
 /// Batch evaluation over a columnar archive (no transposition needed).
 std::vector<std::optional<double>> ExactAnswers(
     const ColumnStore& store, const std::vector<AggQuery>& queries);
+
+/// Morsel-parallel variants (data/parallel_scan.h): a large batch fans out
+/// one query per worker slot, a small batch over a big archive parallelizes
+/// inside each scan. Pass scan::DefaultExec() for the shared pool.
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q,
+                                  const scan::ExecContext& exec);
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries,
+    const scan::ExecContext& exec);
 
 /// Relative error |est - truth| / |truth|; nullopt when the truth is zero or
 /// undefined.

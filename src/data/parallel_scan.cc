@@ -1,0 +1,319 @@
+#include "data/parallel_scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+#include "util/completion_latch.h"
+#include "util/thread_pool.h"
+
+namespace janus {
+namespace scan {
+
+namespace {
+
+/// Set while a thread is executing a morsel body: nested scans issued from
+/// inside a worker (a consumer callback that itself scans) stay serial
+/// instead of deadlocking on pool capacity.
+thread_local bool t_in_scan_worker = false;
+
+size_t DefaultScanThreads() {
+  if (const char* env = std::getenv("JANUS_SCAN_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Contiguous block-aligned range of worker `w` in a `workers`-way split of
+/// [0, rows).
+std::pair<size_t, size_t> WorkerRange(size_t rows, size_t workers, size_t w) {
+  const size_t blocks = (rows + kBlockRows - 1) / kBlockRows;
+  const size_t per = (blocks + workers - 1) / workers;
+  const size_t begin = std::min(rows, w * per * kBlockRows);
+  const size_t end = std::min(rows, (w + 1) * per * kBlockRows);
+  return {begin, end};
+}
+
+}  // namespace
+
+ThreadPool* SharedScanPool() {
+  static ThreadPool pool(DefaultScanThreads());
+  return &pool;
+}
+
+ScanCounters& GlobalScanCounters() {
+  static ScanCounters counters;
+  return counters;
+}
+
+ExecContext DefaultExec() {
+  ExecContext ctx;
+  ctx.pool = SharedScanPool();
+  ctx.counters = &GlobalScanCounters();
+  return ctx;
+}
+
+namespace {
+
+/// The plan decision without the telemetry side effect (used when a caller
+/// plans once for a composite operation and counts it itself).
+size_t PlanNoCount(const ExecContext& ctx, size_t items, size_t min_items) {
+  size_t workers = 1;
+  if (ctx.pool != nullptr && !t_in_scan_worker && items >= min_items &&
+      ctx.max_workers != 1) {
+    workers = ctx.pool->num_threads();
+    if (ctx.max_workers > 0) workers = std::min(workers, ctx.max_workers);
+    // Never hand a worker less than a quarter of the cutoff's worth of
+    // items (for the kernel cutoff that is exactly one morsel), so small
+    // eligible scans don't shatter into dispatch overhead.
+    const size_t per_worker_min = std::max<size_t>(1, min_items / 4);
+    workers = std::min(workers, std::max<size_t>(1, items / per_worker_min));
+  }
+  return workers;
+}
+
+}  // namespace
+
+size_t PlanWorkersAtCutoff(const ExecContext& ctx, size_t items,
+                           size_t min_items) {
+  const size_t workers = PlanNoCount(ctx, items, min_items);
+  if (ctx.counters != nullptr) {
+    if (workers > 1) {
+      ctx.counters->parallel_scans.fetch_add(1, std::memory_order_relaxed);
+      ctx.counters->worker_ranges.fetch_add(workers,
+                                            std::memory_order_relaxed);
+    } else {
+      ctx.counters->serial_scans.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return workers;
+}
+
+size_t PlanWorkers(const ExecContext& ctx, size_t rows) {
+  return PlanWorkersAtCutoff(ctx, rows, ctx.parallel_min_rows);
+}
+
+namespace {
+
+/// RAII scope marking the current thread as a scan worker (nested ctx scans
+/// stay serial; the caller's inline share counts too).
+class ScanWorkerScope {
+ public:
+  ScanWorkerScope() : prev_(t_in_scan_worker) { t_in_scan_worker = true; }
+  ~ScanWorkerScope() { t_in_scan_worker = prev_; }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+void ForEachRange(const ExecContext& ctx, size_t rows, size_t workers,
+                  const std::function<void(size_t, size_t, size_t)>& fn) {
+  // Defensive clamp mirroring PlanWorkers: a fan-out issued from inside a
+  // scan worker runs inline (its helpers could never be scheduled if the
+  // pool is saturated with waiters).
+  if (t_in_scan_worker) workers = 1;
+  if (workers <= 1) {
+    fn(0, 0, rows);
+    return;
+  }
+  CompletionLatch latch(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    const auto [begin, end] = WorkerRange(rows, workers, w);
+    ctx.pool->Submit([&, w, begin = begin, end = end] {
+      {
+        ScanWorkerScope scope;
+        fn(w, begin, end);
+      }
+      latch.Arrive();
+    });
+  }
+  {
+    // The caller contributes worker 0's share instead of blocking idle.
+    ScanWorkerScope scope;
+    const auto [begin, end] = WorkerRange(rows, workers, 0);
+    fn(0, begin, end);
+  }
+  latch.Wait();
+}
+
+void ForEachIndex(const ExecContext& ctx, size_t count, size_t workers,
+                  const std::function<void(size_t)>& fn) {
+  if (t_in_scan_worker) workers = 1;
+  if (workers <= 1 || count < 2) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  workers = std::min(workers, count);
+  std::atomic<size_t> cursor{0};
+  auto drain = [&] {
+    ScanWorkerScope scope;
+    for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  CompletionLatch latch(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    ctx.pool->Submit([&] {
+      drain();
+      latch.Arrive();
+    });
+  }
+  drain();
+  latch.Wait();
+}
+
+size_t CountInRect(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect, const ExecContext& ctx) {
+  const size_t n = store.size();
+  const size_t workers = PlanWorkers(ctx, n);
+  if (workers <= 1) {
+    return scan::CountInRect(store, predicate_columns, rect);
+  }
+  std::vector<size_t> partial(workers, 0);
+  ForEachRange(ctx, n, workers, [&](size_t w, size_t begin, size_t end) {
+    partial[w] = CountRangeAtLeast(store, predicate_columns, rect, begin, end,
+                                   std::numeric_limits<size_t>::max());
+  });
+  size_t total = 0;
+  for (size_t c : partial) total += c;
+  return total;
+}
+
+size_t CountInRectAtLeast(const ColumnStore& store,
+                          const std::vector<int>& predicate_columns,
+                          const Rectangle& rect, size_t threshold,
+                          const ExecContext& ctx) {
+  const size_t n = store.size();
+  // Early exit bounds the useful work at roughly `threshold` scanned rows
+  // (exactly that when matches are dense), so plan on that bound — a small
+  // threshold over a huge store is a fast serial scan, not a fan-out whose
+  // workers mostly burn rows past the crossing point.
+  const size_t workers = PlanWorkers(ctx, std::min(n, threshold));
+  if (workers <= 1) {
+    return scan::CountInRectAtLeast(store, predicate_columns, rect, threshold);
+  }
+  // Shared early-exit: each worker counts one block at a time and folds its
+  // progress into `found`; once the fleet total crosses the threshold every
+  // worker stops at its next block boundary. The returned value is clamped,
+  // so overshoot from blocks in flight never leaks out.
+  std::atomic<size_t> found{0};
+  ForEachRange(ctx, n, workers, [&](size_t, size_t begin, size_t end) {
+    for (size_t bs = begin; bs < end; bs += kBlockRows) {
+      const size_t done = found.load(std::memory_order_relaxed);
+      if (done >= threshold) return;
+      const size_t be = std::min(end, bs + kBlockRows);
+      // `threshold - done` may be stale-high; the clamp only ever bites when
+      // the fleet total crosses the threshold, so the unclamped path still
+      // counts exactly.
+      const size_t block = CountRangeAtLeast(store, predicate_columns, rect,
+                                             bs, be, threshold - done);
+      if (block > 0) {
+        found.fetch_add(block, std::memory_order_relaxed);
+      }
+    }
+  });
+  return std::min(found.load(std::memory_order_relaxed), threshold);
+}
+
+std::optional<double> AggregateInRect(const ColumnStore& store, AggFunc func,
+                                      int agg_column,
+                                      const std::vector<int>& predicate_columns,
+                                      const Rectangle& rect,
+                                      const ExecContext& ctx) {
+  const size_t n = store.size();
+  if (func == AggFunc::kCount) {
+    const size_t c = CountInRect(store, predicate_columns, rect, ctx);
+    if (c == 0) return std::nullopt;
+    return static_cast<double>(c);
+  }
+  const size_t workers = PlanWorkers(ctx, n);
+  if (workers <= 1) {
+    return scan::AggregateInRect(store, func, agg_column, predicate_columns,
+                                 rect);
+  }
+  std::vector<AggAccumulator> partial(workers);
+  ForEachRange(ctx, n, workers, [&](size_t w, size_t begin, size_t end) {
+    partial[w] = AggregateRange(store, func, agg_column, predicate_columns,
+                                rect, begin, end);
+  });
+  AggAccumulator acc;
+  for (const AggAccumulator& p : partial) acc.Merge(p);
+  return acc.Finish(func);
+}
+
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q,
+                                  const ExecContext& ctx) {
+  return AggregateInRect(store, q.func, q.agg_column, q.predicate_columns,
+                         q.rect, ctx);
+}
+
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries,
+    const ExecContext& ctx) {
+  std::vector<std::optional<double>> out(queries.size());
+  // Queries are the better fan-out axis once there are at least two per
+  // worker: each runs the serial kernel in one task, so the batch scales
+  // without any merge step. A small batch over a big store parallelizes
+  // inside each query instead.
+  const size_t workers = PlanNoCount(
+      ctx, queries.size() * std::max<size_t>(store.size(), 1),
+      ctx.parallel_min_rows);
+  if (workers > 1 && queries.size() >= 2 * workers) {
+    if (ctx.counters != nullptr) {
+      ctx.counters->parallel_scans.fetch_add(1, std::memory_order_relaxed);
+      ctx.counters->worker_ranges.fetch_add(workers,
+                                            std::memory_order_relaxed);
+    }
+    ForEachIndex(ctx, queries.size(), workers, [&](size_t i) {
+      out[i] = scan::ExactAnswer(store, queries[i]);
+    });
+    return out;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = ExactAnswer(store, queries[i], ctx);
+  }
+  return out;
+}
+
+std::pair<double, double> ColumnMinMax(const ColumnStore& store, int column,
+                                       const ExecContext& ctx) {
+  const size_t n = store.size();
+  const ColumnSpan col = store.column(column);
+  if (col.data == nullptr) {
+    if (n == 0) {
+      return {std::numeric_limits<double>::max(),
+              std::numeric_limits<double>::lowest()};
+    }
+    return {0.0, 0.0};  // column outside the schema reads 0.0 everywhere
+  }
+  const size_t workers = PlanWorkers(ctx, n);
+  std::vector<double> lo(workers, std::numeric_limits<double>::max());
+  std::vector<double> hi(workers, std::numeric_limits<double>::lowest());
+  ForEachRange(ctx, n, workers, [&](size_t w, size_t begin, size_t end) {
+    double mn = std::numeric_limits<double>::max();
+    double mx = std::numeric_limits<double>::lowest();
+    for (size_t i = begin; i < end; ++i) {
+      mn = std::min(mn, col[i]);
+      mx = std::max(mx, col[i]);
+    }
+    lo[w] = mn;
+    hi[w] = mx;
+  });
+  double mn = lo[0], mx = hi[0];
+  for (size_t w = 1; w < workers; ++w) {
+    mn = std::min(mn, lo[w]);
+    mx = std::max(mx, hi[w]);
+  }
+  return {mn, mx};
+}
+
+}  // namespace scan
+}  // namespace janus

@@ -1,0 +1,92 @@
+#ifndef JANUS_DATA_PARALLEL_SCAN_H_
+#define JANUS_DATA_PARALLEL_SCAN_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "data/exec_context.h"
+#include "data/scan.h"
+
+namespace janus {
+namespace scan {
+
+/// Morsel size of the parallel layer: a multiple of kBlockRows so worker
+/// ranges stay block-aligned and each worker amortizes several vectorized
+/// blocks per dispatch.
+inline constexpr size_t kMorselRows = 4 * kBlockRows;
+
+/// Number of workers a scan over `rows` items should fan out to under `ctx`:
+/// 1 (serial) when there is no pool, the scan is below the cost cutoff, the
+/// caller is itself a scan worker (nested scans stay serial), or the plan
+/// ends up single-threaded; otherwise min(max_workers, pool threads,
+/// rows/kMorselRows). Records the serial/parallel decision in ctx.counters.
+/// The plan depends only on (rows, ctx, pool size), never on scheduling, so
+/// repeated runs partition identically.
+size_t PlanWorkers(const ExecContext& ctx, size_t rows);
+
+/// PlanWorkers with an explicit cost cutoff, for consumers whose per-item
+/// work is much heavier than a scan kernel's per-row work (catch-up sample
+/// absorption, leaf routing).
+size_t PlanWorkersAtCutoff(const ExecContext& ctx, size_t items,
+                           size_t min_items);
+
+/// Run fn(worker, begin, end) for `workers` contiguous block-aligned ranges
+/// covering [0, rows). Worker 0 runs on the calling thread; the rest are
+/// dispatched on ctx.pool and completion is tracked per call (scans sharing
+/// the pool never wait on each other's tasks). With workers == 1 this is a
+/// plain inline call over the whole range.
+void ForEachRange(const ExecContext& ctx, size_t rows, size_t workers,
+                  const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Run fn(index) for every index of [0, count) across `workers` tasks that
+/// pull from a shared cursor (work-stealing; use only when per-index results
+/// are order-independent, e.g. one slot per query).
+void ForEachIndex(const ExecContext& ctx, size_t count, size_t workers,
+                  const std::function<void(size_t)>& fn);
+
+// --- parallel kernels -------------------------------------------------------
+//
+// Each kernel plans once, runs the serial range kernel (data/scan.h) per
+// worker range, and merges the partials in worker order, so results are
+// deterministic for a fixed configuration and a one-worker plan is
+// bit-identical to the serial kernel.
+
+size_t CountInRect(const ColumnStore& store,
+                   const std::vector<int>& predicate_columns,
+                   const Rectangle& rect, const ExecContext& ctx);
+
+/// Early-exit parallel count: workers publish per-block progress into a
+/// shared atomic and stop as soon as the fleet has `threshold` matches.
+/// Returns min(matches, threshold).
+size_t CountInRectAtLeast(const ColumnStore& store,
+                          const std::vector<int>& predicate_columns,
+                          const Rectangle& rect, size_t threshold,
+                          const ExecContext& ctx);
+
+std::optional<double> AggregateInRect(const ColumnStore& store, AggFunc func,
+                                      int agg_column,
+                                      const std::vector<int>& predicate_columns,
+                                      const Rectangle& rect,
+                                      const ExecContext& ctx);
+
+std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q,
+                                  const ExecContext& ctx);
+
+/// Batch evaluation: many queries fan out one-per-worker-slot (each query
+/// runs the serial kernel, so answers are independent of scheduling); a
+/// small batch over a large store parallelizes inside each query instead.
+std::vector<std::optional<double>> ExactAnswers(
+    const ColumnStore& store, const std::vector<AggQuery>& queries,
+    const ExecContext& ctx);
+
+/// Min/max of one column over the live rows ({+inf, -inf} when empty;
+/// {0, 0} for a column outside the schema of a non-empty store).
+std::pair<double, double> ColumnMinMax(const ColumnStore& store, int column,
+                                       const ExecContext& ctx);
+
+}  // namespace scan
+}  // namespace janus
+
+#endif  // JANUS_DATA_PARALLEL_SCAN_H_

@@ -89,38 +89,134 @@ size_t CountInRect(const ColumnStore& store,
 size_t CountInRectAtLeast(const ColumnStore& store,
                           const std::vector<int>& predicate_columns,
                           const Rectangle& rect, size_t threshold) {
-  const size_t n = store.size();
-  if (predicate_columns.empty()) return std::min(n, threshold);
+  return CountRangeAtLeast(store, predicate_columns, rect, 0, store.size(),
+                           threshold);
+}
+
+namespace {
+
+/// Scalar multi-column row test for the threshold-crossing tail of a
+/// counting scan (columns outside the schema read 0.0).
+inline bool RowInRect(const std::vector<ColumnSpan>& cols,
+                      const Rectangle& rect, size_t row) {
+  for (size_t d = 0; d < cols.size(); ++d) {
+    const double v = cols[d].data != nullptr ? cols[d][row] : 0.0;
+    if (!InBounds(v, rect.lo(static_cast<int>(d)),
+                  rect.hi(static_cast<int>(d)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t CountRangeAtLeast(const ColumnStore& store,
+                         const std::vector<int>& predicate_columns,
+                         const Rectangle& rect, size_t begin, size_t end,
+                         size_t limit) {
+  if (begin >= end || limit == 0) return 0;
+  const size_t len = end - begin;
+  if (predicate_columns.empty()) return std::min(len, limit);
   if (predicate_columns.size() == 1) {
-    // Pure counting needs no selection vector: one dense pass per block with
-    // an early exit at the threshold.
+    // Pure counting needs no selection vector: one dense pass per block. A
+    // block that cannot cross the limit runs branch-free over the whole
+    // block; the crossing block switches to a scalar loop that stops at the
+    // first satisfying row (rejection sampling pays per row scanned).
     const double lo = rect.lo(0);
     const double hi = rect.hi(0);
     const ColumnSpan col = store.column(predicate_columns[0]);
     if (col.data == nullptr) {
-      return InBounds(0.0, lo, hi) ? std::min(n, threshold) : 0;
+      return InBounds(0.0, lo, hi) ? std::min(len, limit) : 0;
     }
+    const double* v = col.data;
     size_t count = 0;
-    for (size_t begin = 0; begin < n; begin += kBlockRows) {
-      const size_t end = std::min(n, begin + kBlockRows);
-      const double* v = col.data;
-      size_t block = 0;
-      for (size_t i = begin; i < end; ++i) {
-        block += static_cast<size_t>(InBounds(v[i], lo, hi));
+    for (size_t bs = begin; bs < end; bs += kBlockRows) {
+      const size_t be = std::min(end, bs + kBlockRows);
+      if (limit - count > be - bs) {
+        size_t block = 0;
+        for (size_t i = bs; i < be; ++i) {
+          block += static_cast<size_t>(InBounds(v[i], lo, hi));
+        }
+        count += block;
+      } else {
+        for (size_t i = bs; i < be; ++i) {
+          count += static_cast<size_t>(InBounds(v[i], lo, hi));
+          if (count >= limit) return limit;
+        }
       }
-      count += block;
-      if (count >= threshold) return threshold;
     }
     return count;
   }
   uint32_t sel[kBlockRows];
+  std::vector<ColumnSpan> cols;
   size_t count = 0;
-  for (size_t begin = 0; begin < n; begin += kBlockRows) {
-    const size_t end = std::min(n, begin + kBlockRows);
-    count += FilterBlock(store, predicate_columns, rect, begin, end, sel);
-    if (count >= threshold) return threshold;
+  for (size_t bs = begin; bs < end; bs += kBlockRows) {
+    const size_t be = std::min(end, bs + kBlockRows);
+    if (limit - count > be - bs) {
+      count += FilterBlock(store, predicate_columns, rect, bs, be, sel);
+    } else {
+      // The limit can be hit inside this block: test row by row and stop at
+      // the first satisfying one instead of re-filtering the full block.
+      if (cols.empty()) {
+        cols.reserve(predicate_columns.size());
+        for (int c : predicate_columns) cols.push_back(store.column(c));
+      }
+      for (size_t i = bs; i < be; ++i) {
+        count += static_cast<size_t>(RowInRect(cols, rect, i));
+        if (count >= limit) return limit;
+      }
+    }
   }
   return count;
+}
+
+AggAccumulator AggregateRange(const ColumnStore& store, AggFunc func,
+                              int agg_column,
+                              const std::vector<int>& predicate_columns,
+                              const Rectangle& rect, size_t begin,
+                              size_t end) {
+  AggAccumulator acc;
+  const ColumnSpan agg = store.column(agg_column);
+  uint32_t sel[kBlockRows];
+  for (size_t bs = begin; bs < end; bs += kBlockRows) {
+    const size_t be = std::min(end, bs + kBlockRows);
+    const size_t matched =
+        FilterBlock(store, predicate_columns, rect, bs, be, sel);
+    if (matched == 0) continue;
+    acc.count += static_cast<double>(matched);
+    if (agg.data == nullptr) {
+      // Aggregate column outside the schema reads 0.0 everywhere.
+      acc.min = std::min(acc.min, 0.0);
+      acc.max = std::max(acc.max, 0.0);
+      continue;
+    }
+    const double* v = agg.data;
+    switch (func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (matched == be - bs) {
+          // Saturated block: skip the gather and sum the column directly.
+          for (size_t i = bs; i < be; ++i) acc.sum += v[i];
+        } else {
+          for (size_t i = 0; i < matched; ++i) acc.sum += v[sel[i]];
+        }
+        break;
+      case AggFunc::kMin:
+        for (size_t i = 0; i < matched; ++i) {
+          acc.min = std::min(acc.min, v[sel[i]]);
+        }
+        break;
+      case AggFunc::kMax:
+        for (size_t i = 0; i < matched; ++i) {
+          acc.max = std::max(acc.max, v[sel[i]]);
+        }
+        break;
+      case AggFunc::kCount:
+        break;  // counting needs no aggregate-column pass
+    }
+  }
+  return acc;
 }
 
 std::optional<double> AggregateInRect(const ColumnStore& store, AggFunc func,
@@ -132,64 +228,9 @@ std::optional<double> AggregateInRect(const ColumnStore& store, AggFunc func,
     if (c == 0) return std::nullopt;
     return static_cast<double>(c);
   }
-  const ColumnSpan agg = store.column(agg_column);
-  const size_t n = store.size();
-  uint32_t sel[kBlockRows];
-  double count = 0;
-  double sum = 0;
-  double best_min = std::numeric_limits<double>::max();
-  double best_max = std::numeric_limits<double>::lowest();
-  for (size_t begin = 0; begin < n; begin += kBlockRows) {
-    const size_t end = std::min(n, begin + kBlockRows);
-    const size_t matched =
-        FilterBlock(store, predicate_columns, rect, begin, end, sel);
-    if (matched == 0) continue;
-    count += static_cast<double>(matched);
-    if (agg.data == nullptr) {
-      // Aggregate column outside the schema reads 0.0 everywhere.
-      best_min = std::min(best_min, 0.0);
-      best_max = std::max(best_max, 0.0);
-      continue;
-    }
-    const double* v = agg.data;
-    switch (func) {
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        if (matched == end - begin) {
-          // Saturated block: skip the gather and sum the column directly.
-          for (size_t i = begin; i < end; ++i) sum += v[i];
-        } else {
-          for (size_t i = 0; i < matched; ++i) sum += v[sel[i]];
-        }
-        break;
-      case AggFunc::kMin:
-        for (size_t i = 0; i < matched; ++i) {
-          best_min = std::min(best_min, v[sel[i]]);
-        }
-        break;
-      case AggFunc::kMax:
-        for (size_t i = 0; i < matched; ++i) {
-          best_max = std::max(best_max, v[sel[i]]);
-        }
-        break;
-      case AggFunc::kCount:
-        break;  // handled above
-    }
-  }
-  if (count == 0) return std::nullopt;
-  switch (func) {
-    case AggFunc::kSum:
-      return sum;
-    case AggFunc::kAvg:
-      return sum / count;
-    case AggFunc::kMin:
-      return best_min;
-    case AggFunc::kMax:
-      return best_max;
-    case AggFunc::kCount:
-      break;
-  }
-  return std::nullopt;
+  return AggregateRange(store, func, agg_column, predicate_columns, rect, 0,
+                        store.size())
+      .Finish(func);
 }
 
 std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q) {

@@ -29,6 +29,15 @@ struct AggAccumulator {
     max = std::max(max, a);
   }
 
+  /// Fold another accumulator in (morsel partials merge in worker order, so
+  /// the combined sum is deterministic for a fixed partitioning).
+  void Merge(const AggAccumulator& o) {
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
   /// nullopt when no tuple matched (AVG/MIN/MAX undefined; relative error of
   /// a zero SUM/COUNT is undefined too, so harnesses skip those queries).
   std::optional<double> Finish(AggFunc f) const;
@@ -61,10 +70,35 @@ size_t CountInRect(const ColumnStore& store,
                    const Rectangle& rect);
 
 /// Early-exit variant for rejection sampling: stops as soon as `threshold`
-/// matches are found. Returns min(matches, threshold).
+/// matches are found — including mid-block, so the last block is not
+/// re-filtered past the first satisfying row. Returns min(matches,
+/// threshold).
 size_t CountInRectAtLeast(const ColumnStore& store,
                           const std::vector<int>& predicate_columns,
                           const Rectangle& rect, size_t threshold);
+
+// --- row-range kernels (morsel building blocks) -----------------------------
+//
+// The full-store kernels above are thin wrappers over these range variants;
+// the morsel-parallel layer (data/parallel_scan.h) runs the same code over
+// block-aligned sub-ranges and merges the partials in worker order, so a
+// one-worker parallel scan is bit-identical to the serial kernel.
+
+/// Count the live rows of [begin, end) inside `rect`, stopping at the first
+/// satisfying row once `limit` matches are reached. Returns min(matches,
+/// limit).
+size_t CountRangeAtLeast(const ColumnStore& store,
+                         const std::vector<int>& predicate_columns,
+                         const Rectangle& rect, size_t begin, size_t end,
+                         size_t limit);
+
+/// Aggregate partial of `agg_column` over the rows of [begin, end) inside
+/// `rect`. Only the fields `func` needs are guaranteed meaningful (e.g. a
+/// kSum scan does not maintain min/max).
+AggAccumulator AggregateRange(const ColumnStore& store, AggFunc func,
+                              int agg_column,
+                              const std::vector<int>& predicate_columns,
+                              const Rectangle& rect, size_t begin, size_t end);
 
 /// Aggregate of `agg_column` over the rows inside `rect`; nullopt when no
 /// row matches.

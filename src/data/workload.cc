@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "data/parallel_scan.h"
 #include "data/scan.h"
 
 namespace janus {
@@ -81,7 +82,7 @@ std::vector<AggQuery> WorkloadGenerator::Generate(
     q.rect = RandomRect(&rng);
     if (opts.min_count > 0 &&
         scan::CountInRectAtLeast(store, predicate_columns_, q.rect,
-                                 opts.min_count) < opts.min_count) {
+                                 opts.min_count, opts.exec) < opts.min_count) {
       continue;
     }
     out.push_back(std::move(q));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/column_store.h"
+#include "data/exec_context.h"
 #include "data/schema.h"
 #include "util/rng.h"
 
@@ -30,6 +31,9 @@ struct WorkloadOptions {
   /// uninformative, Sec. 6.7).
   size_t min_count = 10;
   uint64_t seed = 7;
+  /// Morsel-parallel execution of the rejection-count scans. Default:
+  /// serial.
+  scan::ExecContext exec;
 };
 
 /// Generates random rectangular range queries. Each per-dimension interval is

@@ -1,0 +1,42 @@
+#ifndef JANUS_UTIL_COMPLETION_LATCH_H_
+#define JANUS_UTIL_COMPLETION_LATCH_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace janus {
+
+/// Per-call completion latch for fan-outs on a *shared* ThreadPool:
+/// ThreadPool::WaitIdle() is pool-global, so concurrent fan-outs would wait
+/// on each other's tasks (and a fan-out issued from a pool worker would
+/// deadlock on itself). Each fan-out counts down its own latch instead.
+///
+/// Arrive() performs the whole count-down under the mutex, so the waiter
+/// cannot observe zero and destroy the latch while a worker still holds a
+/// reference to it.
+class CompletionLatch {
+ public:
+  explicit CompletionLatch(size_t count) : remaining_(count) {}
+
+  CompletionLatch(const CompletionLatch&) = delete;
+  CompletionLatch& operator=(const CompletionLatch&) = delete;
+
+  void Arrive() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) done_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable done_;
+  size_t remaining_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_UTIL_COMPLETION_LATCH_H_

@@ -1,0 +1,175 @@
+#ifndef JANUS_UTIL_ROOM_LOCK_H_
+#define JANUS_UTIL_ROOM_LOCK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace janus {
+
+/// Group mutual exclusion ("room") lock for the AqpEngine concurrency
+/// contract: any number of *readers* (queries, stats, snapshot writes) share
+/// the read room, any number of *updaters* (inserts, deletes, catch-up)
+/// share the update room, the two rooms exclude each other, and *exclusive*
+/// entrants (initialization, re-optimization, snapshot restore) exclude
+/// everything.
+///
+/// Unlike std::shared_mutex this gives engines whose maintenance path is
+/// internally thread-safe (janus: per-leaf statistic locks) full update
+/// concurrency while still fencing queries off the half-applied state.
+///
+/// Fairness: cohort hand-off with admission budgets. While a room is
+/// uncontested its budget is unlimited, so same-room entrants run fully
+/// concurrently. The first *opposite* arrival freezes the active room's
+/// budget (no new entrants join the running cohort), the cohort drains, and
+/// the drain admits the entire waiting opposite cohort in one turn (budget =
+/// number waiting, or unlimited again if nobody waits). Under sustained
+/// mixed load the rooms therefore alternate cohort-by-cohort — full
+/// intra-room concurrency, and neither a steady update stream nor a steady
+/// query stream can starve the other side, no matter when a waiter arrived.
+/// A waiting exclusive entrant blocks all new room entries. Entries are not
+/// thread-bound (a lock may be released by a different thread than acquired
+/// it) and not reentrant.
+class RoomLock {
+ public:
+  void LockRead() {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Contesting an active, free-running update cohort bounds it: no new
+    // updaters join, so it drains and the turn flips.
+    if (updaters_ > 0 && updater_pass_ == kUnlimited) updater_pass_ = 0;
+    ++waiting_readers_;
+    cv_.wait(lock, [this] {
+      return !exclusive_ && waiting_exclusive_ == 0 && updaters_ == 0 &&
+             reader_pass_ > 0;
+    });
+    --waiting_readers_;
+    ++readers_;
+    if (reader_pass_ != kUnlimited) --reader_pass_;
+  }
+
+  void UnlockRead() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--readers_ == 0) {
+      // Hand the turn over: admit the whole waiting updater cohort, or —
+      // with no updater interest — reopen our own side so late readers
+      // stuck behind an exhausted budget proceed.
+      updater_pass_ = waiting_updaters_ > 0
+                          ? static_cast<size_t>(waiting_updaters_)
+                          : kUnlimited;
+      if (waiting_updaters_ == 0) reader_pass_ = kUnlimited;
+      cv_.notify_all();
+    }
+  }
+
+  void LockUpdate() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (readers_ > 0 && reader_pass_ == kUnlimited) reader_pass_ = 0;
+    ++waiting_updaters_;
+    cv_.wait(lock, [this] {
+      return !exclusive_ && waiting_exclusive_ == 0 && readers_ == 0 &&
+             updater_pass_ > 0;
+    });
+    --waiting_updaters_;
+    ++updaters_;
+    if (updater_pass_ != kUnlimited) --updater_pass_;
+  }
+
+  void UnlockUpdate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--updaters_ == 0) {
+      reader_pass_ = waiting_readers_ > 0
+                         ? static_cast<size_t>(waiting_readers_)
+                         : kUnlimited;
+      if (waiting_readers_ == 0) updater_pass_ = kUnlimited;
+      cv_.notify_all();
+    }
+  }
+
+  void LockExclusive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_exclusive_;
+    cv_.wait(lock,
+             [this] { return !exclusive_ && readers_ == 0 && updaters_ == 0; });
+    --waiting_exclusive_;
+    exclusive_ = true;
+  }
+
+  void UnlockExclusive() {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_ = false;
+    // Fresh start: admit whoever waited out the exclusive section.
+    reader_pass_ = waiting_readers_ > 0 ? static_cast<size_t>(waiting_readers_)
+                                        : kUnlimited;
+    updater_pass_ = waiting_updaters_ > 0
+                        ? static_cast<size_t>(waiting_updaters_)
+                        : kUnlimited;
+    cv_.notify_all();
+  }
+
+ private:
+  static constexpr size_t kUnlimited = static_cast<size_t>(-1);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  int updaters_ = 0;
+  int waiting_readers_ = 0;
+  int waiting_updaters_ = 0;
+  int waiting_exclusive_ = 0;
+  bool exclusive_ = false;
+  /// Remaining admissions for each room this turn. A budget is zeroed only
+  /// while the other room is occupied, and every drain grants the opposite
+  /// side a fresh budget (and reopens its own side when unopposed), so at
+  /// least one side can always make progress — no deadlock.
+  size_t reader_pass_ = kUnlimited;
+  size_t updater_pass_ = kUnlimited;
+};
+
+/// Scoped guards.
+class ReadRoom {
+ public:
+  explicit ReadRoom(RoomLock* lock) : lock_(lock) {
+    if (lock_ != nullptr) lock_->LockRead();
+  }
+  ~ReadRoom() {
+    if (lock_ != nullptr) lock_->UnlockRead();
+  }
+  ReadRoom(const ReadRoom&) = delete;
+  ReadRoom& operator=(const ReadRoom&) = delete;
+
+ private:
+  RoomLock* lock_;
+};
+
+class UpdateRoom {
+ public:
+  explicit UpdateRoom(RoomLock* lock) : lock_(lock) {
+    if (lock_ != nullptr) lock_->LockUpdate();
+  }
+  ~UpdateRoom() {
+    if (lock_ != nullptr) lock_->UnlockUpdate();
+  }
+  UpdateRoom(const UpdateRoom&) = delete;
+  UpdateRoom& operator=(const UpdateRoom&) = delete;
+
+ private:
+  RoomLock* lock_;
+};
+
+class ExclusiveRoom {
+ public:
+  explicit ExclusiveRoom(RoomLock* lock) : lock_(lock) {
+    if (lock_ != nullptr) lock_->LockExclusive();
+  }
+  ~ExclusiveRoom() {
+    if (lock_ != nullptr) lock_->UnlockExclusive();
+  }
+  ExclusiveRoom(const ExclusiveRoom&) = delete;
+  ExclusiveRoom& operator=(const ExclusiveRoom&) = delete;
+
+ private:
+  RoomLock* lock_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_UTIL_ROOM_LOCK_H_

@@ -1,0 +1,216 @@
+// Concurrent-query stress over the whole engine registry: the AqpEngine
+// base class promises that queries, stats snapshots and batch queries may
+// run from any number of threads concurrently with updates, for every
+// backend (api/engine.h room-lock contract; the sharded engines provide
+// their own, stronger synchronization). Each engine runs reader threads
+// hammering Query/QueryBatch/Stats while a writer streams inserts and
+// deletes; afterwards the engine must be coherent (counters add up, queries
+// answer sanely). Also pins the RoomLock's fairness: neither a steady update
+// stream nor a steady query stream may starve the other side. Runs under
+// TSan in CI; seeded via JANUS_TEST_SEED with a fixed scan_threads so runs
+// reproduce.
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/config.h"
+#include "api/registry.h"
+#include "data/generators.h"
+#include "tests/test_seed.h"
+#include "util/room_lock.h"
+#include "util/thread_pool.h"
+
+namespace janus {
+namespace {
+
+constexpr size_t kInitialRows = 6000;
+constexpr size_t kStreamed = 1500;
+constexpr int kReaders = 4;
+constexpr int kQueriesPerReader = 80;
+
+class ConcurrentQueryTest : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> AllEngines() {
+  std::vector<std::string> out;
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+TEST_P(ConcurrentQueryTest, ServesQueriesConcurrentWithUpdates) {
+  const std::string name = GetParam();
+  const GeneratedDataset ds = GenerateUniform(kInitialRows, 1, TestSeed());
+
+  EngineConfig cfg;
+  cfg.engine = name;
+  cfg.schema = ds.schema;
+  cfg.agg_column = 1;
+  cfg.predicate_columns = {0};
+  cfg.num_shards = 2;
+  cfg.scan_threads = 2;  // pinned so CI runs are reproducible
+  cfg.seed = TestSeed();
+  std::unique_ptr<AqpEngine> engine = EngineRegistry::Create(name, cfg);
+
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+
+  const GeneratedDataset stream =
+      GenerateUniform(kStreamed, 1, TestSeed() + 1);
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> answered{0};
+
+  std::thread writer([&] {
+    for (size_t i = 0; i < stream.rows.size(); ++i) {
+      Tuple t = stream.rows[i];
+      t.id = kInitialRows + i;  // unique beyond the loaded ids
+      engine->Insert(t);
+      if (i % 7 == 0) {
+        engine->Delete(i % kInitialRows);  // may or may not still be live
+      }
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  ThreadPool batch_pool(2);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(TestSeed() + 100 + static_cast<uint64_t>(r));
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        AggQuery q;
+        q.func = static_cast<AggFunc>(i % 5);
+        q.agg_column = 1;
+        q.predicate_columns = {0};
+        double a = rng.Uniform(0, 1), b = rng.Uniform(0, 1);
+        if (a > b) std::swap(a, b);
+        q.rect = Rectangle({a}, {b});
+        if (i % 17 == 0) {
+          const EngineStats s = engine->Stats();
+          EXPECT_GE(s.rows, 1u);
+        } else if (i % 11 == 0) {
+          const auto rs = engine->QueryBatch({q, q, q}, &batch_pool);
+          ASSERT_EQ(3u, rs.size());
+          EXPECT_TRUE(std::isfinite(rs[0].estimate));
+        } else {
+          const QueryResult res = engine->Query(q);
+          EXPECT_TRUE(std::isfinite(res.estimate));
+          EXPECT_TRUE(std::isfinite(res.ci_half_width));
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(static_cast<uint64_t>(kReaders) * kQueriesPerReader,
+            answered.load());
+
+  // Quiesced coherence: every streamed insert is visible.
+  const EngineStats s = engine->Stats();
+  EXPECT_EQ(kStreamed, s.inserts);
+  EXPECT_GE(s.rows, kInitialRows + kStreamed -
+                        (kStreamed / 7 + 1));  // minus successful deletes
+  AggQuery probe;
+  probe.func = AggFunc::kCount;
+  probe.agg_column = 1;
+  probe.predicate_columns = {0};
+  probe.rect = Rectangle::Infinite(1);
+  EXPECT_TRUE(std::isfinite(engine->Query(probe).estimate));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ConcurrentQueryTest, ::testing::ValuesIn(AllEngines()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name;
+    });
+
+// --- RoomLock semantics -----------------------------------------------------
+
+TEST(RoomLockTest, ReadersShareUpdatersShareRoomsExclude) {
+  RoomLock lock;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> max_concurrent_readers{0};
+  std::atomic<int> active_updaters{0};
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        lock.LockRead();
+        const int now = concurrent_readers.fetch_add(1) + 1;
+        int prev = max_concurrent_readers.load();
+        while (now > prev &&
+               !max_concurrent_readers.compare_exchange_weak(prev, now)) {
+        }
+        if (active_updaters.load() > 0) overlap.store(true);
+        concurrent_readers.fetch_sub(1);
+        lock.UnlockRead();
+      }
+    });
+  }
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        lock.LockUpdate();
+        active_updaters.fetch_add(1);
+        if (concurrent_readers.load() > 0) overlap.store(true);
+        active_updaters.fetch_sub(1);
+        lock.UnlockUpdate();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(overlap.load()) << "a reader and an updater held the lock "
+                                  "simultaneously";
+}
+
+TEST(RoomLockTest, ExclusiveBlocksBothRooms) {
+  RoomLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 100; ++k) {
+        lock.LockRead();
+        inside.fetch_add(1);
+        inside.fetch_sub(1);
+        lock.UnlockRead();
+      }
+    });
+    threads.emplace_back([&] {
+      for (int k = 0; k < 100; ++k) {
+        lock.LockUpdate();
+        inside.fetch_add(1);
+        inside.fetch_sub(1);
+        lock.UnlockUpdate();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int k = 0; k < 50; ++k) {
+      lock.LockExclusive();
+      if (inside.load() != 0) violated.store(true);
+      lock.UnlockExclusive();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+}  // namespace
+}  // namespace janus

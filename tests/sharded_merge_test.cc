@@ -32,12 +32,12 @@ class MockExactEngine : public AqpEngine {
   explicit MockExactEngine(const EngineConfig&) {}
 
   const char* name() const override { return "mock"; }
-  void LoadInitial(const std::vector<Tuple>& rows) override {
+  void LoadInitialImpl(const std::vector<Tuple>& rows) override {
     rows_.insert(rows_.end(), rows.begin(), rows.end());
   }
-  void Initialize() override {}
-  void Insert(const Tuple& t) override { rows_.push_back(t); }
-  bool Delete(uint64_t id) override {
+  void InitializeImpl() override {}
+  void InsertImpl(const Tuple& t) override { rows_.push_back(t); }
+  bool DeleteImpl(uint64_t id) override {
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rows_[i].id == id) {
         rows_[i] = rows_.back();
@@ -48,7 +48,7 @@ class MockExactEngine : public AqpEngine {
     return false;
   }
 
-  QueryResult Query(const AggQuery& q) const override {
+  QueryResult QueryImpl(const AggQuery& q) const override {
     QueryResult r;
     double count = 0, sum = 0, sumsq = 0;
     double mn = 0, mx = 0;
@@ -94,7 +94,7 @@ class MockExactEngine : public AqpEngine {
     return r;
   }
 
-  EngineStats Stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats s;
     s.engine = name();
     s.rows = rows_.size();
@@ -144,15 +144,16 @@ AggQuery MakeQuery(AggFunc f, double lo, double hi) {
 }
 
 /// Hand-pool per-shard mock results with the documented stratified algebra.
-QueryResult HandPooled(const std::vector<MockExactEngine>& shards,
-                       const AggQuery& q) {
+QueryResult HandPooled(
+    const std::vector<std::unique_ptr<MockExactEngine>>& shards,
+    const AggQuery& q) {
   std::vector<QueryResult> parts;
   std::vector<double> counts;
   AggQuery cq = q;
   cq.func = AggFunc::kCount;
-  for (const MockExactEngine& s : shards) {
-    parts.push_back(s.Query(q));
-    counts.push_back(s.Query(cq).estimate);
+  for (const auto& s : shards) {
+    parts.push_back(s->Query(q));
+    counts.push_back(s->Query(cq).estimate);
   }
   QueryResult pooled;
   switch (q.func) {
@@ -219,10 +220,14 @@ TEST(ShardedMergeTest, MergedEstimatorEqualsPooledEstimator) {
     sharded.Initialize();
 
     // The reference pooling: identical hash partition, one mock per shard.
-    std::vector<MockExactEngine> manual(
-        static_cast<size_t>(num_shards), MockExactEngine(cfg));
+    // Engines carry their synchronization state (room lock), so the
+    // reference shards are heap-held rather than copied into the vector.
+    std::vector<std::unique_ptr<MockExactEngine>> manual;
+    for (int i = 0; i < num_shards; ++i) {
+      manual.push_back(std::make_unique<MockExactEngine>(cfg));
+    }
     for (const Tuple& t : rows) {
-      manual[ShardIndexForId(t.id, manual.size())].Insert(t);
+      manual[ShardIndexForId(t.id, manual.size())]->Insert(t);
     }
 
     Rng rng(23);
@@ -236,7 +241,7 @@ TEST(ShardedMergeTest, MergedEstimatorEqualsPooledEstimator) {
         // A single shard is served verbatim (identity merge); pooling only
         // kicks in across two or more shards.
         const QueryResult want =
-            num_shards == 1 ? manual[0].Query(q) : HandPooled(manual, q);
+            num_shards == 1 ? manual[0]->Query(q) : HandPooled(manual, q);
         EXPECT_NEAR(got.estimate, want.estimate, 1e-9)
             << AggFuncName(f) << " shards=" << num_shards;
         EXPECT_NEAR(got.variance_catchup, want.variance_catchup, 1e-9)
@@ -258,9 +263,12 @@ TEST(ShardedMergeTest, MergeSurvivesInsertsAndDeletes) {
   ShardedEngine sharded("mock", cfg);
   sharded.LoadInitial(rows);
   sharded.Initialize();
-  std::vector<MockExactEngine> manual(4, MockExactEngine(cfg));
+  std::vector<std::unique_ptr<MockExactEngine>> manual;
+  for (int i = 0; i < 4; ++i) {
+    manual.push_back(std::make_unique<MockExactEngine>(cfg));
+  }
   for (const Tuple& t : rows) {
-    manual[ShardIndexForId(t.id, 4)].Insert(t);
+    manual[ShardIndexForId(t.id, 4)]->Insert(t);
   }
 
   // Stream async inserts and synchronous deletes through the sharded
@@ -272,11 +280,11 @@ TEST(ShardedMergeTest, MergeSurvivesInsertsAndDeletes) {
     t[0] = rng.NextDouble();
     t[1] = rng.Normal(8, 3);
     sharded.Insert(t);
-    manual[ShardIndexForId(t.id, 4)].Insert(t);
+    manual[ShardIndexForId(t.id, 4)]->Insert(t);
   }
   for (uint64_t id = 0; id < 1500; id += 3) {
     EXPECT_TRUE(sharded.Delete(id));
-    EXPECT_TRUE(manual[ShardIndexForId(id, 4)].Delete(id));
+    EXPECT_TRUE(manual[ShardIndexForId(id, 4)]->Delete(id));
   }
   EXPECT_FALSE(sharded.Delete(999999999));
 
