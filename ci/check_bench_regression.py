@@ -14,9 +14,16 @@ by the tolerance) when the fleet speeds up. Metrics in the measurement that
 have no baseline entry are reported but never fail the job, so adding a
 bench metric does not require a baseline in the same change.
 
+Improvements (measured above baseline) are reported explicitly, and
+--ratchet-out writes a ready-to-commit ratcheted baseline: per metric the
+max of the current floor and measured * (1 - tolerance), so committing the
+artifact raises floors after a healthy faster run without ever lowering an
+existing one. New metrics enter the ratchet file the same way.
+
 Usage:
   check_bench_regression.py --baseline bench/baseline/bench_baseline.json \
-      --measured BENCH_parallel.json [--tolerance 0.25]
+      --measured BENCH_parallel.json [--tolerance 0.25] \
+      [--ratchet-out bench_baseline_ratchet.json]
 
 Baseline format: {"<bench>/<metric>/<key>": rows_per_sec, ...} where <key>
 is "path=column" / "threads=8" / "shards=4" style, matching MetricKey().
@@ -88,6 +95,9 @@ def main():
     ap.add_argument("--measured", required=True, nargs="+")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="maximum allowed fractional drop vs baseline")
+    ap.add_argument("--ratchet-out",
+                    help="write a ratcheted baseline JSON here: per metric "
+                         "max(current floor, measured * (1 - tolerance))")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -95,6 +105,8 @@ def main():
     measured, errors = load_measurements(args.measured)
 
     failures = []
+    improvements = []
+    ratchet = dict(baseline)
     for line in errors:
         # Correctness tripwires from the benches are fatal regardless of
         # throughput.
@@ -104,6 +116,9 @@ def main():
     for key in sorted(set(baseline) | set(measured)):
         base = baseline.get(key)
         got = measured.get(key)
+        if got is not None:
+            ratchet[key] = max(ratchet.get(key, 0.0),
+                               got * (1.0 - args.tolerance))
         if base is None:
             print("%-55s %14s %14.3e %8s" % (key, "-", got, "new"))
             continue
@@ -119,6 +134,25 @@ def main():
             failures.append(
                 "%s: %.3e < %.0f%% of baseline %.3e"
                 % (key, got, 100 * (1.0 - args.tolerance), base))
+        elif base > 0 and ratio >= 1.0 + args.tolerance:
+            # The floor is now conservative by more than the tolerance:
+            # worth ratcheting so a future regression to today's baseline
+            # would actually fail.
+            improvements.append("%s: %.2fx baseline" % (key, ratio))
+
+    if improvements:
+        print("\nIMPROVEMENTS (ratchet candidates, >= %.0f%% above floor):"
+              % (100 * args.tolerance))
+        for line in improvements:
+            print("  " + line)
+    if args.ratchet_out:
+        with open(args.ratchet_out, "w") as f:
+            json.dump({k: round(v, 3) for k, v in sorted(ratchet.items())},
+                      f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("\nratcheted baseline written to %s "
+              "(commit as bench/baseline/bench_baseline.json to adopt)"
+              % args.ratchet_out)
 
     if failures:
         print("\nPERF REGRESSION (> %.0f%% drop):" % (100 * args.tolerance))

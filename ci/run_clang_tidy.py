@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""clang-tidy runner for the static-analysis CI job and local sweeps.
+
+Drives clang-tidy over the project sources using the compile_commands.json
+a CMake configure exports (CMAKE_EXPORT_COMPILE_COMMANDS is ON in
+CMakeLists.txt). Two modes:
+
+  full (default)  every .cc under src/, tests/, bench/ that appears in the
+                  compilation database.
+  diff            only files changed relative to a git ref (default: main),
+                  for fast local iteration. Changed headers are covered
+                  indirectly: any changed .h reruns every .cc that includes
+                  it (cheap textual scan), since clang-tidy only accepts
+                  translation units.
+
+The check profile and its documented opt-outs live in .clang-tidy at the
+repo root; warnings are promoted to errors there (WarningsAsErrors: '*'),
+so any diagnostic fails the run.
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage/environment problems.
+When clang-tidy is not installed the script fails with a clear message
+(exit 2) unless --allow-missing is given, which turns the situation into a
+skip (exit 0) for environments that cannot install LLVM tooling.
+
+Usage:
+  ci/run_clang_tidy.py --build-dir build              # full sweep
+  ci/run_clang_tidy.py --build-dir build --mode diff --ref origin/main
+"""
+
+import argparse
+import json
+import multiprocessing
+import multiprocessing.pool
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench")
+
+
+def repo_root():
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def database_files(build_dir):
+    """All project .cc files in the compilation database, repo-relative."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print("error: %s not found - configure with cmake first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" % db_path,
+              file=sys.stderr)
+        sys.exit(2)
+    with open(db_path) as f:
+        db = json.load(f)
+    root = repo_root()
+    files = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.split(os.sep, 1)[0] in SOURCE_DIRS and rel.endswith(".cc"):
+            files.add(rel)
+    return sorted(files)
+
+
+def changed_files(ref):
+    out = subprocess.run(["git", "diff", "--name-only", ref, "--"],
+                         capture_output=True, text=True, check=True)
+    return [line.strip() for line in out.stdout.splitlines() if line.strip()]
+
+
+def include_name(header):
+    """The path a project source would #include this header by."""
+    if header.startswith("src" + os.sep):
+        return header.split(os.sep, 1)[1]  # src/ is on the include path
+    return header  # tests/... are included repo-relative
+
+
+def files_for_diff(all_files, ref):
+    """Changed .cc files plus every .cc including a changed header."""
+    changed = changed_files(ref)
+    selected = {f for f in changed if f in set(all_files)}
+    headers = [f for f in changed
+               if f.endswith(".h") and f.split(os.sep, 1)[0] in SOURCE_DIRS]
+    if headers:
+        patterns = [re.compile(r'#include\s+"%s"' % re.escape(include_name(h)))
+                    for h in headers]
+        for cc in all_files:
+            try:
+                with open(cc) as f:
+                    text = f.read()
+            except OSError:
+                continue
+            if any(p.search(text) for p in patterns):
+                selected.add(cc)
+    return sorted(selected)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build",
+                    help="build tree holding compile_commands.json")
+    ap.add_argument("--mode", choices=("full", "diff"), default="full")
+    ap.add_argument("--ref", default="main",
+                    help="git ref to diff against in --mode diff")
+    ap.add_argument("--clang-tidy", default="clang-tidy",
+                    help="clang-tidy executable to use")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="exit 0 instead of 2 when clang-tidy is absent")
+    args = ap.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        msg = "clang-tidy not found (looked for %r)" % args.clang_tidy
+        if args.allow_missing:
+            print("skip: " + msg)
+            return 0
+        print("error: " + msg + "; install clang-tidy or pass "
+              "--allow-missing to skip", file=sys.stderr)
+        return 2
+
+    os.chdir(repo_root())
+    files = database_files(args.build_dir)
+    if args.mode == "diff":
+        files = files_for_diff(files, args.ref)
+    if not files:
+        print("no files to analyze")
+        return 0
+
+    print("clang-tidy (%s mode): %d file(s), %d job(s)"
+          % (args.mode, len(files), args.jobs))
+    failed = []
+
+    def run_one(path):
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    with multiprocessing.pool.ThreadPool(args.jobs) as pool:
+        for path, code, out, err in pool.imap_unordered(run_one, files):
+            if code != 0 or "warning:" in out or "error:" in out:
+                failed.append(path)
+                print("== %s ==" % path)
+                if out.strip():
+                    print(out.strip())
+                # clang-tidy puts "N warnings generated" noise on stderr;
+                # surface it only for failing files.
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+            else:
+                print("ok  %s" % path)
+
+    if failed:
+        print("\nclang-tidy found problems in %d file(s):" % len(failed))
+        for path in sorted(failed):
+            print("  " + path)
+        return 1
+    print("\nclang-tidy clean over %d file(s)." % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,7 +59,7 @@ ArgMap::ArgMap(int argc, char** argv) {
 }
 
 bool ArgMap::Has(const std::string& key) const {
-  return kv_.count(key) > 0;
+  return kv_.contains(key);
 }
 
 std::string ArgMap::GetString(const std::string& key,

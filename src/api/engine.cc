@@ -1,8 +1,8 @@
 #include "api/engine.h"
 
-#include <mutex>
-
 #include "data/parallel_scan.h"
+#include "util/invariants.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace janus {
@@ -10,19 +10,19 @@ namespace janus {
 // --- public API: the concurrency contract ----------------------------------
 
 void AqpEngine::LoadInitial(const std::vector<Tuple>& rows) {
-  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  ExclusiveRoom room(base_rooms());
   LoadInitialImpl(rows);
 }
 
 void AqpEngine::Initialize() {
-  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  ExclusiveRoom room(base_rooms());
   InitializeImpl();
 }
 
 void AqpEngine::Insert(const Tuple& t) {
-  UpdateRoom room(internal() ? nullptr : &rooms_);
+  UpdateRoom room(base_rooms());
   if (update_concurrency() == UpdateConcurrency::kSerial) {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     InsertImpl(t);
     return;
   }
@@ -30,22 +30,22 @@ void AqpEngine::Insert(const Tuple& t) {
 }
 
 bool AqpEngine::Delete(uint64_t id) {
-  UpdateRoom room(internal() ? nullptr : &rooms_);
+  UpdateRoom room(base_rooms());
   if (update_concurrency() == UpdateConcurrency::kSerial) {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     return DeleteImpl(id);
   }
   return DeleteImpl(id);
 }
 
 QueryResult AqpEngine::Query(const AggQuery& q) const {
-  ReadRoom room(internal() ? nullptr : &rooms_);
+  ReadRoom room(base_rooms());
   return QueryImpl(q);
 }
 
 std::vector<QueryResult> AqpEngine::QueryBatch(
     const std::vector<AggQuery>& queries, ThreadPool* pool) const {
-  ReadRoom room(internal() ? nullptr : &rooms_);
+  ReadRoom room(base_rooms());
   return QueryBatchImpl(queries, pool);
 }
 
@@ -53,25 +53,36 @@ void AqpEngine::RunCatchupToGoal() {
   // Catch-up shares the update room with inserts/deletes (leaf statistics
   // are per-leaf locked) but is serialized against itself: the catch-up
   // engine's draw RNG and progress counters are single-writer state.
-  UpdateRoom room(internal() ? nullptr : &rooms_);
-  std::lock_guard<std::mutex> lock(update_mu_);
+  UpdateRoom room(base_rooms());
+  MutexLock lock(&update_mu_);
   RunCatchupToGoalImpl();
 }
 
 size_t AqpEngine::StepCatchup(size_t batch) {
-  UpdateRoom room(internal() ? nullptr : &rooms_);
-  std::lock_guard<std::mutex> lock(update_mu_);
+  UpdateRoom room(base_rooms());
+  MutexLock lock(&update_mu_);
   return StepCatchupImpl(batch);
 }
 
 void AqpEngine::Reinitialize() {
-  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  ExclusiveRoom room(base_rooms());
   ReinitializeImpl();
 }
 
 EngineStats AqpEngine::Stats() const {
-  ReadRoom room(internal() ? nullptr : &rooms_);
+  ReadRoom room(base_rooms());
   return StatsImpl();
+}
+
+void AqpEngine::CheckInvariants() const {
+  // Reader role: the audit only inspects state, and fencing out updates for
+  // its duration is exactly what makes a mid-stream audit meaningful.
+  ReadRoom room(base_rooms());
+  CheckInvariantsImpl();
+}
+
+void AqpEngine::CheckInvariantsImpl() const {
+  if (const DynamicTable* t = table()) t->store().CheckInvariants();
 }
 
 std::vector<QueryResult> AqpEngine::QueryBatchImpl(
@@ -113,7 +124,7 @@ void AqpEngine::LoadState(persist::Reader* r) {
 void AqpEngine::Save(const std::string& path, const SnapshotMeta& meta) const {
   // Reader role: concurrent queries may proceed, updates are fenced off for
   // the duration of the state capture (kInternal engines quiesce per shard).
-  ReadRoom room(internal() ? nullptr : &rooms_);
+  ReadRoom room(base_rooms());
   persist::Writer payload;
   SnapshotMeta stamped = meta;
   stamped.engine = name();
@@ -123,7 +134,7 @@ void AqpEngine::Save(const std::string& path, const SnapshotMeta& meta) const {
 }
 
 SnapshotMeta AqpEngine::Load(const std::string& path) {
-  ExclusiveRoom room(internal() ? nullptr : &rooms_);
+  ExclusiveRoom room(base_rooms());
   // File-level verification (magic, version, size, checksum) happens fully
   // before any engine state is touched, so file corruption never mutates a
   // live engine. State-level mismatches inside LoadState (wrong config for

@@ -9,7 +9,9 @@
 #include "data/table.h"
 #include "data/workload.h"
 #include "persist/snapshot.h"
+#include "util/mutex.h"
 #include "util/room_lock.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -127,6 +129,15 @@ class AqpEngine {
   /// Uniform counter/memory snapshot.
   EngineStats Stats() const;
 
+  /// Deep structural self-audit (util/invariants.h): walks every index and
+  /// synopsis structure the backend owns and throws InvariantViolation with
+  /// a description of the first inconsistency found. Runs as a *reader* —
+  /// audits never mutate. O(state) per call; intended for debug builds and
+  /// the conformance/property suites (see MaybeAuditInvariants in
+  /// util/invariants.h for the JANUS_AUDIT_INVARIANTS gate), not for
+  /// production hot paths.
+  void CheckInvariants() const;
+
   /// The evolving archive table, when the engine owns one (all built-in
   /// engines do). Exact ground truths in examples run the columnar scan
   /// kernels over table()->store().
@@ -200,15 +211,25 @@ class AqpEngine {
   }
   virtual void ReinitializeImpl() {}
   virtual EngineStats StatsImpl() const = 0;
+  /// Backend hook behind CheckInvariants(). The default audits the archive
+  /// table when the engine exposes one; backends override to walk their
+  /// synopsis structures too and then delegate to this base audit.
+  virtual void CheckInvariantsImpl() const;
 
  private:
   bool internal() const {
     return update_concurrency() == UpdateConcurrency::kInternal;
   }
 
+  /// The base-class room lock, or nullptr for engines that synchronize
+  /// internally (kInternal) and are called bare.
+  RoomLock* base_rooms() const {
+    return internal() ? nullptr : &rooms_;
+  }
+
   mutable RoomLock rooms_;
   /// Serializes updates among themselves for kSerial backends.
-  mutable std::mutex update_mu_;
+  mutable Mutex update_mu_;
 };
 
 }  // namespace janus

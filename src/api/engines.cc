@@ -5,7 +5,7 @@
 
 #include <algorithm>
 #include <memory>
-#include <shared_mutex>
+#include <string>
 #include <utility>
 
 #include "api/registry.h"
@@ -16,6 +16,8 @@
 #include "core/multi.h"
 #include "core/spt.h"
 #include "persist/serde.h"
+#include "util/invariants.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace janus {
@@ -126,6 +128,10 @@ class JanusEngine : public AqpEngine {
   }
 
  protected:
+  /// Replaces the base archive-only audit: JanusAqp audits the store plus
+  /// the reservoir/synopsis cross-structure invariants.
+  void CheckInvariantsImpl() const override { impl_.CheckInvariants(); }
+
   /// JanusAQP's maintenance path is thread-safe (per-leaf statistic locks +
   /// an internal table/reservoir mutex), so updates run concurrently.
   UpdateConcurrency update_concurrency() const override {
@@ -172,11 +178,11 @@ class MultiEngine : public AqpEngine {
     // are allowed by the AqpEngine contract, so discovery takes the write
     // lock while established-template lookups share a read lock.
     {
-      std::shared_lock<std::shared_mutex> lock(template_mu_);
+      ReaderMutexLock lock(&template_mu_);
       const int idx = impl_.TemplateFor(q.predicate_columns);
       if (idx >= 0) return impl_.dpt(idx).Query(q);
     }
-    std::unique_lock<std::shared_mutex> lock(template_mu_);
+    WriterMutexLock lock(&template_mu_);
     return impl_.Query(q);
   }
   std::vector<QueryResult> QueryBatchImpl(
@@ -185,7 +191,7 @@ class MultiEngine : public AqpEngine {
     // Materialize any missing templates serially first so the fan-out only
     // performs read-only tree lookups.
     {
-      std::unique_lock<std::shared_mutex> lock(template_mu_);
+      WriterMutexLock lock(&template_mu_);
       for (const AggQuery& q : queries) {
         if (impl_.TemplateFor(q.predicate_columns) < 0) {
           SynopsisSpec spec;
@@ -202,7 +208,7 @@ class MultiEngine : public AqpEngine {
   EngineStats StatsImpl() const override {
     // Shares template_mu_ with Query(): on-demand template discovery may
     // reallocate the template list under a concurrent reader.
-    std::shared_lock<std::shared_mutex> lock(template_mu_);
+    ReaderMutexLock lock(&template_mu_);
     EngineStats s;
     s.engine = name();
     s.rows = impl_.table().size();
@@ -223,29 +229,50 @@ class MultiEngine : public AqpEngine {
   }
   const DynamicTable* table() const override { return &impl_.table(); }
   const Dpt* synopsis() const override {
-    std::shared_lock<std::shared_mutex> lock(template_mu_);
+    ReaderMutexLock lock(&template_mu_);
     return initialized_ && impl_.num_templates() > 0 ? &impl_.dpt(0) : nullptr;
   }
 
   void SaveState(persist::Writer* w) const override {
-    std::shared_lock<std::shared_mutex> lock(template_mu_);
+    ReaderMutexLock lock(&template_mu_);
     w->Bool(initialized_);
     w->U64(inserts_);
     w->U64(deletes_);
     impl_.SaveTo(w);
   }
   void LoadState(persist::Reader* r) override {
-    std::unique_lock<std::shared_mutex> lock(template_mu_);
+    WriterMutexLock lock(&template_mu_);
     initialized_ = r->Bool();
     inserts_ = r->U64();
     deletes_ = r->U64();
     impl_.LoadFrom(r);
   }
 
+ protected:
+  void CheckInvariantsImpl() const override {
+    ReaderMutexLock lock(&template_mu_);
+    impl_.table().store().CheckInvariants();
+    if (!initialized_) return;
+    impl_.reservoir().CheckInvariants();
+    // Every template mirrors the one pooled reservoir; sizes must agree.
+    for (size_t i = 0; i < impl_.num_templates(); ++i) {
+      const Dpt& d = impl_.dpt(static_cast<int>(i));
+      d.CheckInvariants();
+      invariants::Require(
+          d.sample_size() == impl_.reservoir().size(), "MultiEngine",
+          "template " + std::to_string(i) + " mirrors " +
+              std::to_string(d.sample_size()) + " samples but the pooled " +
+              "reservoir holds " + std::to_string(impl_.reservoir().size()));
+    }
+  }
+
  private:
   scan::ScanCounters scan_counters_;
   mutable MultiTemplateJanus impl_;
-  mutable std::shared_mutex template_mu_;
+  /// Guards impl_'s template list (discovery appends; readers index it).
+  /// impl_ itself cannot carry GUARDED_BY: update paths mutate it under the
+  /// engine's update room instead of this lock.
+  mutable SharedMutex template_mu_;
   bool initialized_ = false;
   uint64_t inserts_;
   uint64_t deletes_;
@@ -304,6 +331,9 @@ class RsEngine : public AqpEngine {
     deletes_ = r->U64();
     impl_->LoadFrom(r);
   }
+
+ protected:
+  void CheckInvariantsImpl() const override { impl_->CheckInvariants(); }
 
  private:
   std::unique_ptr<ReservoirBaseline> impl_;
@@ -370,6 +400,9 @@ class SrsEngine : public AqpEngine {
     deletes_ = r->U64();
     impl_->LoadFrom(r);
   }
+
+ protected:
+  void CheckInvariantsImpl() const override { impl_->CheckInvariants(); }
 
  private:
   scan::ScanCounters scan_counters_;
@@ -444,6 +477,21 @@ class SpnEngine : public AqpEngine {
       spn_->LoadFrom(r);
     } else {
       spn_.reset();
+    }
+  }
+
+ protected:
+  void CheckInvariantsImpl() const override {
+    AqpEngine::CheckInvariantsImpl();  // archive store
+    // Inserts/deletes only move the model's population scale; it must track
+    // the live row count exactly until the next retrain.
+    if (spn_) {
+      invariants::Require(
+          spn_->population() == static_cast<double>(table_.size()),
+          "SpnEngine",
+          "model population " + std::to_string(spn_->population()) +
+              " out of sync with the archive's " +
+              std::to_string(table_.size()) + " rows");
     }
   }
 
@@ -564,6 +612,12 @@ class SptEngine : public AqpEngine {
     } else {
       dpt_.reset();
     }
+  }
+
+ protected:
+  void CheckInvariantsImpl() const override {
+    AqpEngine::CheckInvariantsImpl();  // archive store
+    if (dpt_) dpt_->CheckInvariants();
   }
 
  private:

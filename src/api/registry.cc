@@ -26,7 +26,7 @@ void EngineRegistry::Register(const std::string& name,
 }
 
 bool EngineRegistry::Contains(const std::string& name) const {
-  return engines_.count(name) > 0;
+  return engines_.contains(name);
 }
 
 std::vector<std::string> EngineRegistry::Names() const {

@@ -2,16 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <functional>
 #include <limits>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <utility>
 
 #include "util/completion_latch.h"
+#include "util/invariants.h"
 #include "util/mpsc_queue.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -133,12 +133,12 @@ struct ShardedEngine::Shard {
 
   void EnqueueInsert(const Tuple& t) {
     {
-      std::lock_guard<std::mutex> lock(state_mu);
+      MutexLock lock(&state_mu);
       ++enqueued;
     }
     // Blocks on backpressure; rejected only during shutdown.
     if (!queue.Push(t)) {
-      std::lock_guard<std::mutex> lock(state_mu);
+      MutexLock lock(&state_mu);
       --enqueued;
     }
   }
@@ -147,9 +147,9 @@ struct ShardedEngine::Shard {
   /// call has been applied. Producers may keep enqueueing; the wait target
   /// is a snapshot, so readers are never starved by a steady write load.
   void Quiesce() const {
-    std::unique_lock<std::mutex> lock(state_mu);
+    MutexLock lock(&state_mu);
     const uint64_t target = enqueued;
-    applied_cv.wait(lock, [&] { return applied >= target; });
+    while (applied < target) applied_cv.Wait(&state_mu);
   }
 
   void MaintenanceLoop() {
@@ -159,26 +159,29 @@ struct ShardedEngine::Shard {
       batch.clear();
       if (queue.PopBatch(&batch, kApplyBatch) == 0) return;
       {
-        std::unique_lock<std::shared_mutex> lock(engine_mu);
+        WriterMutexLock lock(&engine_mu);
         for (const Tuple& t : batch) engine->Insert(t);
       }
       {
-        std::lock_guard<std::mutex> lock(state_mu);
+        MutexLock lock(&state_mu);
         applied += batch.size();
       }
-      applied_cv.notify_all();
+      applied_cv.NotifyAll();
     }
   }
 
-  std::unique_ptr<AqpEngine> engine;
+  /// Set once at construction; the *pointee* is protected by engine_mu (the
+  /// maintenance thread and synchronous mutators hold it unique, read paths
+  /// shared).
+  std::unique_ptr<AqpEngine> engine PT_GUARDED_BY(engine_mu);
   BoundedMpscQueue<Tuple> queue;
   /// Writers (the maintenance thread, synchronous deletes, re-optimization)
   /// take it unique; queries and stats snapshots share it.
-  mutable std::shared_mutex engine_mu;
-  mutable std::mutex state_mu;
-  mutable std::condition_variable applied_cv;
-  uint64_t enqueued = 0;  ///< guarded by state_mu
-  uint64_t applied = 0;   ///< guarded by state_mu
+  mutable SharedMutex engine_mu;
+  mutable Mutex state_mu;
+  mutable CondVar applied_cv;
+  uint64_t enqueued GUARDED_BY(state_mu) = 0;
+  uint64_t applied GUARDED_BY(state_mu) = 0;
   std::thread worker;
 };
 
@@ -201,7 +204,10 @@ ShardedEngine::ShardedEngine(std::string inner_name,
 
 ShardedEngine::~ShardedEngine() = default;
 
-const AqpEngine& ShardedEngine::shard_engine(size_t shard) const {
+// Deliberately unlocked test introspection (documented "not quiesced"):
+// callers own the quiescence, so the analysis cannot see the protection.
+const AqpEngine& ShardedEngine::shard_engine(size_t shard) const
+    NO_THREAD_SAFETY_ANALYSIS {
   return *shards_[shard]->engine;
 }
 
@@ -231,14 +237,14 @@ void ShardedEngine::LoadInitialImpl(const std::vector<Tuple>& rows) {
     parts[ShardIndexForId(t.id, shards_.size())].push_back(t);
   }
   ForEachShardParallel([this, &parts](size_t i) {
-    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    WriterMutexLock lock(&shards_[i]->engine_mu);
     shards_[i]->engine->LoadInitial(parts[i]);
   });
 }
 
 void ShardedEngine::InitializeImpl() {
   ForEachShardParallel([this](size_t i) {
-    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    WriterMutexLock lock(&shards_[i]->engine_mu);
     shards_[i]->engine->Initialize();
   });
 }
@@ -252,7 +258,7 @@ bool ShardedEngine::DeleteImpl(uint64_t id) {
   // Drain the shard first so a delete observes every earlier insert of the
   // same id, keeping the not-live return value accurate.
   shard.Quiesce();
-  std::unique_lock<std::shared_mutex> lock(shard.engine_mu);
+  WriterMutexLock lock(&shard.engine_mu);
   return shard.engine->Delete(id);
 }
 
@@ -272,7 +278,7 @@ std::vector<QueryResult> ShardedEngine::QueryBatchImpl(
     // companion queries AVG/MIN/MAX merging would otherwise need).
     Shard& shard = *shards_[0];
     shard.Quiesce();
-    std::shared_lock<std::shared_mutex> lock(shard.engine_mu);
+    ReaderMutexLock lock(&shard.engine_mu);
     return shard.engine->QueryBatch(queries, nullptr);
   }
   std::vector<std::vector<QueryResult>> parts(
@@ -281,7 +287,7 @@ std::vector<QueryResult> ShardedEngine::QueryBatchImpl(
   ForEachShardParallel([&, this](size_t s) {
     Shard& shard = *shards_[s];
     shard.Quiesce();
-    std::shared_lock<std::shared_mutex> lock(shard.engine_mu);
+    ReaderMutexLock lock(&shard.engine_mu);
     for (size_t i = 0; i < m; ++i) {
       parts[s][i] = shard.engine->Query(queries[i]);
       if (NeedsShardCounts(queries[i].func)) {
@@ -309,7 +315,7 @@ std::vector<QueryResult> ShardedEngine::QueryBatchImpl(
 void ShardedEngine::RunCatchupToGoalImpl() {
   ForEachShardParallel([this](size_t i) {
     shards_[i]->Quiesce();
-    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    WriterMutexLock lock(&shards_[i]->engine_mu);
     shards_[i]->engine->RunCatchupToGoal();
   });
 }
@@ -325,7 +331,7 @@ size_t ShardedEngine::StepCatchupImpl(size_t batch) {
     const size_t budget = base + (i < remainder ? 1 : 0);
     if (budget == 0) return;
     shards_[i]->Quiesce();
-    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    WriterMutexLock lock(&shards_[i]->engine_mu);
     absorbed[i] = shards_[i]->engine->StepCatchup(budget);
   });
   size_t total = 0;
@@ -336,7 +342,7 @@ size_t ShardedEngine::StepCatchupImpl(size_t batch) {
 void ShardedEngine::ReinitializeImpl() {
   ForEachShardParallel([this](size_t i) {
     shards_[i]->Quiesce();
-    std::unique_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    WriterMutexLock lock(&shards_[i]->engine_mu);
     shards_[i]->engine->Reinitialize();
   });
 }
@@ -348,7 +354,7 @@ EngineStats ShardedEngine::StatsImpl() const {
   std::vector<EngineStats> parts(shards_.size());
   ForEachShardParallel([this, &parts](size_t i) {
     shards_[i]->Quiesce();
-    std::shared_lock<std::shared_mutex> lock(shards_[i]->engine_mu);
+    ReaderMutexLock lock(&shards_[i]->engine_mu);
     parts[i] = shards_[i]->engine->Stats();
   });
   EngineStats total;
@@ -382,13 +388,36 @@ EngineStats ShardedEngine::StatsImpl() const {
   return total;
 }
 
+void ShardedEngine::CheckInvariantsImpl() const {
+  const size_t n = shards_.size();
+  ForEachShardParallel([this, n](size_t s) {
+    Shard& shard = *shards_[s];
+    shard.Quiesce();
+    ReaderMutexLock lock(&shard.engine_mu);
+    // The inner engine's own audit first (kInternal engines are called
+    // bare, so this runs without re-entering any base-class room)...
+    shard.engine->CheckInvariants();
+    // ...then shard-disjointness: every tuple this shard archives must hash
+    // here, or deletes/queries addressed by id would miss it.
+    if (const DynamicTable* table = shard.engine->table()) {
+      for (uint64_t id : table->store().ids()) {
+        invariants::Require(ShardIndexForId(id, n) == s, "ShardedEngine",
+                            "tuple id " + std::to_string(id) +
+                                " lives in shard " + std::to_string(s) +
+                                " but hashes to shard " +
+                                std::to_string(ShardIndexForId(id, n)));
+      }
+    }
+  });
+}
+
 void ShardedEngine::SaveState(persist::Writer* w) const {
   w->U32(static_cast<uint32_t>(shards_.size()));
   // Serially, one shard at a time: the writer is a single buffer, and each
   // shard's quiesce + writer lock gives a consistent per-shard cut.
   for (const auto& shard : shards_) {
     shard->Quiesce();
-    std::unique_lock<std::shared_mutex> lock(shard->engine_mu);
+    WriterMutexLock lock(&shard->engine_mu);
     shard->engine->SaveState(w);
   }
 }
@@ -403,7 +432,7 @@ void ShardedEngine::LoadState(persist::Reader* r) {
   }
   for (const auto& shard : shards_) {
     shard->Quiesce();
-    std::unique_lock<std::shared_mutex> lock(shard->engine_mu);
+    WriterMutexLock lock(&shard->engine_mu);
     shard->engine->LoadState(r);
   }
 }

@@ -99,6 +99,11 @@ class ShardedEngine : public AqpEngine {
   void ReinitializeImpl() override;
   EngineStats StatsImpl() const override;
 
+  /// Quiesces each shard, audits its inner engine, and checks shard
+  /// disjointness: every archived tuple id must hash to the shard holding it
+  /// (otherwise id-addressed deletes and fan-out queries would miss rows).
+  void CheckInvariantsImpl() const override;
+
  private:
   struct Shard;
 

@@ -1,11 +1,14 @@
 #include "baselines/rs.h"
 
+#include <string>
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "core/variance.h"
 #include "persist/serde.h"
+#include "util/invariants.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -107,6 +110,17 @@ void ReservoirBaseline::LoadFrom(persist::Reader* r) {
     reservoir_->LoadFrom(r);
   } else {
     reservoir_.reset();
+  }
+}
+
+void ReservoirBaseline::CheckInvariants() const {
+  table_.store().CheckInvariants();
+  if (!reservoir_) return;
+  reservoir_->CheckInvariants();
+  for (const Tuple& t : reservoir_->samples()) {
+    invariants::Require(table_.Find(t.id).has_value(), "ReservoirBaseline",
+                        "reservoir holds id " + std::to_string(t.id) +
+                            " that is not live in the archive");
   }
 }
 

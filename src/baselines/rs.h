@@ -44,6 +44,11 @@ class ReservoirBaseline {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: the archive store, the reservoir's own invariants,
+  /// and liveness (every sampled id still in the table). Throws
+  /// InvariantViolation on inconsistency.
+  void CheckInvariants() const;
+
  private:
   RsOptions opts_;
   DynamicTable table_;

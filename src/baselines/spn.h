@@ -48,6 +48,7 @@ class Spn {
   /// Update the population scale without retraining (insertions only change
   /// N; the density model stays frozen — DeepDB's warm-start behaviour).
   void set_population(size_t n) { population_ = static_cast<double>(n); }
+  double population() const { return population_; }
 
   /// Estimate a query. MIN/MAX fall back to the training-data extrema.
   QueryResult Query(const AggQuery& q) const;

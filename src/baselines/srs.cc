@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "core/variance.h"
 #include "data/parallel_scan.h"
 #include "persist/serde.h"
+#include "util/invariants.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -272,6 +274,51 @@ void StratifiedReservoirBaseline::LoadFrom(persist::Reader* r) {
       strata_.push_back(nullptr);
     }
   }
+}
+
+void StratifiedReservoirBaseline::CheckInvariants() const {
+  table_.store().CheckInvariants();
+  invariants::Require(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+                      "StratifiedReservoirBaseline",
+                      "stratum boundaries are not ascending");
+  if (strata_.empty()) return;  // not initialized yet
+  invariants::Require(
+      strata_.size() == boundaries_.size() + 1 &&
+          populations_.size() == strata_.size(),
+      "StratifiedReservoirBaseline",
+      "parallel stratum arrays disagree: " + std::to_string(strata_.size()) +
+          " reservoirs, " + std::to_string(boundaries_.size()) +
+          " boundaries, " + std::to_string(populations_.size()) +
+          " population counters");
+  double population_total = 0;
+  for (size_t i = 0; i < strata_.size(); ++i) {
+    invariants::Require(populations_[i] >= 0, "StratifiedReservoirBaseline",
+                        "stratum " + std::to_string(i) +
+                            " has negative population counter " +
+                            std::to_string(populations_[i]));
+    population_total += populations_[i];
+    if (strata_[i] == nullptr) continue;
+    strata_[i]->CheckInvariants();
+    for (const Tuple& t : strata_[i]->samples()) {
+      invariants::Require(
+          table_.Find(t.id).has_value(), "StratifiedReservoirBaseline",
+          "stratum " + std::to_string(i) + " samples id " +
+              std::to_string(t.id) + " that is not live in the archive");
+      invariants::Require(
+          StratumOf(t) == static_cast<int>(i), "StratifiedReservoirBaseline",
+          "sample id " + std::to_string(t.id) + " sits in stratum " +
+              std::to_string(i) + " but keys into stratum " +
+              std::to_string(StratumOf(t)));
+    }
+  }
+  // The counters are maintained exactly (integral adds/subtracts), so the
+  // comparison with the live row count is exact too.
+  invariants::Require(
+      population_total == static_cast<double>(table_.size()),
+      "StratifiedReservoirBaseline",
+      "per-stratum populations sum to " + std::to_string(population_total) +
+          " but the archive holds " + std::to_string(table_.size()) +
+          " rows");
 }
 
 }  // namespace janus

@@ -55,6 +55,13 @@ class StratifiedReservoirBaseline {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: the archive store; ascending stratum boundaries with
+  /// parallel reservoir/population arrays; per-stratum reservoir invariants;
+  /// every sampled tuple live, keyed into its own stratum; and the exact
+  /// population counters summing to the live row count. Throws
+  /// InvariantViolation on inconsistency.
+  void CheckInvariants() const;
+
  private:
   int StratumOf(const Tuple& t) const;
   int StratumOfKey(double key) const;

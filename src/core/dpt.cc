@@ -7,6 +7,7 @@
 #include "data/parallel_scan.h"
 #include "data/scan.h"
 #include "persist/common.h"
+#include "util/invariants.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -32,7 +33,7 @@ Dpt::Dpt(const DptOptions& opts, PartitionTreeSpec spec)
         std::numeric_limits<double>::lowest());
   }
   leaf_stats_.resize(spec_.nodes.size());
-  leaf_mu_ = std::make_unique<std::mutex[]>(spec_.nodes.size());
+  leaf_mu_ = std::make_unique<Mutex[]>(spec_.nodes.size());
   for (size_t i = 0; i < spec_.nodes.size(); ++i) {
     if (!spec_.nodes[i].IsLeaf()) continue;
     leaf_stats_[i].columns.resize(tracked_columns_.size());
@@ -223,7 +224,7 @@ void Dpt::ApplyInsert(const Tuple& t) {
   ProjectTuple(t, opts_.spec.predicate_columns, point);
   GrowDomain(point);
   const int leaf = spec_.LeafFor(point);
-  std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+  MutexLock lock(&leaf_mu_[leaf]);
   LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
   for (size_t i = 0; i < tracked_columns_.size(); ++i) {
     const double v = t[tracked_columns_[i]];
@@ -239,7 +240,7 @@ void Dpt::ApplyInsert(const Tuple& t) {
 void Dpt::ApplyDelete(const Tuple& t) {
   if (spec_.nodes.empty()) return;  // placeholder spec (failed LoadFrom)
   const int leaf = LeafForTuple(t);
-  std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+  MutexLock lock(&leaf_mu_[leaf]);
   LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
   for (size_t i = 0; i < tracked_columns_.size(); ++i) {
     const double v = t[tracked_columns_[i]];
@@ -284,7 +285,7 @@ void Dpt::AddCatchupSample(const Tuple& t) {
   GrowDomain(point);
   const int leaf = spec_.LeafFor(point);
   {
-    std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+    MutexLock lock(&leaf_mu_[leaf]);
     LeafStats& ls = leaf_stats_[static_cast<size_t>(leaf)];
     for (size_t i = 0; i < tracked_columns_.size(); ++i) {
       const double v = t[tracked_columns_[i]];
@@ -342,7 +343,7 @@ void Dpt::AddCatchupSamples(const ColumnStore& snapshot,
   // catchup_total_ sums unit weights, which add exactly).
   scan::ForEachIndex(opts_.exec, active.size(), workers, [&](size_t a) {
     const size_t leaf = active[a];
-    std::lock_guard<std::mutex> lock(leaf_mu_[leaf]);
+    MutexLock lock(&leaf_mu_[leaf]);
     LeafStats& ls = leaf_stats_[leaf];
     for (uint32_t i : by_leaf[leaf]) {
       const Tuple& t = batch[i];
@@ -580,7 +581,7 @@ void Dpt::LoadFrom(persist::Reader* r) {
 
   leaf_stats_.clear();
   leaf_stats_.resize(spec_.nodes.size());
-  leaf_mu_ = std::make_unique<std::mutex[]>(spec_.nodes.size());
+  leaf_mu_ = std::make_unique<Mutex[]>(spec_.nodes.size());
   ComputeLeafRanges();
   for (LeafStats& ls : leaf_stats_) {
     const size_t cols = r->Size();
@@ -874,6 +875,90 @@ QueryResult Dpt::Query(const AggQuery& q) const {
   r.exact = mode_ == StatMode::kExact && partial.empty();
   r.ci_half_width = z * std::sqrt(nu_c + nu_s);
   return r;
+}
+
+void Dpt::CheckInvariants() const {
+  if (spec_.nodes.empty()) {
+    // Placeholder spec (constructed for LoadFrom); nothing to audit.
+    invariants::Require(leaf_stats_.empty() && dfs_leaves_.empty(), "Dpt",
+                        "placeholder spec carries leaf state");
+    return;
+  }
+  const size_t n = spec_.nodes.size();
+  invariants::Require(
+      leaf_stats_.size() == n && range_lo_.size() == n && range_hi_.size() == n,
+      "Dpt", "per-node arrays are not parallel to the tree spec");
+  invariants::Require(dfs_leaves_.size() == spec_.leaves.size(), "Dpt",
+                      "DFS leaf order holds " +
+                          std::to_string(dfs_leaves_.size()) +
+                          " leaves, spec has " +
+                          std::to_string(spec_.leaves.size()));
+  for (size_t i = 0; i < n; ++i) {
+    const PartitionNode& node = spec_.nodes[i];
+    const int lo = range_lo_[i];
+    const int hi = range_hi_[i];
+    if (node.IsLeaf()) {
+      invariants::Require(
+          hi == lo + 1 && dfs_leaves_[static_cast<size_t>(lo)] ==
+                              static_cast<int>(i),
+          "Dpt", "leaf " + std::to_string(i) + " has a non-singleton or "
+                                               "misdirected DFS range");
+      invariants::Require(
+          leaf_stats_[i].columns.size() == tracked_columns_.size(), "Dpt",
+          "leaf " + std::to_string(i) + " tracks " +
+              std::to_string(leaf_stats_[i].columns.size()) +
+              " columns, expected " + std::to_string(tracked_columns_.size()));
+    } else {
+      invariants::Require(node.left >= 0 && node.right >= 0 &&
+                              static_cast<size_t>(node.left) < n &&
+                              static_cast<size_t>(node.right) < n,
+                          "Dpt", "internal node " + std::to_string(i) +
+                                     " has out-of-range children");
+      // An internal node's leaf range is exactly the concatenation of its
+      // children's — the property every O(#leaves) node aggregate relies on.
+      invariants::Require(
+          lo == range_lo_[static_cast<size_t>(node.left)] &&
+              range_hi_[static_cast<size_t>(node.left)] ==
+                  range_lo_[static_cast<size_t>(node.right)] &&
+              range_hi_[static_cast<size_t>(node.right)] == hi,
+          "Dpt",
+          "internal node " + std::to_string(i) +
+              "'s DFS range does not tile its children's");
+    }
+  }
+  // Catch-up bookkeeping: the global mass equals the per-leaf masses. Both
+  // sides accumulate in different orders (and grafts seed scaled weights),
+  // so compare with a relative tolerance.
+  const double leaf_mass = NodeCatchupCount(0);
+  const double total = catchup_total_.load();
+  invariants::Require(
+      std::abs(leaf_mass - total) <=
+          1e-6 * std::max({1.0, std::abs(leaf_mass), std::abs(total)}),
+      "Dpt", "leaf catch-up masses sum to " + std::to_string(leaf_mass) +
+                 ", catchup_total is " + std::to_string(total));
+  // Pooled sample: the index's own structures, then index vs tuple mirror.
+  samples_.CheckInvariants();
+  invariants::Require(samples_.size() == sample_tuples_.size(), "Dpt",
+                      "sample index holds " + std::to_string(samples_.size()) +
+                          " points, mirror holds " +
+                          std::to_string(sample_tuples_.size()) + " tuples");
+  for (const auto& [id, t] : sample_tuples_) {
+    const KdPoint p =
+        MakeKdPoint(t, opts_.spec.predicate_columns, opts_.spec.agg_column);
+    Rectangle point_rect = Rectangle::Infinite(spec_.dims);
+    for (int d = 0; d < spec_.dims; ++d) {
+      point_rect.set_lo(d, p.x[static_cast<size_t>(d)]);
+      point_rect.set_hi(d, p.x[static_cast<size_t>(d)]);
+    }
+    std::vector<KdPoint> at;
+    samples_.kd().Report(point_rect, &at);
+    bool found = false;
+    for (const KdPoint& q : at) found = found || q.id == id;
+    invariants::Require(found, "Dpt",
+                        "mirrored sample id " + std::to_string(id) +
+                            " is missing from the kd index at its "
+                            "coordinates");
+  }
 }
 
 }  // namespace janus

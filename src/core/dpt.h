@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "data/exec_context.h"
 #include "data/table.h"
 #include "data/workload.h"
+#include "util/mutex.h"
 
 namespace janus {
 
@@ -182,6 +182,17 @@ class Dpt {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: tree linkage (leaf list and DFS ranges consistent
+  /// with the spec), the pooled-sample index vs its tuple mirror (equal
+  /// sizes, every mirrored tuple inside the index's bounding box, per-leaf
+  /// stratum counts summing to the pool), the sample index's own trees, and
+  /// the catch-up bookkeeping (leaf catch-up masses summing to
+  /// catchup_count(), within floating-point tolerance — grafts seed scaled
+  /// weights). Not thread-safe against concurrent maintenance; callers
+  /// quiesce first (AqpEngine::CheckInvariants holds the read room). Throws
+  /// InvariantViolation on the first inconsistency.
+  void CheckInvariants() const;
+
  private:
   struct ColumnStats {
     MomentAccumulator exact;
@@ -222,8 +233,15 @@ class Dpt {
   /// Observed data domain per predicate dimension (grow-only; lock-free).
   std::array<std::atomic<double>, kMaxColumns> domain_lo_;
   std::array<std::atomic<double>, kMaxColumns> domain_hi_;
-  std::vector<LeafStats> leaf_stats_;      // parallel to spec_.nodes; leaf-only
-  std::unique_ptr<std::mutex[]> leaf_mu_;  // per-node update locks
+  std::vector<LeafStats> leaf_stats_;  // parallel to spec_.nodes; leaf-only
+  /// Per-node update locks, parallel to leaf_stats_. Annotated Mutex type,
+  /// but leaf_stats_ cannot carry GUARDED_BY: thread-safety analysis has no
+  /// notion of a per-element lock array, and the read side (queries, saves)
+  /// is legitimately lock-free — it is fenced from mutators by the owning
+  /// engine's room capability, which this layer does not hold. The
+  /// discipline remains: mutators lock leaf_mu_[leaf] around leaf_stats_
+  /// writes; readers rely on the engine rooms.
+  std::unique_ptr<Mutex[]> leaf_mu_;
   // DFS leaf ranges: node i covers dfs_leaves_[range_lo_[i], range_hi_[i]).
   std::vector<int> dfs_leaves_;
   std::vector<int> range_lo_;

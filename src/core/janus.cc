@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "core/partition.h"
 #include "persist/serde.h"
+#include "util/invariants.h"
 #include "util/timer.h"
 
 namespace janus {
@@ -84,7 +86,7 @@ void JanusAqp::Initialize() {
 
 void JanusAqp::Insert(const Tuple& t) {
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     table_.Insert(t);
     ++counters_.inserts;
     ReservoirChange ch = reservoir_->OnInsert(t, table_.size());
@@ -98,7 +100,7 @@ void JanusAqp::Insert(const Tuple& t) {
 bool JanusAqp::Delete(uint64_t id) {
   Tuple t;
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     const std::optional<Tuple> p = table_.Find(id);
     if (!p.has_value()) return false;
     t = *p;
@@ -483,7 +485,7 @@ void JanusAqp::BeginReinitialize() {
   // runs in parallel with maintenance of the old synopsis).
   std::vector<Tuple> snapshot;
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     snapshot = reservoir_->samples();
   }
   const size_t n = table_.size();
@@ -501,7 +503,7 @@ double JanusAqp::FinishReinitialize() {
   opt_running_ = false;
   Timer blocking;
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     AdoptSpec(std::move(opt_result_.spec));
   }
   const double secs = blocking.ElapsedSeconds();
@@ -509,7 +511,7 @@ double JanusAqp::FinishReinitialize() {
   // Step 4: fresh reservoir off the critical path, re-sized to the current
   // table.
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     const size_t target = std::max<size_t>(
         32, static_cast<size_t>(2.0 * opts_.sample_rate *
                                 static_cast<double>(table_.size())));
@@ -520,6 +522,36 @@ double JanusAqp::FinishReinitialize() {
   }
   ++counters_.repartitions;
   return secs;
+}
+
+void JanusAqp::CheckInvariants() const {
+  table_.store().CheckInvariants();
+  if (reservoir_) {
+    reservoir_->CheckInvariants();
+    for (const Tuple& t : reservoir_->samples()) {
+      invariants::Require(table_.Find(t.id).has_value(), "JanusAqp",
+                          "reservoir holds id " + std::to_string(t.id) +
+                              " that is not live in the archive");
+    }
+  }
+  if (dpt_) {
+    dpt_->CheckInvariants();
+    // The DPT's sample mirror tracks the reservoir one change at a time
+    // (added/evicted deltas); id-set equality proves no delta was dropped.
+    if (reservoir_) {
+      const auto& mirror = dpt_->sample_tuples();
+      invariants::Require(
+          mirror.size() == reservoir_->size(), "JanusAqp",
+          "DPT sample mirror holds " + std::to_string(mirror.size()) +
+              " tuples but the reservoir holds " +
+              std::to_string(reservoir_->size()));
+      for (const Tuple& t : reservoir_->samples()) {
+        invariants::Require(mirror.contains(t.id), "JanusAqp",
+                            "reservoir sample id " + std::to_string(t.id) +
+                                " missing from the DPT sample mirror");
+      }
+    }
+  }
 }
 
 }  // namespace janus

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "core/spt.h"
 #include "data/table.h"
 #include "sampling/reservoir.h"
+#include "util/mutex.h"
 
 namespace janus {
 
@@ -134,6 +134,12 @@ class JanusAqp {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit of the whole system: the archive store, the pooled
+  /// reservoir (every sampled id must be live in the table), the synopsis,
+  /// and the DPT sample mirror (same ids as the reservoir). Not thread-safe;
+  /// quiesce updates first. Throws InvariantViolation on inconsistency.
+  void CheckInvariants() const;
+
   /// True once Initialize() has run (or a snapshot of an initialized
   /// instance was loaded).
   bool initialized() const { return dpt_ != nullptr; }
@@ -174,8 +180,11 @@ class JanusAqp {
   std::atomic<uint64_t> updates_since_check_{0};
 
   /// Serializes table + reservoir + sample-index mutation (Insert/Delete
-  /// from many threads).
-  mutable std::mutex update_mu_;
+  /// from many threads). The guarded state (table_, reservoir_, the DPT
+  /// sample index) is also read lock-free by externally-quiesced queries,
+  /// so it cannot carry GUARDED_BY; the lock protects the mutation path
+  /// only, per the class thread-safety contract above.
+  mutable Mutex update_mu_;
 
   // Concurrent re-initialization state.
   std::thread opt_thread_;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "core/variance.h"
 #include "persist/serde.h"
+#include "util/invariants.h"
 
 namespace janus {
 
@@ -193,6 +195,17 @@ void MaxVarianceIndex::SaveTo(persist::Writer* w) const {
 void MaxVarianceIndex::LoadFrom(persist::Reader* r) {
   kd_.LoadFrom(r);
   if (opts_.dims == 1) tree1d_.LoadFrom(r);
+}
+
+void MaxVarianceIndex::CheckInvariants() const {
+  kd_.CheckInvariants();
+  if (opts_.dims == 1) {
+    tree1d_.CheckInvariants();
+    invariants::Require(tree1d_.size() == kd_.size(), "MaxVarianceIndex",
+                        "rank tree holds " + std::to_string(tree1d_.size()) +
+                            " samples, kd-tree holds " +
+                            std::to_string(kd_.size()));
+  }
 }
 
 }  // namespace janus

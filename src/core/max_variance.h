@@ -75,6 +75,11 @@ class MaxVarianceIndex {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: both underlying indexes plus, in 1-D, agreement of
+  /// their sizes (every sample is mirrored into the rank tree). Throws
+  /// InvariantViolation on inconsistency.
+  void CheckInvariants() const;
+
  private:
   double RankRangeVariance(size_t lo, size_t hi, AggFunc f) const;
   double RectVariance(const Rectangle& r, AggFunc f) const;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "persist/common.h"
+#include "util/invariants.h"
 
 namespace janus {
 
@@ -167,6 +168,45 @@ void ColumnStore::LoadFrom(persist::Reader* r) {
   }
   index_.clear();
   indexed_ = false;
+}
+
+void ColumnStore::CheckInvariants() const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    invariants::Require(
+        columns_[c].size() == ids_.size(), "ColumnStore",
+        "column " + std::to_string(c) + " has " +
+            std::to_string(columns_[c].size()) + " values for " +
+            std::to_string(ids_.size()) + " rows");
+  }
+  if (indexed_) {
+    invariants::Require(index_.size() == ids_.size(), "ColumnStore",
+                        "index holds " + std::to_string(index_.size()) +
+                            " entries for " + std::to_string(ids_.size()) +
+                            " rows");
+    for (size_t pos = 0; pos < ids_.size(); ++pos) {
+      const auto it = index_.find(ids_[pos]);
+      invariants::Require(it != index_.end(), "ColumnStore",
+                          "live id " + std::to_string(ids_[pos]) +
+                              " missing from the id index");
+      invariants::Require(
+          it->second == pos, "ColumnStore",
+          "index maps id " + std::to_string(ids_[pos]) + " to position " +
+              std::to_string(it->second) + ", actual position " +
+              std::to_string(pos));
+    }
+    // index.size() == rows plus every row resolving to itself makes the
+    // index a bijection, which also proves id uniqueness.
+  } else {
+    std::unordered_map<uint64_t, size_t> seen;
+    seen.reserve(ids_.size());
+    for (size_t pos = 0; pos < ids_.size(); ++pos) {
+      const auto [it, inserted] = seen.emplace(ids_[pos], pos);
+      invariants::Require(inserted, "ColumnStore",
+                          "duplicate id " + std::to_string(ids_[pos]) +
+                              " at positions " + std::to_string(it->second) +
+                              " and " + std::to_string(pos));
+    }
+  }
 }
 
 }  // namespace janus

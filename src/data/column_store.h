@@ -71,7 +71,7 @@ class ColumnStore {
 
   bool Contains(uint64_t id) const {
     EnsureIndex();
-    return index_.count(id) > 0;
+    return index_.contains(id);
   }
 
   /// Materialize a live row by id; nullopt if absent.
@@ -117,7 +117,17 @@ class ColumnStore {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: every column is exactly ids().size() long, ids are
+  /// unique, and — when the id index has been built — it is a bijection onto
+  /// the live positions (index[id] == pos && ids[pos] == id, one entry per
+  /// row). Throws InvariantViolation on the first inconsistency.
+  void CheckInvariants() const;
+
  private:
+  /// Test-only backdoor (tests/invariant_audit_test.cc) for corrupting the
+  /// private index so the negative audit tests can prove CheckInvariants()
+  /// actually detects damage.
+  friend struct InvariantTestPeer;
   /// Rebuild the id index after BulkAppend left it stale. Not thread-safe
   /// with concurrent readers; stores shared across threads (DynamicTable)
   /// never go through BulkAppend, so their index is always current.

@@ -43,6 +43,8 @@ struct ExecContext {
 
 /// Process-wide scan pool, created lazily on first use with
 /// JANUS_SCAN_THREADS threads (default: std::thread::hardware_concurrency).
+/// The lazy build is a C++ magic static — thread-safe without a lock of its
+/// own; the pool's queue/counters carry the capability annotations.
 ThreadPool* SharedScanPool();
 
 /// Process-wide telemetry for contexts without an engine-owned sink.

@@ -41,6 +41,9 @@ std::pair<size_t, size_t> WorkerRange(size_t rows, size_t workers, size_t w) {
 }  // namespace
 
 ThreadPool* SharedScanPool() {
+  // Lazily built, thread-safe by C++ magic-static initialization; no lock
+  // of our own to annotate. The pool's internal state carries its own
+  // capability annotations (util/thread_pool.h).
   static ThreadPool pool(DefaultScanThreads());
   return &pool;
 }
@@ -203,7 +206,9 @@ size_t CountInRectAtLeast(const ColumnStore& store,
   // Shared early-exit: each worker counts one block at a time and folds its
   // progress into `found`; once the fleet total crosses the threshold every
   // worker stops at its next block boundary. The returned value is clamped,
-  // so overshoot from blocks in flight never leaks out.
+  // so overshoot from blocks in flight never leaks out. The counter is an
+  // atomic (self-synchronizing), so it needs no mutex capability; the
+  // CompletionLatch inside ForEachRange orders the final read.
   std::atomic<size_t> found{0};
   ForEachRange(ctx, n, workers, [&](size_t, size_t begin, size_t end) {
     for (size_t bs = begin; bs < end; bs += kBlockRows) {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "persist/common.h"
+#include "util/invariants.h"
 
 namespace janus {
 
@@ -450,6 +453,71 @@ void DynamicKdTree::LoadFrom(persist::Reader* r) {
   root_ = nullptr;
   size_ = r->Size();
   root_ = LoadNode(r, 0);
+}
+
+namespace {
+
+/// Incrementally maintained sums drift from a fresh recompute by rounding;
+/// accept a relative error proportional to the recomputed magnitude.
+bool CloseEnough(double cached, double fresh) {
+  const double tol = 1e-6 * std::max({1.0, std::abs(cached), std::abs(fresh)});
+  return std::abs(cached - fresh) <= tol;
+}
+
+}  // namespace
+
+TreeAgg DynamicKdTree::CheckNode(const Node* n) const {
+  TreeAgg fresh;
+  if (n->IsLeaf()) {
+    for (const KdPoint& p : n->leaf_points) {
+      for (int d = 0; d < dims_; ++d) {
+        invariants::Require(n->bb_lo[d] <= p.x[d] && p.x[d] <= n->bb_hi[d],
+                            "DynamicKdTree",
+                            "leaf point outside its bounding box in dim " +
+                                std::to_string(d));
+      }
+      fresh.Add({1.0, p.a, p.a * p.a});
+    }
+  } else {
+    invariants::Require(n->left != nullptr && n->right != nullptr &&
+                            n->leaf_points.empty(),
+                        "DynamicKdTree",
+                        "internal node missing a child or holding points");
+    invariants::Require(0 <= n->split_dim && n->split_dim < dims_,
+                        "DynamicKdTree",
+                        "split dimension " + std::to_string(n->split_dim) +
+                            " out of range for " + std::to_string(dims_) +
+                            " dims");
+    for (const Node* child : {n->left, n->right}) {
+      if (child->count > 0) {
+        for (int d = 0; d < dims_; ++d) {
+          invariants::Require(
+              n->bb_lo[d] <= child->bb_lo[d] && child->bb_hi[d] <= n->bb_hi[d],
+              "DynamicKdTree",
+              "child bounding box escapes its parent's in dim " +
+                  std::to_string(d));
+        }
+      }
+      fresh.Add(CheckNode(child));
+    }
+  }
+  invariants::Require(static_cast<double>(n->count) == fresh.count,
+                      "DynamicKdTree",
+                      "cached subtree count " + std::to_string(n->count) +
+                          " differs from recount " +
+                          std::to_string(fresh.count));
+  invariants::Require(
+      CloseEnough(n->sum, fresh.sum) && CloseEnough(n->sumsq, fresh.sumsq),
+      "DynamicKdTree", "cached subtree sum/sumsq differ from a recompute");
+  return fresh;
+}
+
+void DynamicKdTree::CheckInvariants() const {
+  const size_t n =
+      root_ ? static_cast<size_t>(CheckNode(root_).count) : size_t{0};
+  invariants::Require(n == size_, "DynamicKdTree",
+                      "root holds " + std::to_string(n) +
+                          " points, size() is " + std::to_string(size_));
 }
 
 }  // namespace janus

@@ -81,8 +81,21 @@ class DynamicKdTree {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: internal nodes have two children and no points,
+  /// every point lies inside its leaf's (possibly loose) bounding box and
+  /// every non-empty child box inside its parent's, subtree counts add up
+  /// exactly, cached sum/sumsq match a recompute within floating-point
+  /// tolerance (they are maintained incrementally, so bit-equality is not an
+  /// invariant), and size() matches the root count. Throws
+  /// InvariantViolation on the first inconsistency.
+  void CheckInvariants() const;
+
  private:
   struct Node;
+
+  /// Recursive worker for CheckInvariants(); verifies `n`'s subtree and
+  /// returns its recomputed aggregate.
+  TreeAgg CheckNode(const Node* n) const;
 
   static constexpr size_t kLeafCapacity = 16;
   static constexpr double kRebuildFactor = 0.65;

@@ -1,8 +1,11 @@
 #include "index/order_stat_tree.h"
 
 #include <cassert>
+#include <limits>
+#include <string>
 
 #include "persist/serde.h"
+#include "util/invariants.h"
 
 namespace janus {
 
@@ -318,6 +321,45 @@ void OrderStatTree::Dump(std::vector<std::pair<double, double>>* out) const {
     out->emplace_back(t->key, t->value);
     t = t->right;
   }
+}
+
+size_t OrderStatTree::CheckSubtree(const Node* n, double lo, double hi) const {
+  if (!n) return 0;
+  invariants::Require(lo <= n->key && n->key <= hi, "OrderStatTree",
+                      "key " + std::to_string(n->key) +
+                          " violates the in-order bounds [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  for (const Node* child : {n->left, n->right}) {
+    invariants::Require(
+        child == nullptr || child->priority <= n->priority, "OrderStatTree",
+        "treap heap property violated: child priority above its parent's");
+  }
+  const size_t nl = CheckSubtree(n->left, lo, n->key);
+  const size_t nr = CheckSubtree(n->right, n->key, hi);
+  // Re-pull from the (already verified) children with Pull()'s arithmetic;
+  // any mismatch means a rotation or rebuild forgot to refresh this node.
+  TreeAgg expect{1.0, n->value, n->value * n->value};
+  if (n->left) expect.Add({static_cast<double>(n->left->count), n->left->sum,
+                           n->left->sumsq});
+  if (n->right) expect.Add({static_cast<double>(n->right->count),
+                            n->right->sum, n->right->sumsq});
+  invariants::Require(n->count == nl + nr + 1 &&
+                          static_cast<double>(n->count) == expect.count &&
+                          n->sum == expect.sum && n->sumsq == expect.sumsq,
+                      "OrderStatTree",
+                      "cached subtree aggregate differs from a re-pull "
+                      "(count " +
+                          std::to_string(n->count) + " vs " +
+                          std::to_string(nl + nr + 1) + ")");
+  return nl + nr + 1;
+}
+
+void OrderStatTree::CheckInvariants() const {
+  const double inf = std::numeric_limits<double>::infinity();
+  const size_t n = CheckSubtree(root_, -inf, inf);
+  invariants::Require(n == size_, "OrderStatTree",
+                      "root holds " + std::to_string(n) + " nodes, size() is " +
+                          std::to_string(size_));
 }
 
 }  // namespace janus

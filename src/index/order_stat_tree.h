@@ -81,8 +81,20 @@ class OrderStatTree {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: in-order keys are non-decreasing (the BST property
+  /// with duplicates), every node's priority is >= its children's (the treap
+  /// heap property), every cached subtree aggregate equals a re-pull from
+  /// its children (same arithmetic as Pull(), so equality is exact), and
+  /// size() matches the root count. Throws InvariantViolation on the first
+  /// inconsistency.
+  void CheckInvariants() const;
+
  private:
   struct Node;
+
+  /// Recursive worker for CheckInvariants(); returns the verified node count
+  /// of `n` and checks keys stay within [lo, hi].
+  size_t CheckSubtree(const Node* n, double lo, double hi) const;
 
   Node* Merge(Node* a, Node* b);
   /// Splits by key: left subtree gets keys < key (or <= key if or_equal).

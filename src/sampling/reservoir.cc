@@ -1,6 +1,9 @@
 #include "sampling/reservoir.h"
 
+#include <string>
+
 #include "persist/common.h"
+#include "util/invariants.h"
 
 namespace janus {
 
@@ -58,6 +61,28 @@ void DynamicReservoir::Reset(std::vector<Tuple> fresh) {
   index_.clear();
   index_.reserve(samples_.size());
   for (size_t i = 0; i < samples_.size(); ++i) index_[samples_[i].id] = i;
+}
+
+void DynamicReservoir::CheckInvariants() const {
+  invariants::Require(target_ >= 2, "DynamicReservoir",
+                      "target 2m is " + std::to_string(target_));
+  invariants::Require(samples_.size() <= target_, "DynamicReservoir",
+                      "holds " + std::to_string(samples_.size()) +
+                          " samples, capacity " + std::to_string(target_));
+  invariants::Require(index_.size() == samples_.size(), "DynamicReservoir",
+                      "index holds " + std::to_string(index_.size()) +
+                          " entries for " + std::to_string(samples_.size()) +
+                          " slots");
+  for (size_t slot = 0; slot < samples_.size(); ++slot) {
+    const auto it = index_.find(samples_[slot].id);
+    invariants::Require(it != index_.end(), "DynamicReservoir",
+                        "sampled id " + std::to_string(samples_[slot].id) +
+                            " missing from the slot index");
+    invariants::Require(it->second == slot, "DynamicReservoir",
+                        "index maps id " + std::to_string(samples_[slot].id) +
+                            " to slot " + std::to_string(it->second) +
+                            ", actual slot " + std::to_string(slot));
+  }
 }
 
 void DynamicReservoir::SaveTo(persist::Writer* w) const {

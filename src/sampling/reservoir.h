@@ -41,7 +41,7 @@ class DynamicReservoir {
   size_t size() const { return samples_.size(); }
   size_t capacity() const { return target_; }
   size_t lower_bound() const { return target_ / 2; }
-  bool Contains(uint64_t id) const { return index_.count(id) > 0; }
+  bool Contains(uint64_t id) const { return index_.contains(id); }
 
   const std::vector<Tuple>& samples() const { return samples_; }
 
@@ -62,7 +62,15 @@ class DynamicReservoir {
   void SaveTo(persist::Writer* w) const;
   void LoadFrom(persist::Reader* r);
 
+  /// Structural audit: |S| <= 2m, target 2m >= 2, and the id→slot index is
+  /// a bijection onto the sample slots (index[id] == slot &&
+  /// samples[slot].id == id). Throws InvariantViolation on inconsistency.
+  void CheckInvariants() const;
+
  private:
+  /// Test-only backdoor (tests/invariant_audit_test.cc) for corrupting the
+  /// slot index in the negative audit tests.
+  friend struct InvariantTestPeer;
   size_t target_;  // 2m
   std::vector<Tuple> samples_;
   std::unordered_map<uint64_t, size_t> index_;

@@ -22,7 +22,7 @@ Broker::Broker()
       query_topic_("query") {}
 
 Topic* Broker::GetTopic(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(name);
   if (it == topics_.end()) {
     it = topics_.emplace(name, std::make_unique<Topic>(name)).first;

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "data/schema.h"
 #include "data/workload.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -36,14 +37,14 @@ class TopicLog {
 
   /// Append one record; returns its offset.
   uint64_t Append(const Record& r) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     log_.push_back(r);
     return log_.size() - 1;
   }
 
   /// Append many records.
   void AppendBatch(const std::vector<Record>& rs) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     log_.insert(log_.end(), rs.begin(), rs.end());
   }
 
@@ -53,7 +54,7 @@ class TopicLog {
   size_t Poll(uint64_t offset, size_t max_records,
               std::vector<Record>* out) const {
     detail::SpinFor(poll_overhead_ns_);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++poll_count_;
     if (offset >= log_.size()) return 0;
     const size_t n = std::min(max_records, log_.size() - offset);
@@ -64,7 +65,7 @@ class TopicLog {
 
   /// Number of records in the log (the end offset).
   uint64_t EndOffset() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return log_.size();
   }
 
@@ -73,16 +74,17 @@ class TopicLog {
 
   /// Cumulative number of Poll() calls served (for experiment accounting).
   uint64_t poll_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return poll_count_;
   }
 
  private:
   std::string name_;
+  /// Tuning knob, set before consumers run; not part of the locked state.
   uint64_t poll_overhead_ns_;
-  mutable std::mutex mu_;
-  std::vector<Record> log_;
-  mutable uint64_t poll_count_ = 0;
+  mutable Mutex mu_;
+  std::vector<Record> log_ GUARDED_BY(mu_);
+  mutable uint64_t poll_count_ GUARDED_BY(mu_) = 0;
 };
 
 /// A topic of tuples (data records). The default overhead is a small value
@@ -122,8 +124,8 @@ class Broker {
   Topic insert_topic_;
   Topic delete_topic_;
   QueryTopic query_topic_;
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_ GUARDED_BY(mu_);
 };
 
 }  // namespace janus

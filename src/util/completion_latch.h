@@ -1,8 +1,10 @@
 #ifndef JANUS_UTIL_COMPLETION_LATCH_H_
 #define JANUS_UTIL_COMPLETION_LATCH_H_
 
-#include <condition_variable>
-#include <mutex>
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -22,19 +24,19 @@ class CompletionLatch {
   CompletionLatch& operator=(const CompletionLatch&) = delete;
 
   void Arrive() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--remaining_ == 0) done_.notify_all();
+    MutexLock lock(&mu_);
+    if (--remaining_ == 0) done_.NotifyAll();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return remaining_ == 0; });
+    MutexLock lock(&mu_);
+    while (remaining_ != 0) done_.Wait(&mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable done_;
-  size_t remaining_;
+  Mutex mu_;
+  CondVar done_;
+  size_t remaining_ GUARDED_BY(mu_);
 };
 
 }  // namespace janus

@@ -1,0 +1,36 @@
+#include "util/invariants.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace janus {
+namespace invariants {
+
+void Fail(const char* structure, const std::string& detail) {
+  throw InvariantViolation(std::string(structure) + ": " + detail);
+}
+
+namespace {
+
+bool ReadAuditKnob() {
+  const char* v = std::getenv("JANUS_AUDIT_INVARIANTS");
+  if (v == nullptr || *v == '\0') {
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+  }
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+}  // namespace
+
+bool AuditEnabled() {
+  static const bool enabled = ReadAuditKnob();
+  return enabled;
+}
+
+}  // namespace invariants
+}  // namespace janus

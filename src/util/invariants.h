@@ -1,0 +1,50 @@
+#ifndef JANUS_UTIL_INVARIANTS_H_
+#define JANUS_UTIL_INVARIANTS_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace janus {
+
+/// Thrown by the structural self-audits (CheckInvariants() on engines and
+/// on the index/sample structures) when a structure's internal consistency
+/// contract is broken — a cached aggregate that no longer matches a re-pull,
+/// an id→position index entry pointing at the wrong row, a treap violating
+/// its heap property. An InvariantViolation always means a bug in this
+/// codebase (or deliberate corruption in a negative test), never bad user
+/// input.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace invariants {
+
+/// Throws InvariantViolation("<structure>: <detail>").
+[[noreturn]] void Fail(const char* structure, const std::string& detail);
+
+/// Throws unless `ok`.
+inline void Require(bool ok, const char* structure, const std::string& detail) {
+  if (!ok) Fail(structure, detail);
+}
+
+/// Whether the test suites should audit after mutations. Controlled by the
+/// JANUS_AUDIT_INVARIANTS environment knob: "1"/"on"/"true" forces audits
+/// on, "0"/"off"/"false" forces them off, unset defaults to on in debug
+/// (!NDEBUG) builds and off in release builds. The CheckInvariants() entry
+/// points themselves always run when called — this gate only decides whether
+/// the suites call them. Read once; cached.
+bool AuditEnabled();
+
+/// Audit `structure` (anything with a CheckInvariants() const method) iff
+/// AuditEnabled(). The hook the conformance and property suites call after
+/// mutation phases.
+template <typename T>
+void MaybeAudit(const T& structure) {
+  if (AuditEnabled()) structure.CheckInvariants();
+}
+
+}  // namespace invariants
+}  // namespace janus
+
+#endif  // JANUS_UTIL_INVARIANTS_H_

@@ -1,12 +1,14 @@
 #ifndef JANUS_UTIL_MPSC_QUEUE_H_
 #define JANUS_UTIL_MPSC_QUEUE_H_
 
-#include <condition_variable>
+#include <algorithm>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -33,13 +35,13 @@ class BoundedMpscQueue {
   /// Enqueue one item, blocking while the queue is at capacity. Returns
   /// false (and drops the item) once the queue is closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_not_full_.wait(lock,
-                      [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    cv_not_empty_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) cv_not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_not_empty_.NotifyOne();
     return true;
   }
 
@@ -47,35 +49,37 @@ class BoundedMpscQueue {
   /// empty and open; returns 0 only when the queue is closed and fully
   /// drained (the consumer's termination signal).
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    const size_t n = std::min(max_items, items_.size());
-    for (size_t i = 0; i < n; ++i) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
+    size_t n = 0;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) cv_not_empty_.Wait(&mu_);
+      n = std::min(max_items, items_.size());
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
     }
-    lock.unlock();
-    if (n > 0) cv_not_full_.notify_all();
+    if (n > 0) cv_not_full_.NotifyAll();
     return n;
   }
 
   /// Reject further pushes and wake all waiters. Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    cv_not_empty_.notify_all();
-    cv_not_full_.notify_all();
+    cv_not_empty_.NotifyAll();
+    cv_not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -83,11 +87,11 @@ class BoundedMpscQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_not_full_;
-  std::condition_variable cv_not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_not_full_;
+  CondVar cv_not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace janus

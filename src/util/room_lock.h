@@ -1,8 +1,10 @@
 #ifndef JANUS_UTIL_ROOM_LOCK_H_
 #define JANUS_UTIL_ROOM_LOCK_H_
 
-#include <condition_variable>
-#include <mutex>
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -29,25 +31,33 @@ namespace janus {
 /// A waiting exclusive entrant blocks all new room entries. Entries are not
 /// thread-bound (a lock may be released by a different thread than acquired
 /// it) and not reentrant.
-class RoomLock {
+///
+/// To the static analysis the whole lock is one capability: the read room
+/// acquires it shared, the update and exclusive rooms acquire it
+/// exclusively. That is deliberately stricter than the runtime semantics
+/// (concurrent updaters DO share the update room at runtime) — the analysis
+/// only needs the property that read-room holders never coexist with
+/// mutators, which shared-vs-exclusive models exactly; update-room
+/// concurrency is a runtime admission policy the analysis need not track.
+class CAPABILITY("room_lock") RoomLock {
  public:
-  void LockRead() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void LockRead() ACQUIRE_SHARED() {
+    MutexLock lock(&mu_);
     // Contesting an active, free-running update cohort bounds it: no new
     // updaters join, so it drains and the turn flips.
     if (updaters_ > 0 && updater_pass_ == kUnlimited) updater_pass_ = 0;
     ++waiting_readers_;
-    cv_.wait(lock, [this] {
-      return !exclusive_ && waiting_exclusive_ == 0 && updaters_ == 0 &&
-             reader_pass_ > 0;
-    });
+    while (!(!exclusive_ && waiting_exclusive_ == 0 && updaters_ == 0 &&
+             reader_pass_ > 0)) {
+      cv_.Wait(&mu_);
+    }
     --waiting_readers_;
     ++readers_;
     if (reader_pass_ != kUnlimited) --reader_pass_;
   }
 
-  void UnlockRead() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void UnlockRead() RELEASE_SHARED() {
+    MutexLock lock(&mu_);
     if (--readers_ == 0) {
       // Hand the turn over: admit the whole waiting updater cohort, or —
       // with no updater interest — reopen our own side so late readers
@@ -56,45 +66,46 @@ class RoomLock {
                           ? static_cast<size_t>(waiting_updaters_)
                           : kUnlimited;
       if (waiting_updaters_ == 0) reader_pass_ = kUnlimited;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
-  void LockUpdate() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void LockUpdate() ACQUIRE() {
+    MutexLock lock(&mu_);
     if (readers_ > 0 && reader_pass_ == kUnlimited) reader_pass_ = 0;
     ++waiting_updaters_;
-    cv_.wait(lock, [this] {
-      return !exclusive_ && waiting_exclusive_ == 0 && readers_ == 0 &&
-             updater_pass_ > 0;
-    });
+    while (!(!exclusive_ && waiting_exclusive_ == 0 && readers_ == 0 &&
+             updater_pass_ > 0)) {
+      cv_.Wait(&mu_);
+    }
     --waiting_updaters_;
     ++updaters_;
     if (updater_pass_ != kUnlimited) --updater_pass_;
   }
 
-  void UnlockUpdate() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void UnlockUpdate() RELEASE() {
+    MutexLock lock(&mu_);
     if (--updaters_ == 0) {
       reader_pass_ = waiting_readers_ > 0
                          ? static_cast<size_t>(waiting_readers_)
                          : kUnlimited;
       if (waiting_readers_ == 0) updater_pass_ = kUnlimited;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
-  void LockExclusive() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void LockExclusive() ACQUIRE() {
+    MutexLock lock(&mu_);
     ++waiting_exclusive_;
-    cv_.wait(lock,
-             [this] { return !exclusive_ && readers_ == 0 && updaters_ == 0; });
+    while (!(!exclusive_ && readers_ == 0 && updaters_ == 0)) {
+      cv_.Wait(&mu_);
+    }
     --waiting_exclusive_;
     exclusive_ = true;
   }
 
-  void UnlockExclusive() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void UnlockExclusive() RELEASE() {
+    MutexLock lock(&mu_);
     exclusive_ = false;
     // Fresh start: admit whoever waited out the exclusive section.
     reader_pass_ = waiting_readers_ > 0 ? static_cast<size_t>(waiting_readers_)
@@ -102,72 +113,80 @@ class RoomLock {
     updater_pass_ = waiting_updaters_ > 0
                         ? static_cast<size_t>(waiting_updaters_)
                         : kUnlimited;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
   static constexpr size_t kUnlimited = static_cast<size_t>(-1);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int readers_ = 0;
-  int updaters_ = 0;
-  int waiting_readers_ = 0;
-  int waiting_updaters_ = 0;
-  int waiting_exclusive_ = 0;
-  bool exclusive_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  int readers_ GUARDED_BY(mu_) = 0;
+  int updaters_ GUARDED_BY(mu_) = 0;
+  int waiting_readers_ GUARDED_BY(mu_) = 0;
+  int waiting_updaters_ GUARDED_BY(mu_) = 0;
+  int waiting_exclusive_ GUARDED_BY(mu_) = 0;
+  bool exclusive_ GUARDED_BY(mu_) = false;
   /// Remaining admissions for each room this turn. A budget is zeroed only
   /// while the other room is occupied, and every drain grants the opposite
   /// side a fresh budget (and reopens its own side when unopposed), so at
   /// least one side can always make progress — no deadlock.
-  size_t reader_pass_ = kUnlimited;
-  size_t updater_pass_ = kUnlimited;
+  size_t reader_pass_ GUARDED_BY(mu_) = kUnlimited;
+  size_t updater_pass_ GUARDED_BY(mu_) = kUnlimited;
 };
 
-/// Scoped guards.
-class ReadRoom {
+// Scoped room guards. Each accepts nullptr as "no lock" — the path used by
+// engines that synchronize internally (sharded) — and the analysis handles
+// the conditional acquisition through the null check, as with
+// absl::MutexLockMaybe.
+
+/// Shared (read-room) hold for the guard's scope.
+class SCOPED_CAPABILITY ReadRoom {
  public:
-  explicit ReadRoom(RoomLock* lock) : lock_(lock) {
+  explicit ReadRoom(RoomLock* lock) ACQUIRE_SHARED(lock) : lock_(lock) {
     if (lock_ != nullptr) lock_->LockRead();
   }
-  ~ReadRoom() {
+  ~ReadRoom() RELEASE() {
     if (lock_ != nullptr) lock_->UnlockRead();
   }
   ReadRoom(const ReadRoom&) = delete;
   ReadRoom& operator=(const ReadRoom&) = delete;
 
  private:
-  RoomLock* lock_;
+  RoomLock* const lock_;
 };
 
-class UpdateRoom {
+/// Update-room hold: exclusive to the analysis (see the RoomLock comment),
+/// concurrent with other updaters at runtime.
+class SCOPED_CAPABILITY UpdateRoom {
  public:
-  explicit UpdateRoom(RoomLock* lock) : lock_(lock) {
+  explicit UpdateRoom(RoomLock* lock) ACQUIRE(lock) : lock_(lock) {
     if (lock_ != nullptr) lock_->LockUpdate();
   }
-  ~UpdateRoom() {
+  ~UpdateRoom() RELEASE() {
     if (lock_ != nullptr) lock_->UnlockUpdate();
   }
   UpdateRoom(const UpdateRoom&) = delete;
   UpdateRoom& operator=(const UpdateRoom&) = delete;
 
  private:
-  RoomLock* lock_;
+  RoomLock* const lock_;
 };
 
-class ExclusiveRoom {
+/// Exclusive hold: fences out both rooms.
+class SCOPED_CAPABILITY ExclusiveRoom {
  public:
-  explicit ExclusiveRoom(RoomLock* lock) : lock_(lock) {
+  explicit ExclusiveRoom(RoomLock* lock) ACQUIRE(lock) : lock_(lock) {
     if (lock_ != nullptr) lock_->LockExclusive();
   }
-  ~ExclusiveRoom() {
+  ~ExclusiveRoom() RELEASE() {
     if (lock_ != nullptr) lock_->UnlockExclusive();
   }
   ExclusiveRoom(const ExclusiveRoom&) = delete;
   ExclusiveRoom& operator=(const ExclusiveRoom&) = delete;
 
  private:
-  RoomLock* lock_;
+  RoomLock* const lock_;
 };
 
 }  // namespace janus

@@ -1,0 +1,75 @@
+#ifndef JANUS_UTIL_THREAD_ANNOTATIONS_H_
+#define JANUS_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis capability attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), compiled away on
+/// toolchains without the attribute (GCC, MSVC). The CI `static-analysis` job
+/// builds with clang and `-Wthread-safety -Werror`, turning every violation
+/// of the locking discipline declared through these macros into a build
+/// break.
+///
+/// Vocabulary:
+///  - CAPABILITY / SCOPED_CAPABILITY mark a lock type / RAII guard type.
+///  - GUARDED_BY / PT_GUARDED_BY tie data (or a pointee) to its lock.
+///  - ACQUIRE / RELEASE (and *_SHARED) annotate lock & unlock methods.
+///  - REQUIRES / REQUIRES_SHARED declare locks a function needs held.
+///  - EXCLUDES declares locks a function must NOT hold (non-reentrancy).
+///  - NO_THREAD_SAFETY_ANALYSIS opts a function out; every use in this
+///    codebase must carry a comment justifying why the analysis cannot see
+///    the synchronization (e.g. fencing provided by a higher layer).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define JANUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define JANUS_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) JANUS_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY JANUS_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) JANUS_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) JANUS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) JANUS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) JANUS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) JANUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  JANUS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) JANUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  JANUS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) JANUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  JANUS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  JANUS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  JANUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  JANUS_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) JANUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) JANUS_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  JANUS_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) JANUS_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  JANUS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // JANUS_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <utility>
+
 namespace janus {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -12,42 +14,55 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
+  // A latched task exception nobody collected dies with the pool; the
+  // destructor must not throw.
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::exception_ptr err;
+  {
+    MutexLock lock(&mu_);
+    while (!(queue_.empty() && active_ == 0)) cv_idle_.Wait(&mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!(stop_ || !queue_.empty())) cv_task_.Wait(&mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
+      if (err && first_error_ == nullptr) first_error_ = err;
       --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) cv_idle_.NotifyAll();
     }
   }
 }

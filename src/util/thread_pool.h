@@ -1,12 +1,14 @@
 #ifndef JANUS_UTIL_THREAD_POOL_H_
 #define JANUS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace janus {
 
@@ -16,6 +18,11 @@ namespace janus {
 /// Tasks are plain std::function<void()>. WaitIdle() blocks until every
 /// submitted task has completed; it is the synchronization point between the
 /// re-initialization optimizer thread and the maintenance threads.
+///
+/// Exception contract: a task that throws does not kill its worker. The
+/// first uncaught task exception is latched and rethrown by the next
+/// WaitIdle() call (subsequent ones until then are dropped); the destructor
+/// discards any latched exception rather than throw.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -27,7 +34,8 @@ class ThreadPool {
   /// Enqueue a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Block until the queue is empty and all workers are idle.
+  /// Block until the queue is empty and all workers are idle. Rethrows the
+  /// first exception any task raised since the last WaitIdle().
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
@@ -36,12 +44,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// First uncaught exception from a task since the last WaitIdle().
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace janus

@@ -216,10 +216,10 @@ TEST_F(DptTest, SampleMaintenanceAffectsPartialEstimates) {
   extra[1] = 10;
   dpt->SampleAdd(extra);
   EXPECT_EQ(dpt->sample_size(), 201u);
-  EXPECT_TRUE(dpt->sample_tuples().count(5000000));
+  EXPECT_TRUE(dpt->sample_tuples().contains(5000000));
   dpt->SampleRemove(extra);
   EXPECT_EQ(dpt->sample_size(), 200u);
-  EXPECT_FALSE(dpt->sample_tuples().count(5000000));
+  EXPECT_FALSE(dpt->sample_tuples().contains(5000000));
 }
 
 TEST_F(DptTest, UntrackedAggColumnFallsBackToSamples) {

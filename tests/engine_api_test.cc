@@ -23,6 +23,7 @@
 #include "data/workload.h"
 #include "persist/serde.h"
 #include "tests/test_seed.h"
+#include "util/invariants.h"
 #include "util/thread_pool.h"
 
 namespace janus {
@@ -140,6 +141,9 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
   engine->LoadInitial(ds.rows);
   engine->Initialize();
   engine->RunCatchupToGoal();
+  // Structural audit after every mutation phase (debug builds / the
+  // JANUS_AUDIT_INVARIANTS knob; a violation throws and fails the test).
+  invariants::MaybeAudit(*engine);
 
   // Phase 1: estimate sanity on the historical data.
   auto rows = ds.rows;
@@ -164,6 +168,7 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
     EXPECT_TRUE(engine->Delete(id * 7)) << name;
   }
   EXPECT_FALSE(engine->Delete(999999999)) << name;
+  invariants::MaybeAudit(*engine);
   std::vector<Tuple> live;
   for (const Tuple& t : rows) {
     if (t.id >= 500000 || t.id % 7 != 0 || t.id >= 7000) live.push_back(t);
@@ -184,6 +189,7 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
   const std::string inner = InnerName(name);
   if (inner == "spn" || inner == "spt") engine->Reinitialize();
   engine->RunCatchupToGoal();
+  invariants::MaybeAudit(*engine);
   {
     const AggQuery q = MakeQuery(AggFunc::kCount, 0.0, 1.0);
     const auto truth = ExactAnswer(live, q);
@@ -226,6 +232,7 @@ TEST_P(EngineConformanceTest, InsertDeleteQueryCatchupScenario) {
   EXPECT_EQ(stats.rows, live.size()) << name;
   EXPECT_GE(stats.inserts, 2000u) << name;
   EXPECT_GE(stats.deletes, 1000u) << name;
+  invariants::MaybeAudit(*engine);
 }
 
 TEST_P(EngineConformanceTest, QueryBatchMatchesSerialQueries) {
@@ -431,7 +438,7 @@ TEST(EngineRegistryTest, ConformanceSuiteCoversEveryRegisteredEngine) {
     covered.insert(p.name);
   }
   for (const std::string& name : EngineRegistry::Global().Names()) {
-    EXPECT_TRUE(covered.count(name) > 0)
+    EXPECT_TRUE(covered.contains(name))
         << "engine '" << name
         << "' is registered but missing from the conformance suite";
   }

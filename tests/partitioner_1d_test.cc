@@ -47,7 +47,7 @@ void CheckTreeInvariants(const PartitionTreeSpec& spec) {
   for (size_t i = 0; i < spec.nodes.size(); ++i) {
     const PartitionNode& n = spec.nodes[i];
     if (n.IsLeaf()) {
-      EXPECT_TRUE(leaf_set.count(static_cast<int>(i)))
+      EXPECT_TRUE(leaf_set.contains(static_cast<int>(i)))
           << "leaf " << i << " missing from leaves list";
       continue;
     }

@@ -12,6 +12,7 @@
 #include "data/generators.h"
 #include "data/ground_truth.h"
 #include "sampling/reservoir.h"
+#include "util/invariants.h"
 #include "util/stats.h"
 
 namespace janus {
@@ -48,11 +49,14 @@ TEST_P(ReservoirChurnTest, SizeBoundsHoldUnderChurn) {
     // itself can be smaller than m early on or right after a reset).
     ASSERT_GE(res.size(), std::min(res.lower_bound(), table.size()));
     ASSERT_LE(res.size(), res.capacity());
-    // Every sample is live.
+    // Every sample is live, and the reservoir's internal slot index stays a
+    // bijection (periodically — the audit is O(|S|)).
     if (step % 2500 == 0) {
       for (const Tuple& t : res.samples()) {
         ASSERT_TRUE(table.Find(t.id).has_value());
       }
+      invariants::MaybeAudit(res);
+      invariants::MaybeAudit(table.store());
     }
   }
 }
@@ -252,6 +256,9 @@ TEST_P(ChurnConservationTest, RootCountTracksTableSize) {
   }
   const double n = static_cast<double>(system.table().size());
   EXPECT_NEAR(system.dpt().NodeCountEstimate(0), n, n * 0.03);
+  // Full-system structural audit after the churn: archive store, reservoir
+  // liveness, synopsis trees and the sample mirror.
+  invariants::MaybeAudit(system);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnConservationTest,

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -72,6 +74,65 @@ TEST(ThreadPoolTest, ManyWaitIdleCycles) {
     pool.WaitIdle();
     EXPECT_EQ(counter.load(), (round + 1) * 50);
   }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The latch is cleared: the pool stays usable and the next WaitIdle is
+  // clean.
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsLatched) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::logic_error("second"); });
+  try {
+    pool.WaitIdle();
+    FAIL() << "WaitIdle did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, DestructionWithPendingWorkDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+    // No WaitIdle: the destructor must run every queued task.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsLatchedException) {
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("dropped"); });
+    // Destroying without WaitIdle must not terminate the process.
+  }
+  SUCCEED();
 }
 
 }  // namespace

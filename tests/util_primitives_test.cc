@@ -1,0 +1,104 @@
+// Direct unit tests for the small synchronization/timing primitives in
+// src/util/ that are otherwise only exercised indirectly through the scan
+// and sharding layers: CompletionLatch and the Timer pair.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/completion_latch.h"
+#include "util/timer.h"
+
+namespace janus {
+namespace {
+
+TEST(CompletionLatchTest, ZeroCountWaitReturnsImmediately) {
+  CompletionLatch latch(0);
+  latch.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(CompletionLatchTest, WaitBlocksUntilAllArrive) {
+  constexpr size_t kWorkers = 4;
+  CompletionLatch latch(kWorkers);
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+      latch.Arrive();
+    });
+  }
+  latch.Wait();
+  // Every worker's pre-Arrive write must be visible after Wait returns.
+  EXPECT_EQ(done.load(), static_cast<int>(kWorkers));
+  for (std::thread& t : workers) t.join();
+}
+
+TEST(CompletionLatchTest, ArriveBeforeWaitDoesNotBlock) {
+  CompletionLatch latch(2);
+  latch.Arrive();
+  latch.Arrive();
+  latch.Wait();  // count already reached zero
+  SUCCEED();
+}
+
+TEST(CompletionLatchTest, MultipleWaitersAllRelease) {
+  CompletionLatch latch(1);
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      latch.Wait();
+      released.fetch_add(1);
+    });
+  }
+  latch.Arrive();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(TimerTest, ElapsedIsMonotoneAndUnitsAgree) {
+  Timer timer;
+  const double s0 = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s1 = timer.ElapsedSeconds();
+  EXPECT_GE(s0, 0.0);
+  EXPECT_GT(s1, s0);
+  EXPECT_GE(s1, 0.005);  // slept ~10ms; allow coarse clocks
+  // Millis/micros are fixed scalings of the same reading.
+  const double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, s1 * 1e3 * 0.5);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.005);
+}
+
+TEST(AccumulatingTimerTest, AccumulatesAcrossLaps) {
+  AccumulatingTimer acc;
+  EXPECT_EQ(acc.laps(), 0u);
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+  for (int lap = 0; lap < 3; ++lap) {
+    acc.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    acc.Stop();
+  }
+  EXPECT_EQ(acc.laps(), 3u);
+  EXPECT_GT(acc.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalMillis(), acc.TotalSeconds() * 1e3);
+  acc.Reset();
+  EXPECT_EQ(acc.laps(), 0u);
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace janus
