@@ -22,6 +22,7 @@
 #include "data/generators.h"
 #include "data/parallel_scan.h"
 #include "data/scan.h"
+#include "data/simd.h"
 #include "data/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -170,6 +171,11 @@ int main(int argc, char** argv) {
   const int reps = args.GetInt("reps", 3);
   const uint64_t seed = args.GetUint64("seed", 2024);
   const std::vector<int> threads = args.GetIntList("threads", {1, 2, 4, 8});
+  // Environment line (no "metric" field, so the regression checker skips
+  // it): which SIMD kernel table this run used — essential context when
+  // comparing numbers across machines or JANUS_SIMD settings.
+  std::printf("{\"bench\":\"parallel_scan\",\"simd\":\"%s\"}\n",
+              janus::scan::simd::Active().name);
   bool ok = true;
   for (int rows : rows_list) {
     if (rows <= 0) continue;

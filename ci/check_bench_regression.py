@@ -67,6 +67,7 @@ def throughput(obj):
 def load_measurements(paths):
     out = {}
     errors = []
+    duplicates = []
     for path in paths:
         with open(path) as f:
             for line in f:
@@ -84,9 +85,16 @@ def load_measurements(paths):
                 rate = throughput(obj)
                 if key is None or rate is None:
                     continue
-                # Keep the best rate per key (benches may emit several reps).
+                # Every bench emits exactly one (best-of-reps) line per key:
+                # a repeat means two runs were concatenated or a bench looped
+                # over the same config twice. Keeping either value could mask
+                # a regression behind the faster duplicate, so this is fatal.
+                if key in out:
+                    duplicates.append(
+                        "%s: duplicate measurement in %s "
+                        "(%.3e then %.3e)" % (key, path, out[key], rate))
                 out[key] = max(out.get(key, 0.0), rate)
-    return out, errors
+    return out, errors, duplicates
 
 
 def main():
@@ -102,7 +110,7 @@ def main():
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    measured, errors = load_measurements(args.measured)
+    measured, errors, duplicates = load_measurements(args.measured)
 
     failures = []
     improvements = []
@@ -112,6 +120,18 @@ def main():
         # throughput.
         failures.append("bench error line: %s" % line)
         print("ERROR %s" % line)
+    for line in duplicates:
+        failures.append(line)
+        print("DUPLICATE %s" % line)
+    # A floor of zero (or below) can never fail, so a baseline entry like
+    # that silently disables its gate — refuse it rather than report "ok".
+    for key, base in sorted(baseline.items()):
+        if not isinstance(base, (int, float)) or base <= 0:
+            failures.append(
+                "%s: baseline value %r is not a positive number "
+                "(a non-positive floor can never gate anything)"
+                % (key, base))
+            print("BAD BASELINE %s = %r" % (key, base))
     print("%-55s %14s %14s %8s" % ("metric", "baseline", "measured", "ratio"))
     for key in sorted(set(baseline) | set(measured)):
         base = baseline.get(key)
@@ -126,7 +146,9 @@ def main():
             failures.append("%s: present in baseline but not measured" % key)
             print("%-55s %14.3e %14s %8s" % (key, base, "-", "MISSING"))
             continue
-        ratio = got / base if base > 0 else float("inf")
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue  # already reported as a bad-baseline failure above
+        ratio = got / base
         status = "ok" if got >= (1.0 - args.tolerance) * base else "FAIL"
         print("%-55s %14.3e %14.3e %7.2fx %s" % (key, base, got, ratio,
                                                  status))

@@ -95,10 +95,10 @@ std::vector<QueryResult> AqpEngine::QueryBatchImpl(
   // Work-stealing over a shared cursor (scan::ForEachIndex): each worker
   // grabs the next unanswered query, so skewed per-query costs still
   // balance, and workers call QueryImpl directly — the caller already holds
-  // the read room for the whole batch. Completion is a per-call latch, the
-  // caller drains the cursor too, and a batch issued from inside another
-  // fan-out's worker runs inline, so concurrent batches on one shared pool
-  // neither wait on each other nor deadlock.
+  // the read room for the whole batch. Helpers arrive via one gang
+  // dispatch, the caller drains the cursor too, and a batch issued from
+  // inside another fan-out's worker runs inline, so concurrent batches on
+  // one shared pool neither wait on each other nor deadlock.
   scan::ExecContext ctx;
   ctx.pool = pool;
   const size_t workers = std::min(pool->num_threads() + 1, queries.size());

@@ -41,6 +41,15 @@ struct EngineStats {
   /// (cost cutoff, scan_threads=1, or nested inside another scan).
   uint64_t parallel_scans = 0;
   uint64_t serial_scans = 0;
+  /// Subset of serial_scans that stayed serial only because they were
+  /// issued from inside a scan worker (fan-out suppressed to avoid
+  /// deadlocking the shared pool). Persistently non-zero values mean a
+  /// heavy path is being re-parallelized from within a parallel region.
+  uint64_t nested_serial_scans = 0;
+  /// Morsels executed by pool helpers rather than the issuing thread — the
+  /// work-stealing share of all parallel scans (0 when helpers never wake
+  /// in time, which is the expected idle-pool fast path).
+  uint64_t stolen_morsels = 0;
   double last_reopt_seconds = 0;      ///< last re-optimization, wall clock
   double last_blocking_seconds = 0;   ///< blocking step of the last re-opt
   double build_seconds = 0;           ///< last full (re)build / retrain

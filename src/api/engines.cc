@@ -114,6 +114,8 @@ class JanusEngine : public AqpEngine {
     }
     s.parallel_scans = scan_counters_.parallel_scans.load();
     s.serial_scans = scan_counters_.serial_scans.load();
+    s.nested_serial_scans = scan_counters_.nested_serial_scans.load();
+    s.stolen_morsels = scan_counters_.stolen_morsels.load();
     return s;
   }
   const DynamicTable* table() const override { return &impl_.table(); }
@@ -225,6 +227,8 @@ class MultiEngine : public AqpEngine {
     }
     s.parallel_scans = scan_counters_.parallel_scans.load();
     s.serial_scans = scan_counters_.serial_scans.load();
+    s.nested_serial_scans = scan_counters_.nested_serial_scans.load();
+    s.stolen_morsels = scan_counters_.stolen_morsels.load();
     return s;
   }
   const DynamicTable* table() const override { return &impl_.table(); }
@@ -386,6 +390,8 @@ class SrsEngine : public AqpEngine {
     s.synopsis_bytes = ReservoirBytes(impl_->sample_size());
     s.parallel_scans = scan_counters_.parallel_scans.load();
     s.serial_scans = scan_counters_.serial_scans.load();
+    s.nested_serial_scans = scan_counters_.nested_serial_scans.load();
+    s.stolen_morsels = scan_counters_.stolen_morsels.load();
     return s;
   }
   const DynamicTable* table() const override { return &impl_->table(); }
@@ -418,7 +424,10 @@ class SrsEngine : public AqpEngine {
 class SpnEngine : public AqpEngine {
  public:
   explicit SpnEngine(const EngineConfig& c)
-      : cfg_(c), table_(c.schema), rng_(c.seed) {}
+      : cfg_(c),
+        exec_(MakeExec(c, &scan_counters_)),
+        table_(c.schema),
+        rng_(c.seed) {}
 
   const char* name() const override { return "spn"; }
   void LoadInitialImpl(const std::vector<Tuple>& rows) override {
@@ -451,6 +460,10 @@ class SpnEngine : public AqpEngine {
     s.build_seconds = spn_ ? spn_->train_seconds() : 0;
     s.archive_bytes = table_.MemoryBytes();
     s.synopsis_bytes = spn_ ? spn_->MemoryBytes() : 0;
+    s.parallel_scans = scan_counters_.parallel_scans.load();
+    s.serial_scans = scan_counters_.serial_scans.load();
+    s.nested_serial_scans = scan_counters_.nested_serial_scans.load();
+    s.stolen_morsels = scan_counters_.stolen_morsels.load();
     return s;
   }
   const DynamicTable* table() const override { return &table_; }
@@ -515,12 +528,14 @@ class SpnEngine : public AqpEngine {
     const size_t k = std::max<size_t>(
         1, static_cast<size_t>(cfg_.train_fraction *
                                static_cast<double>(table_.size())));
-    const std::vector<Tuple> train = table_.SampleUniform(&rng_, k);
+    const std::vector<Tuple> train = table_.SampleUniform(&rng_, k, exec_);
     last_train_size_ = train.size();
     spn_->Train(train, table_.size());
   }
 
   EngineConfig cfg_;
+  scan::ScanCounters scan_counters_;
+  scan::ExecContext exec_;
   DynamicTable table_;
   std::unique_ptr<Spn> spn_;
   Rng rng_;
@@ -575,6 +590,8 @@ class SptEngine : public AqpEngine {
     s.synopsis_bytes = dpt_ ? dpt_->MemoryBytes() : 0;
     s.parallel_scans = scan_counters_.parallel_scans.load();
     s.serial_scans = scan_counters_.serial_scans.load();
+    s.nested_serial_scans = scan_counters_.nested_serial_scans.load();
+    s.stolen_morsels = scan_counters_.stolen_morsels.load();
     return s;
   }
   const DynamicTable* table() const override { return &table_; }

@@ -374,6 +374,8 @@ EngineStats ShardedEngine::StatsImpl() const {
     total.catchup_processing_seconds += s.catchup_processing_seconds;
     total.parallel_scans += s.parallel_scans;
     total.serial_scans += s.serial_scans;
+    total.nested_serial_scans += s.nested_serial_scans;
+    total.stolen_morsels += s.stolen_morsels;
     total.archive_bytes += s.archive_bytes;
     total.synopsis_bytes += s.synopsis_bytes;
     // Wall-clock style metrics: the slowest shard bounds the fleet.

@@ -25,7 +25,7 @@ void ReservoirBaseline::Initialize() {
       32, static_cast<size_t>(2.0 * opts_.sample_rate *
                               static_cast<double>(table_.size())));
   reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
-  reservoir_->Reset(table_.SampleUniform(&rng_, target));
+  reservoir_->Reset(table_.SampleUniform(&rng_, target, opts_.exec));
 }
 
 void ReservoirBaseline::Insert(const Tuple& t) {
@@ -46,7 +46,8 @@ bool ReservoirBaseline::Delete(uint64_t id) {
   if (!table_.Delete(id)) return false;
   ReservoirChange ch = reservoir_->OnDelete(id);
   if (ch.needs_resample) {
-    reservoir_->Reset(table_.SampleUniform(&rng_, reservoir_->capacity()));
+    reservoir_->Reset(
+        table_.SampleUniform(&rng_, reservoir_->capacity(), opts_.exec));
   }
   return true;
 }

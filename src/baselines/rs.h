@@ -16,6 +16,9 @@ struct RsOptions {
   double sample_rate = 0.01;
   double confidence = 0.95;
   uint64_t seed = 17;
+  /// Morsel-parallel execution of the reservoir (re)fills: index draws stay
+  /// serial (persisted RNG stream unchanged), row materialization fans out.
+  scan::ExecContext exec;
 };
 
 /// Reservoir Sampling (RS) baseline: a uniform sample of the whole table

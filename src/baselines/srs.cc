@@ -45,24 +45,35 @@ std::vector<std::vector<size_t>> StratifiedReservoirBaseline::MembersByStratum(
   const ColumnStore& store = table_.store();
   const ColumnSpan key_col = table_.column(opts_.predicate_column);
   const size_t n = store.size();
-  const size_t workers = scan::PlanWorkers(opts_.exec, n);
+  const scan::MorselPlan plan = scan::PlanMorsels(opts_.exec, n);
+  // Partials live per *chunk* and concatenate in chunk order: membership
+  // lists stay position-ascending — identical to a serial pass — no matter
+  // which worker stole which morsel. That order feeds rng_.SampleIndices,
+  // so any other merge order would silently change which rows get sampled.
   std::vector<std::vector<std::vector<size_t>>> parts(
-      workers, std::vector<std::vector<size_t>>(num_strata));
-  scan::ForEachRange(opts_.exec, n, workers,
-                     [&](size_t w, size_t begin, size_t end) {
-                       for (size_t pos = begin; pos < end; ++pos) {
-                         const double key =
-                             key_col.data != nullptr ? key_col[pos] : 0.0;
-                         const int s = StratumOfKey(key);
-                         if (only_stratum >= 0 && s != only_stratum) continue;
-                         parts[w][static_cast<size_t>(s)].push_back(pos);
-                       }
-                     });
-  std::vector<std::vector<size_t>> members = std::move(parts[0]);
-  for (size_t w = 1; w < workers; ++w) {
+      std::max<size_t>(plan.morsels, 1));
+  scan::ForEachMorsel(opts_.exec, n, plan,
+                      [&](size_t, size_t chunk, size_t begin, size_t end) {
+                        auto& mine = parts[chunk];
+                        mine.assign(num_strata, {});
+                        for (size_t pos = begin; pos < end; ++pos) {
+                          const double key =
+                              key_col.data != nullptr ? key_col[pos] : 0.0;
+                          const int s = StratumOfKey(key);
+                          if (only_stratum >= 0 && s != only_stratum) {
+                            continue;
+                          }
+                          mine[static_cast<size_t>(s)].push_back(pos);
+                        }
+                      });
+  std::vector<std::vector<size_t>> members(num_strata);
+  if (n == 0) return members;
+  members = std::move(parts[0]);
+  for (size_t c = 1; c < parts.size(); ++c) {
+    if (parts[c].empty()) continue;  // chunk skipped by a serial clamp
     for (size_t s = 0; s < num_strata; ++s) {
-      members[s].insert(members[s].end(), parts[w][s].begin(),
-                        parts[w][s].end());
+      members[s].insert(members[s].end(), parts[c][s].begin(),
+                        parts[c][s].end());
     }
   }
   return members;

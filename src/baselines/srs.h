@@ -66,8 +66,9 @@ class StratifiedReservoirBaseline {
   int StratumOf(const Tuple& t) const;
   int StratumOfKey(double key) const;
   /// Row positions of every stratum, in position order — one pass over the
-  /// key column, morsel-parallel under opts.exec (per-worker partial lists
-  /// concatenate in worker order, so the result matches the serial pass).
+  /// key column, morsel-parallel under opts.exec (per-morsel partial lists
+  /// concatenate in morsel/chunk order, so the result is bit-identical to
+  /// the serial pass even under work stealing).
   /// With `only_stratum` >= 0 just that stratum's list is collected (the
   /// drained-stratum refill path); the others stay empty.
   std::vector<std::vector<size_t>> MembersByStratum(size_t num_strata,

@@ -178,26 +178,36 @@ void Dpt::InitializeExact(const ColumnStore& data,
     }
   };
 
-  const size_t workers = scan::PlanWorkers(opts_.exec, n);
-  if (workers <= 1) {
+  const scan::MorselPlan plan =
+      scan::PlanMorsels(opts_.exec, n, scan::MorselCost::kHeavyItems);
+  if (plan.workers <= 1) {
     scan_range(0, n, &leaf_stats_);
   } else {
-    // Morsel-parallel initialization: per-worker leaf partials over
-    // contiguous row ranges, merged in worker order so the result is
-    // deterministic for a fixed worker count.
-    std::vector<std::vector<LeafStats>> partials(workers);
-    scan::ForEachRange(opts_.exec, n, workers,
-                       [&](size_t w, size_t begin, size_t end) {
-                         std::vector<LeafStats>& mine = partials[w];
-                         mine.resize(leaf_stats_.size());
-                         for (LeafStats& ls : mine) {
-                           ls.columns.resize(tracked_columns_.size());
-                           ls.minmax = MinMaxTracker(
-                               static_cast<size_t>(opts_.minmax_k));
-                         }
-                         scan_range(begin, end, &mine);
-                       });
+    // Work-stealing initialization: per-slot leaf partials accumulated over
+    // whichever morsels each worker claims, merged in slot order. Counts
+    // and min/max merge associatively (bit-identical to serial); the
+    // floating-point moment sums agree with serial to reassociation (the
+    // 1e-12 equivalence contract).
+    std::vector<std::vector<LeafStats>> partials(plan.workers);
+    scan::ForEachMorsel(
+        opts_.exec, n, plan,
+        [&](size_t slot, size_t, size_t begin, size_t end) {
+          std::vector<LeafStats>& mine = partials[slot];
+          if (mine.empty()) {
+            // First morsel this slot claims: build its scratch once — a
+            // slot runs many morsels, and re-initializing per claim would
+            // silently drop earlier partials.
+            mine.resize(leaf_stats_.size());
+            for (LeafStats& ls : mine) {
+              ls.columns.resize(tracked_columns_.size());
+              ls.minmax =
+                  MinMaxTracker(static_cast<size_t>(opts_.minmax_k));
+            }
+          }
+          scan_range(begin, end, &mine);
+        });
     for (std::vector<LeafStats>& part : partials) {
+      if (part.empty()) continue;  // slot never claimed a morsel
       for (size_t leaf = 0; leaf < leaf_stats_.size(); ++leaf) {
         LeafStats& dst = leaf_stats_[leaf];
         const LeafStats& src = part[leaf];
@@ -306,27 +316,29 @@ void Dpt::AddCatchupSamples(const ColumnStore& snapshot,
   // per-column moment updates), so the parallel cutoff sits much lower than
   // the scan kernels'.
   constexpr size_t kMinCatchupBatch = 2048;
-  const size_t workers =
-      scan::PlanWorkersAtCutoff(opts_.exec, n, kMinCatchupBatch);
-  if (workers <= 1) {
+  const scan::MorselPlan plan =
+      scan::PlanMorselsAtCutoff(opts_.exec, n, kMinCatchupBatch,
+                                scan::MorselCost::kHeavyItems);
+  if (plan.workers <= 1) {
     for (size_t pos : positions) AddCatchupSample(snapshot.RowTuple(pos));
     return;
   }
-  // Phase 1: materialize and route every draw in parallel morsels (routing
-  // is read-only, domain growth is lock-free).
+  // Phase 1: materialize and route every draw in work-stealing morsels
+  // (routing is read-only, domain growth is lock-free; every output lands
+  // at its own index, so the result is bit-identical under any stealing).
   std::vector<Tuple> batch(n);
   std::vector<int> leaf_of(n);
-  scan::ForEachRange(opts_.exec, n, workers,
-                     [&](size_t, size_t begin, size_t end) {
-                       double point[kMaxColumns];
-                       for (size_t i = begin; i < end; ++i) {
-                         batch[i] = snapshot.RowTuple(positions[i]);
-                         ProjectTuple(batch[i], opts_.spec.predicate_columns,
-                                      point);
-                         GrowDomain(point);
-                         leaf_of[i] = spec_.LeafFor(point);
-                       }
-                     });
+  scan::ForEachMorsel(opts_.exec, n, plan,
+                      [&](size_t, size_t, size_t begin, size_t end) {
+                        double point[kMaxColumns];
+                        for (size_t i = begin; i < end; ++i) {
+                          batch[i] = snapshot.RowTuple(positions[i]);
+                          ProjectTuple(batch[i],
+                                       opts_.spec.predicate_columns, point);
+                          GrowDomain(point);
+                          leaf_of[i] = spec_.LeafFor(point);
+                        }
+                      });
   // Phase 2: group the draws by leaf, preserving draw order within a leaf.
   std::vector<std::vector<uint32_t>> by_leaf(leaf_stats_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -341,7 +353,7 @@ void Dpt::AddCatchupSamples(const ColumnStore& snapshot,
   // leaf's whole draw sequence, in draw order, so the resulting statistics
   // are bit-identical to the serial loop (cross-leaf order never matters;
   // catchup_total_ sums unit weights, which add exactly).
-  scan::ForEachIndex(opts_.exec, active.size(), workers, [&](size_t a) {
+  scan::ForEachIndex(opts_.exec, active.size(), plan.workers, [&](size_t a) {
     const size_t leaf = active[a];
     MutexLock lock(&leaf_mu_[leaf]);
     LeafStats& ls = leaf_stats_[leaf];

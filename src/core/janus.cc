@@ -73,7 +73,7 @@ void JanusAqp::Initialize() {
       32, static_cast<size_t>(2.0 * opts_.sample_rate *
                               static_cast<double>(table_.size())));
   reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
-  reservoir_->Reset(table_.SampleUniform(&rng_, target));
+  reservoir_->Reset(table_.SampleUniform(&rng_, target, opts_.exec));
   Timer timer;
   PartitionResult pr =
       OptimizePartition(reservoir_->samples(), MakeSptOptions(),
@@ -110,7 +110,7 @@ bool JanusAqp::Delete(uint64_t id) {
     if (ch.needs_resample) {
       // Sec. 4.2: |S| hit its lower bound m; re-sample 2m from the archive.
       std::vector<Tuple> fresh =
-          table_.SampleUniform(&rng_, reservoir_->capacity());
+          table_.SampleUniform(&rng_, reservoir_->capacity(), opts_.exec);
       reservoir_->Reset(fresh);
       dpt_->ResetSamples(fresh);
       ++counters_.reservoir_resamples;
@@ -404,7 +404,8 @@ void JanusAqp::Reinitialize() {
       32, static_cast<size_t>(2.0 * opts_.sample_rate *
                               static_cast<double>(table_.size())));
   reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
-  std::vector<Tuple> fresh = table_.SampleUniform(&rng_, target);
+  std::vector<Tuple> fresh =
+      table_.SampleUniform(&rng_, target, opts_.exec);
   reservoir_->Reset(fresh);
   dpt_->ResetSamples(fresh);
   counters_.last_reopt_seconds = timer.ElapsedSeconds();
@@ -516,7 +517,8 @@ double JanusAqp::FinishReinitialize() {
         32, static_cast<size_t>(2.0 * opts_.sample_rate *
                                 static_cast<double>(table_.size())));
     reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
-    std::vector<Tuple> fresh = table_.SampleUniform(&rng_, target);
+    std::vector<Tuple> fresh =
+      table_.SampleUniform(&rng_, target, opts_.exec);
     reservoir_->Reset(fresh);
     dpt_->ResetSamples(fresh);
   }

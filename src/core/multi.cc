@@ -78,7 +78,7 @@ void MultiTemplateJanus::Initialize() {
       32, static_cast<size_t>(2.0 * base_.sample_rate *
                               static_cast<double>(table_.size())));
   reservoir_ = std::make_unique<DynamicReservoir>(target, rng_.Next());
-  reservoir_->Reset(table_.SampleUniform(&rng_, target));
+  reservoir_->Reset(table_.SampleUniform(&rng_, target, base_.exec));
   initialized_ = true;
   for (Entry& entry : entries_) BuildEntry(&entry);
 }
@@ -103,7 +103,7 @@ bool MultiTemplateJanus::Delete(uint64_t id) {
   ReservoirChange ch = reservoir_->OnDelete(id);
   std::vector<Tuple> fresh;
   if (ch.needs_resample) {
-    fresh = table_.SampleUniform(&rng_, reservoir_->capacity());
+    fresh = table_.SampleUniform(&rng_, reservoir_->capacity(), base_.exec);
     reservoir_->Reset(fresh);
   }
   for (Entry& entry : entries_) {

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <vector>
+
+#include "data/parallel_scan.h"
+#include "util/thread_pool.h"
 
 namespace janus {
 
@@ -117,26 +121,46 @@ PartitionResult BuildPartitionKd(const MaxVarianceIndex& index,
     parent.right = ri;
     parent.split_dim = dim;
     parent.split_val = split;
-    const TreeAgg lagg = index.kd().RangeAggregate(spec.nodes[li].rect);
-    const TreeAgg ragg = index.kd().RangeAggregate(spec.nodes[ri].rect);
-    heap.push({index.MaxVariance(spec.nodes[li].rect, opts.focus), li,
-               top.depth + 1, lagg.count});
-    heap.push({index.MaxVariance(spec.nodes[ri].rect, opts.focus), ri,
-               top.depth + 1, ragg.count});
+    // The two freshly-cut children are evaluated concurrently when a pool
+    // is available: each evaluation (range aggregate + max-variance probe)
+    // is a read-only tree query, and the results land in fixed slots, so
+    // the heap sees the same entries as a serial build.
+    double child_count[2];
+    double child_var[2];
+    const int child_node[2] = {li, ri};
+    scan::ForEachIndex(opts.exec, 2, opts.exec.pool != nullptr ? 2 : 1,
+                       [&](size_t c) {
+                         const Rectangle& r =
+                             spec.nodes[static_cast<size_t>(child_node[c])]
+                                 .rect;
+                         child_count[c] = index.kd().RangeAggregate(r).count;
+                         child_var[c] = index.MaxVariance(r, opts.focus);
+                       });
+    heap.push({child_var[0], li, top.depth + 1, child_count[0]});
+    heap.push({child_var[1], ri, top.depth + 1, child_count[1]});
     ++leaves;
   }
 
-  // Collect leaves in tree order and the worst-bucket error.
-  double worst = 0;
+  // Collect leaves in tree order and the worst-bucket error. The error
+  // probes are independent tree queries, so they fan out over the pool;
+  // the max-reduction is order-insensitive, hence bit-identical to serial.
   for (int i = 0; i < static_cast<int>(spec.nodes.size()); ++i) {
     if (spec.nodes[static_cast<size_t>(i)].IsLeaf()) {
       spec.leaves.push_back(i);
-      worst = std::max(
-          worst,
-          index.MaxVariance(spec.nodes[static_cast<size_t>(i)].rect,
-                            opts.focus));
     }
   }
+  std::vector<double> leaf_error(spec.leaves.size(), 0.0);
+  scan::ForEachIndex(
+      opts.exec, spec.leaves.size(),
+      opts.exec.pool != nullptr && spec.leaves.size() >= 8
+          ? opts.exec.pool->num_threads()
+          : 1,
+      [&](size_t l) {
+        leaf_error[l] = index.MaxVariance(
+            spec.nodes[static_cast<size_t>(spec.leaves[l])].rect, opts.focus);
+      });
+  double worst = 0;
+  for (double e : leaf_error) worst = std::max(worst, e);
   spec.worst_error = std::sqrt(worst);
   result.achieved_error = spec.worst_error;
   result.ok = true;

@@ -3,6 +3,7 @@
 
 #include "core/max_variance.h"
 #include "core/partition.h"
+#include "data/exec_context.h"
 
 namespace janus {
 
@@ -10,6 +11,11 @@ namespace janus {
 struct PartitionerKdOptions {
   int num_leaves = 128;
   AggFunc focus = AggFunc::kSum;
+  /// Parallel context for the per-split child evaluations and the final
+  /// leaf error sweep. Every evaluation is an independent, deterministic
+  /// read-only tree query, so the build result is bit-identical to a
+  /// serial build regardless of scheduling.
+  scan::ExecContext exec;
 };
 
 /// Greedy max-variance k-d construction: keep a max-heap of leaves keyed by

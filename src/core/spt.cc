@@ -6,11 +6,21 @@
 #include "core/partitioner_1d.h"
 #include "core/partitioner_dp.h"
 #include "core/partitioner_kd.h"
+#include "data/parallel_scan.h"
 #include "data/scan.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 namespace janus {
+
+namespace {
+
+/// Per-item parallel cutoff for sample materialization / projection loops:
+/// each item is a Tuple copy or kd-point build — far heavier than a kernel
+/// row, so the fan-out pays off much earlier than parallel_min_rows.
+constexpr size_t kMinSampleItems = 8192;
+
+}  // namespace
 
 PartitionResult OptimizePartition(const std::vector<Tuple>& samples,
                                   const SptOptions& opts_in,
@@ -44,11 +54,22 @@ PartitionResult OptimizePartition(const std::vector<Tuple>& samples,
   mo.sampling_rate = opts.sample_rate;
   mo.delta = opts.delta;
   MaxVarianceIndex index(mo);
-  std::vector<KdPoint> pts;
-  pts.reserve(samples.size());
-  for (const Tuple& t : samples) {
-    pts.push_back(
-        MakeKdPoint(t, opts.spec.predicate_columns, opts.spec.agg_column));
+  // Project samples to kd points in work-stealing morsels: every point
+  // lands at its own index, so the result is bit-identical to the serial
+  // loop under any scheduling.
+  std::vector<KdPoint> pts(samples.size());
+  {
+    const scan::MorselPlan plan =
+        scan::PlanMorselsAtCutoff(opts.exec, samples.size(), kMinSampleItems,
+                                  scan::MorselCost::kHeavyItems);
+    scan::ForEachMorsel(opts.exec, samples.size(), plan,
+                        [&](size_t, size_t, size_t begin, size_t end) {
+                          for (size_t i = begin; i < end; ++i) {
+                            pts[i] = MakeKdPoint(samples[i],
+                                                 opts.spec.predicate_columns,
+                                                 opts.spec.agg_column);
+                          }
+                        });
   }
   index.Build(pts);
 
@@ -60,6 +81,7 @@ PartitionResult OptimizePartition(const std::vector<Tuple>& samples,
       PartitionerKdOptions ko;
       ko.num_leaves = opts.num_leaves;
       ko.focus = opts.focus;
+      ko.exec = opts.exec;
       return BuildPartitionKd(index, ko);
     }
     case PartitionAlgorithm::kBinarySearch:
@@ -68,6 +90,7 @@ PartitionResult OptimizePartition(const std::vector<Tuple>& samples,
         PartitionerKdOptions ko;
         ko.num_leaves = opts.num_leaves;
         ko.focus = opts.focus;
+        ko.exec = opts.exec;
         return BuildPartitionKd(index, ko);
       }
       Partitioner1dOptions bo;
@@ -87,10 +110,22 @@ SptBuildResult BuildSpt(const ColumnStore& data, const SptOptions& opts) {
   const size_t m = std::max<size_t>(
       16, static_cast<size_t>(opts.sample_rate *
                               static_cast<double>(data.size())));
+  // Index draws stay serial — the persisted RNG stream must not depend on
+  // the thread count — but materializing the drawn rows is embarrassingly
+  // parallel (each draw fills its own slot).
   std::vector<size_t> idx = rng.SampleIndices(data.size(), 2 * m);
-  std::vector<Tuple> samples;
-  samples.reserve(idx.size());
-  for (size_t i : idx) samples.push_back(data.RowTuple(i));
+  std::vector<Tuple> samples(idx.size());
+  {
+    const scan::MorselPlan plan =
+        scan::PlanMorselsAtCutoff(opts.exec, idx.size(), kMinSampleItems,
+                                  scan::MorselCost::kHeavyItems);
+    scan::ForEachMorsel(opts.exec, idx.size(), plan,
+                        [&](size_t, size_t, size_t begin, size_t end) {
+                          for (size_t i = begin; i < end; ++i) {
+                            samples[i] = data.RowTuple(idx[i]);
+                          }
+                        });
+  }
 
   Timer part;
   PartitionResult pr = OptimizePartition(samples, opts, data.size());

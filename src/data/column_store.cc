@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 
+#include "data/parallel_scan.h"
 #include "persist/common.h"
 #include "util/invariants.h"
 
@@ -114,6 +115,25 @@ std::vector<Tuple> ColumnStore::SampleUniform(Rng* rng, size_t k) const {
   std::vector<Tuple> out;
   out.reserve(idx.size());
   for (size_t i : idx) out.push_back(RowTuple(i));
+  return out;
+}
+
+std::vector<Tuple> ColumnStore::SampleUniform(
+    Rng* rng, size_t k, const scan::ExecContext& exec) const {
+  std::vector<size_t> idx = rng->SampleIndices(ids_.size(), k);
+  std::vector<Tuple> out(idx.size());
+  // Each tuple copy gathers `width` doubles — far heavier than a kernel
+  // row, so the fan-out cutoff sits well below parallel_min_rows.
+  constexpr size_t kMinSampleDraws = 8192;
+  const scan::MorselPlan plan =
+      scan::PlanMorselsAtCutoff(exec, idx.size(), kMinSampleDraws,
+                                scan::MorselCost::kHeavyItems);
+  scan::ForEachMorsel(exec, idx.size(), plan,
+                      [&](size_t, size_t, size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i) {
+                          out[i] = RowTuple(idx[i]);
+                        }
+                      });
   return out;
 }
 

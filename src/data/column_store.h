@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "data/exec_context.h"
 #include "data/schema.h"
 #include "util/rng.h"
 
@@ -103,6 +104,13 @@ class ColumnStore {
   /// Uniform random sample (without replacement) of k live rows,
   /// materialized.
   std::vector<Tuple> SampleUniform(Rng* rng, size_t k) const;
+
+  /// SampleUniform with morsel-parallel row materialization. The index
+  /// draws stay serial — the persisted RNG stream must be independent of
+  /// the thread count — and each drawn row fills its own output slot, so
+  /// the result is bit-identical to the serial overload.
+  std::vector<Tuple> SampleUniform(Rng* rng, size_t k,
+                                   const scan::ExecContext& exec) const;
 
   /// One uniform random live row (with replacement semantics across calls).
   Tuple SampleOne(Rng* rng) const;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace janus {
 
@@ -12,13 +13,25 @@ class ThreadPool;
 namespace scan {
 
 /// Telemetry of the parallel execution layer: how many scans chose the
-/// morsel-parallel path vs stayed serial (cost cutoff, no pool, or a
-/// one-thread plan), and how many worker ranges were dispatched. Engines own
-/// one instance each and surface the numbers through EngineStats.
+/// morsel-parallel path vs stayed serial, and how the work-stealing
+/// scheduler behaved. Engines own one instance each and surface the numbers
+/// through EngineStats.
 struct ScanCounters {
   std::atomic<uint64_t> parallel_scans{0};
+  /// Scans that stayed serial for a top-level reason: cost cutoff, no pool,
+  /// or a one-thread plan.
   std::atomic<uint64_t> serial_scans{0};
+  /// Scans issued from *inside* a morsel worker (a consumer callback that
+  /// itself scans). They always run serial — a nested fan-out could never be
+  /// scheduled on a saturated pool — but they are a distinct signal: a high
+  /// count means a hot path hides a fan-out opportunity behind another scan,
+  /// not that the planner chose serial.
+  std::atomic<uint64_t> nested_serial_scans{0};
+  /// Worker slots dispatched across all parallel scans.
   std::atomic<uint64_t> worker_ranges{0};
+  /// Morsels claimed by pool helpers rather than the calling thread — the
+  /// direct measure of how much work stealing actually moved.
+  std::atomic<uint64_t> stolen_morsels{0};
 };
 
 /// Default cost cutoff: scans below this many rows stay serial. Dispatching
@@ -41,10 +54,25 @@ struct ExecContext {
   ScanCounters* counters = nullptr;
 };
 
+/// Validated parse of a JANUS_SCAN_THREADS-style value. `hardware` is the
+/// detected hardware concurrency (pass std::thread::hardware_concurrency(),
+/// 0 tolerated). Rules:
+///  - null/empty/garbage (non-numeric, trailing junk, overflow, <= 0):
+///    fall back to max(hardware, 1) and describe the problem in *warning;
+///  - values above 4x hardware are clamped to that bound (oversubscribing a
+///    scan pool past that only adds context-switch overhead), also warned;
+///  - otherwise the parsed value is returned and *warning is left empty.
+/// Pure function so the validation rules are unit-testable; the process-wide
+/// pool's constructor prints the warning once.
+size_t ParseScanThreads(const char* text, size_t hardware,
+                        std::string* warning);
+
 /// Process-wide scan pool, created lazily on first use with
-/// JANUS_SCAN_THREADS threads (default: std::thread::hardware_concurrency).
-/// The lazy build is a C++ magic static — thread-safe without a lock of its
-/// own; the pool's queue/counters carry the capability annotations.
+/// JANUS_SCAN_THREADS threads (default: std::thread::hardware_concurrency;
+/// malformed values are validated by ParseScanThreads and warned about once
+/// on stderr). The lazy build is a C++ magic static — thread-safe without a
+/// lock of its own; the pool's queue/counters carry the capability
+/// annotations.
 ThreadPool* SharedScanPool();
 
 /// Process-wide telemetry for contexts without an engine-owned sink.

@@ -9,15 +9,11 @@ namespace janus {
 
 std::optional<double> ExactAnswer(const std::vector<Tuple>& rows,
                                   const AggQuery& q) {
-  // Row path kept for callers holding snapshot vectors; small inputs stay on
-  // the shared accumulator, avoiding the transposition.
-  AggAccumulator acc;
-  std::vector<double> point(q.predicate_columns.size());
-  for (const Tuple& t : rows) {
-    ProjectTuple(t, q.predicate_columns, point.data());
-    if (q.rect.Contains(point.data())) acc.Add(t[q.agg_column]);
-  }
-  return acc.Finish(q.func);
+  // Delegate to the columnar kernels so the row path is bit-identical to
+  // the batch path — the SIMD aggregate kernels have their own summation
+  // order, so keeping a second scalar accumulator here would let the two
+  // ground-truth entry points drift by a few ulps.
+  return scan::ExactAnswer(scan::ToColumnStore(rows, {q}), q);
 }
 
 std::optional<double> ExactAnswer(const ColumnStore& store, const AggQuery& q) {

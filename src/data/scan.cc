@@ -1,5 +1,7 @@
 #include "data/scan.h"
 
+#include "data/simd.h"
+
 namespace janus {
 
 std::optional<double> AggAccumulator::Finish(AggFunc f) const {
@@ -48,25 +50,16 @@ size_t FilterBlock(const ColumnStore& store,
       if (InBounds(0.0, lo, hi)) continue;
       return 0;
     }
+    const simd::Kernels& k = simd::Active();
     if (first) {
       // First dimension: dense branch-free scan of the contiguous column.
-      const double* v = col.data + begin;
-      for (size_t i = 0; i < len; ++i) {
-        sel[matched] = static_cast<uint32_t>(begin + i);
-        matched += static_cast<size_t>(InBounds(v[i], lo, hi));
-      }
+      matched = k.filter_in_bounds(col.data + begin, len, lo, hi,
+                                   static_cast<uint32_t>(begin), sel);
       first = false;
       continue;
     }
     // Subsequent dimensions: compact the selection vector in place.
-    const double* v = col.data;
-    size_t out = 0;
-    for (size_t i = 0; i < matched; ++i) {
-      const uint32_t p = sel[i];
-      sel[out] = p;
-      out += static_cast<size_t>(InBounds(v[p], lo, hi));
-    }
-    matched = out;
+    matched = k.compact_in_bounds(col.data, sel, matched, lo, hi);
     if (matched == 0) return 0;
   }
   if (first) {
@@ -130,15 +123,12 @@ size_t CountRangeAtLeast(const ColumnStore& store,
       return InBounds(0.0, lo, hi) ? std::min(len, limit) : 0;
     }
     const double* v = col.data;
+    const simd::Kernels& k = simd::Active();
     size_t count = 0;
     for (size_t bs = begin; bs < end; bs += kBlockRows) {
       const size_t be = std::min(end, bs + kBlockRows);
       if (limit - count > be - bs) {
-        size_t block = 0;
-        for (size_t i = bs; i < be; ++i) {
-          block += static_cast<size_t>(InBounds(v[i], lo, hi));
-        }
-        count += block;
+        count += k.count_in_bounds(v + bs, be - bs, lo, hi);
       } else {
         for (size_t i = bs; i < be; ++i) {
           count += static_cast<size_t>(InBounds(v[i], lo, hi));
@@ -192,14 +182,15 @@ AggAccumulator AggregateRange(const ColumnStore& store, AggFunc func,
       continue;
     }
     const double* v = agg.data;
+    const simd::Kernels& k = simd::Active();
     switch (func) {
       case AggFunc::kSum:
       case AggFunc::kAvg:
         if (matched == be - bs) {
           // Saturated block: skip the gather and sum the column directly.
-          for (size_t i = bs; i < be; ++i) acc.sum += v[i];
+          acc.sum += k.sum_dense(v + bs, be - bs);
         } else {
-          for (size_t i = 0; i < matched; ++i) acc.sum += v[sel[i]];
+          acc.sum += k.sum_gather(v, sel, matched);
         }
         break;
       case AggFunc::kMin:

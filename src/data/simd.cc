@@ -1,0 +1,122 @@
+#include "data/simd.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace janus {
+namespace scan {
+namespace simd {
+
+namespace {
+
+/// Same closed-interval/NaN semantics as scan.cc's InBounds.
+inline bool InBounds(double x, double lo, double hi) {
+  return !(x < lo) & !(x > hi);
+}
+
+size_t ScalarCountInBounds(const double* v, size_t len, double lo, double hi) {
+  size_t count = 0;
+  for (size_t i = 0; i < len; ++i) {
+    count += static_cast<size_t>(InBounds(v[i], lo, hi));
+  }
+  return count;
+}
+
+size_t ScalarFilterInBounds(const double* v, size_t len, double lo, double hi,
+                            uint32_t base, uint32_t* sel) {
+  size_t matched = 0;
+  for (size_t i = 0; i < len; ++i) {
+    sel[matched] = base + static_cast<uint32_t>(i);
+    matched += static_cast<size_t>(InBounds(v[i], lo, hi));
+  }
+  return matched;
+}
+
+size_t ScalarCompactInBounds(const double* v, uint32_t* sel, size_t n,
+                             double lo, double hi) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = sel[i];
+    sel[out] = p;
+    out += static_cast<size_t>(InBounds(v[p], lo, hi));
+  }
+  return out;
+}
+
+double ScalarSumDense(const double* v, size_t len) {
+  double sum = 0.0;
+  for (size_t i = 0; i < len; ++i) sum += v[i];
+  return sum;
+}
+
+double ScalarSumGather(const double* v, const uint32_t* sel, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += v[sel[i]];
+  return sum;
+}
+
+void ScalarMinMax(const double* v, size_t len, double* mn, double* mx) {
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (size_t i = 0; i < len; ++i) {
+    lo = std::min(lo, v[i]);
+    hi = std::max(hi, v[i]);
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Kernels& ResolveActive() {
+  const Kernels* avx2 = Avx2KernelsIfCompiled();
+  const bool cpu_ok = CpuHasAvx2();
+  if (const char* env = std::getenv("JANUS_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return ScalarKernels();
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2 != nullptr && cpu_ok) return *avx2;
+      std::fprintf(stderr,
+                   "[janus] JANUS_SIMD=avx2 requested but AVX2 is %s; using "
+                   "scalar kernels\n",
+                   avx2 == nullptr ? "not compiled into this build"
+                                   : "not supported by this CPU");
+      return ScalarKernels();
+    }
+    std::fprintf(stderr,
+                 "[janus] ignoring unknown JANUS_SIMD=\"%s\" (expected "
+                 "\"scalar\" or \"avx2\"); auto-detecting\n",
+                 env);
+  }
+  return (avx2 != nullptr && cpu_ok) ? *avx2 : ScalarKernels();
+}
+
+}  // namespace
+
+const Kernels& ScalarKernels() {
+  static const Kernels k = {
+      "scalar",          ScalarCountInBounds, ScalarFilterInBounds,
+      ScalarCompactInBounds, ScalarSumDense,  ScalarSumGather,
+      ScalarMinMax,
+  };
+  return k;
+}
+
+const Kernels& Active() {
+  // Resolved once, first use; magic static makes the choice thread-safe and
+  // immutable for the rest of the process (determinism depends on that).
+  static const Kernels& k = ResolveActive();
+  return k;
+}
+
+}  // namespace simd
+}  // namespace scan
+}  // namespace janus

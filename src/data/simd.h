@@ -1,0 +1,78 @@
+#ifndef JANUS_DATA_SIMD_H_
+#define JANUS_DATA_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace janus {
+namespace scan {
+namespace simd {
+
+/// Vector kernel table behind the hot scan loops (data/scan.cc). Two
+/// implementations exist: a portable scalar one (always available, loop
+/// bodies identical to the historical scan code so non-SIMD behavior is
+/// unchanged) and an AVX2 one compiled into its own translation unit with
+/// -mavx2 when the toolchain supports it. The active table is chosen once
+/// per process at first use: AVX2 when it was compiled in *and* the CPU
+/// reports it, overridable with JANUS_SIMD=scalar|avx2.
+///
+/// Semantics shared by every implementation:
+///  - "in bounds" is the closed-interval test !(x < lo) & !(x > hi), so a
+///    NaN coordinate matches (same as Rectangle::Contains);
+///  - counting and selection kernels are bit-identical across
+///    implementations (integer results, selection prefixes in row order);
+///  - sums may associate additions differently (lane-wise accumulators), so
+///    scalar and AVX2 sums agree only to floating-point reassociation —
+///    within any one process the dispatch is fixed, so results stay
+///    deterministic run to run;
+///  - min/max ignore NaN values (min(NaN, acc) keeps acc, matching
+///    std::min's ordering) and are order-insensitive, hence bit-identical
+///    across implementations.
+struct Kernels {
+  /// Implementation tag ("scalar" or "avx2") for stats/bench surfacing.
+  const char* name;
+
+  /// Number of i in [0, len) with v[i] in [lo, hi].
+  size_t (*count_in_bounds)(const double* v, size_t len, double lo, double hi);
+
+  /// First-dimension filter: for each matching i in [0, len) append
+  /// base + i to sel (in row order). Returns how many matched. sel must
+  /// have room for len entries; the vector path may scribble up to 3
+  /// entries past the returned count (within sel[len]).
+  size_t (*filter_in_bounds)(const double* v, size_t len, double lo,
+                             double hi, uint32_t base, uint32_t* sel);
+
+  /// Subsequent-dimension compaction: keep the positions p = sel[i] with
+  /// v[p] in [lo, hi], compacting sel in place (order preserved). `v` is
+  /// the column base pointer (sel holds absolute row positions). Returns
+  /// how many survive.
+  size_t (*compact_in_bounds)(const double* v, uint32_t* sel, size_t n,
+                              double lo, double hi);
+
+  /// Sum of v[0..len).
+  double (*sum_dense)(const double* v, size_t len);
+
+  /// Sum of v[sel[i]] for i in [0, n).
+  double (*sum_gather)(const double* v, const uint32_t* sel, size_t n);
+
+  /// Min/max of v[0..len) ignoring NaNs; {+DBL_MAX, -DBL_MAX-ish lowest}
+  /// when len == 0 or all values are NaN (the caller's identity values).
+  void (*min_max)(const double* v, size_t len, double* mn, double* mx);
+};
+
+/// Portable implementation; always available.
+const Kernels& ScalarKernels();
+
+/// AVX2 table when this build compiled src/data/simd_avx2.cc with -mavx2,
+/// nullptr otherwise. Does NOT check the running CPU — Active() does.
+const Kernels* Avx2KernelsIfCompiled();
+
+/// The table every scan kernel should use: resolved once (build support +
+/// runtime CPUID + JANUS_SIMD override), then fixed for the process.
+const Kernels& Active();
+
+}  // namespace simd
+}  // namespace scan
+}  // namespace janus
+
+#endif  // JANUS_DATA_SIMD_H_

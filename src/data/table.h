@@ -55,6 +55,13 @@ class DynamicTable {
     return store_.SampleUniform(rng, k);
   }
 
+  /// SampleUniform with morsel-parallel row materialization (serial index
+  /// draws, bit-identical results; see ColumnStore::SampleUniform).
+  std::vector<Tuple> SampleUniform(Rng* rng, size_t k,
+                                   const scan::ExecContext& exec) const {
+    return store_.SampleUniform(rng, k, exec);
+  }
+
   /// One uniform random live tuple (with replacement semantics across calls).
   Tuple SampleOne(Rng* rng) const { return store_.SampleOne(rng); }
 

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace janus {
@@ -20,7 +21,8 @@ ThreadPool::~ThreadPool() {
   cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
   // A latched task exception nobody collected dies with the pool; the
-  // destructor must not throw.
+  // destructor must not throw. Gangs must already be closed — CloseGang is
+  // part of every fan-out's epilogue, and fan-outs never outlive the pool.
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -29,6 +31,35 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_task_.NotifyOne();
+}
+
+void ThreadPool::SubmitGang(GangTask* gang) {
+  if (gang->max_helpers_ == 0) return;  // caller-only fan-out, nothing to do
+  {
+    MutexLock lock(&mu_);
+    gangs_.push_back(gang);
+  }
+  // One wakeup for the whole fan-out: every sleeping worker races to claim a
+  // slot, the losers go back to sleep. With per-helper Submit() this was one
+  // lock + one NotifyOne per helper per scan.
+  cv_task_.NotifyAll();
+}
+
+void ThreadPool::CloseGang(GangTask* gang) {
+  std::exception_ptr err;
+  {
+    MutexLock lock(&mu_);
+    if (!gang->closed_) {
+      gang->closed_ = true;
+      const auto it = std::find(gangs_.begin(), gangs_.end(), gang);
+      if (it != gangs_.end()) gangs_.erase(it);
+    }
+    // Only in-flight helpers are waited on; slots nobody claimed are simply
+    // never run (the caller has already drained the shared cursor).
+    while (gang->active_ != 0) cv_gang_.Wait(&mu_);
+    err = std::exchange(gang->first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::WaitIdle() {
@@ -44,23 +75,46 @@ void ThreadPool::WaitIdle() {
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    GangTask* gang = nullptr;
+    size_t slot = 0;
     {
       MutexLock lock(&mu_);
-      while (!(stop_ || !queue_.empty())) cv_task_.Wait(&mu_);
+      while (!(stop_ || !queue_.empty() || !gangs_.empty())) {
+        cv_task_.Wait(&mu_);
+      }
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      if (!gangs_.empty()) {
+        // Gangs first: they are the latency-sensitive scan fan-outs and one
+        // claim either helps immediately or retires the gang.
+        gang = gangs_.front();
+        slot = ++gang->started_;
+        if (gang->started_ >= gang->max_helpers_) gangs_.pop_front();
+        ++gang->active_;
+        ++active_;
+      } else {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
     }
     std::exception_ptr err;
     try {
-      task();
+      if (gang != nullptr) {
+        gang->body_(slot);
+      } else {
+        task();
+      }
     } catch (...) {
       err = std::current_exception();
     }
     {
       MutexLock lock(&mu_);
-      if (err && first_error_ == nullptr) first_error_ = err;
+      if (gang != nullptr) {
+        if (err && gang->first_error_ == nullptr) gang->first_error_ = err;
+        if (--gang->active_ == 0 && gang->closed_) cv_gang_.NotifyAll();
+      } else if (err && first_error_ == nullptr) {
+        first_error_ = err;
+      }
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.NotifyAll();
     }

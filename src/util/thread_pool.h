@@ -12,6 +12,41 @@
 
 namespace janus {
 
+class ThreadPool;
+
+/// One shared fan-out published to a ThreadPool with SubmitGang(): up to
+/// `max_helpers` idle workers each claim a distinct slot in
+/// [1, max_helpers] and run body(slot) once. This is the persistent-worker
+/// dispatch path of the morsel-parallel scan layer: publishing a gang is a
+/// single queue operation plus one NotifyAll, instead of one Submit()
+/// (lock + wakeup) per helper, and workers that wake after the caller has
+/// already closed the gang never touch it at all — a late helper costs
+/// nothing instead of stalling the scan.
+///
+/// Lifetime: the GangTask lives on the caller's stack. The caller must call
+/// ThreadPool::CloseGang() before destroying it; CloseGang blocks only on
+/// helpers that actually entered the body (in-flight), not on unclaimed
+/// slots.
+class GangTask {
+ public:
+  GangTask(std::function<void(size_t)> body, size_t max_helpers)
+      : body_(std::move(body)), max_helpers_(max_helpers) {}
+
+  GangTask(const GangTask&) = delete;
+  GangTask& operator=(const GangTask&) = delete;
+
+ private:
+  friend class ThreadPool;
+
+  const std::function<void(size_t)> body_;
+  const size_t max_helpers_;
+  // All mutable state is guarded by the owning pool's mu_.
+  size_t started_ = 0;  ///< slots handed out so far
+  size_t active_ = 0;   ///< helpers currently inside body_
+  bool closed_ = false;  ///< no new entrants (CloseGang ran)
+  std::exception_ptr first_error_;
+};
+
 /// Fixed-size worker pool used for multi-threaded update processing (Fig. 5)
 /// and for the parallel phase of DPT re-initialization (Sec. 4.3).
 ///
@@ -22,7 +57,8 @@ namespace janus {
 /// Exception contract: a task that throws does not kill its worker. The
 /// first uncaught task exception is latched and rethrown by the next
 /// WaitIdle() call (subsequent ones until then are dropped); the destructor
-/// discards any latched exception rather than throw.
+/// discards any latched exception rather than throw. A gang body that
+/// throws latches into its GangTask and is rethrown by CloseGang().
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -33,6 +69,17 @@ class ThreadPool {
 
   /// Enqueue a task for execution.
   void Submit(std::function<void()> task);
+
+  /// Publish a gang: idle workers start claiming slots immediately. The
+  /// caller keeps running (typically draining the same shared morsel cursor
+  /// as the helpers) and must CloseGang() before `gang` goes out of scope.
+  void SubmitGang(GangTask* gang);
+
+  /// Withdraw the gang (no new helpers may enter), wait for the in-flight
+  /// ones to leave the body, and rethrow the first exception any of them
+  /// raised. Idempotent per gang; must be called exactly once before the
+  /// GangTask is destroyed.
+  void CloseGang(GangTask* gang);
 
   /// Block until the queue is empty and all workers are idle. Rethrows the
   /// first exception any task raised since the last WaitIdle().
@@ -47,7 +94,10 @@ class ThreadPool {
   Mutex mu_;
   CondVar cv_task_;
   CondVar cv_idle_;
+  CondVar cv_gang_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  /// Published gangs still accepting helpers, in publication order.
+  std::deque<GangTask*> gangs_ GUARDED_BY(mu_);
   size_t active_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;
   /// First uncaught exception from a task since the last WaitIdle().

@@ -7,9 +7,13 @@
 // worker count of each case is pinned explicitly, so CI runs reproduce.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -319,6 +323,108 @@ TEST_F(ParallelScanTest, BatchedCatchupIsBitIdenticalToSerial) {
       EXPECT_DOUBLE_EQ(rs.ci_half_width, rp.ci_half_width);
     }
   }
+}
+
+TEST(MorselStealingTest, SkewedMorselCostDoesNotStallTheScan) {
+  // One morsel "costs" as much as the entire rest of the scan: its body
+  // cannot finish until every other morsel has been processed. A static
+  // range split assigns the expensive chunk and roughly half the remaining
+  // morsels to the same worker, which would deadlock this loop; with a
+  // shared cursor the other participant drains everything the blocked
+  // worker cannot reach.
+  ThreadPool pool(2);
+  scan::ExecContext ctx;
+  ctx.pool = &pool;
+  ctx.max_workers = 2;
+  ctx.parallel_min_rows = 1;
+  constexpr size_t kMorsels = 8;
+  const size_t rows = kMorsels * scan::kBlockRows;
+  scan::MorselPlan plan;
+  plan.workers = 2;
+  plan.morsel_rows = scan::kBlockRows;
+  plan.morsels = kMorsels;
+  std::atomic<size_t> others{0};
+  std::atomic<bool> timed_out{false};
+  scan::ForEachMorsel(
+      ctx, rows, plan, [&](size_t, size_t chunk, size_t, size_t) {
+        if (chunk == 0) {
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(60);
+          while (others.load(std::memory_order_acquire) < kMorsels - 1) {
+            if (std::chrono::steady_clock::now() > deadline) {
+              timed_out.store(true);
+              break;
+            }
+            std::this_thread::yield();
+          }
+        } else {
+          others.fetch_add(1, std::memory_order_release);
+        }
+      });
+  EXPECT_FALSE(timed_out.load()) << "the scan stalled on the skewed morsel: "
+                                    "no other worker stole the rest";
+  EXPECT_EQ(kMorsels - 1, others.load());
+}
+
+TEST(ParseScanThreadsTest, ValidatesClampsAndWarns) {
+  std::string warning;
+  // Unset / empty fall back to hardware concurrency without complaint.
+  EXPECT_EQ(8u, scan::ParseScanThreads(nullptr, 8, &warning));
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(8u, scan::ParseScanThreads("", 8, &warning));
+  EXPECT_TRUE(warning.empty());
+  // Plain numbers parse; leading/trailing blanks are tolerated.
+  EXPECT_EQ(6u, scan::ParseScanThreads("6", 8, &warning));
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(6u, scan::ParseScanThreads("  6  ", 8, &warning));
+  EXPECT_TRUE(warning.empty());
+  // Garbage, trailing junk, zero and negatives warn and fall back.
+  EXPECT_EQ(8u, scan::ParseScanThreads("lots", 8, &warning));
+  EXPECT_FALSE(warning.empty());
+  EXPECT_EQ(8u, scan::ParseScanThreads("6x", 8, &warning));
+  EXPECT_FALSE(warning.empty());
+  EXPECT_EQ(8u, scan::ParseScanThreads("0", 8, &warning));
+  EXPECT_FALSE(warning.empty());
+  EXPECT_EQ(8u, scan::ParseScanThreads("-2", 8, &warning));
+  EXPECT_FALSE(warning.empty());
+  // Out-of-range numerics (ERANGE) fall back rather than truncating.
+  EXPECT_EQ(8u, scan::ParseScanThreads("999999999999999999999999999", 8,
+                                       &warning));
+  EXPECT_FALSE(warning.empty());
+  // Oversubscription clamps at 4x hardware; exactly 4x is allowed.
+  EXPECT_EQ(32u, scan::ParseScanThreads("32", 8, &warning));
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(32u, scan::ParseScanThreads("33", 8, &warning));
+  EXPECT_FALSE(warning.empty());
+  // Unknown hardware concurrency (0) degrades to a floor of one.
+  EXPECT_EQ(1u, scan::ParseScanThreads(nullptr, 0, &warning));
+  EXPECT_EQ(4u, scan::ParseScanThreads("9", 0, &warning));
+  EXPECT_FALSE(warning.empty());
+}
+
+TEST_F(ParallelScanTest, NestedScansStaySerialAndAreCounted) {
+  ThreadPool pool(2);
+  scan::ScanCounters counters;
+  scan::ExecContext ctx = Ctx(&pool, 2);
+  ctx.counters = &counters;
+  const std::vector<int> pred = {0};
+  const Rectangle half({0.25}, {0.75});
+  const size_t expected = scan::CountInRect(store(), pred, half);
+  const scan::MorselPlan plan = scan::PlanMorsels(ctx, store().size());
+  ASSERT_GT(plan.workers, 1u);
+  // A consumer callback that itself scans: the nested call must not try to
+  // fan out again (the pool may be saturated with its own callers), but it
+  // must still return the exact answer — and be visible in telemetry.
+  std::atomic<size_t> nested_total{0};
+  scan::ForEachMorsel(ctx, store().size(), plan,
+                      [&](size_t, size_t chunk, size_t, size_t) {
+                        if (chunk != 0) return;
+                        nested_total.store(
+                            scan::CountInRect(store(), pred, half, ctx));
+                      });
+  EXPECT_EQ(expected, nested_total.load());
+  EXPECT_GE(counters.nested_serial_scans.load(), 1u);
+  EXPECT_EQ(1u, counters.parallel_scans.load());
 }
 
 }  // namespace
