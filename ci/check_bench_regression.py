@@ -2,31 +2,43 @@
 """Perf-regression gate for the CI bench jobs.
 
 Reads bench JSON lines (one object per line, as emitted by
-bench_columnar_scan / bench_shard_scaling / bench_parallel_scan), extracts
-per-metric throughput, and fails (exit 1) if any metric present in the
-checked-in baseline dropped more than --tolerance (default 25%) below its
-baseline value.
+bench_columnar_scan / bench_shard_scaling / bench_parallel_scan /
+bench_reopt_latency), extracts one value per metric, and fails (exit 1) if
+any metric present in the checked-in baseline regressed more than
+--tolerance (default 25%) past its baseline value.
 
-The baseline records throughput *floors*, not exact expectations: CI runner
-hardware varies run to run, so floors are set conservatively and ratcheted
-up by committing the BENCH_parallel.json artifact of a healthy run (scaled
-by the tolerance) when the fleet speeds up. Metrics in the measurement that
-have no baseline entry are reported but never fail the job, so adding a
-bench metric does not require a baseline in the same change.
+Gating is direction-aware. Throughput metrics (rows_per_sec and friends)
+treat the baseline as a *floor*: FAIL when measured < (1 - tolerance) *
+baseline. Latency metrics — metric names ending in "_ms", carrying a
+"latency_ms" field — treat it as a *ceiling*: FAIL when measured >
+(1 + tolerance) * baseline (e.g. a background re-opt whose p99 creeps up
+past 125% of the recorded ceiling fails the job).
 
-Improvements (measured above baseline) are reported explicitly, and
---ratchet-out writes a ready-to-commit ratcheted baseline: per metric the
-max of the current floor and measured * (1 - tolerance), so committing the
-artifact raises floors after a healthy faster run without ever lowering an
-existing one. New metrics enter the ratchet file the same way.
+Baselines are conservative bounds, not exact expectations: CI runner
+hardware varies run to run, so they are set loosely and ratcheted by
+committing the artifact of a healthy run (scaled by the tolerance) when the
+fleet improves. Metrics in the measurement that have no baseline entry are
+reported but never fail the job, so adding a bench metric does not require
+a baseline in the same change.
+
+Improvements (measured beyond baseline in the good direction) are reported
+explicitly, and --ratchet-out writes a ready-to-commit ratcheted baseline:
+per floor metric max(current, measured * (1 - tolerance)), per ceiling
+metric min(current, measured * (1 + tolerance)) — committing the artifact
+tightens bounds after a healthy run without ever loosening an existing one.
+New metrics enter the ratchet file the same way.
 
 Usage:
   check_bench_regression.py --baseline bench/baseline/bench_baseline.json \
       --measured BENCH_parallel.json [--tolerance 0.25] \
       [--ratchet-out bench_baseline_ratchet.json]
 
-Baseline format: {"<bench>/<metric>/<key>": rows_per_sec, ...} where <key>
-is "path=column" / "threads=8" / "shards=4" style, matching MetricKey().
+Baseline format: {"<bench>/<metric>/<key>": value, ...} where <key> is
+"path=column" / "threads=8" / "shards=4" / "mode=background" style,
+matching metric_key(). Values are rows_per_sec for floors, milliseconds for
+"_ms" ceilings. Keys do not encode the workload size — the CI job must
+invoke each bench with the same flags (rows etc.) the baseline was
+recorded under.
 """
 
 import argparse
@@ -51,17 +63,27 @@ def metric_key(obj):
         qual = "threads=%s" % obj["threads"]
     elif "shards" in obj:
         qual = "shards=%s" % obj["shards"]
+    elif "mode" in obj:
+        qual = "mode=%s" % obj["mode"]
     else:
         qual = "default"
     return "%s/%s/%s" % (bench, metric, qual)
 
 
-def throughput(obj):
+def value(obj):
     for field in ("rows_per_sec", "inserts_per_sec", "records_per_sec",
-                  "updates_per_sec", "queries_per_sec"):
+                  "updates_per_sec", "queries_per_sec", "latency_ms"):
         if field in obj:
             return float(obj[field])
     return None
+
+
+def is_ceiling(key):
+    """Latency metrics gate as ceilings (lower is better); the convention is
+    a metric name ending in "_ms" (bench_reopt_latency's query percentiles
+    and exclusive-section times)."""
+    parts = key.split("/")
+    return len(parts) >= 2 and parts[1].endswith("_ms")
 
 
 def load_measurements(paths):
@@ -82,18 +104,21 @@ def load_measurements(paths):
                     errors.append(line)
                     continue
                 key = metric_key(obj)
-                rate = throughput(obj)
+                rate = value(obj)
                 if key is None or rate is None:
                     continue
                 # Every bench emits exactly one (best-of-reps) line per key:
                 # a repeat means two runs were concatenated or a bench looped
                 # over the same config twice. Keeping either value could mask
-                # a regression behind the faster duplicate, so this is fatal.
+                # a regression behind the better duplicate, so this is fatal.
                 if key in out:
                     duplicates.append(
                         "%s: duplicate measurement in %s "
                         "(%.3e then %.3e)" % (key, path, out[key], rate))
-                out[key] = max(out.get(key, 0.0), rate)
+                    out[key] = (min if is_ceiling(key) else max)(
+                        out[key], rate)
+                else:
+                    out[key] = rate
     return out, errors, duplicates
 
 
@@ -136,9 +161,14 @@ def main():
     for key in sorted(set(baseline) | set(measured)):
         base = baseline.get(key)
         got = measured.get(key)
+        ceiling = is_ceiling(key)
         if got is not None:
-            ratchet[key] = max(ratchet.get(key, 0.0),
-                               got * (1.0 - args.tolerance))
+            if ceiling:
+                slack = got * (1.0 + args.tolerance)
+                ratchet[key] = min(ratchet.get(key, slack), slack)
+            else:
+                ratchet[key] = max(ratchet.get(key, 0.0),
+                                   got * (1.0 - args.tolerance))
         if base is None:
             print("%-55s %14s %14.3e %8s" % (key, "-", got, "new"))
             continue
@@ -149,21 +179,31 @@ def main():
         if not isinstance(base, (int, float)) or base <= 0:
             continue  # already reported as a bad-baseline failure above
         ratio = got / base
-        status = "ok" if got >= (1.0 - args.tolerance) * base else "FAIL"
+        if ceiling:
+            status = "ok" if got <= (1.0 + args.tolerance) * base else "FAIL"
+        else:
+            status = "ok" if got >= (1.0 - args.tolerance) * base else "FAIL"
         print("%-55s %14.3e %14.3e %7.2fx %s" % (key, base, got, ratio,
                                                  status))
         if status == "FAIL":
-            failures.append(
-                "%s: %.3e < %.0f%% of baseline %.3e"
-                % (key, got, 100 * (1.0 - args.tolerance), base))
-        elif base > 0 and ratio >= 1.0 + args.tolerance:
-            # The floor is now conservative by more than the tolerance:
+            if ceiling:
+                failures.append(
+                    "%s: %.3e ms > %.0f%% of ceiling %.3e ms"
+                    % (key, got, 100 * (1.0 + args.tolerance), base))
+            else:
+                failures.append(
+                    "%s: %.3e < %.0f%% of baseline %.3e"
+                    % (key, got, 100 * (1.0 - args.tolerance), base))
+        elif ceiling and ratio <= 1.0 / (1.0 + args.tolerance):
+            improvements.append("%s: %.2fx ceiling" % (key, ratio))
+        elif not ceiling and ratio >= 1.0 + args.tolerance:
+            # The bound is now conservative by more than the tolerance:
             # worth ratcheting so a future regression to today's baseline
             # would actually fail.
             improvements.append("%s: %.2fx baseline" % (key, ratio))
 
     if improvements:
-        print("\nIMPROVEMENTS (ratchet candidates, >= %.0f%% above floor):"
+        print("\nIMPROVEMENTS (ratchet candidates, >= %.0f%% past bound):"
               % (100 * args.tolerance))
         for line in improvements:
             print("  " + line)
@@ -177,7 +217,8 @@ def main():
               % args.ratchet_out)
 
     if failures:
-        print("\nPERF REGRESSION (> %.0f%% drop):" % (100 * args.tolerance))
+        print("\nPERF REGRESSION (> %.0f%% past bound):"
+              % (100 * args.tolerance))
         for f in failures:
             print("  " + f)
         return 1

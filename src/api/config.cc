@@ -175,6 +175,8 @@ EngineConfig EngineConfig::FromArgs(const ArgMap& args) {
       args.GetUint64("check_interval", c.trigger_check_interval);
   c.starvation_factor = args.GetDouble("starvation", c.starvation_factor);
   c.partial_repartition_psi = args.GetInt("psi", c.partial_repartition_psi);
+  c.reopt_mode = args.GetString("reopt_mode", c.reopt_mode);
+  c.reopt_delta_tail = args.GetSize("reopt_delta_tail", c.reopt_delta_tail);
   c.num_strata = args.GetInt("strata", c.num_strata);
   c.train_fraction = args.GetDouble("train_fraction", c.train_fraction);
   c.num_shards = args.GetInt("shards", c.num_shards);
@@ -209,7 +211,9 @@ std::string EngineConfig::ToString() const {
      << " triggers=" << (enable_triggers ? "on" : "off") << " beta=" << beta
      << " check_interval=" << trigger_check_interval
      << " starvation=" << starvation_factor
-     << " psi=" << partial_repartition_psi;
+     << " psi=" << partial_repartition_psi
+     << " reopt_mode=" << reopt_mode
+     << " reopt_delta_tail=" << reopt_delta_tail;
   if (num_strata > 0) os << " strata=" << num_strata;
   os << " train_fraction=" << train_fraction << " shards=" << num_shards
      << " scan_threads=" << scan_threads

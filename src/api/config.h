@@ -48,8 +48,8 @@ class ArgMap {
 /// CLI keys (via FromArgs): engine, agg, pred, tracked, columns, leaves,
 /// sample_rate (alias alpha), catchup_rate (alias catchup), confidence,
 /// focus, algorithm, triggers, beta, check_interval, starvation, psi,
-/// strata, train_fraction, shards, scan_threads, parallel_min_rows,
-/// snapshot_path, snapshot_every, seed.
+/// reopt_mode, reopt_delta_tail, strata, train_fraction, shards,
+/// scan_threads, parallel_min_rows, snapshot_path, snapshot_every, seed.
 struct EngineConfig {
   /// Registry name: "janus", "multi", "rs", "srs", "spn", "spt", or a
   /// composed "sharded:<inner>" key.
@@ -83,6 +83,16 @@ struct EngineConfig {
   uint64_t trigger_check_interval = 64;
   double starvation_factor = 0.25;
   int partial_repartition_psi = 0;
+  /// How trigger re-partitions execute: "blocking" runs them inline on the
+  /// update path (historical behavior); "background" records a request and
+  /// a per-engine maintenance thread drives the off-to-the-side build +
+  /// pointer-swap adoption pipeline (janus; multi routes Reinitialize()
+  /// through it).
+  std::string reopt_mode = "blocking";
+  /// Background pipeline: the build keeps pre-draining the double-applied
+  /// update buffer until at most this many ops remain for the exclusive
+  /// adoption step.
+  size_t reopt_delta_tail = 1024;
 
   // --- baselines ------------------------------------------------------------
   /// Strata count of the SRS baseline; 0 means "use num_leaves".

@@ -30,9 +30,18 @@ struct EngineStats {
   uint64_t deletes = 0;
   uint64_t repartitions = 0;
   uint64_t partial_repartitions = 0;
+  /// Partial re-partitions that silently degraded to a full rebuild
+  /// (region too thin, single-leaf subtree, or sub-optimizer failure).
+  uint64_t partial_repartition_fallbacks = 0;
   uint64_t trigger_checks = 0;
   uint64_t trigger_fires = 0;
   uint64_t reservoir_resamples = 0;
+  /// Background re-optimization pipeline (reopt_mode=background): side
+  /// trees adopted, side trees discarded at adoption, and double-applied
+  /// delta ops replayed into side trees.
+  uint64_t background_reopts = 0;
+  uint64_t background_discards = 0;
+  uint64_t delta_ops_replayed = 0;
 
   size_t catchup_processed = 0;
   double catchup_processing_seconds = 0;
@@ -224,6 +233,13 @@ class AqpEngine {
   /// table when the engine exposes one; backends override to walk their
   /// synopsis structures too and then delegate to this base audit.
   virtual void CheckInvariantsImpl() const;
+
+  /// The base-class room lock, for backends that run their own maintenance
+  /// threads (the background re-optimization pipeline): such a thread takes
+  /// rooms exactly like an external caller — the update room for pipeline
+  /// stages that coexist with queries being fenced, the exclusive room for
+  /// the adoption swap. nullptr for kInternal engines.
+  RoomLock* rooms() const { return base_rooms(); }
 
  private:
   bool internal() const {

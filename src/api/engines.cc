@@ -4,8 +4,10 @@
 // goes through EngineRegistry::Create.
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "api/registry.h"
@@ -19,6 +21,7 @@
 #include "util/invariants.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace janus {
 
@@ -28,6 +31,55 @@ namespace {
 size_t ReservoirBytes(size_t sample_tuples) {
   return sample_tuples * sizeof(Tuple);
 }
+
+/// One background maintenance thread driving an engine's re-optimization
+/// pipeline (reopt_mode=background): it sleeps until kicked, then runs `job`
+/// until the job reports no more pending work. Kicks arriving while the job
+/// runs coalesce into one more round — a kick is never lost. The owning
+/// engine must construct it after the state the job touches and stop it (or
+/// destroy it, declared last) before that state dies.
+class MaintenanceThread {
+ public:
+  explicit MaintenanceThread(std::function<bool()> job)
+      : job_(std::move(job)), thread_([this] { Loop(); }) {}
+
+  ~MaintenanceThread() {
+    {
+      MutexLock lock(&mu_);
+      stop_ = true;
+      cv_.NotifyAll();
+    }
+    thread_.join();
+  }
+
+  /// Wake the thread; safe from any thread, including inside the job.
+  void Kick() {
+    MutexLock lock(&mu_);
+    work_ = true;
+    cv_.NotifyAll();
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      {
+        MutexLock lock(&mu_);
+        while (!work_ && !stop_) cv_.Wait(&mu_);
+        if (stop_) return;
+        work_ = false;
+      }
+      while (job_()) {
+      }
+    }
+  }
+
+  std::function<bool()> job_;
+  Mutex mu_;
+  CondVar cv_;
+  bool work_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
 
 /// Morsel-parallel execution context of one engine: the shared scan pool
 /// capped at scan_threads workers (scan_threads=1 pins every scan serial),
@@ -62,6 +114,9 @@ JanusOptions MakeJanusOptions(const EngineConfig& c,
   o.starvation_factor = c.starvation_factor;
   o.partial_repartition_psi = c.partial_repartition_psi;
   o.seed = c.seed;
+  o.reopt_mode = c.reopt_mode == "background" ? ReoptMode::kBackground
+                                              : ReoptMode::kBlocking;
+  o.reopt_delta_tail = c.reopt_delta_tail;
   return o;
 }
 
@@ -69,7 +124,18 @@ JanusOptions MakeJanusOptions(const EngineConfig& c,
 class JanusEngine : public AqpEngine {
  public:
   explicit JanusEngine(const EngineConfig& c)
-      : impl_(MakeJanusOptions(c, &scan_counters_)) {}
+      : impl_(MakeJanusOptions(c, &scan_counters_)) {
+    if (impl_.options().reopt_mode == ReoptMode::kBackground) {
+      // A trigger fire records a request and kicks the maintenance thread;
+      // the thread drains requests through the three-stage pipeline, taking
+      // rooms exactly like an external caller (so the exclusive fence is
+      // only the pointer-swap adoption step).
+      impl_.SetReoptNotify([this] { maint_->Kick(); });
+      maint_ = std::make_unique<MaintenanceThread>(
+          [this] { return RunBackgroundReopt(); });
+    }
+  }
+  ~JanusEngine() override { maint_.reset(); }
 
   const char* name() const override { return "janus"; }
   void LoadInitialImpl(const std::vector<Tuple>& rows) override {
@@ -100,9 +166,13 @@ class JanusEngine : public AqpEngine {
     s.deletes = c.deletes;
     s.repartitions = c.repartitions;
     s.partial_repartitions = c.partial_repartitions;
+    s.partial_repartition_fallbacks = c.partial_repartition_fallbacks;
     s.trigger_checks = c.trigger_checks;
     s.trigger_fires = c.trigger_fires;
     s.reservoir_resamples = c.reservoir_resamples;
+    s.background_reopts = c.background_reopts;
+    s.background_discards = c.background_discards;
+    s.delta_ops_replayed = c.delta_ops_replayed;
     s.catchup_processed = impl_.catchup_processed();
     s.catchup_processing_seconds = impl_.catchup_processing_seconds();
     s.last_reopt_seconds = c.last_reopt_seconds;
@@ -141,9 +211,30 @@ class JanusEngine : public AqpEngine {
   }
 
  private:
+  /// One pipeline round on the maintenance thread. Begin coexists with
+  /// queries being fenced (update room), the build takes no room at all,
+  /// and only the adoption swap is exclusive. Returns true to run again —
+  /// trigger fires during the build coalesce into the next round.
+  bool RunBackgroundReopt() {
+    {
+      UpdateRoom room(rooms());
+      if (!impl_.ReoptRequested()) return false;
+      if (!impl_.BeginBackgroundReopt()) return false;
+    }
+    impl_.BuildBackgroundReopt();
+    {
+      ExclusiveRoom room(rooms());
+      impl_.FinishBackgroundReopt();
+    }
+    return true;
+  }
+
   scan::ScanCounters scan_counters_;
   JanusAqp impl_;
   bool initialized_ = false;
+  /// Declared last: its thread touches impl_ and rooms(), so it must die
+  /// first (the destructor also resets it explicitly for clarity).
+  std::unique_ptr<MaintenanceThread> maint_;
 };
 
 /// "multi": one pooled sample, one tree per query template (Sec. 5.5).
@@ -155,7 +246,12 @@ class MultiEngine : public AqpEngine {
     spec.agg_column = c.agg_column;
     spec.predicate_columns = c.predicate_columns;
     impl_.AddTemplate(spec);
+    if (c.reopt_mode == "background") {
+      maint_ = std::make_unique<MaintenanceThread>(
+          [this] { return RunBackgroundRebuild(); });
+    }
   }
+  ~MultiEngine() override { maint_.reset(); }
 
   const char* name() const override { return "multi"; }
   void LoadInitialImpl(const std::vector<Tuple>& rows) override {
@@ -207,6 +303,19 @@ class MultiEngine : public AqpEngine {
   }
   void RunCatchupToGoalImpl() override { impl_.RunCatchupToGoal(); }
 
+  /// Blocking mode rebuilds every template inline (under the exclusive room
+  /// the base class already holds). Background mode only kicks the
+  /// maintenance thread: the call returns immediately and the per-template
+  /// side trees are adopted when the pipeline finishes.
+  void ReinitializeImpl() override {
+    if (maint_) {
+      maint_->Kick();
+      return;
+    }
+    impl_.Rebuild();
+    ++repartitions_;
+  }
+
   EngineStats StatsImpl() const override {
     // Shares template_mu_ with Query(): on-demand template discovery may
     // reallocate the template list under a concurrent reader.
@@ -218,6 +327,11 @@ class MultiEngine : public AqpEngine {
     s.num_templates = static_cast<int>(impl_.num_templates());
     s.inserts = inserts_;
     s.deletes = deletes_;
+    s.repartitions = repartitions_;
+    s.background_reopts = bg_rebuilds_;
+    s.delta_ops_replayed = delta_replayed_;
+    s.last_reopt_seconds = last_reopt_seconds_;
+    s.last_blocking_seconds = last_blocking_seconds_;
     s.archive_bytes = impl_.table().MemoryBytes();
     if (initialized_) {
       s.synopsis_bytes = ReservoirBytes(impl_.reservoir().size());
@@ -242,6 +356,9 @@ class MultiEngine : public AqpEngine {
     w->Bool(initialized_);
     w->U64(inserts_);
     w->U64(deletes_);
+    w->U64(repartitions_);
+    w->U64(bg_rebuilds_);
+    w->U64(delta_replayed_);
     impl_.SaveTo(w);
   }
   void LoadState(persist::Reader* r) override {
@@ -249,6 +366,9 @@ class MultiEngine : public AqpEngine {
     initialized_ = r->Bool();
     inserts_ = r->U64();
     deletes_ = r->U64();
+    repartitions_ = r->U64();
+    bg_rebuilds_ = r->U64();
+    delta_replayed_ = r->U64();
     impl_.LoadFrom(r);
   }
 
@@ -271,6 +391,33 @@ class MultiEngine : public AqpEngine {
   }
 
  private:
+  /// One pipeline round for the multi-template manager. Begin and Finish
+  /// are short and take the exclusive room (multi updates are base-
+  /// serialized, not internally locked, so the update room alone would not
+  /// exclude a concurrent updater); the per-template optimize + populate —
+  /// the dominant cost — runs with no room at all.
+  bool RunBackgroundRebuild() {
+    Timer total;
+    {
+      ExclusiveRoom room(rooms());
+      if (!impl_.BeginBackgroundRebuild()) return false;
+    }
+    impl_.BuildBackgroundRebuild();
+    {
+      ExclusiveRoom room(rooms());
+      Timer blocking;
+      uint64_t replayed = 0;
+      if (impl_.FinishBackgroundRebuild(&replayed)) {
+        ++repartitions_;
+        ++bg_rebuilds_;
+        delta_replayed_ += replayed;
+        last_blocking_seconds_ = blocking.ElapsedSeconds();
+        last_reopt_seconds_ = total.ElapsedSeconds();
+      }
+    }
+    return false;  // one rebuild per kick; later kicks coalesce
+  }
+
   scan::ScanCounters scan_counters_;
   mutable MultiTemplateJanus impl_;
   /// Guards impl_'s template list (discovery appends; readers index it).
@@ -280,6 +427,13 @@ class MultiEngine : public AqpEngine {
   bool initialized_ = false;
   uint64_t inserts_;
   uint64_t deletes_;
+  uint64_t repartitions_ = 0;
+  uint64_t bg_rebuilds_ = 0;
+  uint64_t delta_replayed_ = 0;
+  double last_reopt_seconds_ = 0;
+  double last_blocking_seconds_ = 0;
+  /// Declared last: its thread touches impl_ and rooms().
+  std::unique_ptr<MaintenanceThread> maint_;
 };
 
 /// "rs": uniform reservoir sample over the whole table.

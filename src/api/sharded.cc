@@ -367,9 +367,13 @@ EngineStats ShardedEngine::StatsImpl() const {
     total.deletes += s.deletes;
     total.repartitions += s.repartitions;
     total.partial_repartitions += s.partial_repartitions;
+    total.partial_repartition_fallbacks += s.partial_repartition_fallbacks;
     total.trigger_checks += s.trigger_checks;
     total.trigger_fires += s.trigger_fires;
     total.reservoir_resamples += s.reservoir_resamples;
+    total.background_reopts += s.background_reopts;
+    total.background_discards += s.background_discards;
+    total.delta_ops_replayed += s.delta_ops_replayed;
     total.catchup_processed += s.catchup_processed;
     total.catchup_processing_seconds += s.catchup_processing_seconds;
     total.parallel_scans += s.parallel_scans;

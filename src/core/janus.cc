@@ -51,11 +51,16 @@ void JanusAqp::LoadInitial(const std::vector<Tuple>& rows) {
 }
 
 void JanusAqp::RefreshBaselines() {
-  leaf_baseline_var_.assign(dpt_->tree().nodes.size(), 0);
-  for (int leaf : dpt_->tree().leaves) {
-    leaf_baseline_var_[static_cast<size_t>(leaf)] =
-        dpt_->sample_index().MaxVariance(dpt_->LeafRect(leaf), opts_.focus);
+  leaf_baseline_var_ = ComputeBaselines(*dpt_);
+}
+
+std::vector<double> JanusAqp::ComputeBaselines(const Dpt& dpt) const {
+  std::vector<double> baselines(dpt.tree().nodes.size(), 0);
+  for (int leaf : dpt.tree().leaves) {
+    baselines[static_cast<size_t>(leaf)] =
+        dpt.sample_index().MaxVariance(dpt.LeafRect(leaf), opts_.focus);
   }
+  return baselines;
 }
 
 void JanusAqp::AdoptSpec(PartitionTreeSpec spec) {
@@ -90,10 +95,26 @@ void JanusAqp::Insert(const Tuple& t) {
     table_.Insert(t);
     ++counters_.inserts;
     ReservoirChange ch = reservoir_->OnInsert(t, table_.size());
-    if (ch.evicted.has_value()) dpt_->SampleRemove(*ch.evicted);
-    if (ch.added.has_value()) dpt_->SampleAdd(*ch.added);
+    if (ch.evicted.has_value()) {
+      dpt_->SampleRemove(*ch.evicted);
+      if (bg_capture_) {
+        bg_.delta.push_back({ReoptDeltaOp::Kind::kSampleRemove, *ch.evicted, {}});
+      }
+    }
+    if (ch.added.has_value()) {
+      dpt_->SampleAdd(*ch.added);
+      if (bg_capture_) {
+        bg_.delta.push_back({ReoptDeltaOp::Kind::kSampleAdd, *ch.added, {}});
+      }
+    }
+    if (bg_capture_) bg_.delta.push_back({ReoptDeltaOp::Kind::kInsert, t, {}});
   }
-  dpt_->ApplyInsert(t);
+  {
+    // Shared hold: a concurrent trigger repartition (tree_mu_ writer) must
+    // not free the tree out from under the statistics update.
+    ReaderMutexLock tree(&tree_mu_);
+    dpt_->ApplyInsert(t);
+  }
   if (opts_.enable_triggers) CheckTriggers(t);
 }
 
@@ -104,6 +125,11 @@ bool JanusAqp::Delete(uint64_t id) {
     const std::optional<Tuple> p = table_.Find(id);
     if (!p.has_value()) return false;
     t = *p;
+    // A pipeline whose archive assembly has not reached this row yet loses
+    // its Begin-time payload with this delete; park it for the assembler.
+    if (bg_capture_ && bg_.copy_pos < bg_.t0_ids.size()) {
+      bg_.rescued.emplace(id, t);
+    }
     table_.Delete(id);
     ++counters_.deletes;
     ReservoirChange ch = reservoir_->OnDelete(id);
@@ -114,11 +140,21 @@ bool JanusAqp::Delete(uint64_t id) {
       reservoir_->Reset(fresh);
       dpt_->ResetSamples(fresh);
       ++counters_.reservoir_resamples;
+      if (bg_capture_) {
+        bg_.delta.push_back({ReoptDeltaOp::Kind::kSampleReset, Tuple{}, fresh});
+      }
     } else if (ch.evicted.has_value()) {
       dpt_->SampleRemove(*ch.evicted);
+      if (bg_capture_) {
+        bg_.delta.push_back({ReoptDeltaOp::Kind::kSampleRemove, *ch.evicted, {}});
+      }
     }
+    if (bg_capture_) bg_.delta.push_back({ReoptDeltaOp::Kind::kDelete, t, {}});
   }
-  dpt_->ApplyDelete(t);
+  {
+    ReaderMutexLock tree(&tree_mu_);
+    dpt_->ApplyDelete(t);
+  }
   if (opts_.enable_triggers) CheckTriggers(t);
   return true;
 }
@@ -126,10 +162,12 @@ bool JanusAqp::Delete(uint64_t id) {
 QueryResult JanusAqp::Query(const AggQuery& q) const { return dpt_->Query(q); }
 
 void JanusAqp::RunCatchupToGoal() {
+  ReaderMutexLock tree(&tree_mu_);
   if (catchup_) catchup_->RunToGoal();
 }
 
 size_t JanusAqp::StepCatchup(size_t batch) {
+  ReaderMutexLock tree(&tree_mu_);
   return catchup_ ? catchup_->Step(batch) : 0;
 }
 
@@ -196,6 +234,9 @@ bool JanusAqp::PartialRepartition(int leaf) {
     }
   }
   if (region_samples.size() < 4 || subtree_leaves < 2) {
+    // Region too thin to re-optimize on its own: degrade to a full rebuild,
+    // and count it — silent fallbacks hide the real cost of psi > 0.
+    ++counters_.partial_repartition_fallbacks;
     return FullRepartition();
   }
 
@@ -204,7 +245,10 @@ bool JanusAqp::PartialRepartition(int leaf) {
   sopts.num_leaves = subtree_leaves;
   PartitionResult sub =
       OptimizePartition(region_samples, sopts, table_.size());
-  if (!sub.ok) return FullRepartition();
+  if (!sub.ok) {
+    ++counters_.partial_repartition_fallbacks;
+    return FullRepartition();
+  }
   // Clip the sub-spec's rectangles into the anchored region.
   for (PartitionNode& n : sub.spec.nodes) {
     for (int d = 0; d < old_spec.dims; ++d) {
@@ -347,24 +391,56 @@ bool JanusAqp::CheckTriggers(const Tuple& t) {
     return false;
   }
   updates_since_check_.store(0);
-  ++counters_.trigger_checks;
-  const int leaf = dpt_->LeafForTuple(t);
 
-  // Starvation check (Sec. 5.4): too few samples for robust estimators.
-  const double si = dpt_->LeafSampleCount(leaf);
-  const double m = static_cast<double>(dpt_->sample_size());
-  const bool starved =
-      si < opts_.starvation_factor * std::log2(std::max(2.0, m));
+  bool starved = false;
+  bool drift = false;
+  int leaf = -1;
+  double cur = 0;
+  const Dpt* evaluated = nullptr;
+  {
+    // Evaluation reads the sample index and baselines, which concurrent
+    // updaters mutate under update_mu_; the shared tree hold pins the
+    // synopsis pointer against a racing repartition.
+    ReaderMutexLock tree(&tree_mu_);
+    MutexLock lock(&update_mu_);
+    evaluated = dpt_.get();
+    ++counters_.trigger_checks;
+    leaf = dpt_->LeafForTuple(t);
 
-  // Variance drift check.
-  const double cur =
-      dpt_->sample_index().MaxVariance(dpt_->LeafRect(leaf), opts_.focus);
-  const double base = leaf_baseline_var_[static_cast<size_t>(leaf)];
-  const bool drift =
-      base > 0 && (cur > opts_.beta * base || cur * opts_.beta < base);
+    // Starvation check (Sec. 5.4): too few samples for robust estimators.
+    const double si = dpt_->LeafSampleCount(leaf);
+    const double m = static_cast<double>(dpt_->sample_size());
+    starved = si < opts_.starvation_factor * std::log2(std::max(2.0, m));
 
-  if (!starved && !drift) return false;
-  ++counters_.trigger_fires;
+    // Variance drift check.
+    cur = dpt_->sample_index().MaxVariance(dpt_->LeafRect(leaf), opts_.focus);
+    const double base = leaf_baseline_var_[static_cast<size_t>(leaf)];
+    drift = base > 0 && (cur > opts_.beta * base || cur * opts_.beta < base);
+
+    if (!starved && !drift) return false;
+    ++counters_.trigger_fires;
+
+    if (opts_.reopt_mode == ReoptMode::kBackground) {
+      // Record the request; fires while a build is already in flight
+      // coalesce into the next pipeline run.
+      reopt_request_ = true;
+      reopt_request_starved_ = reopt_request_starved_ || starved;
+      reopt_request_drift_ = reopt_request_drift_ || (drift && !starved);
+      reopt_request_leaf_ = leaf;
+    }
+  }
+  if (opts_.reopt_mode == ReoptMode::kBackground) {
+    if (reopt_notify_) reopt_notify_();
+    return false;
+  }
+
+  // Blocking mode: rebuild inline. The exclusive tree hold fences the
+  // swap against concurrent appliers; if another updater repartitioned
+  // between our evaluation and this acquisition the trigger data is stale,
+  // so give up and let the next check re-evaluate the new tree.
+  WriterMutexLock tree(&tree_mu_);
+  MutexLock lock(&update_mu_);
+  if (dpt_.get() != evaluated) return false;
 
   if (starved) {
     if (opts_.partial_repartition_psi > 0) return PartialRepartition(leaf);
@@ -412,6 +488,215 @@ void JanusAqp::Reinitialize() {
   ++counters_.repartitions;
 }
 
+bool JanusAqp::ReoptRequested() const {
+  MutexLock lock(&update_mu_);
+  return reopt_request_;
+}
+
+bool JanusAqp::BeginBackgroundReopt() {
+  MutexLock lock(&update_mu_);
+  if (bg_active_ || !dpt_ || !reservoir_) return false;
+  bg_ = BackgroundReopt{};
+  // Consume the pending request; with none pending this is an explicit,
+  // unconditional rebuild (the background Reinitialize analogue).
+  bg_.starved = reopt_request_ ? reopt_request_starved_ : true;
+  bg_.drift =
+      reopt_request_ && reopt_request_drift_ && !reopt_request_starved_;
+  bg_.drift_leaf = reopt_request_leaf_;
+  reopt_request_ = false;
+  reopt_request_starved_ = false;
+  reopt_request_drift_ = false;
+  reopt_request_leaf_ = -1;
+  // T0 snapshot: pooled sample, |D|, an index-free archive copy, and the
+  // catch-up seed — drawn *now*, so the RNG stream is positioned exactly as
+  // if a blocking rebuild had adopted at this point (the equivalence
+  // contract in the header depends on this).
+  bg_.live_at_begin = dpt_.get();
+  bg_.snapshot = reservoir_->samples();
+  bg_.n0 = table_.size();
+  // Only the id order is captured here; the payload copy — tens of
+  // milliseconds at 1M rows, far too long for a hold that fences queries —
+  // is deferred to AssembleReoptArchive in stage 2.
+  bg_.t0_ids = table_.store().ids();
+  bg_.archive = std::make_unique<ColumnStore>(table_.store().schema());
+  bg_.catchup_seed = rng_.Next();
+  bg_.total.Reset();
+  bg_capture_ = true;
+  bg_active_ = true;
+  return true;
+}
+
+void JanusAqp::AssembleReoptArchive() {
+  // Reconstruct the Begin-time archive: for every id in Begin-time order,
+  // the payload is either still live (payloads are immutable while live) or
+  // was parked in bg_.rescued by the delete that removed it. Chunked holds
+  // keep each update-mutex acquisition bounded, so concurrent inserters —
+  // who hold the update room while they wait on this mutex — never dam up
+  // the room turn long enough for queries to notice.
+  constexpr size_t kChunk = 16384;
+  bg_.archive->Reserve(bg_.t0_ids.size());
+  for (;;) {
+    std::vector<Tuple> rows;
+    rows.reserve(kChunk);
+    bool done = false;
+    {
+      MutexLock lock(&update_mu_);
+      const size_t end = std::min(bg_.copy_pos + kChunk, bg_.t0_ids.size());
+      for (size_t i = bg_.copy_pos; i < end; ++i) {
+        const uint64_t id = bg_.t0_ids[i];
+        const auto it = bg_.rescued.find(id);
+        if (it != bg_.rescued.end()) {
+          rows.push_back(it->second);
+          continue;
+        }
+        const std::optional<Tuple> live = table_.Find(id);
+        if (!live.has_value()) {
+          bg_.copy_failed = true;
+          return;
+        }
+        rows.push_back(*live);
+      }
+      bg_.copy_pos = end;
+      done = end == bg_.t0_ids.size();
+    }
+    // Only this thread touches bg_.archive between Begin and Finish; the
+    // append runs outside the lock.
+    bg_.archive->BulkAppend(rows);
+    if (done) break;
+  }
+  {
+    // Assembly complete: deletes stop parking payloads (copy_pos == size
+    // turns the capture condition off); free the bookkeeping eagerly.
+    MutexLock lock(&update_mu_);
+    std::vector<uint64_t>().swap(bg_.t0_ids);
+    bg_.copy_pos = 0;
+    bg_.rescued.clear();
+  }
+}
+
+void JanusAqp::BuildBackgroundReopt() {
+  if (!bg_active_) return;
+  AssembleReoptArchive();
+  if (bg_.copy_failed) return;  // build_ok stays false; Finish discards.
+  PartitionResult pr =
+      OptimizePartition(bg_.snapshot, MakeSptOptions(), bg_.n0);
+  bg_.build_ok = pr.ok;
+  if (!pr.ok) return;
+  bg_.cand_var = pr.achieved_error * pr.achieved_error;
+  bg_.side = std::make_unique<Dpt>(MakeDptOptions(), std::move(pr.spec));
+  bg_.side->InitializeFromReservoir(bg_.snapshot, bg_.n0);
+  // Baselines of the snapshot-initialized tree — what a blocking rebuild at
+  // the Begin point would compute. Doing it here keeps the per-leaf
+  // MaxVariance sweep out of the exclusive adoption step.
+  bg_.baselines = ComputeBaselines(*bg_.side);
+  // Pre-drain: keep swapping the delta buffer out (under update_mu_) and
+  // replaying it into the side tree without any lock, until the tail fits
+  // the exclusive step's budget. Rounds are bounded — a hot update stream
+  // can always outrun the drain, and the tail replay handles the rest.
+  for (int round = 0; round < 8; ++round) {
+    std::vector<ReoptDeltaOp> batch;
+    {
+      MutexLock lock(&update_mu_);
+      if (bg_.delta.size() <= opts_.reopt_delta_tail) break;
+      batch.swap(bg_.delta);
+    }
+    bg_.replayed += ReplayReoptDelta(batch, bg_.side.get());
+  }
+}
+
+bool JanusAqp::FinishBackgroundReopt() {
+  if (!bg_active_) return false;
+  // Retired state is moved aside under the locks (O(1) pointer moves) and
+  // freed only after they release: destroying the old tree's sample index
+  // and the old catch-up's archive snapshot costs several milliseconds at
+  // 1M rows, and none of it belongs in the exclusive blocking window.
+  // Declared before the lock guards so destructor order runs locks-first.
+  std::unique_ptr<Dpt> retired_dpt;
+  std::unique_ptr<CatchupEngine> retired_catchup;
+  BackgroundReopt retired_bg;
+  Timer blocking;
+  WriterMutexLock tree(&tree_mu_);
+  MutexLock lock(&update_mu_);
+  bg_active_ = false;
+  bg_capture_ = false;
+  // A synopsis replaced by any other path mid-pipeline (explicit
+  // Reinitialize, snapshot Load) makes the side tree stale: its snapshot,
+  // delta stream and catch-up seed describe a tree that no longer exists.
+  bool adopt = bg_.build_ok && bg_.side != nullptr &&
+               dpt_.get() == bg_.live_at_begin;
+  if (adopt && bg_.drift && !bg_.starved) {
+    // Drift requests stay conditional (Sec. 5.4): adopt only if the
+    // candidate still beats the live tree — which kept absorbing updates
+    // during the build — by a factor beta.
+    const double cur_max = CurrentTreeMaxVariance();
+    if (!(bg_.cand_var * opts_.beta < cur_max)) {
+      adopt = false;
+      const int leaf = bg_.drift_leaf;
+      if (leaf >= 0 && leaf < static_cast<int>(leaf_baseline_var_.size())) {
+        // As in the blocking path: the drifted level is the new normal.
+        leaf_baseline_var_[static_cast<size_t>(leaf)] =
+            dpt_->sample_index().MaxVariance(dpt_->LeafRect(leaf),
+                                             opts_.focus);
+      }
+    }
+  }
+  if (!adopt) {
+    ++counters_.background_discards;
+    retired_bg = std::move(bg_);
+    bg_ = BackgroundReopt{};
+    return false;
+  }
+  // The exclusive tail: replay what the pre-drain left, swap the pointer,
+  // restart catch-up from the Begin-time archive snapshot and seed.
+  bg_.replayed += ReplayReoptDelta(bg_.delta, bg_.side.get());
+  retired_dpt = std::move(dpt_);
+  dpt_ = std::move(bg_.side);
+  const size_t goal = static_cast<size_t>(
+      opts_.catchup_rate * static_cast<double>(bg_.n0));
+  retired_catchup = std::move(catchup_);
+  catchup_ = std::make_unique<CatchupEngine>(
+      dpt_.get(), std::move(*bg_.archive), goal, bg_.catchup_seed);
+  leaf_baseline_var_ = std::move(bg_.baselines);
+  // Requests recorded while the build ran were evaluated against the tree
+  // just replaced; adoption (fresh baselines, fresh catch-up) supersedes
+  // them.
+  reopt_request_ = false;
+  reopt_request_starved_ = false;
+  reopt_request_drift_ = false;
+  reopt_request_leaf_ = -1;
+  counters_.delta_ops_replayed += bg_.replayed;
+  counters_.last_blocking_seconds = blocking.ElapsedSeconds();
+  counters_.last_reopt_seconds = bg_.total.ElapsedSeconds();
+  ++counters_.repartitions;
+  ++counters_.background_reopts;
+  retired_bg = std::move(bg_);
+  bg_ = BackgroundReopt{};
+  return true;
+}
+
+uint64_t ReplayReoptDelta(const std::vector<ReoptDeltaOp>& ops, Dpt* side) {
+  for (const ReoptDeltaOp& op : ops) {
+    switch (op.kind) {
+      case ReoptDeltaOp::Kind::kInsert:
+        side->ApplyInsert(op.t);
+        break;
+      case ReoptDeltaOp::Kind::kDelete:
+        side->ApplyDelete(op.t);
+        break;
+      case ReoptDeltaOp::Kind::kSampleAdd:
+        side->SampleAdd(op.t);
+        break;
+      case ReoptDeltaOp::Kind::kSampleRemove:
+        side->SampleRemove(op.t);
+        break;
+      case ReoptDeltaOp::Kind::kSampleReset:
+        side->ResetSamples(op.reset);
+        break;
+    }
+  }
+  return static_cast<uint64_t>(ops.size());
+}
+
 void JanusAqp::SaveTo(persist::Writer* w) const {
   table_.SaveTo(w);
   rng_.SaveTo(w);
@@ -423,6 +708,10 @@ void JanusAqp::SaveTo(persist::Writer* w) const {
   w->U64(counters_.trigger_fires);
   w->U64(counters_.repartitions);
   w->U64(counters_.partial_repartitions);
+  w->U64(counters_.partial_repartition_fallbacks);
+  w->U64(counters_.background_reopts);
+  w->U64(counters_.background_discards);
+  w->U64(counters_.delta_ops_replayed);
   w->F64(counters_.last_reopt_seconds);
   w->F64(counters_.last_blocking_seconds);
   w->U64(updates_since_check_.load());
@@ -447,6 +736,10 @@ void JanusAqp::LoadFrom(persist::Reader* r) {
   counters_.trigger_fires = r->U64();
   counters_.repartitions = r->U64();
   counters_.partial_repartitions = r->U64();
+  counters_.partial_repartition_fallbacks = r->U64();
+  counters_.background_reopts = r->U64();
+  counters_.background_discards = r->U64();
+  counters_.delta_ops_replayed = r->U64();
   counters_.last_reopt_seconds = r->F64();
   counters_.last_blocking_seconds = r->F64();
   updates_since_check_.store(r->U64());
@@ -504,6 +797,7 @@ double JanusAqp::FinishReinitialize() {
   opt_running_ = false;
   Timer blocking;
   {
+    WriterMutexLock tree(&tree_mu_);
     MutexLock lock(&update_mu_);
     AdoptSpec(std::move(opt_result_.spec));
   }

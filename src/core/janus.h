@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/catchup.h"
@@ -13,6 +15,7 @@
 #include "data/table.h"
 #include "sampling/reservoir.h"
 #include "util/mutex.h"
+#include "util/timer.h"
 
 namespace janus {
 
@@ -20,6 +23,18 @@ namespace persist {
 class Writer;
 class Reader;
 }  // namespace persist
+
+/// How re-partitioning triggers execute (Sec. 5.4 / ROADMAP "incremental
+/// re-optimization that overlaps serving").
+enum class ReoptMode {
+  /// Rebuild inline on the update path (the paper's behavior; default).
+  /// Every fire pays the whole optimize + adopt cost under exclusion.
+  kBlocking,
+  /// A fire only records a request; an owner thread drives the three-stage
+  /// Begin/Build/FinishBackgroundReopt pipeline so the exclusive section
+  /// shrinks to a pointer swap plus a bounded delta-tail replay.
+  kBackground,
+};
 
 /// Configuration of a JanusAQP instance (Sec. 3.1 knobs plus the
 /// re-optimization parameters of Sec. 5.4).
@@ -58,7 +73,35 @@ struct JanusOptions {
   /// exact-mode initialization). Default: serial.
   scan::ExecContext exec;
   uint64_t seed = 42;
+  /// How trigger re-partitions execute (see ReoptMode). Blocking keeps the
+  /// historical inline behavior; background needs an owner thread driving
+  /// the pipeline (api/engines.cc provides one per engine).
+  ReoptMode reopt_mode = ReoptMode::kBlocking;
+  /// Background pipeline: the off-to-the-side build keeps pre-draining the
+  /// delta buffer until at most this many ops remain, bounding the replay
+  /// work left for the exclusive adoption step.
+  size_t reopt_delta_tail = 1024;
 };
+
+/// One captured update for background re-optimization: while a side tree
+/// builds, every mutation of the live synopsis is double-applied to a buffer
+/// of these (in live order) and replayed into the side tree before adoption.
+/// Shared by JanusAqp and MultiTemplateJanus.
+struct ReoptDeltaOp {
+  enum class Kind : uint8_t {
+    kInsert,        ///< Dpt::ApplyInsert(t)
+    kDelete,        ///< Dpt::ApplyDelete(t)
+    kSampleAdd,     ///< Dpt::SampleAdd(t) — reservoir admitted t
+    kSampleRemove,  ///< Dpt::SampleRemove(t) — reservoir evicted t
+    kSampleReset,   ///< Dpt::ResetSamples(reset) — reservoir re-drawn
+  };
+  Kind kind;
+  Tuple t;
+  std::vector<Tuple> reset;
+};
+
+/// Apply captured ops to `side` in capture order; returns how many.
+uint64_t ReplayReoptDelta(const std::vector<ReoptDeltaOp>& ops, Dpt* side);
 
 /// Operational counters for the experiment harnesses.
 struct JanusCounters {
@@ -69,6 +112,12 @@ struct JanusCounters {
   uint64_t trigger_fires = 0;
   uint64_t repartitions = 0;
   uint64_t partial_repartitions = 0;
+  /// Partial re-partitions that silently degraded to a full rebuild
+  /// (region too thin, single-leaf subtree, or sub-optimizer failure).
+  uint64_t partial_repartition_fallbacks = 0;
+  uint64_t background_reopts = 0;    ///< adoptions via the background pipeline
+  uint64_t background_discards = 0;  ///< side builds rejected at adoption
+  uint64_t delta_ops_replayed = 0;   ///< double-applied ops replayed into side trees
   double last_reopt_seconds = 0;   ///< last re-optimization, wall clock
   double last_blocking_seconds = 0;  ///< blocking populate step (Sec. 4.3)
 };
@@ -79,8 +128,13 @@ struct JanusCounters {
 ///
 /// Thread-safety: Insert()/Delete() may be called from multiple threads
 /// concurrently (per-leaf statistics locks plus a reservoir/table mutex);
-/// Query() and the re-optimization entry points must be externally quiesced,
-/// exactly as the experiment drivers do.
+/// blocking-mode trigger repartitions synchronize with concurrent updaters
+/// through tree_mu_ (the synopsis pointer is only replaced under its
+/// exclusive hold, and every applier pins it shared). Query() and the
+/// explicit re-optimization entry points must be externally quiesced,
+/// exactly as the experiment drivers and the api/ engine rooms do;
+/// FinishBackgroundReopt() additionally requires full exclusion (see the
+/// pipeline contract below).
 class JanusAqp {
  public:
   explicit JanusAqp(const JanusOptions& opts);
@@ -122,7 +176,62 @@ class JanusAqp {
 
   /// Trigger evaluation for the leaf of `t` (Sec. 5.4); called internally by
   /// Insert/Delete, public for tests. Returns true if a re-partition ran.
+  /// In background mode a fire never runs inline: it records a request
+  /// (ReoptRequested()), calls the notify hook, and returns false.
   bool CheckTriggers(const Tuple& t);
+
+  // --- Background re-optimization (three-stage pipeline) -------------------
+  //
+  // With reopt_mode = kBackground an owner thread — the engine's maintenance
+  // thread in api/engines.cc, or a test driving the stages synchronously —
+  // consumes trigger requests by running:
+  //   1. BeginBackgroundReopt():  update-side exclusion only. Snapshots the
+  //      pooled reservoir and the archive's id order (NOT the row payloads —
+  //      an O(ids) copy, so queries fenced behind the update room wait
+  //      microseconds-to-low-ms, never the tens of ms a full archive copy
+  //      costs at 1M rows), pre-draws the catch-up seed (so the RNG stream
+  //      matches a blocking rebuild at the snapshot point exactly), and
+  //      starts double-applying updates to a delta buffer.
+  //   2. BuildBackgroundReopt():  no exclusion. First assembles the archive
+  //      snapshot in short update-mutex chunks (deletes that race the
+  //      assembly park the dying row's snapshot-time payload in a rescue
+  //      map, so the result is bit-identical — same rows, same order — to
+  //      the one-shot copy stage 1 used to take), then optimizes the
+  //      partition, builds and populates the side DPT, and pre-drains the
+  //      delta buffer down to reopt_delta_tail ops while updates keep
+  //      flowing.
+  //   3. FinishBackgroundReopt(): full exclusion (the engine's exclusive
+  //      room). Replays the delta tail, applies the drift-adoption
+  //      condition, swaps the synopsis pointer and restarts catch-up.
+  //
+  // Adoption contract: the adopted tree is bit-identical to the tree a
+  // *blocking* re-optimization at the Begin() snapshot would have produced,
+  // followed by the same update stream — the delta replay preserves live op
+  // order, and the catch-up engine gets the same seed, archive snapshot and
+  // goal as the blocking path would have drawn at that moment.
+
+  /// True when a background-mode trigger fire is waiting for a pipeline run.
+  bool ReoptRequested() const;
+  /// Stage 1. Returns false when a pipeline is already active or the
+  /// instance is uninitialized. Called with update-side exclusion (an
+  /// update-room hold, or a quiesced instance); a call with no pending
+  /// request starts an unconditional rebuild (the Reinitialize analogue).
+  bool BeginBackgroundReopt();
+  /// Stage 2. Runs concurrently with queries and updates; no exclusion.
+  void BuildBackgroundReopt();
+  /// Stage 3. Requires full exclusion (exclusive room / quiesced). Returns
+  /// true when the side tree was adopted, false when it was discarded
+  /// (failed build, or a drift candidate that no longer beats the live
+  /// tree by beta).
+  bool FinishBackgroundReopt();
+  /// True between a successful Begin and the matching Finish.
+  bool BackgroundReoptActive() const { return bg_active_; }
+  /// Hook invoked (outside all locks) whenever a background-mode trigger
+  /// records a request; the engine points this at its maintenance-thread
+  /// wakeup. Set before concurrent use.
+  void SetReoptNotify(std::function<void()> fn) {
+    reopt_notify_ = std::move(fn);
+  }
 
   /// Snapshot persistence: archive, pooled reservoir, synopsis (structure-
   /// exact), catch-up engine, system RNG, counters and trigger baselines —
@@ -157,12 +266,61 @@ class JanusAqp {
   }
 
  private:
+  /// State of one pipeline run. Owned by the orchestrator thread driving
+  /// Begin/Build/Finish; only `delta` is shared (appended by updaters under
+  /// update_mu_, drained by the build under the same lock).
+  struct BackgroundReopt {
+    bool starved = false;  ///< unconditional adoption
+    bool drift = false;    ///< conditional adoption (beta test at Finish)
+    int drift_leaf = -1;   ///< leaf whose baseline absorbs a discard
+    /// The live synopsis at Begin; if it was replaced mid-pipeline by any
+    /// other path (an explicit Reinitialize, a snapshot Load) the side tree
+    /// is stale and Finish discards it instead of adopting.
+    const Dpt* live_at_begin = nullptr;
+    std::vector<Tuple> snapshot;  ///< pooled reservoir at Begin
+    size_t n0 = 0;                ///< |D| at Begin
+    /// Archive row ids in Begin-time order. The payload copy is deferred to
+    /// Build (AssembleReoptArchive), which reconstructs the Begin-time
+    /// archive — identical rows in identical order — without ever holding
+    /// the update mutex for more than one chunk.
+    std::vector<uint64_t> t0_ids;
+    /// Begin-time payloads of rows deleted before the assembly reached
+    /// them. emplace() keeps the first (= snapshot-time) payload even if an
+    /// id is deleted, re-inserted and deleted again mid-assembly.
+    std::unordered_map<uint64_t, Tuple> rescued;
+    size_t copy_pos = 0;      ///< t0_ids assembled so far
+    bool copy_failed = false; ///< archive vanished mid-assembly (e.g. Load)
+    std::unique_ptr<ColumnStore> archive;  ///< index-free archive copy
+    uint64_t catchup_seed = 0;
+    std::vector<ReoptDeltaOp> delta;
+    std::unique_ptr<Dpt> side;
+    double cand_var = 0;   ///< side tree's achieved_error^2
+    /// Trigger baselines of the snapshot-initialized side tree, computed in
+    /// Build (off the exclusive path — MaxVariance over every leaf is the
+    /// expensive part of adoption) and installed verbatim at Finish. This is
+    /// exactly what a blocking rebuild at the Begin point computes: baselines
+    /// are a function of the reservoir-initialized tree, not of the delta
+    /// ops replayed after it.
+    std::vector<double> baselines;
+    bool build_ok = false;
+    uint64_t replayed = 0;  ///< ops drained into the side tree pre-adoption
+    Timer total;            ///< Begin -> adoption wall clock
+  };
+
+  /// Stage-2 helper: materialize bg_.archive from bg_.t0_ids + the live
+  /// store + bg_.rescued, in bounded update-mutex holds. Sets
+  /// bg_.copy_failed (and leaves build_ok false) if a row can no longer be
+  /// resolved — only possible when another path replaced the table
+  /// mid-pipeline, which Finish independently detects and discards.
+  void AssembleReoptArchive();
   DptOptions MakeDptOptions() const;
   SptOptions MakeSptOptions() const;
   /// Build a synopsis from the given spec, populate from the pooled
   /// reservoir, restart catch-up, refresh trigger baselines.
   void AdoptSpec(PartitionTreeSpec spec);
   void RefreshBaselines();
+  /// Per-leaf MaxVariance baselines for an arbitrary (possibly side) tree.
+  std::vector<double> ComputeBaselines(const Dpt& dpt) const;
   double CurrentTreeMaxVariance() const;
   bool FullRepartition();
   bool PartialRepartition(int leaf);
@@ -185,6 +343,27 @@ class JanusAqp {
   /// so it cannot carry GUARDED_BY; the lock protects the mutation path
   /// only, per the class thread-safety contract above.
   mutable Mutex update_mu_;
+
+  /// Guards the dpt_/catchup_ *pointers* against a repartition swap racing
+  /// the update path: ApplyInsert/ApplyDelete and catch-up steps hold it
+  /// shared, any code path that replaces the synopsis (blocking trigger
+  /// repartitions, background adoption) holds it exclusively. Lock order:
+  /// tree_mu_ before update_mu_, never the reverse (Insert/Delete release
+  /// update_mu_ before touching the tree).
+  mutable SharedMutex tree_mu_;
+
+  // Background re-optimization state. The request flags and bg_capture_
+  // are guarded by update_mu_ (set by CheckTriggers / the pipeline, read by
+  // the capture sites in Insert/Delete); bg_ itself belongs to the single
+  // orchestrator thread, except bg_.delta (update_mu_, see above).
+  bool reopt_request_ = false;
+  bool reopt_request_starved_ = false;
+  bool reopt_request_drift_ = false;
+  int reopt_request_leaf_ = -1;
+  bool bg_capture_ = false;
+  bool bg_active_ = false;
+  BackgroundReopt bg_;
+  std::function<void()> reopt_notify_;
 
   // Concurrent re-initialization state.
   std::thread opt_thread_;

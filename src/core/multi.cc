@@ -50,18 +50,23 @@ SptOptions MultiTemplateJanus::MakeSptOptions(const SynopsisSpec& spec) const {
   return s;
 }
 
-void MultiTemplateJanus::BuildEntry(Entry* entry) {
-  PartitionResult pr = OptimizePartition(reservoir_->samples(),
-                                         MakeSptOptions(entry->spec),
-                                         table_.size());
+DptOptions MultiTemplateJanus::MakeDptOptions(const SynopsisSpec& spec) const {
   DptOptions dopts;
-  dopts.spec = entry->spec;
+  dopts.spec = spec;
   dopts.sample_rate = base_.sample_rate;
   dopts.minmax_k = base_.minmax_k;
   dopts.confidence = base_.confidence;
   dopts.delta = base_.delta;
   dopts.exec = base_.exec;
-  entry->dpt = std::make_unique<Dpt>(dopts, std::move(pr.spec));
+  return dopts;
+}
+
+void MultiTemplateJanus::BuildEntry(Entry* entry) {
+  PartitionResult pr = OptimizePartition(reservoir_->samples(),
+                                         MakeSptOptions(entry->spec),
+                                         table_.size());
+  entry->dpt = std::make_unique<Dpt>(MakeDptOptions(entry->spec),
+                                     std::move(pr.spec));
   entry->dpt->InitializeFromReservoir(reservoir_->samples(), table_.size());
   const size_t goal = static_cast<size_t>(
       base_.catchup_rate * static_cast<double>(table_.size()));
@@ -88,6 +93,17 @@ void MultiTemplateJanus::Insert(const Tuple& t) {
   // One global reservoir decision shared by every tree (Sec. 5.5: the set S
   // is stored once; each tree only indexes it).
   ReservoirChange ch = reservoir_->OnInsert(t, table_.size());
+  if (bg_capture_) {
+    // Double-apply: one shared op stream, replayed into every side tree in
+    // the same per-tree order as the live application below.
+    if (ch.evicted.has_value()) {
+      Capture({ReoptDeltaOp::Kind::kSampleRemove, *ch.evicted, {}});
+    }
+    if (ch.added.has_value()) {
+      Capture({ReoptDeltaOp::Kind::kSampleAdd, *ch.added, {}});
+    }
+    Capture({ReoptDeltaOp::Kind::kInsert, t, {}});
+  }
   for (Entry& entry : entries_) {
     if (ch.evicted.has_value()) entry.dpt->SampleRemove(*ch.evicted);
     if (ch.added.has_value()) entry.dpt->SampleAdd(*ch.added);
@@ -105,6 +121,14 @@ bool MultiTemplateJanus::Delete(uint64_t id) {
   if (ch.needs_resample) {
     fresh = table_.SampleUniform(&rng_, reservoir_->capacity(), base_.exec);
     reservoir_->Reset(fresh);
+  }
+  if (bg_capture_) {
+    if (ch.needs_resample) {
+      Capture({ReoptDeltaOp::Kind::kSampleReset, Tuple{}, fresh});
+    } else if (ch.evicted.has_value()) {
+      Capture({ReoptDeltaOp::Kind::kSampleRemove, *ch.evicted, {}});
+    }
+    Capture({ReoptDeltaOp::Kind::kDelete, t, {}});
   }
   for (Entry& entry : entries_) {
     if (ch.needs_resample) {
@@ -135,6 +159,92 @@ void MultiTemplateJanus::RunCatchupToGoal() {
   for (Entry& entry : entries_) {
     if (entry.catchup) entry.catchup->RunToGoal();
   }
+}
+
+void MultiTemplateJanus::Rebuild() {
+  if (!initialized_) return;
+  for (Entry& entry : entries_) BuildEntry(&entry);
+}
+
+void MultiTemplateJanus::Capture(ReoptDeltaOp op) {
+  MutexLock lock(&delta_mu_);
+  bg_.delta.push_back(std::move(op));
+}
+
+bool MultiTemplateJanus::BeginBackgroundRebuild() {
+  if (bg_active_ || !initialized_ || !reservoir_) return false;
+  bg_ = BackgroundRebuild{};
+  bg_.snapshot = reservoir_->samples();
+  bg_.n0 = table_.size();
+  bg_.archive = std::make_unique<ColumnStore>(table_.store().WithoutIndex());
+  const size_t n = entries_.size();
+  bg_.specs.reserve(n);
+  bg_.seeds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bg_.specs.push_back(entries_[i].spec);
+    // Entry-order draws — exactly the Next() calls a blocking Rebuild()
+    // would make now, so the RNG stream stays aligned with the blocking
+    // path (the equivalence contract).
+    bg_.seeds.push_back(rng_.Next());
+  }
+  bg_.sides.resize(n);
+  {
+    MutexLock lock(&delta_mu_);
+    bg_capture_ = true;
+  }
+  bg_active_ = true;
+  return true;
+}
+
+void MultiTemplateJanus::BuildBackgroundRebuild() {
+  if (!bg_active_) return;
+  for (size_t i = 0; i < bg_.specs.size(); ++i) {
+    PartitionResult pr = OptimizePartition(
+        bg_.snapshot, MakeSptOptions(bg_.specs[i]), bg_.n0);
+    bg_.sides[i] = std::make_unique<Dpt>(MakeDptOptions(bg_.specs[i]),
+                                         std::move(pr.spec));
+    bg_.sides[i]->InitializeFromReservoir(bg_.snapshot, bg_.n0);
+  }
+  // Pre-drain the shared delta while updates keep flowing, leaving only a
+  // bounded tail for the exclusive adoption step (see core/janus.cc for the
+  // single-tree variant of the same loop).
+  for (int round = 0; round < 8; ++round) {
+    std::vector<ReoptDeltaOp> batch;
+    {
+      MutexLock lock(&delta_mu_);
+      if (bg_.delta.size() <= base_.reopt_delta_tail) break;
+      batch.swap(bg_.delta);
+    }
+    for (std::unique_ptr<Dpt>& side : bg_.sides) {
+      bg_.replayed += ReplayReoptDelta(batch, side.get());
+    }
+  }
+}
+
+bool MultiTemplateJanus::FinishBackgroundRebuild(uint64_t* replayed) {
+  if (!bg_active_) return false;
+  {
+    MutexLock lock(&delta_mu_);
+    bg_capture_ = false;
+  }
+  bg_active_ = false;
+  for (std::unique_ptr<Dpt>& side : bg_.sides) {
+    bg_.replayed += ReplayReoptDelta(bg_.delta, side.get());
+  }
+  const size_t goal = static_cast<size_t>(
+      base_.catchup_rate * static_cast<double>(bg_.n0));
+  // Swap only the templates that existed at Begin; later discoveries built
+  // live trees from the current reservoir and need no replacement. Entry
+  // indices are stable — discovery only appends.
+  for (size_t i = 0; i < bg_.sides.size(); ++i) {
+    Entry& e = entries_[i];
+    e.dpt = std::move(bg_.sides[i]);
+    e.catchup = std::make_unique<CatchupEngine>(
+        e.dpt.get(), bg_.archive->WithoutIndex(), goal, bg_.seeds[i]);
+  }
+  if (replayed != nullptr) *replayed = bg_.replayed;
+  bg_ = BackgroundRebuild{};
+  return true;
 }
 
 void MultiTemplateJanus::SaveTo(persist::Writer* w) const {
@@ -172,14 +282,8 @@ void MultiTemplateJanus::LoadFrom(persist::Reader* r) {
     e.spec.agg_column = r->I32();
     e.spec.predicate_columns = r->IntVec();
     if (r->Bool()) {
-      DptOptions dopts;
-      dopts.spec = e.spec;
-      dopts.sample_rate = base_.sample_rate;
-      dopts.minmax_k = base_.minmax_k;
-      dopts.confidence = base_.confidence;
-      dopts.delta = base_.delta;
-      dopts.exec = base_.exec;
-      e.dpt = std::make_unique<Dpt>(dopts, PartitionTreeSpec{});
+      e.dpt = std::make_unique<Dpt>(MakeDptOptions(e.spec),
+                                    PartitionTreeSpec{});
       e.dpt->LoadFrom(r);
     }
     if (r->Bool()) {

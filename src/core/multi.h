@@ -10,6 +10,7 @@
 #include "core/spt.h"
 #include "data/table.h"
 #include "sampling/reservoir.h"
+#include "util/mutex.h"
 
 namespace janus {
 
@@ -52,6 +53,40 @@ class MultiTemplateJanus {
   /// Drive every template's catch-up to its goal.
   void RunCatchupToGoal();
 
+  /// Rebuild every template's tree and catch-up engine from the current
+  /// pooled reservoir and archive — the blocking re-optimization analogue
+  /// of JanusAqp::Reinitialize. No-op before Initialize().
+  void Rebuild();
+
+  // --- Background rebuild (three-stage pipeline) ----------------------------
+  //
+  // The multi-template version of JanusAqp's pipeline (see core/janus.h for
+  // the staging and adoption contract): Begin() snapshots the pooled sample,
+  // the archive, the registered specs and one pre-drawn catch-up seed per
+  // template (entry order — the same draws a blocking Rebuild() would make),
+  // Build() optimizes and populates one side tree per snapshotted template
+  // with no exclusion, Finish() replays the delta tail into every side tree
+  // and swaps them in. Updates arriving mid-pipeline are double-applied to
+  // one shared delta buffer (its own mutex — the only state the build thread
+  // and the update path share). Templates discovered *during* the build are
+  // not swapped: their live trees were built from the current reservoir and
+  // absorbed every later update already.
+  //
+  // Begin and Finish require full exclusion (the engine's exclusive room);
+  // Build runs concurrently with queries and updates.
+
+  /// Stage 1. Returns false when a pipeline is already active or the
+  /// instance is uninitialized.
+  bool BeginBackgroundRebuild();
+  /// Stage 2. No exclusion; touches only the Begin() snapshot and the
+  /// delta buffer.
+  void BuildBackgroundRebuild();
+  /// Stage 3. Returns true when the side trees were adopted. `replayed`
+  /// (optional) receives the total delta applications across side trees.
+  bool FinishBackgroundRebuild(uint64_t* replayed = nullptr);
+  /// True between a successful Begin and the matching Finish.
+  bool BackgroundRebuildActive() const { return bg_active_; }
+
   size_t num_templates() const { return entries_.size(); }
   const Dpt& dpt(int i) const { return *entries_[static_cast<size_t>(i)].dpt; }
   const DynamicTable& table() const { return table_; }
@@ -73,8 +108,25 @@ class MultiTemplateJanus {
     std::unique_ptr<CatchupEngine> catchup;
   };
 
+  /// One pipeline run. Everything except `delta` is written at Begin under
+  /// full exclusion and then owned by the single build thread; `delta` is
+  /// shared with the update path under delta_mu_.
+  struct BackgroundRebuild {
+    std::vector<Tuple> snapshot;  ///< pooled reservoir at Begin
+    size_t n0 = 0;                ///< |D| at Begin
+    std::unique_ptr<ColumnStore> archive;  ///< index-free archive copy
+    std::vector<SynopsisSpec> specs;       ///< specs of entries_[0..n) at Begin
+    std::vector<uint64_t> seeds;           ///< per-template catch-up seeds
+    std::vector<std::unique_ptr<Dpt>> sides;
+    std::vector<ReoptDeltaOp> delta;
+    uint64_t replayed = 0;
+  };
+
   SptOptions MakeSptOptions(const SynopsisSpec& spec) const;
+  DptOptions MakeDptOptions(const SynopsisSpec& spec) const;
   void BuildEntry(Entry* entry);
+  /// Append one captured op to the shared delta when a pipeline is active.
+  void Capture(ReoptDeltaOp op);
 
   JanusOptions base_;
   DynamicTable table_;
@@ -82,6 +134,13 @@ class MultiTemplateJanus {
   std::vector<Entry> entries_;
   Rng rng_;
   bool initialized_ = false;
+
+  /// Guards bg_.delta and bg_capture_ — the only state the background build
+  /// thread shares with the (externally serialized) update path.
+  mutable Mutex delta_mu_;
+  bool bg_capture_ = false;
+  bool bg_active_ = false;
+  BackgroundRebuild bg_;
 };
 
 }  // namespace janus

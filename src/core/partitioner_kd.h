@@ -11,10 +11,12 @@ namespace janus {
 struct PartitionerKdOptions {
   int num_leaves = 128;
   AggFunc focus = AggFunc::kSum;
-  /// Parallel context for the per-split child evaluations and the final
-  /// leaf error sweep. Every evaluation is an independent, deterministic
-  /// read-only tree query, so the build result is bit-identical to a
-  /// serial build regardless of scheduling.
+  /// Parallel context for the phase-2 subtree tasks, the per-split child
+  /// evaluations, and the final leaf error sweep. Every evaluation is an
+  /// independent, deterministic read-only tree query and the frontier
+  /// decomposition is a constant of the algorithm, so the build result is
+  /// bit-identical to a serial build regardless of scheduling or thread
+  /// count.
   scan::ExecContext exec;
 };
 
@@ -24,6 +26,14 @@ struct PartitionerKdOptions {
 /// exist. Near-optimal w.r.t. the optimal tree under the same splitting
 /// criterion (Appendix D.3): 2*sqrt(k)-approx for SUM/COUNT,
 /// 2*log^{(d+1)/2} m for AVG.
+///
+/// Execution is a two-phase decomposition: a short serial greedy grows a
+/// fixed-size frontier (so builds at or below the frontier size match the
+/// historical single-threaded algorithm exactly), then the remaining leaf
+/// budget is split across the frontier proportional to sample counts
+/// (largest-remainder rounding) and each frontier subtree grows as an
+/// independent task on the scan pool, spliced back in deterministic
+/// frontier order.
 ///
 /// Works for any d >= 1 (for d == 1 it yields a median k-d ladder; the BS
 /// partitioner is preferred there).

@@ -86,24 +86,6 @@ size_t CountInRectAtLeast(const ColumnStore& store,
                            threshold);
 }
 
-namespace {
-
-/// Scalar multi-column row test for the threshold-crossing tail of a
-/// counting scan (columns outside the schema read 0.0).
-inline bool RowInRect(const std::vector<ColumnSpan>& cols,
-                      const Rectangle& rect, size_t row) {
-  for (size_t d = 0; d < cols.size(); ++d) {
-    const double v = cols[d].data != nullptr ? cols[d][row] : 0.0;
-    if (!InBounds(v, rect.lo(static_cast<int>(d)),
-                  rect.hi(static_cast<int>(d)))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
 size_t CountRangeAtLeast(const ColumnStore& store,
                          const std::vector<int>& predicate_columns,
                          const Rectangle& rect, size_t begin, size_t end,
@@ -114,8 +96,8 @@ size_t CountRangeAtLeast(const ColumnStore& store,
   if (predicate_columns.size() == 1) {
     // Pure counting needs no selection vector: one dense pass per block. A
     // block that cannot cross the limit runs branch-free over the whole
-    // block; the crossing block switches to a scalar loop that stops at the
-    // first satisfying row (rejection sampling pays per row scanned).
+    // block; the crossing block runs the limit-clamped kernel, which stops
+    // as soon as the limit is met (rejection sampling pays per row scanned).
     const double lo = rect.lo(0);
     const double hi = rect.hi(0);
     const ColumnSpan col = store.column(predicate_columns[0]);
@@ -130,30 +112,28 @@ size_t CountRangeAtLeast(const ColumnStore& store,
       if (limit - count > be - bs) {
         count += k.count_in_bounds(v + bs, be - bs, lo, hi);
       } else {
-        for (size_t i = bs; i < be; ++i) {
-          count += static_cast<size_t>(InBounds(v[i], lo, hi));
-          if (count >= limit) return limit;
-        }
+        count += k.count_in_bounds_limited(v + bs, be - bs, lo, hi,
+                                           limit - count);
+        if (count >= limit) return limit;
       }
     }
     return count;
   }
   uint32_t sel[kBlockRows];
-  std::vector<ColumnSpan> cols;
   size_t count = 0;
   for (size_t bs = begin; bs < end; bs += kBlockRows) {
     const size_t be = std::min(end, bs + kBlockRows);
     if (limit - count > be - bs) {
       count += FilterBlock(store, predicate_columns, rect, bs, be, sel);
     } else {
-      // The limit can be hit inside this block: test row by row and stop at
-      // the first satisfying one instead of re-filtering the full block.
-      if (cols.empty()) {
-        cols.reserve(predicate_columns.size());
-        for (int c : predicate_columns) cols.push_back(store.column(c));
-      }
-      for (size_t i = bs; i < be; ++i) {
-        count += static_cast<size_t>(RowInRect(cols, rect, i));
+      // The limit can be hit inside this block: filter short sub-chunks
+      // through the SIMD kernels and stop at the first chunk that crosses,
+      // instead of scanning the whole block past the threshold (or falling
+      // back to a scalar row-at-a-time loop).
+      constexpr size_t kCrossingChunkRows = 256;
+      for (size_t cs = bs; cs < be; cs += kCrossingChunkRows) {
+        const size_t ce = std::min(be, cs + kCrossingChunkRows);
+        count += FilterBlock(store, predicate_columns, rect, cs, ce, sel);
         if (count >= limit) return limit;
       }
     }
@@ -194,15 +174,18 @@ AggAccumulator AggregateRange(const ColumnStore& store, AggFunc func,
         }
         break;
       case AggFunc::kMin:
-        for (size_t i = 0; i < matched; ++i) {
-          acc.min = std::min(acc.min, v[sel[i]]);
+      case AggFunc::kMax: {
+        double block_min, block_max;
+        if (matched == be - bs) {
+          // Saturated block: skip the gather and scan the column directly.
+          k.min_max(v + bs, be - bs, &block_min, &block_max);
+        } else {
+          k.min_max_gather(v, sel, matched, &block_min, &block_max);
         }
+        acc.min = std::min(acc.min, block_min);
+        acc.max = std::max(acc.max, block_max);
         break;
-      case AggFunc::kMax:
-        for (size_t i = 0; i < matched; ++i) {
-          acc.max = std::max(acc.max, v[sel[i]]);
-        }
-        break;
+      }
       case AggFunc::kCount:
         break;  // counting needs no aggregate-column pass
     }

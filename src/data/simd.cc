@@ -69,6 +69,27 @@ void ScalarMinMax(const double* v, size_t len, double* mn, double* mx) {
   *mx = hi;
 }
 
+size_t ScalarCountInBoundsLimited(const double* v, size_t len, double lo,
+                                  double hi, size_t limit) {
+  size_t count = 0;
+  for (size_t i = 0; i < len && count < limit; ++i) {
+    count += static_cast<size_t>(InBounds(v[i], lo, hi));
+  }
+  return count;
+}
+
+void ScalarMinMaxGather(const double* v, const uint32_t* sel, size_t n,
+                        double* mn, double* mx) {
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, v[sel[i]]);
+    hi = std::max(hi, v[sel[i]]);
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
 bool CpuHasAvx2() {
 #if defined(__x86_64__) || defined(__i386__)
   return __builtin_cpu_supports("avx2") != 0;
@@ -105,7 +126,8 @@ const Kernels& ScalarKernels() {
   static const Kernels k = {
       "scalar",          ScalarCountInBounds, ScalarFilterInBounds,
       ScalarCompactInBounds, ScalarSumDense,  ScalarSumGather,
-      ScalarMinMax,
+      ScalarMinMax,      ScalarCountInBoundsLimited,
+      ScalarMinMaxGather,
   };
   return k;
 }

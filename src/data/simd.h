@@ -58,6 +58,20 @@ struct Kernels {
   /// Min/max of v[0..len) ignoring NaNs; {+DBL_MAX, -DBL_MAX-ish lowest}
   /// when len == 0 or all values are NaN (the caller's identity values).
   void (*min_max)(const double* v, size_t len, double* mn, double* mx);
+
+  /// Limit-clamped count: min(#{i in [0, len) : v[i] in [lo, hi]}, limit).
+  /// The clamp makes the result order-insensitive, so implementations are
+  /// free to stop scanning once `limit` matches have been seen (the
+  /// threshold-crossing tail of CountRangeAtLeast) while staying
+  /// bit-identical to a full count followed by std::min.
+  size_t (*count_in_bounds_limited)(const double* v, size_t len, double lo,
+                                    double hi, size_t limit);
+
+  /// Min/max of v[sel[i]] for i in [0, n) — the selection-vector companion
+  /// of min_max, with the same NaN-ignoring, order-insensitive semantics
+  /// and identity values for n == 0.
+  void (*min_max_gather)(const double* v, const uint32_t* sel, size_t n,
+                         double* mn, double* mx);
 };
 
 /// Portable implementation; always available.

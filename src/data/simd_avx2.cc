@@ -206,13 +206,67 @@ void Avx2MinMax(const double* v, size_t len, double* mn, double* mx) {
   *mx = hi;
 }
 
+size_t Avx2CountInBoundsLimited(const double* v, size_t len, double lo,
+                                double hi, size_t limit) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  size_t count = 0;
+  size_t i = 0;
+  // The clamp check runs per 4-lane group; a group may overshoot `limit`,
+  // which the final std::min folds back — the clamped result is
+  // order-insensitive, so this matches the scalar early-exit loop exactly.
+  for (; i + 4 <= len && count < limit; i += 4) {
+    const int bits =
+        _mm256_movemask_pd(BoundsMask(_mm256_loadu_pd(v + i), vlo, vhi));
+    count += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(bits)));
+  }
+  for (; i < len && count < limit; ++i) {
+    count += static_cast<size_t>(InBounds(v[i], lo, hi));
+  }
+  return std::min(count, limit);
+}
+
+void Avx2MinMaxGather(const double* v, const uint32_t* sel, size_t n,
+                      double* mn, double* mx) {
+  // Same NaN-ignoring trick as Avx2MinMax (running extreme as the second
+  // minpd/maxpd operand), fed by the same index gather as Avx2SumGather.
+  __m256d vmn = _mm256_set1_pd(std::numeric_limits<double>::max());
+  __m256d vmx = _mm256_set1_pd(std::numeric_limits<double>::lowest());
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i p =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __m256d x = _mm256_i32gather_pd(v, p, 8);
+    vmn = _mm256_min_pd(x, vmn);
+    vmx = _mm256_max_pd(x, vmx);
+  }
+  alignas(32) double lo_lanes[4];
+  alignas(32) double hi_lanes[4];
+  _mm256_store_pd(lo_lanes, vmn);
+  _mm256_store_pd(hi_lanes, vmx);
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (int lane = 0; lane < 4; ++lane) {
+    lo = std::min(lo, lo_lanes[lane]);
+    hi = std::max(hi, hi_lanes[lane]);
+  }
+  for (; i < n; ++i) {
+    lo = std::min(lo, v[sel[i]]);
+    hi = std::max(hi, v[sel[i]]);
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
 }  // namespace
 
 const Kernels* Avx2KernelsIfCompiled() {
   static const Kernels k = {
       "avx2",           Avx2CountInBounds, Avx2FilterInBounds,
       Avx2CompactInBounds, Avx2SumDense,   Avx2SumGather,
-      Avx2MinMax,
+      Avx2MinMax,       Avx2CountInBoundsLimited,
+      Avx2MinMaxGather,
   };
   return &k;
 }

@@ -287,6 +287,11 @@ void ExpectSameStats(const EngineStats& a, const EngineStats& b,
   EXPECT_EQ(a.deletes, b.deletes) << name;
   EXPECT_EQ(a.repartitions, b.repartitions) << name;
   EXPECT_EQ(a.partial_repartitions, b.partial_repartitions) << name;
+  EXPECT_EQ(a.partial_repartition_fallbacks, b.partial_repartition_fallbacks)
+      << name;
+  EXPECT_EQ(a.background_reopts, b.background_reopts) << name;
+  EXPECT_EQ(a.background_discards, b.background_discards) << name;
+  EXPECT_EQ(a.delta_ops_replayed, b.delta_ops_replayed) << name;
   EXPECT_EQ(a.trigger_checks, b.trigger_checks) << name;
   EXPECT_EQ(a.trigger_fires, b.trigger_fires) << name;
   EXPECT_EQ(a.reservoir_resamples, b.reservoir_resamples) << name;
@@ -512,6 +517,8 @@ TEST(EngineConfigTest, ToStringRoundTripsEveryKnob) {
   cfg.train_fraction = 0.2;
   cfg.num_shards = 6;
   cfg.enable_triggers = false;
+  cfg.reopt_mode = "background";
+  cfg.reopt_delta_tail = 99;
   // Feed the canonical rendering back through the parser: every knob must
   // survive the round trip.
   const std::string line = cfg.ToString();
@@ -533,6 +540,8 @@ TEST(EngineConfigTest, ToStringRoundTripsEveryKnob) {
   EXPECT_EQ(back.enable_triggers, cfg.enable_triggers);
   EXPECT_EQ(back.trigger_check_interval, cfg.trigger_check_interval);
   EXPECT_DOUBLE_EQ(back.starvation_factor, cfg.starvation_factor);
+  EXPECT_EQ(back.reopt_mode, cfg.reopt_mode);
+  EXPECT_EQ(back.reopt_delta_tail, cfg.reopt_delta_tail);
 }
 
 TEST(EngineConfigTest, FromArgsParsesEveryKnob) {

@@ -1,0 +1,241 @@
+// Scalar-vs-AVX2 equivalence for the SIMD kernel table (data/simd.h), with
+// emphasis on the two kernels behind the threshold-crossing and min/max scan
+// paths: count_in_bounds_limited (limit clamp makes early exit invisible)
+// and min_max_gather (NaN-ignoring, order-insensitive). Counting/selection
+// kernels must be bit-identical across implementations; min/max too (they
+// only ever copy input values). When the build carries no AVX2 table the
+// cross-implementation cases self-skip and the scalar table is checked
+// against straight-line reference loops only.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/column_store.h"
+#include "data/scan.h"
+#include "data/schema.h"
+#include "data/simd.h"
+#include "tests/test_seed.h"
+#include "util/rng.h"
+
+namespace janus {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Reference in-bounds test: closed interval, NaN matches (the semantics
+/// every kernel implementation must share).
+bool RefInBounds(double x, double lo, double hi) {
+  return !(x < lo) && !(x > hi);
+}
+
+size_t RefCount(const std::vector<double>& v, double lo, double hi) {
+  size_t c = 0;
+  for (double x : v) c += RefInBounds(x, lo, hi) ? 1 : 0;
+  return c;
+}
+
+/// Lengths around the AVX2 lane width (4) and unroll boundaries, plus a
+/// block-sized tail.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 257};
+
+std::vector<double> MakeValues(size_t n, uint64_t seed, bool with_nans) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng.NextDouble() * 2.0 - 0.5;
+    if (with_nans && rng.NextDouble() < 0.1) v[i] = kNaN;
+  }
+  return v;
+}
+
+/// Every kernel table available in this build, scalar always first.
+std::vector<const scan::simd::Kernels*> AllTables() {
+  std::vector<const scan::simd::Kernels*> tables = {
+      &scan::simd::ScalarKernels()};
+  if (const scan::simd::Kernels* avx2 = scan::simd::Avx2KernelsIfCompiled()) {
+    tables.push_back(avx2);
+  }
+  return tables;
+}
+
+TEST(SimdEquivalenceTest, CountInBoundsLimitedIsClampedFullCount) {
+  for (bool with_nans : {false, true}) {
+    for (size_t len : kLengths) {
+      const std::vector<double> v =
+          MakeValues(len, TestSeed() + len + (with_nans ? 1000 : 0),
+                     with_nans);
+      const double lo = 0.2, hi = 0.8;
+      const size_t full = RefCount(v, lo, hi);
+      // Limits at, below, above and far past the true count, plus 0/1.
+      std::vector<size_t> limits = {0, 1, len / 2, full, full + 1,
+                                    std::numeric_limits<size_t>::max()};
+      if (full > 0) limits.push_back(full - 1);
+      for (const scan::simd::Kernels* k : AllTables()) {
+        EXPECT_EQ(k->count_in_bounds(v.data(), len, lo, hi), full)
+            << k->name << " len=" << len;
+        for (size_t limit : limits) {
+          EXPECT_EQ(k->count_in_bounds_limited(v.data(), len, lo, hi, limit),
+                    std::min(full, limit))
+              << k->name << " len=" << len << " limit=" << limit;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, MinMaxGatherMatchesReferenceBitExactly) {
+  Rng rng(TestSeed() + 7);
+  for (bool with_nans : {false, true}) {
+    for (size_t len : kLengths) {
+      const std::vector<double> v =
+          MakeValues(len, TestSeed() + 31 * len + (with_nans ? 5000 : 0),
+                     with_nans);
+      // A random selection over the rows, in row order (as FilterBlock
+      // produces), including the empty and the all-rows selections.
+      std::vector<std::vector<uint32_t>> selections;
+      selections.emplace_back();  // n == 0: identity values
+      std::vector<uint32_t> all(len);
+      for (size_t i = 0; i < len; ++i) all[i] = static_cast<uint32_t>(i);
+      selections.push_back(all);
+      std::vector<uint32_t> some;
+      for (size_t i = 0; i < len; ++i) {
+        if (rng.NextDouble() < 0.4) some.push_back(static_cast<uint32_t>(i));
+      }
+      selections.push_back(some);
+      for (const std::vector<uint32_t>& sel : selections) {
+        double ref_mn = std::numeric_limits<double>::max();
+        double ref_mx = std::numeric_limits<double>::lowest();
+        for (uint32_t p : sel) {
+          // std::min/max ordering: a NaN argument never replaces the
+          // accumulator.
+          ref_mn = std::min(ref_mn, v[p]);
+          ref_mx = std::max(ref_mx, v[p]);
+        }
+        for (const scan::simd::Kernels* k : AllTables()) {
+          double mn = 0, mx = 0;
+          k->min_max_gather(v.data(), sel.data(), sel.size(), &mn, &mx);
+          EXPECT_EQ(mn, ref_mn) << k->name << " len=" << len
+                                << " sel=" << sel.size();
+          EXPECT_EQ(mx, ref_mx) << k->name << " len=" << len
+                                << " sel=" << sel.size();
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, DenseMinMaxAgreesAcrossImplementations) {
+  for (bool with_nans : {false, true}) {
+    for (size_t len : kLengths) {
+      const std::vector<double> v =
+          MakeValues(len, TestSeed() + 17 * len + (with_nans ? 9000 : 0),
+                     with_nans);
+      double ref_mn = std::numeric_limits<double>::max();
+      double ref_mx = std::numeric_limits<double>::lowest();
+      for (double x : v) {
+        ref_mn = std::min(ref_mn, x);
+        ref_mx = std::max(ref_mx, x);
+      }
+      for (const scan::simd::Kernels* k : AllTables()) {
+        double mn = 0, mx = 0;
+        k->min_max(v.data(), len, &mn, &mx);
+        EXPECT_EQ(mn, ref_mn) << k->name << " len=" << len;
+        EXPECT_EQ(mx, ref_mx) << k->name << " len=" << len;
+      }
+    }
+  }
+}
+
+/// Scan-level checks: the rewired CountRangeAtLeast crossing tails and the
+/// AggregateRange min/max gather path must agree with brute-force row loops
+/// regardless of which kernel table the process resolved.
+class ScanEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(TestSeed() + 101);
+    rows_.resize(20000);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      Tuple& t = rows_[i];
+      t.id = i;
+      t[0] = rng.NextDouble();
+      t[1] = rng.Normal(10, 3);
+      t[2] = rng.NextDouble() * 5;
+      if (rng.NextDouble() < 0.01) t[2] = kNaN;
+    }
+    store_ = std::make_unique<ColumnStore>(3);
+    store_->BulkAppend(rows_);
+  }
+
+  std::vector<Tuple> rows_;
+  std::unique_ptr<ColumnStore> store_;
+};
+
+TEST_F(ScanEquivalenceTest, CountAtLeastMatchesBruteForceAtEveryThreshold) {
+  const std::vector<int> one_pred = {0};
+  const std::vector<int> two_pred = {0, 2};
+  Rng rng(TestSeed() + 202);
+  for (int round = 0; round < 20; ++round) {
+    const double a = rng.NextDouble(), b = rng.NextDouble();
+    Rectangle rect1({std::min(a, b)}, {std::max(a, b)});
+    Rectangle rect2({std::min(a, b), 1.0}, {std::max(a, b), 4.0});
+    size_t brute1 = 0, brute2 = 0;
+    for (const Tuple& t : rows_) {
+      brute1 += RefInBounds(t[0], rect1.lo(0), rect1.hi(0)) ? 1 : 0;
+      brute2 += (RefInBounds(t[0], rect2.lo(0), rect2.hi(0)) &&
+                 RefInBounds(t[2], rect2.lo(1), rect2.hi(1)))
+                    ? 1
+                    : 0;
+    }
+    // Thresholds straddling the true count force the limit-clamped kernels
+    // through their early-exit branches at many block offsets.
+    for (size_t thr :
+         {size_t{1}, brute1 / 2 + 1, brute1, brute1 + 1,
+          std::numeric_limits<size_t>::max()}) {
+      EXPECT_EQ(scan::CountInRectAtLeast(*store_, one_pred, rect1, thr),
+                std::min(brute1, thr))
+          << "round=" << round << " thr=" << thr;
+    }
+    for (size_t thr :
+         {size_t{1}, brute2 / 2 + 1, brute2, brute2 + 1,
+          std::numeric_limits<size_t>::max()}) {
+      EXPECT_EQ(scan::CountInRectAtLeast(*store_, two_pred, rect2, thr),
+                std::min(brute2, thr))
+          << "round=" << round << " thr=" << thr;
+    }
+  }
+}
+
+TEST_F(ScanEquivalenceTest, AggregateMinMaxMatchesBruteForce) {
+  const std::vector<int> pred = {0};
+  Rng rng(TestSeed() + 303);
+  for (int round = 0; round < 20; ++round) {
+    const double a = rng.NextDouble(), b = rng.NextDouble();
+    Rectangle rect({std::min(a, b)}, {std::max(a, b)});
+    double ref_mn = std::numeric_limits<double>::max();
+    double ref_mx = std::numeric_limits<double>::lowest();
+    size_t matched = 0;
+    for (const Tuple& t : rows_) {
+      if (!RefInBounds(t[0], rect.lo(0), rect.hi(0))) continue;
+      ++matched;
+      ref_mn = std::min(ref_mn, t[1]);
+      ref_mx = std::max(ref_mx, t[1]);
+    }
+    const std::optional<double> mn =
+        scan::AggregateInRect(*store_, AggFunc::kMin, 1, pred, rect);
+    const std::optional<double> mx =
+        scan::AggregateInRect(*store_, AggFunc::kMax, 1, pred, rect);
+    ASSERT_EQ(mn.has_value(), matched > 0) << "round=" << round;
+    if (matched > 0) {
+      EXPECT_EQ(*mn, ref_mn) << "round=" << round;
+      EXPECT_EQ(*mx, ref_mx) << "round=" << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace janus
