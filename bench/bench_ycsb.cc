@@ -1,0 +1,191 @@
+// YCSB-style phased workload bench: drives preset (or flag-tuned) phased
+// workloads — load phase then named run phases with insert/delete/query
+// mixes and per-op distributions — against any registered engine through
+// the closed-loop runner in src/workload/. Per phase it emits latency
+// percentiles (p50/p90/p99/p99.9, linearly-interpolated type-7), throughput
+// and accuracy-vs-ground-truth as JSON lines whose keys feed
+// ci/check_bench_regression.py:
+//
+//   {"bench":"ycsb","metric":"query_p99_ms","path":"ycsb-a.run.janus",
+//    "latency_ms":0.041,"queries":2031}
+//   {"bench":"ycsb","metric":"qps","path":"ycsb-a.run.janus",
+//    "queries_per_sec":49000.0}
+//   {"bench":"ycsb","metric":"p95_err","path":"ycsb-a.run.janus",
+//    "error_rel":0.062}
+//
+// "_ms" metrics gate as latency ceilings, "_err" metrics as accuracy
+// ceilings, rate metrics as throughput floors. The path key is
+// <spec>.<phase>.<engine>, independent of rows/ops — CI must invoke the
+// bench with the same flags the baseline was recorded under.
+//
+// Flags:
+//   spec=all|ycsb-a,ycsb-b,...   presets (see workload/spec.h)
+//   engines=janus,sharded:janus  comma-separated registry names
+//   rows=100000 ops=20000        load size / ops per run phase
+//   threads=2                    closed-loop workers per phase
+//   stream=0                     1 = drive through Broker/EngineDriver
+//   accuracy=64                  accuracy-epilogue queries per phase
+//   format=json|csv              output format
+//   seed=42, shards=N, and any EngineConfig key (scan_threads, leaves, ...)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/config.h"
+#include "api/registry.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace janus {
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void EmitLatency(const std::string& path, const char* metric, double ms,
+                 uint64_t samples) {
+  std::printf(
+      "{\"bench\":\"ycsb\",\"metric\":\"%s\",\"path\":\"%s\","
+      "\"latency_ms\":%.6f,\"queries\":%llu}\n",
+      metric, path.c_str(), ms, static_cast<unsigned long long>(samples));
+}
+
+void EmitJson(const workload::RunReport& run) {
+  for (const workload::PhaseReport& p : run.phases) {
+    const std::string path = run.spec + "." + p.phase + "." + run.engine;
+    if (p.query_samples > 0) {
+      EmitLatency(path, "query_p50_ms", p.query_p50_ms, p.query_samples);
+      EmitLatency(path, "query_p90_ms", p.query_p90_ms, p.query_samples);
+      EmitLatency(path, "query_p99_ms", p.query_p99_ms, p.query_samples);
+      EmitLatency(path, "query_p999_ms", p.query_p999_ms, p.query_samples);
+      EmitLatency(path, "query_max_ms", p.query_max_ms, p.query_samples);
+    }
+    if (p.update_samples > 0) {
+      EmitLatency(path, "update_p50_ms", p.update_p50_ms, p.update_samples);
+      EmitLatency(path, "update_p99_ms", p.update_p99_ms, p.update_samples);
+    }
+    std::printf(
+        "{\"bench\":\"ycsb\",\"metric\":\"qps\",\"path\":\"%s\","
+        "\"queries_per_sec\":%.1f}\n",
+        path.c_str(), p.queries_per_sec);
+    std::printf(
+        "{\"bench\":\"ycsb\",\"metric\":\"ops\",\"path\":\"%s\","
+        "\"records_per_sec\":%.1f}\n",
+        path.c_str(), p.ops_per_sec);
+    if (p.accuracy_evaluated > 0) {
+      std::printf(
+          "{\"bench\":\"ycsb\",\"metric\":\"median_err\",\"path\":\"%s\","
+          "\"error_rel\":%.6f}\n",
+          path.c_str(), p.err_median);
+      std::printf(
+          "{\"bench\":\"ycsb\",\"metric\":\"p95_err\",\"path\":\"%s\","
+          "\"error_rel\":%.6f}\n",
+          path.c_str(), p.err_p95);
+    }
+    // Context line (no "metric": the regression checker skips it).
+    std::printf(
+        "{\"bench\":\"ycsb\",\"path\":\"%s\",\"seconds\":%.3f,"
+        "\"inserts\":%llu,\"deletes\":%llu,\"delete_misses\":%llu,"
+        "\"queries\":%llu,\"accuracy_evaluated\":%zu,"
+        "\"ci_coverage\":%.3f}\n",
+        path.c_str(), p.seconds,
+        static_cast<unsigned long long>(p.ops.inserts),
+        static_cast<unsigned long long>(p.ops.deletes),
+        static_cast<unsigned long long>(p.ops.delete_misses),
+        static_cast<unsigned long long>(p.ops.queries), p.accuracy_evaluated,
+        p.ci_coverage);
+  }
+  std::printf(
+      "{\"bench\":\"ycsb\",\"spec\":\"%s\",\"engine\":\"%s\","
+      "\"load_rows\":%zu,\"load_seconds\":%.3f,\"threads\":%d,"
+      "\"stream\":%s,\"final_rows\":%zu}\n",
+      run.spec.c_str(), run.engine.c_str(), run.load_rows, run.load_seconds,
+      run.threads, run.stream ? "true" : "false", run.final_stats.rows);
+}
+
+bool g_csv_header_printed = false;
+
+void EmitCsv(const workload::RunReport& run) {
+  if (!g_csv_header_printed) {
+    std::printf(
+        "spec,phase,engine,threads,stream,seconds,inserts,deletes,queries,"
+        "qps,ops_per_sec,query_p50_ms,query_p90_ms,query_p99_ms,"
+        "query_p999_ms,query_max_ms,update_p50_ms,update_p99_ms,"
+        "median_err,p95_err,ci_coverage\n");
+    g_csv_header_printed = true;
+  }
+  for (const workload::PhaseReport& p : run.phases) {
+    std::printf(
+        "%s,%s,%s,%d,%d,%.3f,%llu,%llu,%llu,%.1f,%.1f,%.6f,%.6f,%.6f,%.6f,"
+        "%.6f,%.6f,%.6f,%.6f,%.6f,%.3f\n",
+        run.spec.c_str(), p.phase.c_str(), run.engine.c_str(), run.threads,
+        run.stream ? 1 : 0, p.seconds,
+        static_cast<unsigned long long>(p.ops.inserts),
+        static_cast<unsigned long long>(p.ops.deletes),
+        static_cast<unsigned long long>(p.ops.queries), p.queries_per_sec,
+        p.ops_per_sec, p.query_p50_ms, p.query_p90_ms, p.query_p99_ms,
+        p.query_p999_ms, p.query_max_ms, p.update_p50_ms, p.update_p99_ms,
+        p.err_median, p.err_p95, p.ci_coverage);
+  }
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  using namespace janus;
+  const ArgMap args(argc, argv);
+  const size_t rows = args.GetSize("rows", 100000);
+  const size_t ops = args.GetSize("ops", 20000);
+  const std::string spec_arg = args.GetString("spec", "all");
+  const std::string engines_arg =
+      args.GetString("engines", args.GetString("engine", "janus"));
+  const std::string format = args.GetString("format", "json");
+
+  std::vector<std::string> specs = spec_arg == "all"
+                                       ? workload::PresetNames()
+                                       : SplitCsv(spec_arg);
+  const std::vector<std::string> engines = SplitCsv(engines_arg);
+
+  workload::RunnerOptions opts;
+  opts.engine_cfg = EngineConfig::FromArgs(args);
+  opts.threads = args.GetInt("threads", 2);
+  opts.accuracy_queries = args.GetSize("accuracy", 64);
+  opts.stream = args.GetBool("stream", false);
+  opts.seed = args.GetUint64("seed", 42);
+
+  for (const std::string& spec_name : specs) {
+    workload::WorkloadSpec spec;
+    try {
+      spec = workload::Preset(spec_name, rows, ops);
+    } catch (const std::exception& e) {
+      std::printf("{\"bench\":\"ycsb\",\"error\":\"%s\"}\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench_ycsb] %s\n",
+                 workload::ToString(spec).c_str());
+    for (const std::string& engine : engines) {
+      opts.engine_cfg.engine = engine;
+      const workload::RunReport run = workload::RunPhasedWorkload(spec, opts);
+      if (format == "csv") {
+        EmitCsv(run);
+      } else {
+        EmitJson(run);
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -3,16 +3,18 @@
 
 Reads bench JSON lines (one object per line, as emitted by
 bench_columnar_scan / bench_shard_scaling / bench_parallel_scan /
-bench_reopt_latency), extracts one value per metric, and fails (exit 1) if
-any metric present in the checked-in baseline regressed more than
---tolerance (default 25%) past its baseline value.
+bench_reopt_latency / bench_ycsb), extracts one value per metric, and fails
+(exit 1) if any metric present in the checked-in baseline regressed more
+than --tolerance (default 25%) past its baseline value.
 
 Gating is direction-aware. Throughput metrics (rows_per_sec and friends)
 treat the baseline as a *floor*: FAIL when measured < (1 - tolerance) *
 baseline. Latency metrics — metric names ending in "_ms", carrying a
 "latency_ms" field — treat it as a *ceiling*: FAIL when measured >
 (1 + tolerance) * baseline (e.g. a background re-opt whose p99 creeps up
-past 125% of the recorded ceiling fails the job).
+past 125% of the recorded ceiling fails the job). Accuracy metrics —
+names ending in "_err", carrying an "error_rel" field (bench_ycsb's
+per-phase relative errors) — are ceilings too.
 
 Baselines are conservative bounds, not exact expectations: CI runner
 hardware varies run to run, so they are set loosely and ratcheted by
@@ -72,18 +74,21 @@ def metric_key(obj):
 
 def value(obj):
     for field in ("rows_per_sec", "inserts_per_sec", "records_per_sec",
-                  "updates_per_sec", "queries_per_sec", "latency_ms"):
+                  "updates_per_sec", "queries_per_sec", "latency_ms",
+                  "error_rel"):
         if field in obj:
             return float(obj[field])
     return None
 
 
 def is_ceiling(key):
-    """Latency metrics gate as ceilings (lower is better); the convention is
-    a metric name ending in "_ms" (bench_reopt_latency's query percentiles
-    and exclusive-section times)."""
+    """Latency and error metrics gate as ceilings (lower is better); the
+    convention is a metric name ending in "_ms" (bench_reopt_latency's query
+    percentiles, bench_ycsb's phase latencies) or "_err" (bench_ycsb's
+    relative-error accuracy tripwires, carrying an "error_rel" field)."""
     parts = key.split("/")
-    return len(parts) >= 2 and parts[1].endswith("_ms")
+    return len(parts) >= 2 and (parts[1].endswith("_ms")
+                                or parts[1].endswith("_err"))
 
 
 def load_measurements(paths):

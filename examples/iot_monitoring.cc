@@ -82,10 +82,15 @@ int main(int argc, char** argv) {
               ingest.ElapsedSeconds(),
               static_cast<unsigned long long>(driver.stats().queries));
 
+  // Drain the answers out of the driver — a monitoring loop that runs
+  // forever must not let the result buffer grow with every dashboard
+  // refresh.
+  const std::vector<QueryResult> answers = driver.TakeResults();
+
   std::printf("\n%-12s %14s %12s %14s\n", "window", "AVG(light)", "+/-",
               "exact");
   for (size_t d = 0; d < dashboard.size(); ++d) {
-    const QueryResult& r = driver.results()[d];
+    const QueryResult& r = answers[d];
     // Sharded engines keep the archive inside their shards (table() is
     // null); the exact column then reads n/a rather than a fabricated
     // number. Windows with an undefined truth are skipped as before.

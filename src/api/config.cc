@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <string_view>
 
@@ -20,6 +25,69 @@ std::string Lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+// Strict numeric parsing, same rules as scan::ParseScanThreads: the whole
+// token must be consumed (trailing whitespace tolerated), errno/end-pointer
+// checked. Without this, strtoull-style getters wrap "rows=-1" to 2^64-1
+// and read "10x" as 10 with the garbage silently ignored.
+
+bool ParseUnsignedStrict(const std::string& s, uint64_t* out) {
+  const char* text = s.c_str();
+  const char* p = text;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') return false;  // strtoull wraps negatives instead of failing
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == p || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseSignedStrict(const std::string& s, long long* out) {
+  const char* text = s.c_str();
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == text || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& s, double* out) {
+  const char* text = s.c_str();
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == text || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Warn once per key per process (mirrors the shared scan pool's one-shot
+// warning): repeated lookups of the same malformed flag stay quiet.
+void WarnBadValueOnce(const std::string& key, const std::string& value,
+                      const std::string& fallback) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!warned->insert(key).second) return;
+  }
+  std::fprintf(stderr,
+               "[janus] ArgMap: %s=\"%s\" is not a valid number; using "
+               "default %s\n",
+               key.c_str(), value.c_str(), fallback.c_str());
 }
 
 }  // namespace
@@ -70,28 +138,54 @@ std::string ArgMap::GetString(const std::string& key,
 
 size_t ArgMap::GetSize(const std::string& key, size_t def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end()
-             ? def
-             : static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr,
-                                                 10));
+  if (it == kv_.end()) return def;
+  uint64_t v = 0;
+  if (!ParseUnsignedStrict(it->second, &v)) {
+    WarnBadValueOnce(key, it->second, std::to_string(def));
+    return def;
+  }
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (v > std::numeric_limits<size_t>::max()) {
+      WarnBadValueOnce(key, it->second, std::to_string(def));
+      return def;
+    }
+  }
+  return static_cast<size_t>(v);
 }
 
 uint64_t ArgMap::GetUint64(const std::string& key, uint64_t def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def
-                         : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return def;
+  uint64_t v = 0;
+  if (!ParseUnsignedStrict(it->second, &v)) {
+    WarnBadValueOnce(key, it->second, std::to_string(def));
+    return def;
+  }
+  return v;
 }
 
 int ArgMap::GetInt(const std::string& key, int def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end()
-             ? def
-             : static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+  if (it == kv_.end()) return def;
+  long long v = 0;
+  if (!ParseSignedStrict(it->second, &v) ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    WarnBadValueOnce(key, it->second, std::to_string(def));
+    return def;
+  }
+  return static_cast<int>(v);
 }
 
 double ArgMap::GetDouble(const std::string& key, double def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return def;
+  double v = 0.0;
+  if (!ParseDoubleStrict(it->second, &v)) {
+    WarnBadValueOnce(key, it->second, std::to_string(def));
+    return def;
+  }
+  return v;
 }
 
 bool ArgMap::GetBool(const std::string& key, bool def) const {

@@ -16,6 +16,12 @@ namespace janus {
 /// "key=value", "--key value" and "--key=value" tokens interchangeably
 /// (leading dashes are stripped, so "--rows 100" and "rows=100" are the same
 /// argument). Later occurrences of a key win.
+///
+/// Numeric getters parse strictly (full-token, errno-checked, like
+/// scan::ParseScanThreads): negative values for unsigned getters, trailing
+/// garbage ("10x"), non-numbers and out-of-range values all return the
+/// caller's default and warn once per key on stderr — "rows=-1" no longer
+/// wraps to 2^64-1 silently.
 class ArgMap {
  public:
   ArgMap() = default;

@@ -49,6 +49,12 @@ size_t EngineDriver::PumpOnce() {
   return consumed;
 }
 
+std::vector<QueryResult> EngineDriver::TakeResults() {
+  std::vector<QueryResult> out;
+  out.swap(results_);
+  return out;
+}
+
 size_t EngineDriver::Drain() {
   size_t total = 0;
   while (true) {

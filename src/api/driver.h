@@ -57,8 +57,17 @@ class EngineDriver {
 
   const EngineDriverStats& stats() const { return stats_; }
 
-  /// Answers to the consumed query requests, in query-topic order.
+  /// Answers to the consumed query requests, in query-topic order. The
+  /// buffer grows with every polled query until TakeResults() drains it.
   const std::vector<QueryResult>& results() const { return results_; }
+
+  /// Move the accumulated results out and clear the buffer. Long-running
+  /// drivers must drain periodically — results() otherwise grows linearly
+  /// in query count forever. Offsets, stats and snapshot semantics are
+  /// unaffected: a snapshot taken after a drain records the same offsets it
+  /// would have with the results still buffered (results are derived data
+  /// and are not part of the snapshot).
+  std::vector<QueryResult> TakeResults();
 
   // --- snapshot persistence & crash recovery --------------------------------
 

@@ -1,12 +1,41 @@
 #include "data/workload.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <limits>
 
 #include "data/parallel_scan.h"
 #include "data/scan.h"
 
 namespace janus {
+namespace {
+
+// Empty input (or a column outside the schema) leaves the min/max fold at
+// its sentinel values, with lo > hi; RandomRect would then sample from an
+// inverted interval. Clamp to the degenerate [0,0] so every downstream
+// rectangle stays well-formed.
+void ClampDomains(std::vector<double>* lo, std::vector<double>* hi) {
+  for (size_t i = 0; i < lo->size(); ++i) {
+    if ((*lo)[i] > (*hi)[i]) {
+      (*lo)[i] = 0.0;
+      (*hi)[i] = 0.0;
+    }
+  }
+}
+
+void WarnShortfallOnce(const WorkloadGenReport& r) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "[janus] WorkloadGenerator: produced %zu of %zu requested "
+               "queries (%zu rejected below min_count; attempts budget "
+               "exhausted). Table too small or min_count unsatisfiable; "
+               "further shortfalls will not be logged.\n",
+               r.generated, r.requested, r.rejected);
+}
+
+}  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const std::vector<Tuple>& rows,
                                      std::vector<int> predicate_columns,
@@ -23,6 +52,7 @@ WorkloadGenerator::WorkloadGenerator(const std::vector<Tuple>& rows,
       domain_hi_[i] = std::max(domain_hi_[i], v);
     }
   }
+  ClampDomains(&domain_lo_, &domain_hi_);
 }
 
 WorkloadGenerator::WorkloadGenerator(const ColumnStore& store,
@@ -45,6 +75,7 @@ WorkloadGenerator::WorkloadGenerator(const ColumnStore& store,
       domain_hi_[i] = 0.0;
     }
   }
+  ClampDomains(&domain_lo_, &domain_hi_);
 }
 
 Rectangle WorkloadGenerator::RandomRect(Rng* rng) const {
@@ -61,19 +92,23 @@ Rectangle WorkloadGenerator::RandomRect(Rng* rng) const {
 }
 
 std::vector<AggQuery> WorkloadGenerator::Generate(
-    const std::vector<Tuple>& rows, const WorkloadOptions& opts) const {
+    const std::vector<Tuple>& rows, const WorkloadOptions& opts,
+    WorkloadGenReport* report) const {
   AggQuery probe;
   probe.agg_column = agg_column_;
   probe.predicate_columns = predicate_columns_;
-  return Generate(scan::ToColumnStore(rows, {probe}), opts);
+  return Generate(scan::ToColumnStore(rows, {probe}), opts, report);
 }
 
 std::vector<AggQuery> WorkloadGenerator::Generate(
-    const ColumnStore& store, const WorkloadOptions& opts) const {
+    const ColumnStore& store, const WorkloadOptions& opts,
+    WorkloadGenReport* report) const {
   Rng rng(opts.seed);
   std::vector<AggQuery> out;
   out.reserve(opts.num_queries);
-  int attempts_left = static_cast<int>(opts.num_queries) * 50;
+  WorkloadGenReport r;
+  r.requested = opts.num_queries;
+  uint64_t attempts_left = static_cast<uint64_t>(opts.num_queries) * 50;
   while (out.size() < opts.num_queries && attempts_left-- > 0) {
     AggQuery q;
     q.func = opts.func;
@@ -83,10 +118,15 @@ std::vector<AggQuery> WorkloadGenerator::Generate(
     if (opts.min_count > 0 &&
         scan::CountInRectAtLeast(store, predicate_columns_, q.rect,
                                  opts.min_count, opts.exec) < opts.min_count) {
+      ++r.rejected;
       continue;
     }
     out.push_back(std::move(q));
   }
+  r.generated = out.size();
+  r.budget_exhausted = r.generated < r.requested;
+  if (r.budget_exhausted) WarnShortfallOnce(r);
+  if (report != nullptr) *report = r;
   return out;
 }
 

@@ -36,10 +36,31 @@ struct WorkloadOptions {
   scan::ExecContext exec;
 };
 
+/// Outcome of one Generate() call. The generator rejection-samples against
+/// a bounded attempts budget, so an unsatisfiable opts.min_count (tiny
+/// table, degenerate domain) produces *fewer* queries than requested — the
+/// report makes that shortfall explicit instead of leaving callers to
+/// notice a short vector.
+struct WorkloadGenReport {
+  size_t requested = 0;  ///< opts.num_queries
+  size_t generated = 0;  ///< queries actually produced
+  size_t rejected = 0;   ///< draws discarded below opts.min_count
+  /// True when the attempts budget ran out before `requested` queries were
+  /// accepted (generated < requested).
+  bool budget_exhausted = false;
+
+  size_t shortfall() const { return requested - generated; }
+};
+
 /// Generates random rectangular range queries. Each per-dimension interval is
 /// obtained by sorting two uniform draws from the observed attribute domain.
 /// Rejection counts run through the vectorized CountInRectAtLeast kernel
 /// (data/scan.h) with an early exit at min_count.
+///
+/// Empty or constant inputs clamp the domain to a valid degenerate interval
+/// (RandomRect never sees inverted bounds), and a generation that exhausts
+/// its rejection budget reports the shortfall via WorkloadGenReport and a
+/// one-time process warning rather than silently returning a short workload.
 class WorkloadGenerator {
  public:
   /// Domain is estimated from `rows` (min/max of each predicate column).
@@ -51,13 +72,18 @@ class WorkloadGenerator {
                     std::vector<int> predicate_columns, int agg_column);
 
   /// Generate a workload; rejection-samples queries below opts.min_count
-  /// over `rows` (transposed once into a scratch ColumnStore).
+  /// over `rows` (transposed once into a scratch ColumnStore). When fewer
+  /// than opts.num_queries could be produced, `report` (if given) carries
+  /// the shortfall; the first short generation in the process also warns on
+  /// stderr.
   std::vector<AggQuery> Generate(const std::vector<Tuple>& rows,
-                                 const WorkloadOptions& opts) const;
+                                 const WorkloadOptions& opts,
+                                 WorkloadGenReport* report = nullptr) const;
 
   /// Columnar variant: rejection counts scan the store's columns directly.
   std::vector<AggQuery> Generate(const ColumnStore& store,
-                                 const WorkloadOptions& opts) const;
+                                 const WorkloadOptions& opts,
+                                 WorkloadGenReport* report = nullptr) const;
 
   /// Generate a single random rectangle (no rejection).
   Rectangle RandomRect(Rng* rng) const;

@@ -2,6 +2,7 @@
 #define JANUS_STREAM_BROKER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -53,7 +54,7 @@ class TopicLog {
   /// broker overhead.
   size_t Poll(uint64_t offset, size_t max_records,
               std::vector<Record>* out) const {
-    detail::SpinFor(poll_overhead_ns_);
+    detail::SpinFor(poll_overhead_ns_.load(std::memory_order_relaxed));
     MutexLock lock(&mu_);
     ++poll_count_;
     if (offset >= log_.size()) return 0;
@@ -69,8 +70,14 @@ class TopicLog {
     return log_.size();
   }
 
-  void set_poll_overhead_ns(uint64_t ns) { poll_overhead_ns_ = ns; }
-  uint64_t poll_overhead_ns() const { return poll_overhead_ns_; }
+  /// Retune the simulated round-trip cost; safe to call while consumers are
+  /// polling (atomic — Poll() reads the knob outside the log mutex).
+  void set_poll_overhead_ns(uint64_t ns) {
+    poll_overhead_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t poll_overhead_ns() const {
+    return poll_overhead_ns_.load(std::memory_order_relaxed);
+  }
 
   /// Cumulative number of Poll() calls served (for experiment accounting).
   uint64_t poll_count() const {
@@ -80,8 +87,10 @@ class TopicLog {
 
  private:
   std::string name_;
-  /// Tuning knob, set before consumers run; not part of the locked state.
-  uint64_t poll_overhead_ns_;
+  /// Tuning knob, readable/retunable concurrently with Poll(); relaxed
+  /// atomic because Poll() deliberately spins outside mu_ and any torn or
+  /// stale read would only mis-time the simulated overhead.
+  std::atomic<uint64_t> poll_overhead_ns_;
   mutable Mutex mu_;
   std::vector<Record> log_ GUARDED_BY(mu_);
   mutable uint64_t poll_count_ GUARDED_BY(mu_) = 0;

@@ -41,8 +41,11 @@ struct MomentAccumulator {
   double Variance() const;
 };
 
-/// Percentile of a sample (nearest-rank on a copy; v may be unsorted).
-/// p in [0, 100].
+/// Percentile of a sample by linear interpolation between closest ranks at
+/// rank p/100*(n-1) — the Hyndman–Fan type-7 estimator, NOT nearest-rank:
+/// Percentile({1,2,3,4}, 50) is 2.5, not 2. Sorts a copy (v may be
+/// unsorted). p in [0, 100]; p <= 0 returns the minimum, p >= 100 the
+/// maximum, and an empty sample returns 0.
 double Percentile(std::vector<double> v, double p);
 
 /// Median convenience wrapper.

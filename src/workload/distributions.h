@@ -1,0 +1,102 @@
+#ifndef JANUS_WORKLOAD_DISTRIBUTIONS_H_
+#define JANUS_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace janus {
+namespace workload {
+
+/// Families of access/placement distributions the phased harness draws from.
+/// Every family is sampled as a *unit position* in [0, 1); callers map that
+/// position onto whatever space they address (a live-row index for deletes,
+/// a predicate-domain coordinate for rectangle placement, a width range).
+enum class DistKind {
+  kUniform,    ///< iid U[0, 1)
+  kZipfian,    ///< rank-bucketed Zipf(s) over `zipf_n` cells of [0, 1)
+  kHotspot,    ///< hot_probability mass on the first hot_fraction of [0, 1)
+  kLogNormal,  ///< exp(N(mu, sigma)) scaled by exp(mu + 3 sigma), clamped
+};
+
+/// Parse "uniform" / "zipfian" / "hotspot" / "lognormal"; `def` on anything
+/// else.
+DistKind ParseDistKind(const std::string& name, DistKind def);
+const char* DistKindName(DistKind k);
+
+/// Parameters of one distribution instance. Only the fields of the active
+/// family are read; the rest are ignored (one struct keeps specs POD and
+/// trivially printable).
+struct DistSpec {
+  DistKind kind = DistKind::kUniform;
+
+  // --- zipfian -------------------------------------------------------------
+  /// Exponent s of P(rank k) ~ (k+1)^-s, k in [0, zipf_n).
+  double zipf_s = 0.99;
+  /// Number of ranked cells [0,1) is divided into; the sampler is uniform
+  /// within a cell, so zipf_n bounds the granularity of the skew.
+  size_t zipf_n = 1024;
+  /// Scramble cell ranks with a 64-bit mix hash so the popular cells spread
+  /// over [0, 1) instead of piling up at the low end (YCSB's scrambled
+  /// zipfian). The pmf over *ranks* is unchanged.
+  bool scramble = false;
+
+  // --- hotspot -------------------------------------------------------------
+  double hot_fraction = 0.2;     ///< size of the hot region
+  double hot_probability = 0.8;  ///< mass landing in the hot region
+
+  // --- lognormal -----------------------------------------------------------
+  double lognormal_mu = 0.0;
+  double lognormal_sigma = 1.0;
+};
+
+/// Exact discrete sampler over {0..n-1} for an arbitrary pmf: Vose's alias
+/// method (O(n) setup, O(1) per draw, matches the analytic distribution
+/// exactly — the chi-squared acceptance test in the suite relies on this).
+class AliasTable {
+ public:
+  /// `weights` need not be normalized; must be non-empty with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return prob_.size(); }
+  /// Normalized probability of cell i (for tests / analytic comparison).
+  double probability(size_t i) const { return pmf_[i]; }
+
+ private:
+  std::vector<double> prob_;    ///< acceptance threshold per cell
+  std::vector<uint32_t> alias_; ///< fallback cell
+  std::vector<double> pmf_;     ///< normalized input weights
+};
+
+/// Samples unit positions in [0, 1) following a DistSpec. Stateless apart
+/// from precomputed tables; safe to share across threads (each thread draws
+/// through its own Rng).
+class UnitDistribution {
+ public:
+  explicit UnitDistribution(const DistSpec& spec);
+
+  double Sample(Rng* rng) const;
+  const DistSpec& spec() const { return spec_; }
+
+  /// Analytic probability that a sample lands in cell i of `cells` equal
+  /// subdivisions of [0, 1). Exact for uniform/zipfian/hotspot (zipfian
+  /// requires cells == zipf_n and no scrambling); the chi-squared tests
+  /// compare observed counts against this.
+  double CellProbability(size_t i, size_t cells) const;
+
+ private:
+  DistSpec spec_;
+  std::vector<double> zipf_pmf_;       ///< normalized rank probabilities
+  std::vector<uint32_t> zipf_cell_;    ///< rank -> cell (identity or scrambled)
+  std::unique_ptr<AliasTable> alias_;  ///< zipfian only
+};
+
+}  // namespace workload
+}  // namespace janus
+
+#endif  // JANUS_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,400 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "api/driver.h"
+#include "api/registry.h"
+#include "data/column_store.h"
+#include "data/ground_truth.h"
+#include "stream/broker.h"
+#include "util/timer.h"
+#include "workload/distributions.h"
+
+namespace janus {
+namespace workload {
+
+LatencyReservoir::LatencyReservoir(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  samples_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void LatencyReservoir::Add(double ms, Rng* rng) {
+  max_ms_ = std::max(max_ms_, ms);
+  if (samples_.size() < capacity_) {
+    samples_.push_back(ms);
+  } else {
+    const uint64_t j = rng->NextUint64(count_ + 1);
+    if (j < capacity_) samples_[static_cast<size_t>(j)] = ms;
+  }
+  ++count_;
+}
+
+void LatencyReservoir::Merge(const LatencyReservoir& other, Rng* rng) {
+  // Weighted take: each of the other's samples stands for other.count /
+  // other.samples of its population; re-adding them one by one with the
+  // combined count keeps the merged reservoir approximately uniform (exact
+  // when neither side overflowed its capacity, the common case for phases
+  // under ~capacity ops per thread).
+  max_ms_ = std::max(max_ms_, other.max_ms_);
+  for (double ms : other.samples_) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(ms);
+    } else {
+      const uint64_t j = rng->NextUint64(count_ + 1);
+      if (j < capacity_) samples_[static_cast<size_t>(j)] = ms;
+    }
+    ++count_;
+  }
+  // Count the unsampled remainder too, so count() is the true op count.
+  count_ += other.count_ - std::min<uint64_t>(other.count_,
+                                              other.samples_.size());
+}
+
+double LatencyReservoir::PercentileMs(double p) const {
+  return Percentile(samples_, p);
+}
+
+namespace {
+
+/// Shared mutable state of one phase: the ground-truth mirror plus the live
+/// id set (the mirror's own id column). All workers funnel through one
+/// mutex — mirror maintenance is O(1) per op and the engine call happens
+/// outside the lock, so the serialization cost is small next to a query.
+struct Mirror {
+  std::mutex mu;
+  ColumnStore store;
+
+  explicit Mirror(int num_columns) : store(num_columns) {}
+};
+
+/// Draw one predicate rectangle over the unit domain [0,1]^d.
+AggQuery DrawQuery(const RectSpec& rect, const UnitDistribution& placement,
+                   const UnitDistribution& width, int dims, int agg_column,
+                   AggFunc func, Rng* rng) {
+  std::vector<double> lo(static_cast<size_t>(dims)),
+      hi(static_cast<size_t>(dims));
+  const double wmin = std::clamp(rect.min_width_frac, 0.0, 1.0);
+  const double wmax = std::clamp(rect.max_width_frac, wmin, 1.0);
+  for (int d = 0; d < dims; ++d) {
+    const double center = placement.Sample(rng);
+    const double w = wmin + (wmax - wmin) * width.Sample(rng);
+    const double half = w / 2.0;
+    lo[static_cast<size_t>(d)] = std::clamp(center - half, 0.0, 1.0);
+    hi[static_cast<size_t>(d)] = std::clamp(center + half, 0.0, 1.0);
+  }
+  AggQuery q;
+  q.func = func;
+  q.agg_column = agg_column;
+  q.predicate_columns.resize(static_cast<size_t>(dims));
+  for (int d = 0; d < dims; ++d) q.predicate_columns[static_cast<size_t>(d)] = d;
+  q.rect = Rectangle(std::move(lo), std::move(hi));
+  return q;
+}
+
+Tuple DrawInsert(const UnitDistribution& keys, int dims, int agg_column,
+                 uint64_t id, Rng* rng) {
+  Tuple t;
+  t.id = id;
+  for (int d = 0; d < dims; ++d) t[d] = keys.Sample(rng);
+  t[agg_column] = rng->Normal(10.0, 2.0);
+  return t;
+}
+
+struct WorkerResult {
+  OpCounts ops;
+  LatencyReservoir query_lat;
+  LatencyReservoir update_lat;
+
+  explicit WorkerResult(size_t cap) : query_lat(cap), update_lat(cap) {}
+};
+
+/// One closed-loop worker: claims ops off the shared counter (or runs until
+/// the deadline), executes them against the engine, and samples latency.
+void RunWorker(AqpEngine* engine, Mirror* mirror, const PhaseSpec& phase,
+               const UnitDistribution& keys, const UnitDistribution& placement,
+               const UnitDistribution& width, int dims, int agg_column,
+               std::atomic<uint64_t>* next_op, std::atomic<uint64_t>* next_id,
+               const Timer* phase_timer, uint64_t seed, WorkerResult* out) {
+  Rng rng(seed);
+  Timer op_timer;
+  while (true) {
+    if (phase.ops > 0) {
+      if (next_op->fetch_add(1, std::memory_order_relaxed) >= phase.ops) break;
+    } else if (phase_timer->ElapsedSeconds() >= phase.seconds) {
+      break;
+    }
+    const double pick = rng.NextDouble();
+    if (pick < phase.mix.insert) {
+      const uint64_t id = next_id->fetch_add(1, std::memory_order_relaxed);
+      const Tuple t = DrawInsert(keys, dims, agg_column, id, &rng);
+      op_timer.Reset();
+      engine->Insert(t);
+      out->update_lat.Add(op_timer.ElapsedMillis(), &rng);
+      {
+        std::lock_guard<std::mutex> lock(mirror->mu);
+        mirror->store.Insert(t);
+      }
+      ++out->ops.inserts;
+    } else if (pick < phase.mix.insert + phase.mix.del) {
+      uint64_t victim = 0;
+      bool have = false;
+      {
+        std::lock_guard<std::mutex> lock(mirror->mu);
+        const size_t n = mirror->store.size();
+        if (n > 0) {
+          const double u = keys.Sample(&rng);
+          const size_t idx =
+              std::min(static_cast<size_t>(u * static_cast<double>(n)), n - 1);
+          victim = mirror->store.id_at(idx);
+          mirror->store.Delete(victim);
+          have = true;
+        }
+      }
+      if (!have) {
+        ++out->ops.delete_misses;
+        continue;
+      }
+      op_timer.Reset();
+      engine->Delete(victim);
+      out->update_lat.Add(op_timer.ElapsedMillis(), &rng);
+      ++out->ops.deletes;
+    } else {
+      const AggQuery q = DrawQuery(phase.rect, placement, width, dims,
+                                   agg_column, phase.func, &rng);
+      op_timer.Reset();
+      (void)engine->Query(q);
+      out->query_lat.Add(op_timer.ElapsedMillis(), &rng);
+      ++out->ops.queries;
+    }
+  }
+}
+
+/// Accuracy epilogue: after the phase's workers have joined, answer fresh
+/// queries from the phase's rectangle spec and compare against the exact
+/// answer over the mirror (both sides see the identical phase-end state, so
+/// the relative error is well-defined — mid-phase truths are moving
+/// targets). Zero/undefined truths are skipped, matching bench/common.h.
+void MeasureAccuracy(const AqpEngine& engine, const ColumnStore& mirror,
+                     const PhaseSpec& phase, int dims, int agg_column,
+                     size_t num_queries, uint64_t seed, PhaseReport* report) {
+  if (num_queries == 0) return;
+  const UnitDistribution placement(phase.rect.placement);
+  const UnitDistribution width(phase.rect.width);
+  Rng rng(seed);
+  std::vector<double> errors;
+  size_t covered = 0;
+  for (size_t i = 0; i < num_queries; ++i) {
+    const AggQuery q = DrawQuery(phase.rect, placement, width, dims,
+                                 agg_column, phase.func, &rng);
+    const QueryResult r = engine.Query(q);
+    const auto truth = ExactAnswer(mirror, q);
+    const auto rel = RelativeError(truth, r.estimate);
+    if (!rel.has_value()) continue;
+    errors.push_back(*rel);
+    if (std::abs(r.estimate - *truth) <= r.ci_half_width) ++covered;
+  }
+  report->accuracy_evaluated = errors.size();
+  if (!errors.empty()) {
+    report->err_median = Median(errors);
+    report->err_p95 = Percentile(errors, 95);
+    report->ci_coverage =
+        static_cast<double>(covered) / static_cast<double>(errors.size());
+  }
+}
+
+/// Stream-mode phase: ops are generated in order onto the broker topics
+/// (mirror updated at generation time), then one EngineDriver consumer
+/// drains them. Delete victims come only from rows live at phase start, so
+/// a delete can never outrun its insert across the independent topics.
+OpCounts StreamPhase(Broker* broker, EngineDriver* driver,
+                     Mirror* mirror, const PhaseSpec& phase,
+                     const UnitDistribution& keys,
+                     const UnitDistribution& placement,
+                     const UnitDistribution& width, int dims, int agg_column,
+                     std::atomic<uint64_t>* next_id, uint64_t seed,
+                     double* drain_seconds) {
+  OpCounts ops;
+  Rng rng(seed);
+  std::vector<uint64_t> phase_live = mirror->store.ids();
+  const size_t total = phase.ops > 0 ? phase.ops : 10000;
+  for (size_t i = 0; i < total; ++i) {
+    const double pick = rng.NextDouble();
+    if (pick < phase.mix.insert) {
+      const uint64_t id = next_id->fetch_add(1, std::memory_order_relaxed);
+      const Tuple t = DrawInsert(keys, dims, agg_column, id, &rng);
+      broker->insert_topic()->Append(t);
+      mirror->store.Insert(t);
+      ++ops.inserts;
+    } else if (pick < phase.mix.insert + phase.mix.del) {
+      if (phase_live.empty()) {
+        ++ops.delete_misses;
+        continue;
+      }
+      const double u = keys.Sample(&rng);
+      const size_t idx = std::min(
+          static_cast<size_t>(u * static_cast<double>(phase_live.size())),
+          phase_live.size() - 1);
+      const uint64_t victim = phase_live[idx];
+      phase_live[idx] = phase_live.back();
+      phase_live.pop_back();
+      mirror->store.Delete(victim);
+      Tuple t;
+      t.id = victim;
+      broker->delete_topic()->Append(t);
+      ++ops.deletes;
+    } else {
+      broker->query_topic()->Append(DrawQuery(phase.rect, placement, width,
+                                              dims, agg_column, phase.func,
+                                              &rng));
+      ++ops.queries;
+    }
+  }
+  Timer drain;
+  driver->Drain();
+  *drain_seconds = drain.ElapsedSeconds();
+  // Results accumulate per phase only: drain them so a long multi-phase run
+  // does not grow the driver's buffer without bound.
+  (void)driver->TakeResults();
+  return ops;
+}
+
+}  // namespace
+
+RunReport RunPhasedWorkload(const WorkloadSpec& spec,
+                            const RunnerOptions& options) {
+  const int dims = std::max(spec.num_predicate_columns, 1);
+  const int agg_column = dims;
+  const int num_columns = dims + 1;
+
+  EngineConfig cfg = options.engine_cfg;
+  cfg.agg_column = agg_column;
+  cfg.predicate_columns.clear();
+  for (int d = 0; d < dims; ++d) cfg.predicate_columns.push_back(d);
+  Schema schema;
+  for (int d = 0; d < dims; ++d) {
+    schema.column_names.push_back("p" + std::to_string(d));
+  }
+  schema.column_names.push_back("agg");
+  cfg.schema = schema;
+
+  RunReport report;
+  report.spec = spec.name;
+  report.engine = cfg.engine;
+  report.load_rows = spec.load_rows;
+  report.threads = options.stream ? 1 : std::max(options.threads, 1);
+  report.stream = options.stream;
+
+  // --- load phase -----------------------------------------------------------
+  const UnitDistribution load_dist(spec.load_dist);
+  Rng load_rng(options.seed);
+  std::vector<Tuple> rows;
+  rows.reserve(spec.load_rows);
+  for (size_t i = 0; i < spec.load_rows; ++i) {
+    rows.push_back(DrawInsert(load_dist, dims, agg_column,
+                              static_cast<uint64_t>(i), &load_rng));
+  }
+  auto engine = EngineRegistry::Create(cfg);
+  Timer load_timer;
+  engine->LoadInitial(rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+  report.load_seconds = load_timer.ElapsedSeconds();
+
+  Mirror mirror(num_columns);
+  mirror.store.BulkAppend(rows);
+  rows.clear();
+  rows.shrink_to_fit();
+
+  std::atomic<uint64_t> next_id{spec.load_rows};
+
+  // Stream-mode plumbing (one broker + driver across all phases; offsets
+  // advance monotonically through the phases' appends).
+  std::unique_ptr<Broker> broker;
+  std::unique_ptr<EngineDriver> driver;
+  if (options.stream) {
+    broker = std::make_unique<Broker>();
+    // Measure engine cost, not the simulated broker round-trip.
+    broker->insert_topic()->set_poll_overhead_ns(0);
+    broker->delete_topic()->set_poll_overhead_ns(0);
+    driver = std::make_unique<EngineDriver>(engine.get(), broker.get());
+  }
+
+  // --- run phases -----------------------------------------------------------
+  for (size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    const PhaseSpec& phase = spec.phases[pi];
+    const UnitDistribution keys(phase.key_dist);
+    const UnitDistribution placement(phase.rect.placement);
+    const UnitDistribution width(phase.rect.width);
+    const uint64_t phase_seed = options.seed + 1000 * (pi + 1);
+
+    PhaseReport pr;
+    pr.phase = phase.name;
+
+    if (options.stream) {
+      double drain_seconds = 0;
+      pr.ops = StreamPhase(broker.get(), driver.get(), &mirror, phase, keys,
+                           placement, width, dims, agg_column, &next_id,
+                           phase_seed, &drain_seconds);
+      pr.seconds = drain_seconds;
+    } else {
+      const int threads = std::max(options.threads, 1);
+      std::atomic<uint64_t> next_op{0};
+      std::vector<WorkerResult> results(
+          static_cast<size_t>(threads),
+          WorkerResult(options.latency_reservoir));
+      std::vector<std::thread> workers;
+      Timer phase_timer;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back(RunWorker, engine.get(), &mirror, std::cref(phase),
+                             std::cref(keys), std::cref(placement),
+                             std::cref(width), dims, agg_column, &next_op,
+                             &next_id, &phase_timer,
+                             phase_seed + 17 * static_cast<uint64_t>(t + 1),
+                             &results[static_cast<size_t>(t)]);
+      }
+      for (std::thread& w : workers) w.join();
+      pr.seconds = phase_timer.ElapsedSeconds();
+
+      Rng merge_rng(phase_seed + 999);
+      LatencyReservoir query_lat(options.latency_reservoir);
+      LatencyReservoir update_lat(options.latency_reservoir);
+      for (const WorkerResult& r : results) {
+        pr.ops.inserts += r.ops.inserts;
+        pr.ops.deletes += r.ops.deletes;
+        pr.ops.delete_misses += r.ops.delete_misses;
+        pr.ops.queries += r.ops.queries;
+        query_lat.Merge(r.query_lat, &merge_rng);
+        update_lat.Merge(r.update_lat, &merge_rng);
+      }
+      pr.query_samples = query_lat.count();
+      pr.query_p50_ms = query_lat.PercentileMs(50);
+      pr.query_p90_ms = query_lat.PercentileMs(90);
+      pr.query_p99_ms = query_lat.PercentileMs(99);
+      pr.query_p999_ms = query_lat.PercentileMs(99.9);
+      pr.query_max_ms = query_lat.max_ms();
+      pr.update_samples = update_lat.count();
+      pr.update_p50_ms = update_lat.PercentileMs(50);
+      pr.update_p99_ms = update_lat.PercentileMs(99);
+      pr.update_max_ms = update_lat.max_ms();
+    }
+
+    if (pr.seconds > 0) {
+      pr.ops_per_sec = static_cast<double>(pr.ops.total()) / pr.seconds;
+      pr.queries_per_sec = static_cast<double>(pr.ops.queries) / pr.seconds;
+    }
+
+    MeasureAccuracy(*engine, mirror.store, phase, dims, agg_column,
+                    options.accuracy_queries, phase_seed + 7, &pr);
+    report.phases.push_back(std::move(pr));
+  }
+
+  report.final_stats = engine->Stats();
+  return report;
+}
+
+}  // namespace workload
+}  // namespace janus

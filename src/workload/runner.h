@@ -1,0 +1,129 @@
+#ifndef JANUS_WORKLOAD_RUNNER_H_
+#define JANUS_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/config.h"
+#include "api/engine.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/spec.h"
+
+namespace janus {
+namespace workload {
+
+/// Fixed-size uniform reservoir over per-op latencies (algorithm R): keeps
+/// an unbiased sample of up to `capacity` observations plus the exact count
+/// and maximum, so phase percentiles stay O(capacity) in memory no matter
+/// how many ops a phase runs. Percentiles are linearly interpolated between
+/// closest ranks (util/stats.h Percentile — the NumPy/Excel "linear",
+/// Hyndman–Fan type 7 definition).
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 1 << 16);
+
+  void Add(double ms, Rng* rng);
+  void Merge(const LatencyReservoir& other, Rng* rng);
+
+  uint64_t count() const { return count_; }
+  double max_ms() const { return max_ms_; }
+  /// p in [0, 100]; 0 for an empty reservoir.
+  double PercentileMs(double p) const;
+
+ private:
+  size_t capacity_;
+  uint64_t count_ = 0;
+  double max_ms_ = 0;
+  std::vector<double> samples_;
+};
+
+/// How the runner drives the engine.
+struct RunnerOptions {
+  /// Engine under test; cfg.engine names the registry backend. The runner
+  /// overrides the query-template fields (agg_column, predicate_columns,
+  /// schema) to match the spec.
+  EngineConfig engine_cfg;
+  /// Closed-loop worker threads per run phase (direct mode).
+  int threads = 1;
+  /// Latency reservoir capacity per op class.
+  size_t latency_reservoir = 1 << 16;
+  /// Per-phase accuracy epilogue: this many queries drawn from the phase's
+  /// rectangle spec are answered by the engine and checked against the
+  /// exact answer over the runner's ground-truth mirror. 0 disables.
+  size_t accuracy_queries = 64;
+  /// Drive the ops through a Broker + EngineDriver (the streaming scenario)
+  /// instead of calling the engine directly. Per-op latency is not defined
+  /// in this mode (the driver consumes batches), so only phase throughput
+  /// and accuracy are reported; `threads` is ignored (one consumer).
+  bool stream = false;
+  uint64_t seed = 42;
+};
+
+struct OpCounts {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  /// Delete ops skipped because no live row was available.
+  uint64_t delete_misses = 0;
+  uint64_t queries = 0;
+
+  uint64_t total() const { return inserts + deletes + delete_misses + queries; }
+};
+
+/// Everything measured in one run phase.
+struct PhaseReport {
+  std::string phase;
+  double seconds = 0;
+  OpCounts ops;
+  double ops_per_sec = 0;
+  double queries_per_sec = 0;
+
+  // Query-op latency percentiles (ms); zero when no queries ran or in
+  // stream mode.
+  double query_p50_ms = 0;
+  double query_p90_ms = 0;
+  double query_p99_ms = 0;
+  double query_p999_ms = 0;
+  double query_max_ms = 0;
+  uint64_t query_samples = 0;
+
+  // Update-op (insert + delete) latency percentiles (ms).
+  double update_p50_ms = 0;
+  double update_p99_ms = 0;
+  double update_max_ms = 0;
+  uint64_t update_samples = 0;
+
+  // Accuracy epilogue vs the ground-truth mirror at phase end. Queries with
+  // zero/undefined truths are skipped (they have no relative error).
+  size_t accuracy_evaluated = 0;
+  double err_median = 0;
+  double err_p95 = 0;
+  /// Fraction of evaluated queries whose truth fell inside the reported CI.
+  double ci_coverage = 0;
+};
+
+struct RunReport {
+  std::string spec;
+  std::string engine;
+  size_t load_rows = 0;
+  double load_seconds = 0;
+  int threads = 0;
+  bool stream = false;
+  std::vector<PhaseReport> phases;
+  EngineStats final_stats;
+};
+
+/// Closed-loop phased workload runner: builds the engine from the registry,
+/// bulk-loads the spec's load phase, then drives each run phase with
+/// `threads` workers through the AqpEngine concurrency contract (or one
+/// Broker/EngineDriver consumer in stream mode), sampling per-op latency
+/// into reservoirs and measuring accuracy against a mirror of the live
+/// table it maintains alongside the engine.
+RunReport RunPhasedWorkload(const WorkloadSpec& spec,
+                            const RunnerOptions& options);
+
+}  // namespace workload
+}  // namespace janus
+
+#endif  // JANUS_WORKLOAD_RUNNER_H_

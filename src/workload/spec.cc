@@ -1,0 +1,132 @@
+#include "workload/spec.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace janus {
+namespace workload {
+
+void OpMix::Normalize() {
+  insert = insert > 0 ? insert : 0;
+  del = del > 0 ? del : 0;
+  query = query > 0 ? query : 0;
+  const double total = insert + del + query;
+  if (total <= 0) {
+    insert = del = 0;
+    query = 1;
+    return;
+  }
+  insert /= total;
+  del /= total;
+  query /= total;
+}
+
+namespace {
+
+DistSpec Zipfian(double s = 0.99) {
+  DistSpec d;
+  d.kind = DistKind::kZipfian;
+  d.zipf_s = s;
+  d.zipf_n = 1024;
+  d.scramble = true;
+  return d;
+}
+
+DistSpec Hotspot(double fraction, double probability) {
+  DistSpec d;
+  d.kind = DistKind::kHotspot;
+  d.hot_fraction = fraction;
+  d.hot_probability = probability;
+  return d;
+}
+
+PhaseSpec RunPhase(std::string name, size_t ops, double ins, double del,
+                   double query) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  p.ops = ops;
+  p.mix.insert = ins;
+  p.mix.del = del;
+  p.mix.query = query;
+  p.mix.Normalize();
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> PresetNames() {
+  return {"ycsb-a", "ycsb-b", "ycsb-c", "delete-heavy", "zipf-burst"};
+}
+
+WorkloadSpec Preset(const std::string& name, size_t load_rows,
+                    size_t phase_ops) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.load_rows = load_rows;
+  if (name == "ycsb-a") {
+    // Update-heavy analogue: YCSB-A's 50% updates become insert/delete
+    // churn; requests are zipfian over keys and rectangle placement.
+    PhaseSpec run = RunPhase("run", phase_ops, 0.25, 0.25, 0.50);
+    run.key_dist = Zipfian();
+    run.rect.placement = Zipfian();
+    spec.phases = {run};
+  } else if (name == "ycsb-b") {
+    // Read-mostly: 95% queries, 5% churn, zipfian.
+    PhaseSpec run = RunPhase("run", phase_ops, 0.025, 0.025, 0.95);
+    run.key_dist = Zipfian();
+    run.rect.placement = Zipfian();
+    spec.phases = {run};
+  } else if (name == "ycsb-c") {
+    // Read-only, uniform request placement — the harness's control spec.
+    PhaseSpec run = RunPhase("run", phase_ops, 0, 0, 1);
+    spec.phases = {run};
+  } else if (name == "delete-heavy") {
+    // Deletion-dominated traffic with skewed victims: hot rows churn out
+    // fast, the exact regime where reservoir lower bounds and re-draws are
+    // stressed. A query-only epilogue measures the post-shrink state.
+    PhaseSpec churn = RunPhase("churn", phase_ops, 0.20, 0.60, 0.20);
+    churn.key_dist = Hotspot(0.2, 0.8);
+    churn.rect.placement = Hotspot(0.2, 0.8);
+    PhaseSpec after = RunPhase("after", phase_ops / 4, 0, 0, 1);
+    spec.phases = {churn, after};
+  } else if (name == "zipf-burst") {
+    // Calm uniform serving interrupted by a zipfian insert burst aimed at a
+    // narrow hot range, then calm again: where the burst moved tail latency
+    // and accuracy shows up as calm-vs-recover deltas.
+    PhaseSpec calm = RunPhase("calm", phase_ops, 0.05, 0.05, 0.90);
+    PhaseSpec burst = RunPhase("burst", phase_ops, 0.70, 0.0, 0.30);
+    burst.key_dist = Zipfian(1.2);
+    burst.key_dist.scramble = false;  // pile the burst onto one end
+    burst.rect.placement = Zipfian(1.2);
+    burst.rect.placement.scramble = false;
+    PhaseSpec recover = RunPhase("recover", phase_ops, 0.05, 0.05, 0.90);
+    spec.phases = {calm, burst, recover};
+  } else {
+    std::string known;
+    for (const std::string& n : PresetNames()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown workload preset \"" + name +
+                                "\" (known: " + known + ")");
+  }
+  return spec;
+}
+
+std::string ToString(const WorkloadSpec& spec) {
+  std::ostringstream os;
+  os << "spec=" << spec.name << " load_rows=" << spec.load_rows
+     << " load_dist=" << DistKindName(spec.load_dist.kind)
+     << " pred_dims=" << spec.num_predicate_columns;
+  for (const PhaseSpec& p : spec.phases) {
+    os << " [" << p.name << ": ops=" << p.ops;
+    if (p.ops == 0) os << " seconds=" << p.seconds;
+    os << " mix=" << p.mix.insert << "/" << p.mix.del << "/" << p.mix.query
+       << " keys=" << DistKindName(p.key_dist.kind)
+       << " rect=" << DistKindName(p.rect.placement.kind) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace workload
+}  // namespace janus

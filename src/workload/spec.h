@@ -1,0 +1,84 @@
+#ifndef JANUS_WORKLOAD_SPEC_H_
+#define JANUS_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "workload/distributions.h"
+
+namespace janus {
+namespace workload {
+
+/// Proportions of the three op classes a run phase issues. Normalized by
+/// Normalize(); all-zero mixes degenerate to query-only.
+struct OpMix {
+  double insert = 0.0;
+  double del = 0.0;
+  double query = 1.0;
+
+  void Normalize();
+};
+
+/// How a phase places its predicate rectangles: each dimension's center is a
+/// placement-distribution draw over the observed domain, the per-dimension
+/// width is a width-distribution draw mapped onto [min_width_frac,
+/// max_width_frac] of the domain extent, and the rectangle is clamped to the
+/// domain.
+struct RectSpec {
+  DistSpec placement;  ///< center position per dimension
+  DistSpec width;      ///< unit draw mapped to the width range
+  double min_width_frac = 0.01;
+  double max_width_frac = 0.25;
+};
+
+/// One named run phase: an op mix with per-op-class distributions and a
+/// target op count (closed loop) or wall-clock duration.
+struct PhaseSpec {
+  std::string name = "run";
+  /// Total ops this phase issues across all runner threads; 0 means "run
+  /// for `seconds` of wall clock instead".
+  size_t ops = 10000;
+  double seconds = 0.0;
+  OpMix mix;
+  /// Governs insert key placement and delete-victim choice (a unit draw
+  /// indexes the live-row set, so a skewed key_dist deletes hot rows more).
+  DistSpec key_dist;
+  RectSpec rect;
+  AggFunc func = AggFunc::kSum;
+};
+
+/// A phased workload: one load phase (bulk rows whose predicate values
+/// follow load_dist) followed by named run phases — the shape of treeline's
+/// ycsbr PhasedWorkload, specialized to insert/delete/range-aggregate ops.
+struct WorkloadSpec {
+  std::string name = "custom";
+  size_t load_rows = 100000;
+  DistSpec load_dist;
+  /// Predicate columns are 0..num_predicate_columns-1; the aggregate column
+  /// is the next one (values ~ N(10, 2), matching GenerateUniform).
+  int num_predicate_columns = 1;
+  std::vector<PhaseSpec> phases;
+
+  int agg_column() const { return num_predicate_columns; }
+};
+
+/// Names of the built-in preset specs, in presentation order:
+/// "ycsb-a" (50/50 churn/read, zipfian), "ycsb-b" (95% read, zipfian),
+/// "ycsb-c" (read-only, uniform), "delete-heavy", "zipf-burst".
+std::vector<std::string> PresetNames();
+
+/// Build a preset spec scaled to `load_rows` rows and `phase_ops` ops per
+/// run phase. Throws std::invalid_argument for unknown names (the message
+/// lists the known ones).
+WorkloadSpec Preset(const std::string& name, size_t load_rows,
+                    size_t phase_ops);
+
+/// One-line rendering of a spec (logging / reproducibility).
+std::string ToString(const WorkloadSpec& spec);
+
+}  // namespace workload
+}  // namespace janus
+
+#endif  // JANUS_WORKLOAD_SPEC_H_

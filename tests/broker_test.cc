@@ -69,6 +69,32 @@ TEST(TopicTest, ConcurrentAppendsAllLand) {
   EXPECT_EQ(topic.EndOffset(), 4000u);
 }
 
+// Regression (data race): set_poll_overhead_ns used to write a plain
+// uint64_t that Poll() read outside the log mutex — retuning the knob while
+// consumers poll was UB. The knob is atomic now; this test gives TSan the
+// concurrent write/read pair to check.
+TEST(TopicTest, ConcurrentOverheadRetuneWhilePolling) {
+  Topic topic("t", 0);
+  for (uint64_t i = 0; i < 64; ++i) topic.Append(MakeTuple(i));
+
+  std::thread tuner([&topic] {
+    for (int i = 0; i < 500; ++i) {
+      topic.set_poll_overhead_ns(static_cast<uint64_t>(i % 3));
+    }
+  });
+  std::thread poller([&topic] {
+    std::vector<Tuple> out;
+    for (int i = 0; i < 500; ++i) {
+      out.clear();
+      topic.Poll(static_cast<uint64_t>(i) % 64, 8, &out);
+    }
+  });
+  tuner.join();
+  poller.join();
+  EXPECT_LE(topic.poll_overhead_ns(), 2u);
+  EXPECT_EQ(topic.EndOffset(), 64u);
+}
+
 TEST(BrokerTest, BuiltInAndNamedTopics) {
   Broker broker;
   EXPECT_EQ(broker.insert_topic()->name(), "insert");

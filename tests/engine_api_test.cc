@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -507,6 +508,55 @@ TEST(ArgMapTest, BareFlagDoesNotSwallowKeyValueToken) {
   EXPECT_EQ(args.GetString("engine", ""), "rs");
 }
 
+// Regression: strtoull-based getters wrapped "rows=-1" to 2^64-1 and read
+// "10x" as 10 with the trailing garbage silently ignored. Strict parsing
+// must fall back to the caller's default for all of these.
+TEST(ArgMapTest, NegativeValueForUnsignedGetterFallsBackToDefault) {
+  const char* argv[] = {"prog", "rows=-1", "every=-37"};
+  ArgMap args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetSize("rows", 123), 123u);
+  EXPECT_EQ(args.GetUint64("every", 7), 7u);
+  // The signed getter still accepts negatives, of course.
+  EXPECT_EQ(args.GetInt("rows", 0), -1);
+}
+
+TEST(ArgMapTest, NonNumericValueFallsBackToDefault) {
+  const char* argv[] = {"prog", "rows=abc", "seed=xyz", "beta=nope"};
+  ArgMap args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetSize("rows", 55), 55u);
+  EXPECT_EQ(args.GetUint64("seed", 42), 42u);
+  EXPECT_EQ(args.GetInt("rows", -3), -3);
+  EXPECT_DOUBLE_EQ(args.GetDouble("beta", 1.5), 1.5);
+}
+
+TEST(ArgMapTest, TrailingGarbageFallsBackToDefault) {
+  const char* argv[] = {"prog", "rows=10x", "leaves=64k", "beta=2.5oops"};
+  ArgMap args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetSize("rows", 9), 9u);
+  EXPECT_EQ(args.GetInt("leaves", 128), 128);
+  EXPECT_DOUBLE_EQ(args.GetDouble("beta", 0.25), 0.25);
+}
+
+TEST(ArgMapTest, OverflowFallsBackToDefault) {
+  const char* argv[] = {"prog",
+                        "seed=99999999999999999999999999",  // > 2^64
+                        "leaves=99999999999"};              // > INT_MAX
+  ArgMap args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetUint64("seed", 42), 42u);
+  EXPECT_EQ(args.GetSize("seed", 17), 17u);
+  EXPECT_EQ(args.GetInt("leaves", 128), 128);
+}
+
+TEST(ArgMapTest, StrictParsingStillAcceptsValidExtremes) {
+  const char* argv[] = {"prog", "seed=18446744073709551615",  // 2^64-1
+                        "leaves=-2147483648", "beta=1e-3", "rows=0"};
+  ArgMap args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetUint64("seed", 0), 18446744073709551615ull);
+  EXPECT_EQ(args.GetInt("leaves", 0), -2147483648);
+  EXPECT_DOUBLE_EQ(args.GetDouble("beta", 0), 1e-3);
+  EXPECT_EQ(args.GetSize("rows", 5), 0u);
+}
+
 TEST(EngineConfigTest, ToStringRoundTripsEveryKnob) {
   EngineConfig cfg;
   cfg.engine = "srs";
@@ -606,6 +656,70 @@ TEST(EngineDriverTest, ConsumesAllThreeTopics) {
 
   // A second Drain with nothing new is a no-op.
   EXPECT_EQ(driver.Drain(), 0u);
+}
+
+// Regression: results_ grew with every polled query forever; TakeResults()
+// is the drain API long-running consumers use to bound it.
+TEST(EngineDriverTest, TakeResultsDrainsBuffer) {
+  auto ds = GenerateUniform(5000, 1, TestSeed() + 92);
+  auto engine = EngineRegistry::Create("janus", BaseConfig());
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  Broker broker;
+  broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 1.0));
+  broker.query_topic()->Append(MakeQuery(AggFunc::kSum, 0.2, 0.8));
+  EngineDriver driver(engine.get(), &broker);
+  driver.Drain();
+  ASSERT_EQ(driver.results().size(), 2u);
+
+  const std::vector<QueryResult> taken = driver.TakeResults();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_TRUE(driver.results().empty());
+  // Offsets and stats are untouched by the drain.
+  EXPECT_EQ(driver.query_offset(), 2u);
+  EXPECT_EQ(driver.stats().queries, 2u);
+
+  // Later queries land in the (now empty) buffer, in topic order.
+  broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 0.5));
+  driver.Drain();
+  ASSERT_EQ(driver.results().size(), 1u);
+  EXPECT_EQ(driver.query_offset(), 3u);
+}
+
+TEST(EngineDriverTest, DrainThenSnapshotRoundTrips) {
+  auto ds = GenerateUniform(5000, 1, TestSeed() + 93);
+  auto engine = EngineRegistry::Create("janus", BaseConfig());
+  engine->LoadInitial(ds.rows);
+  engine->Initialize();
+  engine->RunCatchupToGoal();
+
+  Broker broker;
+  broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 1.0));
+  broker.query_topic()->Append(MakeQuery(AggFunc::kSum, 0.1, 0.9));
+  EngineDriver driver(engine.get(), &broker);
+  driver.Drain();
+  (void)driver.TakeResults();
+
+  // A snapshot taken after the drain records the same offsets it would have
+  // with the results still buffered (results are derived data).
+  const std::string path =
+      ::testing::TempDir() + "/drain_snapshot_roundtrip.snap";
+  driver.SaveSnapshot(path);
+
+  auto engine2 = EngineRegistry::Create("janus", BaseConfig());
+  EngineDriver driver2(engine2.get(), &broker);
+  driver2.LoadSnapshot(path);
+  EXPECT_EQ(driver2.query_offset(), driver.query_offset());
+  EXPECT_EQ(driver2.insert_offset(), driver.insert_offset());
+  EXPECT_EQ(driver2.delete_offset(), driver.delete_offset());
+
+  // The recovered driver answers only queries past the snapshot cut.
+  broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 0.5));
+  driver2.Drain();
+  EXPECT_EQ(driver2.results().size(), 1u);
+  std::remove(path.c_str());
 }
 
 TEST(EngineDriverTest, WorksAgainstEveryEngine) {

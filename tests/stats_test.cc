@@ -68,6 +68,28 @@ TEST(PercentileTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
 }
 
+// Pins down the documented estimator: linear interpolation between closest
+// ranks (Hyndman–Fan type 7), NOT nearest-rank. Nearest-rank would return
+// 2 here; type-7 interpolates to 2.5.
+TEST(PercentileTest, InterpolatesBetweenClosestRanks) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({10, 20}, 25), 12.5);
+  EXPECT_DOUBLE_EQ(Percentile({10, 20}, 75), 17.5);
+}
+
+TEST(PercentileTest, SingleElementIsThatElementAtAnyP) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.9), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100), 7.0);
+}
+
+TEST(PercentileTest, OutOfRangePClampsToExtremes) {
+  std::vector<double> v{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 250), 9.0);
+}
+
 TEST(MeanTest, Basics) {
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);

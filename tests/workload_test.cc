@@ -77,6 +77,96 @@ TEST(WorkloadTest, CarriesTemplateColumns) {
   }
 }
 
+TEST(WorkloadTest, ReportsFullGenerationWithoutShortfall) {
+  auto ds = GenerateUniform(5000, 1, 6);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 50;
+  opts.min_count = 10;
+  WorkloadGenReport report;
+  auto queries = gen.Generate(ds.rows, opts, &report);
+  EXPECT_EQ(queries.size(), 50u);
+  EXPECT_EQ(report.requested, 50u);
+  EXPECT_EQ(report.generated, 50u);
+  EXPECT_EQ(report.shortfall(), 0u);
+  EXPECT_FALSE(report.budget_exhausted);
+}
+
+// Regression: a tiny table with an unsatisfiable min_count used to return a
+// short (often empty) workload with no indication anything went wrong.
+TEST(WorkloadTest, TinyTableReportsShortfall) {
+  auto ds = GenerateUniform(5, 1, 7);  // 5 rows can never satisfy count>=10
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 20;
+  opts.min_count = 10;
+  WorkloadGenReport report;
+  auto queries = gen.Generate(ds.rows, opts, &report);
+  EXPECT_TRUE(queries.empty());
+  EXPECT_EQ(report.requested, 20u);
+  EXPECT_EQ(report.generated, 0u);
+  EXPECT_EQ(report.shortfall(), 20u);
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_GT(report.rejected, 0u);
+}
+
+TEST(WorkloadTest, UnsatisfiableMinCountExceedingTable) {
+  auto ds = GenerateUniform(100, 1, 8);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions opts;
+  opts.num_queries = 10;
+  opts.min_count = 1000;  // larger than the whole table
+  WorkloadGenReport report;
+  auto queries = gen.Generate(ds.rows, opts, &report);
+  EXPECT_TRUE(queries.empty());
+  EXPECT_TRUE(report.budget_exhausted);
+  // Every attempt in the budget was spent and rejected.
+  EXPECT_EQ(report.rejected, 10u * 50u);
+}
+
+// Regression: an empty input left the domain fold at its +max/-max
+// sentinels, so RandomRect sampled from an inverted interval.
+TEST(WorkloadTest, EmptyInputClampsDomainToDegenerateInterval) {
+  const std::vector<Tuple> no_rows;
+  WorkloadGenerator gen(no_rows, {0, 1}, 2);
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    Rectangle r = gen.RandomRect(&rng);
+    ASSERT_EQ(r.dims(), 2);
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_EQ(r.lo(d), 0.0);
+      EXPECT_EQ(r.hi(d), 0.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, EmptyColumnStoreClampsDomain) {
+  ColumnStore store(2);
+  WorkloadGenerator gen(store, {0, 1}, 1);
+  Rng rng(10);
+  Rectangle r = gen.RandomRect(&rng);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_EQ(r.lo(d), 0.0);
+    EXPECT_EQ(r.hi(d), 0.0);
+  }
+}
+
+TEST(WorkloadTest, ConstantColumnYieldsDegenerateButValidRect) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 50; ++i) {
+    Tuple t;
+    t.id = static_cast<uint64_t>(i);
+    t[0] = 3.5;
+    t[1] = static_cast<double>(i);
+    rows.push_back(t);
+  }
+  WorkloadGenerator gen(rows, {0}, 1);
+  Rng rng(11);
+  Rectangle r = gen.RandomRect(&rng);
+  EXPECT_EQ(r.lo(0), 3.5);
+  EXPECT_EQ(r.hi(0), 3.5);
+}
+
 TEST(GroundTruthTest, ExactAnswerAllFunctions) {
   std::vector<Tuple> rows;
   for (int i = 0; i < 10; ++i) {
