@@ -35,7 +35,8 @@ size_t FileBytes(const std::string& path) {
 }
 
 EngineConfig ConfigFrom(const ArgMap& args, const GeneratedDataset& ds) {
-  EngineConfig cfg = EngineConfig::FromArgs(args);
+  EngineConfig cfg =
+      EngineConfig::FromArgs(args, {"mode", "path", "replay", "rows"});
   cfg.schema = ds.schema;
   cfg.agg_column = 1;
   cfg.predicate_columns = {0};

@@ -1,0 +1,390 @@
+// Serving-tier bench: measures the networked multi-tenant path end to end —
+// an in-process AqpServer on an ephemeral loopback port, closed-loop wire
+// clients, and a background ingest client that keeps the engine's update
+// path busy while queries are served.
+//
+// Two sections, emitted as JSON lines for ci/check_bench_regression.py:
+//
+// 1. Request batching: the same query load (clients= concurrent
+//    connections, ops= queries each) runs once with batch_window_us=0 and
+//    once with a coalescing window. Sharded engines quiesce each shard once
+//    per engine call, so the windowed run amortizes that cost over every
+//    query in the batch:
+//      {"bench":"serving","metric":"qps_nobatch","path":"sharded:janus.8c",
+//       "queries_per_sec":...}
+//      {"bench":"serving","metric":"qps_batch","path":"sharded:janus.8c",
+//       "queries_per_sec":...}
+//      {"bench":"serving","metric":"batch_speedup","path":"...","ratio":...}
+//    batch_speedup gates as a floor: batching must stay a win.
+//
+// 2. Admission control: a compliant tenant paced under tenant_rate shares
+//    the server with greedy tenants hammering as fast as the loop allows.
+//    The compliant tenant's acceptance share gates as a floor near 1.0 —
+//    greedy traffic burns its own token bucket, not the compliant one's:
+//      {"bench":"serving","metric":"compliant_share","path":"rate",
+//       "ratio":...}
+//
+// Flags:
+//   engine=sharded:janus   registry backend fronted by the server
+//   rows=40000             archive rows loaded before serving
+//   clients=8 ops=400      concurrent query connections / queries each
+//   window=200             coalescing window (us) for the batch run
+//   ingest=2 ingest_batch=256  background ingest connections and the rows
+//                          per insert frame (0 connections disables ingest)
+//   rate=60 rate_seconds=2 admission-control section knobs
+//   spec_file=PATH         drive client op mixes from a phased spec file
+//                          (WorkloadSpec::FromFile; phase 1's mix applies)
+//   plus any EngineConfig or ServerOptions key (shards, leaves, ...)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/config.h"
+#include "api/error.h"
+#include "api/registry.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace janus {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-run aggregate over all client threads.
+struct LoadResult {
+  double seconds = 0;
+  uint64_t answered = 0;
+  uint64_t rejected = 0;
+  uint64_t updates = 0;
+  workload::LatencyReservoir latencies;
+  Rng merge_rng{12345};
+};
+
+/// Op mix a client thread draws from (defaults to query-only; a spec file
+/// overrides it).
+struct ClientMix {
+  double insert = 0;
+  double del = 0;
+};
+
+/// Closed-loop query clients (one connection, one tenant each) against a
+/// running server, with an optional background ingest connection issuing
+/// insert batches for the whole run.
+LoadResult RunClients(uint16_t port, int clients, size_t ops_per_client,
+                      const std::vector<AggQuery>& workload,
+                      const ClientMix& mix, int ingest_threads,
+                      size_t ingest_batch, std::atomic<uint64_t>* next_id) {
+  LoadResult result;
+  std::atomic<bool> stop_ingest{false};
+  std::vector<std::thread> ingest;
+  for (int g = 0; g < ingest_threads; ++g) {
+    ingest.emplace_back([port, next_id, ingest_batch, g, &stop_ingest] {
+      net::AqpClient client("127.0.0.1", port,
+                            /*tenant_id=*/1000 + static_cast<uint64_t>(g));
+      std::vector<Tuple> batch(ingest_batch);
+      Rng rng(991 + static_cast<uint64_t>(g));
+      while (!stop_ingest.load(std::memory_order_relaxed)) {
+        for (Tuple& t : batch) {
+          t.id = next_id->fetch_add(1, std::memory_order_relaxed);
+          t[0] = rng.NextDouble();
+          t[1] = 10.0 + rng.NextDouble();
+        }
+        client.Insert(batch);
+      }
+    });
+  }
+
+  std::vector<workload::LatencyReservoir> lats(
+      static_cast<size_t>(clients));
+  std::vector<uint64_t> answered(static_cast<size_t>(clients), 0);
+  std::vector<uint64_t> rejected(static_cast<size_t>(clients), 0);
+  std::vector<uint64_t> updates(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const size_t idx = static_cast<size_t>(c);
+      net::AqpClient client("127.0.0.1", port,
+                            /*tenant_id=*/static_cast<uint64_t>(c));
+      Rng lat_rng(7 + static_cast<uint64_t>(c));
+      std::mt19937_64 op_rng(static_cast<uint64_t>(c) * 7919 + 17);
+      std::uniform_real_distribution<double> unit(0.0, 1.0);
+      for (size_t i = 0; i < ops_per_client; ++i) {
+        const double draw = unit(op_rng);
+        if (draw < mix.insert) {
+          Tuple t;
+          t.id = next_id->fetch_add(1, std::memory_order_relaxed);
+          t[0] = unit(op_rng);
+          t[1] = 10.0 + unit(op_rng);
+          client.Insert({t});
+          ++updates[idx];
+          continue;
+        }
+        if (draw < mix.insert + mix.del) {
+          client.Delete({op_rng() % next_id->load(std::memory_order_relaxed)});
+          ++updates[idx];
+          continue;
+        }
+        const AggQuery& q =
+            workload[(idx * ops_per_client + i) % workload.size()];
+        const auto issued = Clock::now();
+        const QueryResult res = client.Query(q);
+        if (res.ok) {
+          lats[idx].Add(SecondsSince(issued) * 1e3, &lat_rng);
+          ++answered[idx];
+        } else {
+          ++rejected[idx];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = SecondsSince(start);
+  stop_ingest.store(true);
+  for (std::thread& t : ingest) t.join();
+  for (int c = 0; c < clients; ++c) {
+    const size_t idx = static_cast<size_t>(c);
+    result.answered += answered[idx];
+    result.rejected += rejected[idx];
+    result.updates += updates[idx];
+    result.latencies.Merge(lats[idx], &result.merge_rng);
+  }
+  return result;
+}
+
+void EmitRate(const std::string& path, const char* metric, double value) {
+  std::printf(
+      "{\"bench\":\"serving\",\"metric\":\"%s\",\"path\":\"%s\","
+      "\"queries_per_sec\":%.1f}\n",
+      metric, path.c_str(), value);
+}
+
+void EmitLatency(const std::string& path, const char* metric, double ms) {
+  std::printf(
+      "{\"bench\":\"serving\",\"metric\":\"%s\",\"path\":\"%s\","
+      "\"latency_ms\":%.6f}\n",
+      metric, path.c_str(), ms);
+}
+
+void EmitRatio(const std::string& path, const char* metric, double ratio) {
+  std::printf(
+      "{\"bench\":\"serving\",\"metric\":\"%s\",\"path\":\"%s\","
+      "\"ratio\":%.4f}\n",
+      metric, path.c_str(), ratio);
+}
+
+}  // namespace
+}  // namespace janus
+
+int main(int argc, char** argv) {
+  using namespace janus;
+  const ArgMap args(argc, argv);
+
+  std::vector<std::string> extra = {
+      "rows", "clients", "ops",          "window",   "ingest",
+      "ingest_batch",    "rate", "rate_seconds", "spec_file"};
+  for (const std::string& key : net::ServerOptions::KeyNames()) {
+    extra.push_back(key);
+  }
+  EngineConfig cfg;
+  net::ServerOptions base_opts;
+  try {
+    cfg = EngineConfig::FromArgs(args, extra);
+    base_opts = net::ServerOptions::FromArgs(args);
+  } catch (const std::exception& e) {
+    std::printf("{\"bench\":\"serving\",\"error\":\"%s\"}\n", e.what());
+    return 1;
+  }
+  if (!args.Has("engine")) cfg.engine = "sharded:janus";
+
+  size_t rows = args.GetSize("rows", 40000);
+  const int clients = args.GetInt("clients", 8);
+  size_t ops = args.GetSize("ops", 400);
+  const int64_t window_us =
+      static_cast<int64_t>(args.GetUint64("window", 200));
+  const int ingest_threads = args.GetInt("ingest", 2);
+  const size_t ingest_batch = args.GetSize("ingest_batch", 256);
+  const double rate = args.GetDouble("rate", 60.0);
+  const double rate_seconds = args.GetDouble("rate_seconds", 2.0);
+
+  ClientMix mix;
+  const std::string spec_file = args.GetString("spec_file", "");
+  std::string mix_name = "query-only";
+  if (!spec_file.empty()) {
+    try {
+      const workload::WorkloadSpec spec =
+          workload::WorkloadSpec::FromFile(spec_file);
+      rows = spec.load_rows;
+      const workload::PhaseSpec& phase = spec.phases.front();
+      if (phase.ops > 0) ops = phase.ops / static_cast<size_t>(clients);
+      mix.insert = phase.mix.insert;
+      mix.del = phase.mix.del;
+      mix_name = spec.name;
+    } catch (const std::exception& e) {
+      std::printf("{\"bench\":\"serving\",\"error\":\"%s\"}\n", e.what());
+      return 1;
+    }
+  }
+
+  const auto ds = GenerateUniform(rows, 1, cfg.seed);
+  WorkloadGenerator gen(ds.rows, {0}, 1);
+  WorkloadOptions wl_opts;
+  wl_opts.num_queries = 512;
+  wl_opts.seed = cfg.seed + 1;
+  const std::vector<AggQuery> workload = gen.Generate(ds.rows, wl_opts);
+  if (workload.empty()) {
+    std::printf(
+        "{\"bench\":\"serving\",\"error\":\"workload generation produced 0 "
+        "queries\"}\n");
+    return 1;
+  }
+
+  const std::string path =
+      cfg.engine + "." + std::to_string(clients) + "c." + mix_name;
+
+  // --- section 1: request batching ------------------------------------------
+  double qps_nobatch = 0;
+  double qps_batch = 0;
+  for (const bool batched : {false, true}) {
+    auto engine = EngineRegistry::Create(cfg);
+    engine->LoadInitial(ds.rows);
+    engine->Initialize();
+    std::atomic<uint64_t> next_id{static_cast<uint64_t>(rows)};
+
+    net::ServerOptions opts = base_opts;
+    opts.listen_port = 0;
+    opts.batch_window_us = batched ? window_us : 0;
+    // Closed-loop clients can have at most `clients` queries pending, so a
+    // full batch is exactly one per client: the dispatcher fires the moment
+    // every in-flight query has arrived and the window only bounds
+    // stragglers, instead of running out in dead time on every batch.
+    opts.batch_max = static_cast<size_t>(clients);
+    opts.tenant_rate = 0;  // admission control measured separately
+    net::AqpServer server(engine.get(), opts);
+    server.Start();
+
+    const LoadResult run =
+        RunClients(server.port(), clients, ops, workload, mix, ingest_threads,
+                   ingest_batch, &next_id);
+    server.Stop();
+
+    const char* mode = batched ? "batch" : "nobatch";
+    const double qps =
+        run.seconds > 0 ? static_cast<double>(run.answered) / run.seconds : 0;
+    (batched ? qps_batch : qps_nobatch) = qps;
+    EmitRate(path, batched ? "qps_batch" : "qps_nobatch", qps);
+    EmitLatency(path, batched ? "query_p50_batch_ms" : "query_p50_nobatch_ms",
+                run.latencies.PercentileMs(50));
+    EmitLatency(path, batched ? "query_p99_batch_ms" : "query_p99_nobatch_ms",
+                run.latencies.PercentileMs(99));
+    const net::ServingStats srv = server.stats();
+    std::printf(
+        "{\"bench\":\"serving\",\"path\":\"%s\",\"mode\":\"%s\","
+        "\"seconds\":%.3f,\"answered\":%llu,\"updates\":%llu,"
+        "\"server_batches\":%llu,\"server_batched_queries\":%llu,"
+        "\"server_inserts\":%llu}\n",
+        path.c_str(), mode, run.seconds,
+        static_cast<unsigned long long>(run.answered),
+        static_cast<unsigned long long>(run.updates),
+        static_cast<unsigned long long>(srv.batches),
+        static_cast<unsigned long long>(srv.batched_queries),
+        static_cast<unsigned long long>(srv.inserts));
+    std::fflush(stdout);
+  }
+  if (qps_nobatch > 0) {
+    EmitRatio(path, "batch_speedup", qps_batch / qps_nobatch);
+  }
+
+  // --- section 2: per-tenant admission control ------------------------------
+  {
+    EngineConfig rate_cfg = cfg;
+    auto engine = EngineRegistry::Create(rate_cfg);
+    engine->LoadInitial(ds.rows);
+    engine->Initialize();
+
+    net::ServerOptions opts = base_opts;
+    opts.listen_port = 0;
+    opts.batch_window_us = 0;
+    opts.tenant_rate = rate;
+    opts.tenant_burst = rate / 4;
+    net::AqpServer server(engine.get(), opts);
+    server.Start();
+    const uint16_t port = server.port();
+
+    // The compliant tenant paces itself to half the admitted rate; two
+    // greedy tenants issue as fast as their closed loops allow.
+    std::atomic<uint64_t> compliant_ok{0}, compliant_total{0};
+    std::atomic<uint64_t> greedy_ok{0}, greedy_rejected{0};
+    std::atomic<bool> stop{false};
+    std::thread compliant([&] {
+      net::AqpClient client("127.0.0.1", port, /*tenant_id=*/1);
+      const auto pace =
+          std::chrono::microseconds(static_cast<int64_t>(2e6 / rate));
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const QueryResult res = client.Query(workload[i++ % workload.size()]);
+        ++compliant_total;
+        if (res.ok) ++compliant_ok;
+        std::this_thread::sleep_for(pace);
+      }
+    });
+    std::vector<std::thread> greedy;
+    for (int g = 0; g < 2; ++g) {
+      greedy.emplace_back([&, g] {
+        net::AqpClient client("127.0.0.1", port,
+                              /*tenant_id=*/static_cast<uint64_t>(2 + g));
+        size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const QueryResult res =
+              client.Query(workload[i++ % workload.size()]);
+          if (res.ok) {
+            ++greedy_ok;
+          } else if (res.error_code ==
+                     static_cast<uint32_t>(
+                         ApiErrorCode::kRejectedRateLimit)) {
+            ++greedy_rejected;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(rate_seconds));
+    stop.store(true);
+    compliant.join();
+    for (std::thread& t : greedy) t.join();
+    server.Stop();
+
+    const double share =
+        compliant_total.load() > 0
+            ? static_cast<double>(compliant_ok.load()) /
+                  static_cast<double>(compliant_total.load())
+            : 0;
+    EmitRatio("rate", "compliant_share", share);
+    const net::ServingStats srv = server.stats();
+    std::printf(
+        "{\"bench\":\"serving\",\"path\":\"rate\",\"tenant_rate\":%.1f,"
+        "\"compliant_ok\":%llu,\"compliant_total\":%llu,"
+        "\"greedy_ok\":%llu,\"greedy_rejected\":%llu,"
+        "\"server_rejected_rate_limit\":%llu}\n",
+        rate, static_cast<unsigned long long>(compliant_ok.load()),
+        static_cast<unsigned long long>(compliant_total.load()),
+        static_cast<unsigned long long>(greedy_ok.load()),
+        static_cast<unsigned long long>(greedy_rejected.load()),
+        static_cast<unsigned long long>(srv.rejected_rate_limit));
+  }
+  return 0;
+}

@@ -160,19 +160,43 @@ int main(int argc, char** argv) {
   const std::vector<std::string> engines = SplitCsv(engines_arg);
 
   workload::RunnerOptions opts;
-  opts.engine_cfg = EngineConfig::FromArgs(args);
+  opts.engine_cfg = EngineConfig::FromArgs(
+      args, {"rows", "ops", "spec", "spec_file", "engines", "format",
+             "threads", "accuracy", "stream"});
   opts.threads = args.GetInt("threads", 2);
   opts.accuracy_queries = args.GetSize("accuracy", 64);
   opts.stream = args.GetBool("stream", false);
   opts.seed = args.GetUint64("seed", 42);
 
-  for (const std::string& spec_name : specs) {
+  // spec_file= runs custom phased specs (comma-separated paths, parsed by
+  // the strict WorkloadSpec::FromFile) instead of the built-in presets.
+  const std::string spec_file_arg = args.GetString("spec_file", "");
+  std::vector<workload::WorkloadSpec> file_specs;
+  if (!spec_file_arg.empty()) {
+    for (const std::string& path : SplitCsv(spec_file_arg)) {
+      try {
+        file_specs.push_back(workload::WorkloadSpec::FromFile(path));
+      } catch (const std::exception& e) {
+        std::printf("{\"bench\":\"ycsb\",\"error\":\"%s\"}\n", e.what());
+        return 1;
+      }
+    }
+    specs.clear();
+    for (const workload::WorkloadSpec& s : file_specs) specs.push_back(s.name);
+  }
+
+  for (size_t spec_idx = 0; spec_idx < specs.size(); ++spec_idx) {
+    const std::string& spec_name = specs[spec_idx];
     workload::WorkloadSpec spec;
-    try {
-      spec = workload::Preset(spec_name, rows, ops);
-    } catch (const std::exception& e) {
-      std::printf("{\"bench\":\"ycsb\",\"error\":\"%s\"}\n", e.what());
-      return 1;
+    if (!file_specs.empty()) {
+      spec = file_specs[spec_idx];
+    } else {
+      try {
+        spec = workload::Preset(spec_name, rows, ops);
+      } catch (const std::exception& e) {
+        std::printf("{\"bench\":\"ycsb\",\"error\":\"%s\"}\n", e.what());
+        return 1;
+      }
     }
     std::fprintf(stderr, "[bench_ycsb] %s\n",
                  workload::ToString(spec).c_str());

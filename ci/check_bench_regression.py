@@ -75,7 +75,7 @@ def metric_key(obj):
 def value(obj):
     for field in ("rows_per_sec", "inserts_per_sec", "records_per_sec",
                   "updates_per_sec", "queries_per_sec", "latency_ms",
-                  "error_rel"):
+                  "error_rel", "ratio"):
         if field in obj:
             return float(obj[field])
     return None

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   //      SELECT SUM(col1) FROM D WHERE lo <= col0 <= hi
   //    and create the engine by name. Every key=value flag maps onto the
   //    same EngineConfig, whatever the backend.
-  EngineConfig config = EngineConfig::FromArgs(args);
+  EngineConfig config = EngineConfig::FromArgs(args, {"rows", "threads"});
   config.schema = ds.schema;
   config.agg_column = 1;
   config.predicate_columns = {0};

@@ -1,5 +1,7 @@
 #include "api/config.h"
 
+#include "api/error.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -126,8 +128,75 @@ ArgMap::ArgMap(int argc, char** argv) {
   }
 }
 
+ArgMap::ArgMap(const std::vector<std::string>& tokens) {
+  for (const std::string& tok : tokens) {
+    const size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[StripDashes(tok.substr(0, eq))] = tok.substr(eq + 1);
+    } else if (!tok.empty()) {
+      kv_[StripDashes(tok)] = "1";
+    }
+  }
+}
+
 bool ArgMap::Has(const std::string& key) const {
   return kv_.contains(key);
+}
+
+std::vector<std::string> ArgMap::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
+}
+
+bool ArgMap::TryGetSize(const std::string& key, size_t* out) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return true;
+  uint64_t v = 0;
+  if (!ParseUnsignedStrict(it->second, &v)) return false;
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (v > std::numeric_limits<size_t>::max()) return false;
+  }
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+bool ArgMap::TryGetInt(const std::string& key, int* out) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return true;
+  long long v = 0;
+  if (!ParseSignedStrict(it->second, &v) ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ArgMap::TryGetDouble(const std::string& key, double* out) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return true;
+  double v = 0.0;
+  if (!ParseDoubleStrict(it->second, &v)) return false;
+  *out = v;
+  return true;
+}
+
+bool ArgMap::TryGetBool(const std::string& key, bool* out) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return true;
+  const std::string v = Lower(it->second);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    *out = true;
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
 }
 
 std::string ArgMap::GetString(const std::string& key,
@@ -246,7 +315,91 @@ const char* PartitionAlgorithmName(PartitionAlgorithm a) {
   return "?";
 }
 
-EngineConfig EngineConfig::FromArgs(const ArgMap& args) {
+const std::vector<EngineConfig::KeyInfo>& EngineConfig::KnownKeys() {
+  static const std::vector<KeyInfo>* keys = new std::vector<KeyInfo>{
+      {"engine", "registry backend name (janus, multi, rs, srs, spn, spt, "
+                 "sharded:<inner>)"},
+      {"agg", "aggregate column index"},
+      {"pred", "predicate column indices, comma-separated"},
+      {"tracked", "extra tracked aggregate columns (Sec. 5.5)"},
+      {"columns", "columns a learned model (SPN) covers"},
+      {"leaves", "partition-tree leaf count"},
+      {"sample_rate", "synopsis sample rate"},
+      {"alpha", "alias of sample_rate"},
+      {"catchup_rate", "catch-up sample goal as a table fraction"},
+      {"catchup", "alias of catchup_rate"},
+      {"confidence", "CI confidence level"},
+      {"focus", "optimizer focus aggregate (sum, count, avg, min, max)"},
+      {"algorithm", "partitioner (bs, dp, ed, kd)"},
+      {"triggers", "re-partitioning triggers on/off (janus)"},
+      {"beta", "trigger sensitivity"},
+      {"check_interval", "updates between trigger checks"},
+      {"starvation", "starvation factor of the trigger policy"},
+      {"psi", "partial re-partition subtree size (0 = always full)"},
+      {"reopt_mode", "blocking | background re-optimization"},
+      {"reopt_delta_tail", "max delta ops left for background adoption"},
+      {"strata", "SRS strata count (0 = num_leaves)"},
+      {"train_fraction", "fraction of live table a model retrains on"},
+      {"shards", "hash-shard count of sharded:* engines"},
+      {"scan_threads", "morsel-parallel scan worker cap (0 = all, 1 = "
+                       "serial)"},
+      {"parallel_min_rows", "scans under this many rows stay serial"},
+      {"snapshot_path", "periodic snapshot file (empty = off)"},
+      {"snapshot_every", "records between automatic snapshots (0 = off)"},
+      {"seed", "RNG seed"},
+  };
+  return *keys;
+}
+
+namespace {
+
+/// Levenshtein distance with early-out; used only for did-you-mean hints on
+/// the (cold) unknown-key error path.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+EngineConfig EngineConfig::FromArgs(const ArgMap& args,
+                                    const std::vector<std::string>& extra_known) {
+  // Collect unknown keys first and fail fast with the whole list: a typo
+  // like scan_thread=8 must abort the run, not silently configure nothing.
+  std::set<std::string> known;
+  for (const KeyInfo& k : KnownKeys()) known.insert(k.key);
+  for (const std::string& k : extra_known) known.insert(k);
+  std::string unknown;
+  for (const std::string& key : args.Keys()) {
+    if (known.contains(key)) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += key;
+    // Did-you-mean: the closest known key within edit distance 2.
+    size_t best = 3;
+    const std::string* suggestion = nullptr;
+    for (const std::string& cand : known) {
+      const size_t d = EditDistance(key, cand);
+      if (d < best) {
+        best = d;
+        suggestion = &cand;
+      }
+    }
+    if (suggestion != nullptr) unknown += " (did you mean " + *suggestion + "?)";
+  }
+  if (!unknown.empty()) {
+    throw ApiException(ApiErrorCode::kUnknownConfigKey,
+                       "unknown config keys: " + unknown);
+  }
+
   EngineConfig c;
   c.engine = args.GetString("engine", c.engine);
   c.agg_column = args.GetInt("agg", c.agg_column);

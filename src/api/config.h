@@ -26,6 +26,9 @@ class ArgMap {
  public:
   ArgMap() = default;
   ArgMap(int argc, char** argv);
+  /// Parse pre-split "key=value" (or bare "key" => "1") tokens — the
+  /// spec-file and wire-config paths reuse the CLI parsing rules verbatim.
+  explicit ArgMap(const std::vector<std::string>& tokens);
 
   bool Has(const std::string& key) const;
 
@@ -39,6 +42,18 @@ class ArgMap {
   /// Comma-separated integer list, e.g. "pred=0,5".
   std::vector<int> GetIntList(const std::string& key,
                               std::vector<int> def) const;
+
+  // Fail-fast variants for parsers that must reject malformed input instead
+  // of warning and defaulting (WorkloadSpec::FromFile): absent keys leave
+  // *out untouched and return true; present-but-malformed values return
+  // false (same strict full-token parse as the Get* family, no warning).
+  bool TryGetSize(const std::string& key, size_t* out) const;
+  bool TryGetInt(const std::string& key, int* out) const;
+  bool TryGetDouble(const std::string& key, double* out) const;
+  bool TryGetBool(const std::string& key, bool* out) const;
+
+  /// All keys present, sorted (map order).
+  std::vector<std::string> Keys() const;
 
   const std::map<std::string, std::string>& entries() const { return kv_; }
 
@@ -130,9 +145,26 @@ struct EngineConfig {
 
   uint64_t seed = 42;
 
-  /// Parse from shared CLI args; unknown keys are ignored (benches keep their
-  /// own keys like "rows" in the same ArgMap).
-  static EngineConfig FromArgs(const ArgMap& args);
+  /// One entry of the engine-config key registry: the CLI/wire key plus a
+  /// one-line summary (the README config table and the serving tier's
+  /// config-echo response are generated from the same rows).
+  struct KeyInfo {
+    const char* key;
+    const char* summary;
+  };
+
+  /// Every key FromArgs understands (aliases included), in presentation
+  /// order. The single source of truth for the unknown-key error message,
+  /// the README table and the wire-level config echo.
+  static const std::vector<KeyInfo>& KnownKeys();
+
+  /// Parse from shared CLI args. Keys that are neither in KnownKeys() nor
+  /// in `extra_known` (the caller's own flags — benches pass "rows" etc.)
+  /// fail fast with an ApiException(kUnknownConfigKey) listing every
+  /// offender, with a did-you-mean suggestion for near-misses: a typo like
+  /// scan_thread=8 aborts the run instead of silently configuring nothing.
+  static EngineConfig FromArgs(const ArgMap& args,
+                               const std::vector<std::string>& extra_known = {});
 
   /// Canonical "key=value ..." rendering (logging / reproducibility).
   std::string ToString() const;

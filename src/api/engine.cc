@@ -1,11 +1,53 @@
 #include "api/engine.h"
 
+#include "api/error.h"
 #include "data/parallel_scan.h"
 #include "util/invariants.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace janus {
+
+namespace {
+
+/// Query-shape validation shared by Query and QueryBatch: the facade
+/// rejects malformed requests with a typed result instead of letting a
+/// backend index out of bounds or throw.
+ApiError ValidateQuery(const AggQuery& q) {
+  if (q.predicate_columns.empty()) {
+    return ApiError{ApiErrorCode::kInvalidArgument,
+                    "query has no predicate columns"};
+  }
+  if (q.rect.dims() != static_cast<int>(q.predicate_columns.size())) {
+    return ApiError{ApiErrorCode::kInvalidArgument,
+                    "rectangle dims (" + std::to_string(q.rect.dims()) +
+                        ") != predicate columns (" +
+                        std::to_string(q.predicate_columns.size()) + ")"};
+  }
+  for (int c : q.predicate_columns) {
+    if (c < 0 || c >= kMaxColumns) {
+      return ApiError{ApiErrorCode::kInvalidArgument,
+                      "predicate column " + std::to_string(c) +
+                          " outside [0, " + std::to_string(kMaxColumns) + ")"};
+    }
+  }
+  if (q.agg_column < 0 || q.agg_column >= kMaxColumns) {
+    return ApiError{ApiErrorCode::kInvalidArgument,
+                    "aggregate column " + std::to_string(q.agg_column) +
+                        " outside [0, " + std::to_string(kMaxColumns) + ")"};
+  }
+  return ApiError::Ok();
+}
+
+QueryResult ErrorResult(const ApiError& e) {
+  QueryResult r;
+  r.ok = false;
+  r.error_code = static_cast<uint32_t>(e.code);
+  r.error_detail = e.detail;
+  return r;
+}
+
+}  // namespace
 
 // --- public API: the concurrency contract ----------------------------------
 
@@ -39,14 +81,55 @@ bool AqpEngine::Delete(uint64_t id) {
 }
 
 QueryResult AqpEngine::Query(const AggQuery& q) const {
+  const ApiError bad = ValidateQuery(q);
+  if (!bad.ok()) return ErrorResult(bad);
   ReadRoom room(base_rooms());
-  return QueryImpl(q);
+  try {
+    return QueryImpl(q);
+  } catch (const std::exception& e) {
+    // The typed surface: a backend exception becomes an error-slotted
+    // result, never an escaped exception (the serving tier relies on this —
+    // a served query must produce a response frame, not a connection reset).
+    return ErrorResult(ApiErrorFromException(e));
+  }
 }
 
 std::vector<QueryResult> AqpEngine::QueryBatch(
     const std::vector<AggQuery>& queries, ThreadPool* pool) const {
+  // Shape-validate up front; a batch with any invalid member still answers
+  // the valid ones (results are positionally aligned, so per-query error
+  // slots carry the rejections).
+  std::vector<size_t> valid;
+  valid.reserve(queries.size());
+  std::vector<QueryResult> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ApiError bad = ValidateQuery(queries[i]);
+    if (bad.ok()) {
+      valid.push_back(i);
+    } else {
+      out[i] = ErrorResult(bad);
+    }
+  }
+  if (valid.empty()) return out;
+  // All-valid batches (the hot path) avoid the compaction copy.
+  const bool all_valid = valid.size() == queries.size();
+  std::vector<AggQuery> accepted;
+  if (!all_valid) {
+    accepted.reserve(valid.size());
+    for (size_t i : valid) accepted.push_back(queries[i]);
+  }
   ReadRoom room(base_rooms());
-  return QueryBatchImpl(queries, pool);
+  try {
+    std::vector<QueryResult> answered =
+        QueryBatchImpl(all_valid ? queries : accepted, pool);
+    for (size_t j = 0; j < valid.size(); ++j) {
+      out[valid[j]] = std::move(answered[j]);
+    }
+  } catch (const std::exception& e) {
+    const QueryResult err = ErrorResult(ApiErrorFromException(e));
+    for (size_t i : valid) out[i] = err;
+  }
+  return out;
 }
 
 void AqpEngine::RunCatchupToGoal() {

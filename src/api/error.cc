@@ -1,0 +1,60 @@
+#include "api/error.h"
+
+#include "persist/serde.h"
+
+namespace janus {
+
+const char* ApiErrorCodeName(ApiErrorCode code) {
+  switch (code) {
+    case ApiErrorCode::kOk:
+      return "ok";
+    case ApiErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ApiErrorCode::kUnknownEngine:
+      return "unknown_engine";
+    case ApiErrorCode::kUnknownConfigKey:
+      return "unknown_config_key";
+    case ApiErrorCode::kPersistence:
+      return "persistence";
+    case ApiErrorCode::kRejectedRateLimit:
+      return "rejected_rate_limit";
+    case ApiErrorCode::kRejectedOverloaded:
+      return "rejected_overloaded";
+    case ApiErrorCode::kMalformedFrame:
+      return "malformed_frame";
+    case ApiErrorCode::kNetwork:
+      return "network";
+    case ApiErrorCode::kBadSpecFile:
+      return "bad_spec_file";
+    case ApiErrorCode::kUnsupported:
+      return "unsupported";
+    case ApiErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string ApiError::ToString() const {
+  if (ok()) return "ok";
+  std::string s = ApiErrorCodeName(code);
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+ApiError ApiErrorFromException(const std::exception& e) {
+  if (const auto* api = dynamic_cast<const ApiException*>(&e)) {
+    return api->error();
+  }
+  if (dynamic_cast<const persist::PersistError*>(&e) != nullptr) {
+    return ApiError{ApiErrorCode::kPersistence, e.what()};
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return ApiError{ApiErrorCode::kInvalidArgument, e.what()};
+  }
+  return ApiError{ApiErrorCode::kInternal, e.what()};
+}
+
+}  // namespace janus

@@ -1,0 +1,91 @@
+#ifndef JANUS_API_ERROR_H_
+#define JANUS_API_ERROR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace janus {
+
+/// Stable numeric error codes of the public engine API. These are the codes
+/// in-process callers, EngineDriver and the networked serving tier all
+/// report — the wire protocol carries the numeric value verbatim, so the
+/// enumerators must never be renumbered, only appended to.
+enum class ApiErrorCode : uint32_t {
+  kOk = 0,
+  /// Malformed request: predicate/rectangle dimension mismatch, empty
+  /// predicate set, unknown aggregate — the caller's input is wrong.
+  kInvalidArgument = 1,
+  /// Engine name not present in the registry.
+  kUnknownEngine = 2,
+  /// EngineConfig parsing saw keys outside the known-key registry.
+  kUnknownConfigKey = 3,
+  /// Snapshot persistence failure (persist::PersistError routed through the
+  /// typed surface): bad magic/version/checksum, truncation, I/O.
+  kPersistence = 4,
+  /// Admission control: the tenant exceeded its configured token-bucket
+  /// rate; retry after backing off. Never accompanies dropped connections.
+  kRejectedRateLimit = 5,
+  /// Admission control: the server's max_inflight cap is full.
+  kRejectedOverloaded = 6,
+  /// Wire frame failed validation (magic/version/length/checksum) or the
+  /// payload did not decode as the declared message type.
+  kMalformedFrame = 7,
+  /// Transport-level failure (connect/read/write on the socket).
+  kNetwork = 8,
+  /// Workload spec file failed to parse (unknown key, malformed value,
+  /// unknown distribution, missing file).
+  kBadSpecFile = 9,
+  /// The operation is not supported by this engine/server configuration.
+  kUnsupported = 10,
+  /// An unexpected exception escaped a backend; detail carries what().
+  kInternal = 11,
+};
+
+/// Stable lower-case token for a code ("ok", "rejected_rate_limit", ...).
+const char* ApiErrorCodeName(ApiErrorCode code);
+
+/// The one error value of the public API: a stable code plus a
+/// human-readable detail string. Returned by value on paths that must not
+/// throw (the wire boundary, QueryResult's error slot) and carried by
+/// ApiException on paths that do.
+struct ApiError {
+  ApiErrorCode code = ApiErrorCode::kOk;
+  std::string detail;
+
+  bool ok() const { return code == ApiErrorCode::kOk; }
+  /// "rejected_rate_limit: tenant 7 over 100 req/s" style rendering.
+  std::string ToString() const;
+
+  static ApiError Ok() { return ApiError{}; }
+};
+
+/// Exception form of ApiError for the in-process API surfaces that fail by
+/// throwing (registry lookup, config parsing, spec files, client transport
+/// errors). Derives from std::invalid_argument so pre-existing catch sites
+/// for argument-shaped failures keep working; the typed code is what the
+/// serving tier puts on the wire instead of the what() string.
+class ApiException : public std::invalid_argument {
+ public:
+  explicit ApiException(ApiError error)
+      : std::invalid_argument(error.ToString()), error_(std::move(error)) {}
+  ApiException(ApiErrorCode code, std::string detail)
+      : ApiException(ApiError{code, std::move(detail)}) {}
+
+  const ApiError& error() const { return error_; }
+  ApiErrorCode code() const { return error_.code; }
+
+ private:
+  ApiError error_;
+};
+
+/// Map an arbitrary in-flight exception onto the typed surface:
+/// ApiException keeps its code, persist::PersistError becomes kPersistence,
+/// std::invalid_argument becomes kInvalidArgument, anything else kInternal.
+/// This is how the engine facade and the server guarantee that no backend
+/// exception ever crosses the API (or the wire) untyped.
+ApiError ApiErrorFromException(const std::exception& e);
+
+}  // namespace janus
+
+#endif  // JANUS_API_ERROR_H_

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "api/error.h"
+
 namespace janus {
 
 // Defined in engines.cc; fills the registry with the built-in backends.
@@ -50,8 +52,9 @@ std::unique_ptr<AqpEngine> EngineRegistry::CreateEngine(
       if (!known.empty()) known += ", ";
       known += n;
     }
-    throw std::invalid_argument("unknown engine '" + name +
-                                "' (registered: " + known + ")");
+    throw ApiException(ApiErrorCode::kUnknownEngine,
+                       "unknown engine '" + name + "' (registered: " + known +
+                           ")");
   }
   return it->second.factory(config);
 }

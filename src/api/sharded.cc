@@ -46,6 +46,12 @@ QueryResult MergeShardResults(AggFunc func,
   QueryResult merged;
   if (parts.empty()) return merged;
 
+  // Error slots propagate: a merge over any failed shard answer is itself
+  // meaningless, so the first shard error becomes the pooled result.
+  for (const QueryResult& r : parts) {
+    if (!r.ok) return r;
+  }
+
   switch (func) {
     case AggFunc::kSum:
     case AggFunc::kCount: {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,16 @@ struct QueryResult {
   size_t partial_leaves = 0;
   /// True when every contribution came from exact statistics.
   bool exact = false;
+
+  /// Explicit success slot: when false the estimate/CI fields are
+  /// meaningless and error_code/error_detail say why (the numeric value of
+  /// api ApiErrorCode — kept as a plain integer here so the core layer does
+  /// not depend on src/api/). The AqpEngine facade fills these instead of
+  /// letting backend exceptions escape, so callers (and the serving tier)
+  /// check `ok` rather than inferring failure from exceptions.
+  bool ok = true;
+  uint32_t error_code = 0;
+  std::string error_detail;
 };
 
 /// Dynamic Partition Tree (Sec. 4): a partition-tree synopsis whose node

@@ -1,0 +1,87 @@
+#ifndef JANUS_NET_CLIENT_H_
+#define JANUS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace janus {
+namespace net {
+
+/// Blocking client for the serving tier. One connection, one outstanding
+/// request at a time (open several clients for concurrency — the server is
+/// thread-per-connection).
+///
+/// Error model mirrors the engine facade: query failures arrive in-band as
+/// QueryResult{ok=false, error_code, error_detail} — including the
+/// admission-control rejections (kRejectedRateLimit / kRejectedOverloaded),
+/// so a rate-limited caller sees a typed result on a live connection, never
+/// a reset. Non-query requests throw ApiException carrying the server's
+/// typed error; transport failures throw ApiException(kNetwork).
+class AqpClient {
+ public:
+  /// Connect to a serving tier; `tenant_id` stamps every frame and is the
+  /// server's admission-control key.
+  AqpClient(const std::string& host, uint16_t port, uint64_t tenant_id = 0);
+
+  AqpClient(const AqpClient&) = delete;
+  AqpClient& operator=(const AqpClient&) = delete;
+  AqpClient(AqpClient&&) = default;
+  AqpClient& operator=(AqpClient&&) = default;
+
+  uint64_t tenant_id() const { return tenant_id_; }
+
+  /// Round-trip latency probe; returns nothing, throws on failure.
+  void Ping();
+
+  /// Answer one query. Rejections and backend failures come back with
+  /// ok=false and the ApiErrorCode in error_code.
+  QueryResult Query(const AggQuery& q);
+
+  /// Answer a pre-assembled batch in one frame / one engine call. The
+  /// whole batch is admitted or rejected atomically; a rejection yields
+  /// one ok=false result per query.
+  std::vector<QueryResult> QueryBatch(const std::vector<AggQuery>& queries);
+
+  /// Ingest rows; returns the accepted count. In the server's streamed
+  /// mode "accepted" means enqueued to the broker (applied in arrival
+  /// order shortly after); otherwise the rows are applied before the ack.
+  uint64_t Insert(const std::vector<Tuple>& rows);
+
+  /// Delete by tuple id; returns how many were applied (or enqueued, in
+  /// streamed mode).
+  uint64_t Delete(const std::vector<uint64_t>& ids);
+
+  /// Engine + serving-tier counters.
+  StatsReply Stats();
+
+  /// The server's config-key registry (engine + serving keys with their
+  /// one-line summaries) — lets tooling discover the accepted keys without
+  /// a matching binary version.
+  ConfigKeyEcho ConfigEcho();
+
+ private:
+  /// Send one request frame and receive its reply. Validates the echoed
+  /// request id and reply type; decodes kErrorReply into *err (returns an
+  /// empty payload) so callers choose between in-band and thrown errors.
+  std::vector<uint8_t> RoundTrip(MsgType type,
+                                 const std::vector<uint8_t>& payload,
+                                 ApiError* err);
+
+  /// RoundTrip for callers without an in-band error channel: a typed error
+  /// reply becomes a thrown ApiException.
+  std::vector<uint8_t> RoundTripOrThrow(MsgType type,
+                                        const std::vector<uint8_t>& payload);
+
+  Socket sock_;
+  uint64_t tenant_id_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace janus
+
+#endif  // JANUS_NET_CLIENT_H_

@@ -1,0 +1,177 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "api/error.h"
+
+namespace janus {
+namespace net {
+
+namespace {
+
+[[noreturn]] void ThrowNetwork(const std::string& what) {
+  throw ApiException(ApiErrorCode::kNetwork,
+                     what + ": " + std::strerror(errno));
+}
+
+/// The serving tier exchanges small request/response frames; Nagle's
+/// algorithm would add up to 40ms per round-trip, so disable it.
+void DisableNagle(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    throw ApiException(ApiErrorCode::kNetwork,
+                       "cannot parse host address '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowNetwork("socket()");
+  Socket s(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ThrowNetwork("connect to " + host + ":" + std::to_string(port));
+  }
+  DisableNagle(fd);
+  return s;
+}
+
+void Socket::SendAll(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-send must surface as a typed
+    // error on this connection, not a process-wide SIGPIPE.
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ThrowNetwork("send()");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+}
+
+bool Socket::RecvAll(void* data, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ThrowNetwork("recv()");
+    }
+    if (rc == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw ApiException(ApiErrorCode::kNetwork,
+                         "connection closed mid-read (" + std::to_string(got) +
+                             " of " + std::to_string(n) + " bytes)");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::ListenSocket(uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowNetwork("socket()");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    ThrowNetwork("bind to 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    ThrowNetwork("listen()");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    ThrowNetwork("getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+ListenSocket::~ListenSocket() { Close(); }
+
+Socket ListenSocket::AcceptWithTimeout(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) ThrowNetwork("poll() on listen socket");
+  if (rc == 0) return Socket();  // timeout: caller re-checks its stop flag
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) ThrowNetwork("accept()");
+  DisableNagle(client);
+  return Socket(client);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace janus

@@ -1,0 +1,79 @@
+#ifndef JANUS_NET_SOCKET_H_
+#define JANUS_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace janus {
+namespace net {
+
+/// RAII wrapper over one connected TCP socket (POSIX fd). Movable,
+/// non-copyable; the destructor closes the fd. All transport failures
+/// throw ApiException(ApiErrorCode::kNetwork) — the serving tier never
+/// surfaces raw errno values to callers.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connect to host:port (numeric IPv4 or "localhost"). Throws
+  /// ApiException(kNetwork) on resolution or connection failure.
+  static Socket ConnectTcp(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Write exactly `n` bytes, retrying on EINTR / short writes. Throws
+  /// ApiException(kNetwork) on failure.
+  void SendAll(const void* data, size_t n);
+
+  /// Read exactly `n` bytes. Returns false on clean EOF before the first
+  /// byte (peer closed at a message boundary); throws ApiException(kNetwork)
+  /// on errors or EOF mid-read.
+  bool RecvAll(void* data, size_t n);
+
+  /// Shut down both directions (unblocks a peer or a thread blocked in
+  /// RecvAll) without closing the fd.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. `port == 0` binds an
+/// ephemeral port (tests); `port()` reports the actual one.
+class ListenSocket {
+ public:
+  /// Bind + listen; throws ApiException(kNetwork) on failure.
+  explicit ListenSocket(uint16_t port, int backlog = 64);
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection. Returns an invalid Socket on
+  /// timeout (callers poll so an accept loop can observe its stop flag);
+  /// throws ApiException(kNetwork) on accept failure.
+  Socket AcceptWithTimeout(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace janus
+
+#endif  // JANUS_NET_SOCKET_H_

@@ -40,6 +40,7 @@ class TopicLog {
   uint64_t Append(const Record& r) {
     MutexLock lock(&mu_);
     log_.push_back(r);
+    appended_cv_.NotifyAll();
     return log_.size() - 1;
   }
 
@@ -47,6 +48,21 @@ class TopicLog {
   void AppendBatch(const std::vector<Record>& rs) {
     MutexLock lock(&mu_);
     log_.insert(log_.end(), rs.begin(), rs.end());
+    if (!rs.empty()) appended_cv_.NotifyAll();
+  }
+
+  /// Block until the log holds records past `offset` (i.e. a Poll(offset)
+  /// would deliver something) or `timeout_us` elapses; returns whether
+  /// records are available. The serving tier's pump thread parks here
+  /// between drains instead of busy-polling an empty topic.
+  bool WaitForRecords(uint64_t offset, int64_t timeout_us) const {
+    MutexLock lock(&mu_);
+    while (log_.size() <= offset) {
+      if (!appended_cv_.WaitFor(&mu_, timeout_us)) {
+        return log_.size() > offset;
+      }
+    }
+    return true;
   }
 
   /// Poll up to `max_records` starting at `offset`; appends them to `out`
@@ -92,6 +108,9 @@ class TopicLog {
   /// stale read would only mis-time the simulated overhead.
   std::atomic<uint64_t> poll_overhead_ns_;
   mutable Mutex mu_;
+  /// Signaled on every append; WaitForRecords() parks on it. Mutable so the
+  /// logically-const blocking read can wait.
+  mutable CondVar appended_cv_;
   std::vector<Record> log_ GUARDED_BY(mu_);
   mutable uint64_t poll_count_ GUARDED_BY(mu_) = 0;
 };

@@ -1,6 +1,7 @@
 #ifndef JANUS_UTIL_MUTEX_H_
 #define JANUS_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -62,6 +63,16 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller still owns the mutex
+  }
+
+  /// Timed wait: returns false on timeout, true when notified (spurious
+  /// wakeups report true too — callers re-check their predicate either
+  /// way). Used by the serving tier's batch window and pump loops.
+  bool WaitFor(Mutex* mu, int64_t micros) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(lock, std::chrono::microseconds(micros));
+    lock.release();  // the caller still owns the mutex
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

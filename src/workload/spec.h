@@ -62,6 +62,24 @@ struct WorkloadSpec {
   std::vector<PhaseSpec> phases;
 
   int agg_column() const { return num_predicate_columns; }
+
+  /// Parse a phased-workload spec file so benches can run custom tenant
+  /// mixes without a recompile. Line-based "key = value" format reusing
+  /// the strict ArgMap parsing rules; '#' starts a comment; a
+  /// "[phase NAME]" header opens a run phase. Global keys: name,
+  /// load_rows, pred_columns, load_* (distribution). Phase keys: ops,
+  /// seconds, insert, delete, query, func, min_width_frac,
+  /// max_width_frac, and the key_* / place_* / width_* distribution
+  /// families (<prefix>_dist, <prefix>_zipf_s, <prefix>_zipf_n,
+  /// <prefix>_scramble, <prefix>_hot_fraction, <prefix>_hot_probability,
+  /// <prefix>_lognormal_mu, <prefix>_lognormal_sigma).
+  ///
+  /// Strict: unknown keys, malformed values, unknown distribution or
+  /// aggregate names, out-of-range fractions, missing '=' and a spec with
+  /// no phases all throw ApiException(ApiErrorCode::kBadSpecFile) naming
+  /// the file, section and offender — a typo aborts the run instead of
+  /// silently benchmarking the wrong workload.
+  static WorkloadSpec FromFile(const std::string& path);
 };
 
 /// Names of the built-in preset specs, in presentation order:

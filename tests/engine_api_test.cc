@@ -648,11 +648,12 @@ TEST(EngineDriverTest, ConsumesAllThreeTopics) {
   EXPECT_EQ(driver.stats().inserts, 3000u);
   EXPECT_EQ(driver.stats().deletes, 500u);
   EXPECT_EQ(driver.stats().queries, 2u);
-  ASSERT_EQ(driver.results().size(), 2u);
+  ASSERT_EQ(driver.pending_results(), 2u);
+  const std::vector<QueryResult> answers = driver.TakeResults();
 
   // The engine saw every record: 10000 + 3000 - 500 live tuples.
   EXPECT_EQ(engine->table()->size(), 12500u);
-  EXPECT_NEAR(driver.results()[0].estimate, 12500.0, 12500.0 * 0.15);
+  EXPECT_NEAR(answers[0].estimate, 12500.0, 12500.0 * 0.15);
 
   // A second Drain with nothing new is a no-op.
   EXPECT_EQ(driver.Drain(), 0u);
@@ -672,11 +673,11 @@ TEST(EngineDriverTest, TakeResultsDrainsBuffer) {
   broker.query_topic()->Append(MakeQuery(AggFunc::kSum, 0.2, 0.8));
   EngineDriver driver(engine.get(), &broker);
   driver.Drain();
-  ASSERT_EQ(driver.results().size(), 2u);
+  ASSERT_EQ(driver.pending_results(), 2u);
 
   const std::vector<QueryResult> taken = driver.TakeResults();
   EXPECT_EQ(taken.size(), 2u);
-  EXPECT_TRUE(driver.results().empty());
+  EXPECT_EQ(driver.pending_results(), 0u);
   // Offsets and stats are untouched by the drain.
   EXPECT_EQ(driver.query_offset(), 2u);
   EXPECT_EQ(driver.stats().queries, 2u);
@@ -684,7 +685,7 @@ TEST(EngineDriverTest, TakeResultsDrainsBuffer) {
   // Later queries land in the (now empty) buffer, in topic order.
   broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 0.5));
   driver.Drain();
-  ASSERT_EQ(driver.results().size(), 1u);
+  ASSERT_EQ(driver.pending_results(), 1u);
   EXPECT_EQ(driver.query_offset(), 3u);
 }
 
@@ -718,7 +719,7 @@ TEST(EngineDriverTest, DrainThenSnapshotRoundTrips) {
   // The recovered driver answers only queries past the snapshot cut.
   broker.query_topic()->Append(MakeQuery(AggFunc::kCount, 0.0, 0.5));
   driver2.Drain();
-  EXPECT_EQ(driver2.results().size(), 1u);
+  EXPECT_EQ(driver2.pending_results(), 1u);
   std::remove(path.c_str());
 }
 
@@ -748,7 +749,7 @@ TEST(EngineDriverTest, WorksAgainstEveryEngine) {
     EngineDriver driver(engine.get(), &broker);
     driver.Drain();
     EXPECT_EQ(driver.stats().inserts, 500u) << name;
-    ASSERT_EQ(driver.results().size(), 1u) << name;
+    ASSERT_EQ(driver.pending_results(), 1u) << name;
     EXPECT_EQ(LiveRows(*engine), 5500u) << name;
   }
 }

@@ -1,0 +1,177 @@
+// WorkloadSpec::FromFile — the strict line-based phased-spec parser.
+//
+// The contract: a well-formed file yields exactly the spec it describes; any
+// deviation — unknown key, malformed value, unknown distribution or
+// aggregate name, out-of-range fraction, missing phases, junk lines — fails
+// with ApiException(kBadSpecFile) naming the file (and where possible the
+// section/line), never silently keeping a default.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/error.h"
+#include "workload/spec.h"
+
+namespace janus {
+namespace workload {
+namespace {
+
+std::string WriteSpec(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+ApiErrorCode ParseError(const std::string& path) {
+  try {
+    (void)WorkloadSpec::FromFile(path);
+    return ApiErrorCode::kOk;
+  } catch (const ApiException& e) {
+    return e.code();
+  }
+}
+
+TEST(WorkloadSpecFileTest, ParsesAFullSpec) {
+  const std::string path = WriteSpec("full.spec", R"(
+# A hotspot-read workload with a zipfian write phase.
+name = custom-mix
+load_rows = 5000
+pred_columns = 2
+load_dist = lognormal
+load_lognormal_mu = 1.5
+load_lognormal_sigma = 0.75
+
+[phase warm]
+ops = 1000
+insert = 0.5
+query = 0.5
+key_dist = zipfian
+key_zipf_s = 1.2
+key_scramble = true
+
+[phase read]
+ops = 2000
+query = 1.0
+func = count
+place_dist = hotspot
+place_hot_fraction = 0.1
+place_hot_probability = 0.9
+min_width_frac = 0.01
+max_width_frac = 0.2
+)");
+  const WorkloadSpec spec = WorkloadSpec::FromFile(path);
+  EXPECT_EQ(spec.name, "custom-mix");
+  EXPECT_EQ(spec.load_rows, 5000u);
+  EXPECT_EQ(spec.num_predicate_columns, 2);
+  EXPECT_EQ(spec.load_dist.kind, DistKind::kLogNormal);
+  EXPECT_EQ(spec.load_dist.lognormal_mu, 1.5);
+  EXPECT_EQ(spec.load_dist.lognormal_sigma, 0.75);
+
+  ASSERT_EQ(spec.phases.size(), 2u);
+  const PhaseSpec& warm = spec.phases[0];
+  EXPECT_EQ(warm.name, "warm");
+  EXPECT_EQ(warm.ops, 1000u);
+  EXPECT_EQ(warm.mix.insert, 0.5);
+  EXPECT_EQ(warm.mix.query, 0.5);
+  EXPECT_EQ(warm.key_dist.kind, DistKind::kZipfian);
+  EXPECT_EQ(warm.key_dist.zipf_s, 1.2);
+  EXPECT_TRUE(warm.key_dist.scramble);
+
+  const PhaseSpec& read = spec.phases[1];
+  EXPECT_EQ(read.name, "read");
+  EXPECT_EQ(read.ops, 2000u);
+  EXPECT_EQ(read.mix.query, 1.0);
+  EXPECT_EQ(read.func, AggFunc::kCount);
+  EXPECT_EQ(read.rect.placement.kind, DistKind::kHotspot);
+  EXPECT_EQ(read.rect.placement.hot_fraction, 0.1);
+  EXPECT_EQ(read.rect.placement.hot_probability, 0.9);
+  EXPECT_EQ(read.rect.min_width_frac, 0.01);
+  EXPECT_EQ(read.rect.max_width_frac, 0.2);
+}
+
+TEST(WorkloadSpecFileTest, MissingFileIsTyped) {
+  EXPECT_EQ(ParseError(::testing::TempDir() + "/does-not-exist.spec"),
+            ApiErrorCode::kBadSpecFile);
+}
+
+TEST(WorkloadSpecFileTest, UnknownKeyFailsThePhase) {
+  const std::string path = WriteSpec("unknown-key.spec", R"(
+[phase run]
+ops = 100
+zpif_s = 1.1
+)");
+  EXPECT_EQ(ParseError(path), ApiErrorCode::kBadSpecFile);
+  try {
+    (void)WorkloadSpec::FromFile(path);
+    FAIL();
+  } catch (const ApiException& e) {
+    // The message names the offending key and its section.
+    EXPECT_NE(std::string(e.what()).find("zpif_s"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("phase run"), std::string::npos);
+  }
+}
+
+TEST(WorkloadSpecFileTest, MalformedValuesAreTyped) {
+  EXPECT_EQ(ParseError(WriteSpec("bad-num.spec",
+                                 "[phase p]\nops = ten\n")),
+            ApiErrorCode::kBadSpecFile);
+  EXPECT_EQ(ParseError(WriteSpec("bad-frac.spec",
+                                 "[phase p]\ninsert = 1.5\n")),
+            ApiErrorCode::kBadSpecFile);
+  EXPECT_EQ(ParseError(WriteSpec("bad-dist.spec",
+                                 "[phase p]\nkey_dist = gaussianish\n")),
+            ApiErrorCode::kBadSpecFile);
+  EXPECT_EQ(ParseError(WriteSpec("bad-func.spec",
+                                 "[phase p]\nfunc = median\n")),
+            ApiErrorCode::kBadSpecFile);
+  EXPECT_EQ(ParseError(WriteSpec("bad-width.spec",
+                                 "[phase p]\nmin_width_frac = 0.5\n"
+                                 "max_width_frac = 0.1\n")),
+            ApiErrorCode::kBadSpecFile);
+  EXPECT_EQ(ParseError(WriteSpec("bad-cols.spec",
+                                 "pred_columns = 99\n[phase p]\nops = 1\n")),
+            ApiErrorCode::kBadSpecFile);
+}
+
+TEST(WorkloadSpecFileTest, StructuralErrorsAreTyped) {
+  // No phases at all.
+  EXPECT_EQ(ParseError(WriteSpec("no-phase.spec", "name = empty\n")),
+            ApiErrorCode::kBadSpecFile);
+  // A line that is neither a section header nor key = value.
+  EXPECT_EQ(ParseError(WriteSpec("junk-line.spec",
+                                 "[phase p]\nthis is not a kv line\n")),
+            ApiErrorCode::kBadSpecFile);
+  // Unterminated section header.
+  EXPECT_EQ(ParseError(WriteSpec("bad-header.spec", "[phase p\nops = 1\n")),
+            ApiErrorCode::kBadSpecFile);
+  // A section that is not [phase NAME].
+  EXPECT_EQ(ParseError(WriteSpec("bad-section.spec",
+                                 "[stage p]\nops = 1\n")),
+            ApiErrorCode::kBadSpecFile);
+  // Empty key or value.
+  EXPECT_EQ(ParseError(WriteSpec("empty-value.spec",
+                                 "[phase p]\nops =\n")),
+            ApiErrorCode::kBadSpecFile);
+}
+
+TEST(WorkloadSpecFileTest, CommentsAndWhitespaceAreIgnored) {
+  const std::string path = WriteSpec("comments.spec", R"(
+  # indented comment
+name = tidy   # trailing comment
+
+[phase only]   # section comment
+   ops   =   42
+)");
+  const WorkloadSpec spec = WorkloadSpec::FromFile(path);
+  EXPECT_EQ(spec.name, "tidy");
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_EQ(spec.phases[0].ops, 42u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace janus
